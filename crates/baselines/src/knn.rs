@@ -1,0 +1,91 @@
+//! k-nearest-neighbour distance anomaly score.
+//!
+//! The simplest density-flavoured baseline: a sample's score is the mean
+//! Euclidean distance to its k nearest training samples. Brute force —
+//! training cohorts in this domain have at most a few hundred samples.
+
+use crate::{sq_dist, AnomalyDetector};
+use frac_dataset::DesignMatrix;
+
+/// Mean-distance-to-k-nearest-neighbours detector.
+#[derive(Debug, Clone)]
+pub struct KnnDistance {
+    k: usize,
+    train: Vec<Vec<f64>>,
+}
+
+impl KnnDistance {
+    /// New detector with neighbourhood size `k`.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        KnnDistance { k, train: Vec::new() }
+    }
+
+    /// The configured neighbourhood size.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+}
+
+impl AnomalyDetector for KnnDistance {
+    fn fit(&mut self, train: &DesignMatrix) {
+        assert!(train.n_rows() > 0, "empty training set");
+        self.train = (0..train.n_rows()).map(|r| train.row(r).to_vec()).collect();
+    }
+
+    fn score(&self, x: &[f64]) -> f64 {
+        assert!(!self.train.is_empty(), "fit before scoring");
+        let mut dists: Vec<f64> = self.train.iter().map(|t| sq_dist(t, x)).collect();
+        let k = self.k.min(dists.len());
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        dists[..k].iter().map(|d| d.sqrt()).sum::<f64>() / k as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster() -> DesignMatrix {
+        let pts: Vec<f64> = (0..20)
+            .flat_map(|i| vec![(i % 5) as f64 * 0.1, (i % 4) as f64 * 0.1])
+            .collect();
+        DesignMatrix::from_raw(20, 2, pts)
+    }
+
+    #[test]
+    fn outliers_score_higher() {
+        let mut det = KnnDistance::new(3);
+        det.fit(&cluster());
+        let inlier = det.score(&[0.2, 0.15]);
+        let outlier = det.score(&[5.0, 5.0]);
+        assert!(outlier > inlier * 10.0);
+    }
+
+    #[test]
+    fn score_grows_with_distance() {
+        let mut det = KnnDistance::new(2);
+        det.fit(&cluster());
+        let s1 = det.score(&[1.0, 1.0]);
+        let s2 = det.score(&[2.0, 2.0]);
+        let s3 = det.score(&[4.0, 4.0]);
+        assert!(s1 < s2 && s2 < s3);
+    }
+
+    #[test]
+    fn k_larger_than_train_is_clamped() {
+        let m = DesignMatrix::from_raw(2, 1, vec![0.0, 1.0]);
+        let mut det = KnnDistance::new(10);
+        det.fit(&m);
+        assert!(det.score(&[0.5]).is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "fit before scoring")]
+    fn scoring_unfitted_panics() {
+        KnnDistance::new(1).score(&[0.0]);
+    }
+}

@@ -1,0 +1,181 @@
+//! Local Outlier Factor (Breunig, Kriegel, Ng, Sander — SIGMOD 2000; the
+//! paper's ref. 5).
+//!
+//! LOF compares a point's local reachability density to that of its k
+//! nearest neighbours: a point in a sparse region relative to its
+//! neighbourhood scores > 1. Implemented exactly per the paper, brute-force
+//! (n ≤ a few hundred in this domain):
+//!
+//! * `k-distance(p)` — distance to the k-th nearest neighbour;
+//! * `reach-dist_k(p, o) = max(k-distance(o), d(p, o))`;
+//! * `lrd_k(p) = 1 / mean_{o ∈ N_k(p)} reach-dist_k(p, o)`;
+//! * `LOF_k(p) = mean_{o ∈ N_k(p)} lrd_k(o) / lrd_k(p)`.
+
+use crate::{sq_dist, AnomalyDetector};
+use frac_dataset::DesignMatrix;
+
+/// Local Outlier Factor detector over a fixed training set.
+#[derive(Debug, Clone)]
+pub struct LocalOutlierFactor {
+    k: usize,
+    train: Vec<Vec<f64>>,
+    /// Per training point: indices of its k nearest neighbours.
+    neighbors: Vec<Vec<usize>>,
+    /// Per training point: k-distance.
+    k_distance: Vec<f64>,
+    /// Per training point: local reachability density.
+    lrd: Vec<f64>,
+}
+
+impl LocalOutlierFactor {
+    /// New detector with `MinPts = k` (the literature's usual 10–20 works
+    /// well at cohort sizes; callers with < k training points get k clamped
+    /// at fit time).
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        LocalOutlierFactor {
+            k,
+            train: Vec::new(),
+            neighbors: Vec::new(),
+            k_distance: Vec::new(),
+            lrd: Vec::new(),
+        }
+    }
+
+    /// k nearest training indices of an arbitrary point (excluding an
+    /// optional training self-index), plus the k-distance.
+    fn knn_of(&self, x: &[f64], exclude: Option<usize>, k: usize) -> (Vec<usize>, f64) {
+        let mut dists: Vec<(f64, usize)> = self
+            .train
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| Some(*i) != exclude)
+            .map(|(i, t)| (sq_dist(t, x).sqrt(), i))
+            .collect();
+        dists.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let k = k.min(dists.len());
+        let kth = dists[k - 1].0;
+        (dists[..k].iter().map(|&(_, i)| i).collect(), kth)
+    }
+
+    fn reach_dist(&self, from: &[f64], to_idx: usize) -> f64 {
+        let d = sq_dist(from, &self.train[to_idx]).sqrt();
+        d.max(self.k_distance[to_idx])
+    }
+
+    fn lrd_of(&self, x: &[f64], neighbors: &[usize]) -> f64 {
+        let mean_reach: f64 = neighbors
+            .iter()
+            .map(|&o| self.reach_dist(x, o))
+            .sum::<f64>()
+            / neighbors.len() as f64;
+        if mean_reach <= 0.0 {
+            // Duplicated points: infinite density; cap for finite scores.
+            1e12
+        } else {
+            1.0 / mean_reach
+        }
+    }
+}
+
+impl AnomalyDetector for LocalOutlierFactor {
+    fn fit(&mut self, train: &DesignMatrix) {
+        assert!(train.n_rows() >= 2, "LOF needs at least two training points");
+        self.train = (0..train.n_rows()).map(|r| train.row(r).to_vec()).collect();
+        let k = self.k.min(self.train.len() - 1);
+        let n = self.train.len();
+
+        self.neighbors = Vec::with_capacity(n);
+        self.k_distance = Vec::with_capacity(n);
+        for i in 0..n {
+            let (nbrs, kd) = self.knn_of(&self.train[i].clone(), Some(i), k);
+            self.neighbors.push(nbrs);
+            self.k_distance.push(kd);
+        }
+        // lrd needs k-distances of all points first.
+        self.lrd = (0..n)
+            .map(|i| self.lrd_of(&self.train[i].clone(), &self.neighbors[i].clone()))
+            .collect();
+    }
+
+    fn score(&self, x: &[f64]) -> f64 {
+        assert!(!self.train.is_empty(), "fit before scoring");
+        let k = self.k.min(self.train.len() - 1).max(1);
+        let (nbrs, _) = self.knn_of(x, None, k);
+        let lrd_x = self.lrd_of(x, &nbrs);
+        let mean_nbr_lrd: f64 =
+            nbrs.iter().map(|&o| self.lrd[o]).sum::<f64>() / nbrs.len() as f64;
+        mean_nbr_lrd / lrd_x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_density_clusters() -> DesignMatrix {
+        // Dense cluster near origin, sparse cluster near (10, 10).
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push((i % 5) as f64 * 0.05);
+            pts.push((i % 4) as f64 * 0.05);
+        }
+        for i in 0..6 {
+            pts.push(10.0 + (i % 3) as f64 * 1.5);
+            pts.push(10.0 + (i % 2) as f64 * 1.5);
+        }
+        DesignMatrix::from_raw(26, 2, pts)
+    }
+
+    #[test]
+    fn inliers_score_near_one() {
+        let mut lof = LocalOutlierFactor::new(5);
+        lof.fit(&two_density_clusters());
+        let s = lof.score(&[0.05, 0.05]);
+        assert!((0.5..1.6).contains(&s), "inlier LOF = {s}");
+    }
+
+    #[test]
+    fn global_outlier_scores_high() {
+        let mut lof = LocalOutlierFactor::new(5);
+        lof.fit(&two_density_clusters());
+        let inlier = lof.score(&[0.05, 0.05]);
+        let outlier = lof.score(&[5.0, 5.0]);
+        assert!(outlier > inlier * 2.0, "outlier {outlier} vs inlier {inlier}");
+    }
+
+    #[test]
+    fn local_density_matters() {
+        // The signature LOF behaviour: a point at the edge of the sparse
+        // cluster is less anomalous than the same offset from the dense one.
+        let mut lof = LocalOutlierFactor::new(4);
+        lof.fit(&two_density_clusters());
+        let near_sparse = lof.score(&[12.0, 12.0]);
+        let near_dense = lof.score(&[2.0, 2.0]);
+        assert!(
+            near_dense > near_sparse,
+            "offset from dense cluster ({near_dense}) must outscore same offset \
+             from sparse cluster ({near_sparse})"
+        );
+    }
+
+    #[test]
+    fn duplicated_training_points_stay_finite() {
+        let m = DesignMatrix::from_raw(4, 1, vec![1.0, 1.0, 1.0, 1.0]);
+        let mut lof = LocalOutlierFactor::new(2);
+        lof.fit(&m);
+        assert!(lof.score(&[1.0]).is_finite());
+        assert!(lof.score(&[2.0]).is_finite());
+    }
+
+    #[test]
+    fn k_clamped_to_train_size() {
+        let m = DesignMatrix::from_raw(3, 1, vec![0.0, 1.0, 2.0]);
+        let mut lof = LocalOutlierFactor::new(10);
+        lof.fit(&m);
+        assert!(lof.score(&[0.5]).is_finite());
+    }
+}

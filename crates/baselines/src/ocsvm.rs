@@ -1,0 +1,305 @@
+//! One-class support vector machine (Schölkopf et al., *New Support Vector
+//! Algorithms*, Neural Computation 2000 — the paper's ref. 6).
+//!
+//! The ν-parameterized one-class SVM separates the training mass from the
+//! origin in feature space; at most a ν-fraction of training points fall
+//! outside the learned region. Dual problem:
+//!
+//! ```text
+//!   min_α ½ αᵀKα    s.t.  0 ≤ α_i ≤ 1/(νn),  Σ α_i = 1
+//! ```
+//!
+//! solved by SMO-style pairwise coordinate descent on the most violating
+//! pair (the equality constraint forces pairwise updates). Anomaly score is
+//! `ρ − Σ_i α_i K(x_i, x)` (positive outside the region).
+
+use crate::{sq_dist, AnomalyDetector};
+use frac_dataset::DesignMatrix;
+
+/// Kernel choice for the one-class SVM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Kernel {
+    /// Linear kernel `⟨x, y⟩`.
+    Linear,
+    /// RBF kernel `exp(−γ‖x−y‖²)`; `None` = the "scale" heuristic
+    /// `γ = 1/(d·Var[x])` fit from training data.
+    Rbf {
+        /// Bandwidth γ (None = heuristic).
+        gamma: Option<f64>,
+    },
+}
+
+/// One-class SVM hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct OcSvmConfig {
+    /// ν ∈ (0, 1]: upper bound on the training outlier fraction and lower
+    /// bound on the support-vector fraction.
+    pub nu: f64,
+    /// Kernel.
+    pub kernel: Kernel,
+    /// Maximum SMO pair updates.
+    pub max_iter: usize,
+    /// KKT violation tolerance.
+    pub tolerance: f64,
+}
+
+impl Default for OcSvmConfig {
+    fn default() -> Self {
+        OcSvmConfig {
+            nu: 0.1,
+            kernel: Kernel::Rbf { gamma: None },
+            max_iter: 20_000,
+            tolerance: 1e-4,
+        }
+    }
+}
+
+/// A (possibly unfitted) one-class SVM detector.
+#[derive(Debug, Clone)]
+pub struct OneClassSvm {
+    config: OcSvmConfig,
+    train: Vec<Vec<f64>>,
+    alpha: Vec<f64>,
+    rho: f64,
+    gamma: f64,
+}
+
+impl OneClassSvm {
+    /// New detector with the given configuration.
+    ///
+    /// # Panics
+    /// Panics unless `0 < ν ≤ 1`.
+    pub fn new(config: OcSvmConfig) -> Self {
+        assert!(
+            config.nu > 0.0 && config.nu <= 1.0,
+            "ν must be in (0, 1], got {}",
+            config.nu
+        );
+        OneClassSvm { config, train: Vec::new(), alpha: Vec::new(), rho: 0.0, gamma: 0.0 }
+    }
+
+    /// Detector with default configuration (ν = 0.1, RBF-scale kernel).
+    pub fn with_defaults() -> Self {
+        OneClassSvm::new(OcSvmConfig::default())
+    }
+
+    fn kernel(&self, a: &[f64], b: &[f64]) -> f64 {
+        match self.config.kernel {
+            Kernel::Linear => a.iter().zip(b).map(|(x, y)| x * y).sum(),
+            Kernel::Rbf { .. } => (-self.gamma * sq_dist(a, b)).exp(),
+        }
+    }
+
+    /// The offset ρ of the fitted decision function.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// Number of support vectors (α > 0).
+    pub fn n_support(&self) -> usize {
+        self.alpha.iter().filter(|&&a| a > 1e-12).count()
+    }
+}
+
+impl AnomalyDetector for OneClassSvm {
+    fn fit(&mut self, train: &DesignMatrix) {
+        let n = train.n_rows();
+        assert!(n >= 2, "one-class SVM needs at least two training points");
+        self.train = (0..n).map(|r| train.row(r).to_vec()).collect();
+
+        // RBF "scale" heuristic: γ = 1 / (d · Var[all entries]).
+        self.gamma = match self.config.kernel {
+            Kernel::Linear => 0.0,
+            Kernel::Rbf { gamma: Some(g) } => g,
+            Kernel::Rbf { gamma: None } => {
+                let d = train.n_cols().max(1) as f64;
+                let vals = train.values();
+                let mean = vals.iter().sum::<f64>() / vals.len().max(1) as f64;
+                let var = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                    / vals.len().max(1) as f64;
+                1.0 / (d * var.max(1e-12))
+            }
+        };
+
+        // Kernel matrix (n ≤ a few hundred in this domain).
+        let mut k_mat = vec![0.0f64; n * n];
+        for i in 0..n {
+            for j in i..n {
+                let v = self.kernel(&self.train[i], &self.train[j]);
+                k_mat[i * n + j] = v;
+                k_mat[j * n + i] = v;
+            }
+        }
+
+        // Initialize α feasibly: first ⌊νn⌋ points at the upper bound, one
+        // fractional, rest zero (the libSVM initialization).
+        let c = 1.0 / (self.config.nu * n as f64);
+        let mut alpha = vec![0.0f64; n];
+        let mut remaining = 1.0f64;
+        for a in alpha.iter_mut() {
+            let take = remaining.min(c);
+            *a = take;
+            remaining -= take;
+            if remaining <= 0.0 {
+                break;
+            }
+        }
+
+        // Gradient g_i = (Kα)_i.
+        let mut g: Vec<f64> = (0..n)
+            .map(|i| (0..n).map(|j| k_mat[i * n + j] * alpha[j]).sum())
+            .collect();
+
+        for _ in 0..self.config.max_iter {
+            // Most violating pair: i can increase (α_i < C) with minimal
+            // gradient; j can decrease (α_j > 0) with maximal gradient.
+            let mut i_up = None;
+            let mut j_dn = None;
+            for t in 0..n {
+                if alpha[t] < c - 1e-15 && i_up.is_none_or(|i: usize| g[t] < g[i]) {
+                    i_up = Some(t);
+                }
+                if alpha[t] > 1e-15 && j_dn.is_none_or(|j: usize| g[t] > g[j]) {
+                    j_dn = Some(t);
+                }
+            }
+            let (i, j) = match (i_up, j_dn) {
+                (Some(i), Some(j)) if g[j] - g[i] > self.config.tolerance => (i, j),
+                _ => break,
+            };
+            let denom = (k_mat[i * n + i] + k_mat[j * n + j] - 2.0 * k_mat[i * n + j]).max(1e-12);
+            let step = ((g[j] - g[i]) / denom)
+                .min(c - alpha[i])
+                .min(alpha[j]);
+            if step <= 0.0 {
+                break;
+            }
+            alpha[i] += step;
+            alpha[j] -= step;
+            for t in 0..n {
+                g[t] += step * (k_mat[t * n + i] - k_mat[t * n + j]);
+            }
+        }
+
+        // ρ = decision value at the margin: average g over free support
+        // vectors, falling back to the feasible midpoint.
+        let free: Vec<f64> = (0..n)
+            .filter(|&t| alpha[t] > 1e-9 && alpha[t] < c - 1e-9)
+            .map(|t| g[t])
+            .collect();
+        self.rho = if free.is_empty() {
+            let lo = (0..n)
+                .filter(|&t| alpha[t] > 1e-9)
+                .map(|t| g[t])
+                .fold(f64::NEG_INFINITY, f64::max);
+            let hi = (0..n)
+                .filter(|&t| alpha[t] < c - 1e-9)
+                .map(|t| g[t])
+                .fold(f64::INFINITY, f64::min);
+            0.5 * (lo + hi)
+        } else {
+            free.iter().sum::<f64>() / free.len() as f64
+        };
+        self.alpha = alpha;
+    }
+
+    fn score(&self, x: &[f64]) -> f64 {
+        assert!(!self.train.is_empty(), "fit before scoring");
+        let f: f64 = self
+            .train
+            .iter()
+            .zip(&self.alpha)
+            .filter(|(_, &a)| a > 1e-12)
+            .map(|(t, &a)| a * self.kernel(t, x))
+            .sum();
+        self.rho - f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(n: usize, cx: f64, cy: f64, spread: f64, seed: u64) -> Vec<f64> {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        (0..n)
+            .flat_map(|_| vec![cx + spread * next(), cy + spread * next()])
+            .collect()
+    }
+
+    #[test]
+    fn outliers_score_above_inliers() {
+        let m = DesignMatrix::from_raw(40, 2, blob(40, 0.0, 0.0, 1.0, 3));
+        let mut svm = OneClassSvm::with_defaults();
+        svm.fit(&m);
+        let inlier = svm.score(&[0.0, 0.0]);
+        let outlier = svm.score(&[6.0, 6.0]);
+        assert!(outlier > inlier, "outlier {outlier} vs inlier {inlier}");
+        assert!(outlier > 0.0, "far point must be outside the region");
+    }
+
+    #[test]
+    fn nu_bounds_training_outlier_fraction() {
+        let m = DesignMatrix::from_raw(50, 2, blob(50, 0.0, 0.0, 1.0, 7));
+        for &nu in &[0.05f64, 0.2, 0.5] {
+            let mut svm = OneClassSvm::new(OcSvmConfig { nu, ..OcSvmConfig::default() });
+            svm.fit(&m);
+            let outliers = (0..50).filter(|&r| svm.score(m.row(r)) > 1e-9).count();
+            // ν-property: at most ~νn training outliers (allow +2 slack for
+            // finite-precision boundaries).
+            assert!(
+                outliers as f64 <= nu * 50.0 + 2.0,
+                "ν = {nu}: {outliers} training outliers"
+            );
+        }
+    }
+
+    #[test]
+    fn support_vector_fraction_at_least_nu() {
+        let m = DesignMatrix::from_raw(50, 2, blob(50, 0.0, 0.0, 1.0, 9));
+        let nu = 0.3;
+        let mut svm = OneClassSvm::new(OcSvmConfig { nu, ..OcSvmConfig::default() });
+        svm.fit(&m);
+        assert!(
+            svm.n_support() as f64 >= nu * 50.0 - 1.0,
+            "{} support vectors",
+            svm.n_support()
+        );
+    }
+
+    #[test]
+    fn linear_kernel_works() {
+        let m = DesignMatrix::from_raw(30, 2, blob(30, 3.0, 3.0, 0.5, 5));
+        let mut svm = OneClassSvm::new(OcSvmConfig {
+            kernel: Kernel::Linear,
+            ..OcSvmConfig::default()
+        });
+        svm.fit(&m);
+        // With a linear kernel the decision function is a hyperplane through
+        // the data's "direction"; origin-side points score as anomalies.
+        assert!(svm.score(&[0.0, 0.0]) > svm.score(&[3.0, 3.0]));
+    }
+
+    #[test]
+    fn score_decreases_towards_the_mass() {
+        let m = DesignMatrix::from_raw(40, 2, blob(40, 0.0, 0.0, 1.0, 11));
+        let mut svm = OneClassSvm::with_defaults();
+        svm.fit(&m);
+        let far = svm.score(&[8.0, 0.0]);
+        let mid = svm.score(&[3.0, 0.0]);
+        let near = svm.score(&[0.2, 0.0]);
+        assert!(far >= mid && mid > near, "{far} {mid} {near}");
+    }
+
+    #[test]
+    #[should_panic(expected = "ν must be in")]
+    fn bad_nu_rejected() {
+        OneClassSvm::new(OcSvmConfig { nu: 0.0, ..OcSvmConfig::default() });
+    }
+}

@@ -1,0 +1,68 @@
+//! Criterion end-to-end benches of the FRaC variants on a fixed small
+//! expression data set — the microbench view of the paper's Time %
+//! columns: filtering ≪ JL < diverse < full.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use frac_core::{run_variant, FeatureSelector, FracConfig, Variant};
+use frac_dataset::Dataset;
+use frac_projection::JlMatrixKind;
+use frac_synth::{ExpressionConfig, ExpressionGenerator};
+use std::hint::black_box;
+
+fn split() -> (Dataset, Dataset) {
+    let g = ExpressionGenerator::new(ExpressionConfig {
+        n_features: 120,
+        n_modules: 10,
+        relevant_fraction: 0.7,
+        anomaly_modules: 3,
+        anomaly_shift: 2.5,
+        structure_seed: 77,
+        ..ExpressionConfig::default()
+    });
+    let (data, _) = g.generate(48, 12, 5);
+    let train = data.select_rows(&(0..32).collect::<Vec<_>>());
+    let test = data.select_rows(&(32..60).collect::<Vec<_>>());
+    (train, test)
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let (train, test) = split();
+    let cfg = FracConfig::default();
+    let mut group = c.benchmark_group("variant_end_to_end_120f");
+    group.sample_size(10);
+    let variants: Vec<(&str, Variant)> = vec![
+        ("full", Variant::Full),
+        (
+            "random_filter_p05",
+            Variant::FullFilter { selector: FeatureSelector::Random, p: 0.05 },
+        ),
+        (
+            "entropy_filter_p05",
+            Variant::FullFilter { selector: FeatureSelector::Entropy, p: 0.05 },
+        ),
+        ("diverse_p50", Variant::Diverse { p: 0.5, models_per_feature: 1 }),
+        (
+            "jl_d16",
+            Variant::JlProject { dim: 16, kind: JlMatrixKind::Gaussian },
+        ),
+        (
+            "random_filter_ensemble_10x",
+            Variant::Ensemble {
+                base: Box::new(Variant::FullFilter {
+                    selector: FeatureSelector::Random,
+                    p: 0.05,
+                }),
+                members: 10,
+            },
+        ),
+    ];
+    for (name, variant) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| run_variant(black_box(&train), black_box(&test), &variant, &cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion microbenches for the learning substrate: linear SVR/SVC dual
+//! coordinate descent and decision-tree induction across problem sizes.
+//!
+//! These are the per-model costs that the paper's Table II CPU-hours are
+//! made of (f features × (k+1) trainings each).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frac_dataset::DesignMatrix;
+use frac_learn::svc::SvcTrainer;
+use frac_learn::svr::SvrTrainer;
+use frac_learn::traits::{ClassifierTrainer, RegressorTrainer};
+use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random matrix (SplitMix64-driven).
+fn matrix(n: usize, d: usize, seed: u64) -> DesignMatrix {
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        (z ^ (z >> 31)) as f64 / u64::MAX as f64 * 2.0 - 1.0
+    };
+    DesignMatrix::from_raw(n, d, (0..n * d).map(|_| next()).collect())
+}
+
+fn real_targets(x: &DesignMatrix) -> Vec<f64> {
+    (0..x.n_rows())
+        .map(|r| x.row(r).iter().take(8).sum::<f64>() * 0.5)
+        .collect()
+}
+
+fn class_targets(x: &DesignMatrix) -> Vec<u32> {
+    (0..x.n_rows())
+        .map(|r| if x.get(r, 0) > 0.0 { 1 } else { 0 })
+        .collect()
+}
+
+fn bench_svr(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svr_train");
+    group.sample_size(20);
+    // FRaC's regime: tiny n, large d.
+    for &(n, d) in &[(40usize, 100usize), (40, 400), (40, 1600), (160, 400)] {
+        let x = matrix(n, d, 1);
+        let y = real_targets(&x);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{d}")), &(), |b, _| {
+            b.iter(|| SvrTrainer::default().train(black_box(&x), black_box(&y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_svc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("svc_train");
+    group.sample_size(20);
+    for &(n, d) in &[(40usize, 100usize), (40, 400), (160, 400)] {
+        let x = matrix(n, d, 2);
+        let y = class_targets(&x);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_d{d}")), &(), |b, _| {
+            b.iter(|| SvcTrainer::default().train(black_box(&x), black_box(&y), 2))
+        });
+    }
+    group.finish();
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_train");
+    group.sample_size(20);
+    for &(n, d) in &[(100usize, 100usize), (100, 400), (400, 100)] {
+        let x = matrix(n, d, 3);
+        let yc = class_targets(&x);
+        let yr = real_targets(&x);
+        group.bench_with_input(
+            BenchmarkId::new("classification", format!("n{n}_d{d}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    ClassificationTreeTrainer::default().train(black_box(&x), black_box(&yc), 2)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("regression", format!("n{n}_d{d}")),
+            &(),
+            |b, _| {
+                b.iter(|| RegressionTreeTrainer::default().train(black_box(&x), black_box(&yr)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_svr, bench_svc, bench_trees);
+criterion_main!(benches);

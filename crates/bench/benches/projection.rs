@@ -1,0 +1,72 @@
+//! Criterion microbenches for the JL pre-projection pipeline: one-hot
+//! encoding, seeded column regeneration, and dataset projection across
+//! matrix kinds and output dimensions.
+//!
+//! The Achlioptas sparse matrix's ⅔ zero entries are the "database
+//! friendly" speedup of the paper's ref. 11.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frac_projection::{one_hot_encode, JlMatrixKind, JlTransform};
+use frac_synth::snp::{CohortGroup, SnpConfig, SnpGenerator, SubpopulationMix};
+use std::hint::black_box;
+
+fn snp_dataset(n_snps: usize, n: usize) -> frac_dataset::Dataset {
+    let g = SnpGenerator::new(SnpConfig {
+        n_snps,
+        structure_seed: 42,
+        ..SnpConfig::default()
+    });
+    g.generate(
+        &[CohortGroup { n, mix: SubpopulationMix::single(0, 1), is_case: false }],
+        7,
+    )
+    .0
+}
+
+fn bench_onehot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("one_hot_encode");
+    for &n_snps in &[200usize, 800] {
+        let d = snp_dataset(n_snps, 100);
+        group.bench_with_input(BenchmarkId::from_parameter(n_snps), &(), |b, _| {
+            b.iter(|| one_hot_encode(black_box(&d)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_column_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jl_column");
+    for kind in [
+        JlMatrixKind::Gaussian,
+        JlMatrixKind::Rademacher,
+        JlMatrixKind::AchlioptasSparse,
+    ] {
+        let t = JlTransform::new(1024, kind, 3);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}_k1024")),
+            &(),
+            |b, _| b.iter(|| t.column(black_box(17))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_project_dataset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("jl_project_dataset");
+    group.sample_size(10);
+    let d = snp_dataset(400, 100);
+    for &dim in &[32usize, 128] {
+        for kind in [JlMatrixKind::Gaussian, JlMatrixKind::AchlioptasSparse] {
+            let t = JlTransform::new(dim, kind, 5);
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{kind:?}_d{dim}")),
+                &(),
+                |b, _| b.iter(|| t.project_dataset(black_box(&d))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_onehot, bench_column_generation, bench_project_dataset);
+criterion_main!(benches);

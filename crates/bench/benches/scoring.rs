@@ -1,0 +1,102 @@
+//! Criterion microbenches for the scoring-side substrate: entropy
+//! estimation (the entropy filter's cost), error models, NS scoring of a
+//! fitted model, and AUC computation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use frac_core::{FracConfig, FracModel, TrainingPlan};
+use frac_dataset::entropy::{categorical_entropy, differential_entropy, rank_by_entropy};
+use frac_eval::auc::auc_from_scores;
+use frac_learn::{ConfusionErrorModel, GaussianErrorModel};
+use frac_synth::{ExpressionConfig, ExpressionGenerator};
+use std::hint::black_box;
+
+fn gaussianish(n: usize, seed: u64) -> Vec<f64> {
+    let mut state = seed | 1;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 4.0
+        })
+        .collect()
+}
+
+fn bench_entropy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("entropy");
+    for &n in &[50usize, 200] {
+        let xs = gaussianish(n, 3);
+        group.bench_with_input(BenchmarkId::new("differential_kde", n), &(), |b, _| {
+            b.iter(|| differential_entropy(black_box(&xs)))
+        });
+        let codes: Vec<u32> = (0..n).map(|i| (i % 3) as u32).collect();
+        group.bench_with_input(BenchmarkId::new("categorical", n), &(), |b, _| {
+            b.iter(|| categorical_entropy(black_box(&codes), 3))
+        });
+    }
+    // Full entropy ranking of a 300-feature data set — the selection cost
+    // of the entropy filter.
+    let g = ExpressionGenerator::new(ExpressionConfig {
+        n_features: 300,
+        structure_seed: 4,
+        ..ExpressionConfig::default()
+    });
+    let (data, _) = g.generate(60, 0, 1);
+    group.sample_size(10);
+    group.bench_function("rank_by_entropy_300f", |b| {
+        b.iter(|| rank_by_entropy(black_box(&data)))
+    });
+    group.finish();
+}
+
+fn bench_error_models(c: &mut Criterion) {
+    let mut group = c.benchmark_group("error_models");
+    let pairs: Vec<(f64, f64)> = gaussianish(200, 5)
+        .into_iter()
+        .zip(gaussianish(200, 6))
+        .collect();
+    group.bench_function("gaussian_fit_200", |b| {
+        b.iter(|| GaussianErrorModel::fit(black_box(&pairs)))
+    });
+    let gm = GaussianErrorModel::fit(&pairs);
+    group.bench_function("gaussian_surprisal", |b| {
+        b.iter(|| gm.surprisal(black_box(1.3), black_box(0.2)))
+    });
+    let cat_pairs: Vec<(u32, u32)> = (0..200).map(|i| ((i % 3) as u32, ((i / 2) % 3) as u32)).collect();
+    group.bench_function("confusion_fit_200", |b| {
+        b.iter(|| ConfusionErrorModel::fit(black_box(&cat_pairs), 3))
+    });
+    group.finish();
+}
+
+fn bench_ns_scoring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ns_scoring");
+    group.sample_size(10);
+    let g = ExpressionGenerator::new(ExpressionConfig {
+        n_features: 100,
+        structure_seed: 9,
+        ..ExpressionConfig::default()
+    });
+    let (data, _) = g.generate(80, 0, 2);
+    let train = data.select_rows(&(0..40).collect::<Vec<_>>());
+    let test = data.select_rows(&(40..80).collect::<Vec<_>>());
+    let plan = TrainingPlan::full(train.n_features());
+    let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+    group.bench_function("score_40x100", |b| b.iter(|| model.score(black_box(&test))));
+    group.finish();
+}
+
+fn bench_auc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("auc");
+    for &n in &[100usize, 10_000] {
+        let scores = gaussianish(n, 11);
+        let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, _| {
+            b.iter(|| auc_from_scores(black_box(&scores), black_box(&labels)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_entropy, bench_error_models, bench_ns_scoring, bench_auc);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Surrogate calibration helper: runs full FRaC on every replicated data
+//! set and prints measured AUC next to the paper's Table II target, plus
+//! wall time — the tool used to tune the generators' signal strengths.
+//!
+//! ```text
+//! cargo run -p frac-bench --release --bin calibrate [dataset ...]
+//! ```
+
+use frac_bench::{dataset_for, n_replicates, run_method, REPLICATED_DATASETS};
+use frac_core::Variant;
+use frac_eval::tables::{fmt_flops, Table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let names: Vec<&str> = if args.is_empty() {
+        REPLICATED_DATASETS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let n_reps = n_replicates();
+    let mut table = Table::new(
+        format!("Calibration: full FRaC, {n_reps} replicates"),
+        &["data set", "AUC (sd)", "paper AUC", "flops", "wall s/rep"],
+    );
+    for name in names {
+        let (spec, ld) = dataset_for(name);
+        let t0 = std::time::Instant::now();
+        let agg = run_method(&ld, &spec, &Variant::Full, n_reps);
+        let elapsed = t0.elapsed().as_secs_f64() / n_reps as f64;
+        table.add_row(vec![
+            name.to_string(),
+            format!("{:.3} ({:.3})", agg.mean_auc, agg.sd_auc),
+            spec.paper_auc.map_or("N/A".into(), |a| format!("{a:.2}")),
+            fmt_flops(agg.mean_flops),
+            format!("{elapsed:.1}"),
+        ]);
+        // Print incrementally so long runs show progress.
+        println!("{name}: AUC {:.3} (paper {:?}), {:.1}s/rep", agg.mean_auc, spec.paper_auc, elapsed);
+    }
+    println!("\n{}", table.render());
+}

@@ -1,0 +1,104 @@
+//! Irrelevant-variable robustness — the paper's motivating claim (§I):
+//! FRaC "is more robust to irrelevant variables than top competing methods
+//! such as local outlier factor or one-class support vector machines"
+//! (established in the original FRaC papers, refs. 3–4, and the reason FRaC
+//! is viable on genomic data where "the majority of features … are likely
+//! to be irrelevant").
+//!
+//! Protocol: a fixed 60-gene signal core (modules + dysregulation) is
+//! padded with growing numbers of pure-noise genes; each detector's AUC is
+//! tracked as the noise fraction rises. Expected shape: LOF / OC-SVM / k-NN
+//! distance decay towards 0.5 while FRaC (and its filter-ensemble variant)
+//! degrade far more slowly.
+//!
+//! ```text
+//! cargo run -p frac-bench --release --bin robustness
+//! ```
+
+use frac_baselines::{fit_score_datasets, KnnDistance, LocalOutlierFactor, OneClassSvm};
+use frac_core::{run_variant, FeatureSelector, FracConfig, Variant};
+use frac_dataset::Dataset;
+use frac_eval::auc::auc_from_scores;
+use frac_eval::tables::Table;
+use frac_synth::{AnomalyMode, ExpressionConfig, ExpressionGenerator};
+
+fn make_case(n_noise: usize, seed: u64) -> (Dataset, Dataset, Vec<bool>) {
+    let n_signal = 60;
+    let g = ExpressionGenerator::new(ExpressionConfig {
+        n_features: n_signal + n_noise,
+        n_modules: 8,
+        // Only the signal core loads on modules: scale the relevant
+        // fraction so the expected number of module genes stays fixed.
+        relevant_fraction: 0.9 * n_signal as f64 / (n_signal + n_noise) as f64,
+        anomaly_modules: 6,
+        anomaly_shift: 2.5,
+        // Decoupled anomalies: marginal distributions identical to normal
+        // samples, only inter-gene relationships break. Distance/density
+        // detectors have *nothing* marginal to latch onto, isolating the
+        // irrelevant-variable robustness question.
+        anomaly_mode: AnomalyMode::Decouple,
+        noise_sd: 0.3,
+        structure_seed: 0x0B07 ^ seed,
+        ..ExpressionConfig::default()
+    });
+    let (data, labels) = g.generate(80, 25, seed);
+    let train = data.select_rows(&(0..60).collect::<Vec<_>>());
+    let test_rows: Vec<usize> = (60..105).collect();
+    let test = data.select_rows(&test_rows);
+    let test_labels = test_rows.iter().map(|&r| labels[r]).collect();
+    (train, test, test_labels)
+}
+
+fn main() {
+    let noise_levels = [0usize, 60, 240, 480];
+    let n_reps = if std::env::var("FRAC_FAST").is_ok_and(|v| v == "1") { 1 } else { 3 };
+
+    let mut table = Table::new(
+        format!("Robustness to irrelevant variables (AUC, mean of {n_reps} cohorts; 60 signal genes)"),
+        &["noise genes", "FRaC full", "FRaC filt-ens", "LOF", "OC-SVM", "kNN dist"],
+    );
+    for &n_noise in &noise_levels {
+        let mut aucs = [0.0f64; 5];
+        for rep in 0..n_reps {
+            let (train, test, labels) = make_case(n_noise, 1000 + rep as u64);
+            let cfg = FracConfig::default();
+
+            let full = run_variant(&train, &test, &Variant::Full, &cfg);
+            aucs[0] += auc_from_scores(&full.ns, &labels);
+
+            let ens = run_variant(
+                &train,
+                &test,
+                &Variant::Ensemble {
+                    base: Box::new(Variant::FullFilter {
+                        selector: FeatureSelector::Random,
+                        p: 0.2,
+                    }),
+                    members: 5,
+                },
+                &cfg,
+            );
+            aucs[1] += auc_from_scores(&ens.ns, &labels);
+
+            let mut lof = LocalOutlierFactor::new(10);
+            aucs[2] += auc_from_scores(&fit_score_datasets(&mut lof, &train, &test), &labels);
+
+            let mut svm = OneClassSvm::with_defaults();
+            aucs[3] += auc_from_scores(&fit_score_datasets(&mut svm, &train, &test), &labels);
+
+            let mut knn = KnnDistance::new(5);
+            aucs[4] += auc_from_scores(&fit_score_datasets(&mut knn, &train, &test), &labels);
+        }
+        let row: Vec<String> = std::iter::once(n_noise.to_string())
+            .chain(aucs.iter().map(|a| format!("{:.3}", a / n_reps as f64)))
+            .collect();
+        eprintln!("noise={n_noise}: done");
+        table.add_row(row);
+    }
+    println!("\n{}", table.render());
+    println!(
+        "Expected shape (FRaC papers, refs. 3-4): distance/density methods (LOF,\n\
+         OC-SVM, kNN) decay toward 0.5 as irrelevant variables swamp the metric;\n\
+         FRaC's per-feature conditional models degrade far more slowly."
+    );
+}

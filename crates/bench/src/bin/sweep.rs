@@ -1,0 +1,46 @@
+//! Signal-strength sweep helper for surrogate calibration.
+//!
+//! ```text
+//! sweep <features> <modules> <anomaly_modules> <relevant> <n_normal> <n_anomaly> <shift...>
+//! ```
+//!
+//! Runs full FRaC (2 replicates) at each anomaly shift and prints the AUC,
+//! so a target Table II AUC can be dialed in per data set.
+
+use frac_core::{FracConfig, Variant};
+use frac_eval::replicates::{aggregate, run_replicates};
+use frac_synth::registry::LabeledDataset;
+use frac_synth::{ExpressionConfig, ExpressionGenerator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 7 {
+        eprintln!("usage: sweep <features> <modules> <anom_modules> <relevant> <n_normal> <n_anomaly> <shift...>");
+        std::process::exit(2);
+    }
+    let n_features: usize = args[0].parse().unwrap();
+    let n_modules: usize = args[1].parse().unwrap();
+    let anomaly_modules: usize = args[2].parse().unwrap();
+    let relevant_fraction: f64 = args[3].parse().unwrap();
+    let n_normal: usize = args[4].parse().unwrap();
+    let n_anomaly: usize = args[5].parse().unwrap();
+    for shift in &args[6..] {
+        let anomaly_shift: f64 = shift.parse().unwrap();
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features,
+            n_modules,
+            relevant_fraction,
+            anomaly_modules,
+            anomaly_shift,
+            anomaly_mode: frac_synth::AnomalyMode::Offset,
+            loading_scale: 1.0,
+            noise_sd: 1.0,
+            structure_seed: 0xCAFE,
+        });
+        let (data, labels) = g.generate(n_normal, n_anomaly, 0xBEEF);
+        let ld = LabeledDataset { name: "sweep".into(), data, labels };
+        let results = run_replicates(&ld, &Variant::Full, &FracConfig::default(), 2, 7);
+        let agg = aggregate(&results);
+        println!("shift {anomaly_shift}: AUC {:.3} ({:.3})", agg.mean_auc, agg.sd_auc);
+    }
+}

@@ -1,0 +1,130 @@
+//! Table V — scalable methods on the schizophrenia data set.
+//!
+//! The paper's protocol (§III-A): a *fixed* split — 270 HapMap-style normal
+//! training samples; test = 10 held-out normals + 54 cases whose ancestry
+//! differs from the training mix (confounded with case status). Full FRaC
+//! was never run; time/memory fractions are against the Table II
+//! extrapolation from the autism run.
+//!
+//! Methods: entropy filtering (p=.05), ensemble of random filtering
+//! (10 × p=.05), and JL pre-projection at the scaled equivalents of
+//! 1024/2048/4096 components. AUCs are raw (not fractions); random/JL rows
+//! carry a standard deviation over reruns with different seeds.
+//!
+//! ```text
+//! cargo run -p frac-bench --release --bin table5
+//! ```
+
+use frac_bench::dataset_for;
+use frac_core::{run_variant, FeatureSelector, FracConfig, Variant};
+use frac_dataset::split::derive_seed;
+use frac_eval::auc::auc_from_scores;
+use frac_eval::experiments::{config_for, extrapolate_full_run, jl_dim_for};
+use frac_eval::tables::{fmt_auc_sd, fmt_frac, Table};
+use frac_projection::JlMatrixKind;
+use frac_synth::registry::make_fixed_split;
+
+/// Runs of stochastic methods used to estimate the AUC spread.
+fn n_reruns() -> usize {
+    if std::env::var("FRAC_FAST").is_ok_and(|v| v == "1") {
+        2
+    } else {
+        std::env::var("FRAC_RERUNS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(3)
+    }
+}
+
+fn main() {
+    let (spec, _) = dataset_for("schizophrenia");
+    let (train, test) = make_fixed_split(spec.default_seed);
+    let cfg = config_for(&spec);
+    let reruns = n_reruns();
+
+    // ---- extrapolated full-run baseline (paper Table II, italic row) ----
+    let (autism_spec, autism_ld) = dataset_for("autism");
+    let autism_cfg = config_for(&autism_spec);
+    let autism_train_rows: Vec<usize> = autism_ld
+        .normal_indices()
+        .into_iter()
+        .take(autism_ld.n_normal() * 2 / 3)
+        .collect();
+    let autism_train = autism_ld.data.select_rows(&autism_train_rows);
+    let autism_test = autism_ld.data.select_rows(&[0]); // scoring cost negligible
+    eprintln!("measuring autism full run for extrapolation…");
+    let autism_full = run_variant(&autism_train, &autism_test, &Variant::Full, &autism_cfg);
+    let full_est = extrapolate_full_run(
+        &autism_full.resources,
+        (autism_spec.n_features(), autism_train.n_rows()),
+        (spec.n_features(), train.n_rows()),
+    );
+    eprintln!(
+        "extrapolated schizophrenia full run: {:.3e} flops, {:.3e} bytes",
+        full_est.flops, full_est.peak_bytes
+    );
+
+    let mut table = Table::new(
+        "TABLE V — schizophrenia: raw AUC; time/memory as fractions of the extrapolated full run",
+        &["method", "AUC", "Time %", "Mem %"],
+    );
+
+    let mut run_method = |name: String, variant: &Variant, stochastic: bool| {
+        let runs = if stochastic { reruns } else { 1 };
+        let mut aucs = Vec::with_capacity(runs);
+        let mut flops = 0.0f64;
+        let mut peak = 0.0f64;
+        for r in 0..runs {
+            let run_cfg = FracConfig {
+                seed: derive_seed(cfg.seed, 0x7AB5 + r as u64),
+                ..cfg
+            };
+            let out = run_variant(&train, &test.data, variant, &run_cfg);
+            aucs.push(auc_from_scores(&out.ns, &test.labels));
+            flops += out.resources.flops as f64 / runs as f64;
+            peak += out.resources.peak_bytes() as f64 / runs as f64;
+        }
+        let mean = aucs.iter().sum::<f64>() / aucs.len() as f64;
+        let sd = frac_dataset::stats::std_dev(&aucs).unwrap_or(f64::NAN);
+        let sd_txt = if stochastic {
+            fmt_auc_sd(mean, sd)
+        } else {
+            format!("{mean:.2} (N/A)")
+        };
+        eprintln!("{name}: AUC {mean:.3}");
+        table.add_row(vec![
+            name,
+            sd_txt,
+            fmt_frac(flops / full_est.flops),
+            fmt_frac(peak / full_est.peak_bytes),
+        ]);
+    };
+
+    run_method(
+        "Entropy Filtering".into(),
+        &Variant::FullFilter { selector: FeatureSelector::Entropy, p: 0.05 },
+        false,
+    );
+    run_method(
+        "Ensemble of Random Filtering".into(),
+        &Variant::Ensemble {
+            base: Box::new(Variant::FullFilter { selector: FeatureSelector::Random, p: 0.05 }),
+            members: 10,
+        },
+        true,
+    );
+    for paper_dim in [1024usize, 2048, 4096] {
+        let dim = jl_dim_for(&spec, paper_dim);
+        run_method(
+            format!("JL, {paper_dim} comps (scaled d={dim})"),
+            &Variant::JlProject { dim, kind: JlMatrixKind::Gaussian },
+            true,
+        );
+    }
+
+    println!("\n{}", table.render());
+    println!(
+        "Paper Table V reference: Entropy 1.00, Random ensemble 0.86 (0.01), \
+         JL 0.55/0.63/0.64 (rising with d)."
+    );
+}

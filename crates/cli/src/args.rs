@@ -1,0 +1,363 @@
+//! Hand-rolled argument parsing (no CLI dependency).
+
+use std::path::PathBuf;
+
+/// Full usage text.
+pub const USAGE: &str = "\
+frac — FRaC anomaly detection for precision medicine (IPPS 2017 reproduction)
+
+USAGE:
+  frac train --train FILE --out FILE [OPTIONS]
+      Fit a FRaC model on an all-normal cohort and save it.
+        --variant NAME     full | filter | entropy (single-model variants)
+        --p FLOAT          keep fraction for filtering variants (default 0.05)
+        --snp              use decision trees everywhere (SNP data)
+        --seed N           master seed (default 42)
+
+  frac score --train FILE --test FILE [OPTIONS]
+  frac score --model FILE --test FILE [OPTIONS]
+      Score test samples against an all-normal training cohort, or against
+      a previously saved model (train once, screen forever).
+        --variant NAME     full | filter | filter-ens | entropy | diverse | jl
+                           (default: filter-ens, the paper's recommendation)
+        --p FLOAT          keep fraction / inclusion probability (default 0.05)
+        --members N        ensemble members (default 10)
+        --dim N            JL projected dimension (default 64)
+        --snp              use decision trees everywhere (SNP data)
+        --seed N           master seed (default 42)
+        --labels FILE      one 0/1 per test row; prints AUC when given
+        --top-features K   print each sample's K highest-contributing features
+
+  frac entropy --data FILE [--top K]
+      Rank features by estimated entropy (the entropy filter's criterion).
+
+  frac generate --dataset NAME --out DIR [--seed N]
+      Write a paper-surrogate data set as train/test TSVs.
+      NAME ∈ {breast.basal, biomarkers, ethnic, bild, smokers2,
+              hematopoiesis, autism, schizophrenia}
+
+  frac help
+      Print this text.";
+
+/// A parsed command.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `frac train`
+    Train(TrainArgs),
+    /// `frac score`
+    Score(ScoreArgs),
+    /// `frac entropy`
+    Entropy {
+        /// Input data file.
+        data: PathBuf,
+        /// How many features to print.
+        top: usize,
+    },
+    /// `frac generate`
+    Generate {
+        /// Registry data-set name.
+        dataset: String,
+        /// Output directory.
+        out: PathBuf,
+        /// Cohort seed.
+        seed: u64,
+    },
+    /// `frac help`
+    Help,
+}
+
+/// Arguments of `frac train`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainArgs {
+    /// Reference-cohort TSV.
+    pub train: PathBuf,
+    /// Output model path.
+    pub out: PathBuf,
+    /// Variant name (full | filter | entropy).
+    pub variant: String,
+    /// Keep fraction for filtering variants.
+    pub p: f64,
+    /// Tree models everywhere (SNP data)?
+    pub snp: bool,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for TrainArgs {
+    fn default() -> Self {
+        TrainArgs {
+            train: PathBuf::new(),
+            out: PathBuf::new(),
+            variant: "full".into(),
+            p: 0.05,
+            snp: false,
+            seed: 42,
+        }
+    }
+}
+
+/// Arguments of `frac score`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreArgs {
+    pub train: PathBuf,
+    pub model: Option<PathBuf>,
+    pub test: PathBuf,
+    pub variant: String,
+    pub p: f64,
+    pub members: usize,
+    pub dim: usize,
+    pub snp: bool,
+    pub seed: u64,
+    pub labels: Option<PathBuf>,
+    pub top_features: usize,
+}
+
+impl Default for ScoreArgs {
+    fn default() -> Self {
+        ScoreArgs {
+            train: PathBuf::new(),
+            model: None,
+            test: PathBuf::new(),
+            variant: "filter-ens".into(),
+            p: 0.05,
+            members: 10,
+            dim: 64,
+            snp: false,
+            seed: 42,
+            labels: None,
+            top_features: 0,
+        }
+    }
+}
+
+fn take_value<'a>(
+    argv: &'a [String],
+    i: &mut usize,
+    flag: &str,
+) -> Result<&'a str, String> {
+    *i += 1;
+    argv.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| format!("{flag} requires a value"))
+}
+
+/// Parse an argv (without the program name).
+pub fn parse(argv: &[String]) -> Result<Command, String> {
+    let sub = argv.first().map(String::as_str).unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "train" => {
+            let mut a = TrainArgs::default();
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--train" => a.train = take_value(argv, &mut i, "--train")?.into(),
+                    "--out" => a.out = take_value(argv, &mut i, "--out")?.into(),
+                    "--variant" => a.variant = take_value(argv, &mut i, "--variant")?.into(),
+                    "--p" => {
+                        a.p = take_value(argv, &mut i, "--p")?
+                            .parse()
+                            .map_err(|_| "--p expects a float".to_string())?
+                    }
+                    "--snp" => a.snp = true,
+                    "--seed" => {
+                        a.seed = take_value(argv, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}` for train")),
+                }
+                i += 1;
+            }
+            if a.train.as_os_str().is_empty() || a.out.as_os_str().is_empty() {
+                return Err("train requires --train and --out".into());
+            }
+            if !(a.p > 0.0 && a.p <= 1.0) {
+                return Err("--p must be in (0, 1]".into());
+            }
+            Ok(Command::Train(a))
+        }
+        "score" => {
+            let mut a = ScoreArgs::default();
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--train" => a.train = take_value(argv, &mut i, "--train")?.into(),
+                    "--model" => a.model = Some(take_value(argv, &mut i, "--model")?.into()),
+                    "--test" => a.test = take_value(argv, &mut i, "--test")?.into(),
+                    "--variant" => a.variant = take_value(argv, &mut i, "--variant")?.into(),
+                    "--p" => {
+                        a.p = take_value(argv, &mut i, "--p")?
+                            .parse()
+                            .map_err(|_| "--p expects a float".to_string())?
+                    }
+                    "--members" => {
+                        a.members = take_value(argv, &mut i, "--members")?
+                            .parse()
+                            .map_err(|_| "--members expects an integer".to_string())?
+                    }
+                    "--dim" => {
+                        a.dim = take_value(argv, &mut i, "--dim")?
+                            .parse()
+                            .map_err(|_| "--dim expects an integer".to_string())?
+                    }
+                    "--snp" => a.snp = true,
+                    "--seed" => {
+                        a.seed = take_value(argv, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?
+                    }
+                    "--labels" => a.labels = Some(take_value(argv, &mut i, "--labels")?.into()),
+                    "--top-features" => {
+                        a.top_features = take_value(argv, &mut i, "--top-features")?
+                            .parse()
+                            .map_err(|_| "--top-features expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}` for score")),
+                }
+                i += 1;
+            }
+            if a.test.as_os_str().is_empty()
+                || (a.train.as_os_str().is_empty() && a.model.is_none())
+            {
+                return Err("score requires --test and one of --train / --model".into());
+            }
+            if !(a.p > 0.0 && a.p <= 1.0) {
+                return Err("--p must be in (0, 1]".into());
+            }
+            Ok(Command::Score(a))
+        }
+        "entropy" => {
+            let mut data = PathBuf::new();
+            let mut top = 20usize;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--data" => data = take_value(argv, &mut i, "--data")?.into(),
+                    "--top" => {
+                        top = take_value(argv, &mut i, "--top")?
+                            .parse()
+                            .map_err(|_| "--top expects an integer".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}` for entropy")),
+                }
+                i += 1;
+            }
+            if data.as_os_str().is_empty() {
+                return Err("entropy requires --data".into());
+            }
+            Ok(Command::Entropy { data, top })
+        }
+        "generate" => {
+            let mut dataset = String::new();
+            let mut out = PathBuf::new();
+            let mut seed = 0u64;
+            let mut seed_given = false;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--dataset" => dataset = take_value(argv, &mut i, "--dataset")?.into(),
+                    "--out" => out = take_value(argv, &mut i, "--out")?.into(),
+                    "--seed" => {
+                        seed = take_value(argv, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| "--seed expects an integer".to_string())?;
+                        seed_given = true;
+                    }
+                    other => return Err(format!("unknown flag `{other}` for generate")),
+                }
+                i += 1;
+            }
+            if dataset.is_empty() || out.as_os_str().is_empty() {
+                return Err("generate requires --dataset and --out".into());
+            }
+            if !seed_given {
+                seed = frac_synth::registry::spec(&dataset).default_seed;
+            }
+            Ok(Command::Generate { dataset, out, seed })
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_minimal_score() {
+        let cmd = parse(&argv("score --train a.tsv --test b.tsv")).unwrap();
+        match cmd {
+            Command::Score(a) => {
+                assert_eq!(a.train, PathBuf::from("a.tsv"));
+                assert_eq!(a.variant, "filter-ens");
+                assert_eq!(a.members, 10);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_all_score_flags() {
+        let cmd = parse(&argv(
+            "score --train a --test b --variant jl --dim 32 --p 0.1 --members 4 \
+             --snp --seed 7 --labels l.txt --top-features 5",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Score(a) => {
+                assert_eq!(a.variant, "jl");
+                assert_eq!(a.dim, 32);
+                assert_eq!(a.p, 0.1);
+                assert_eq!(a.members, 4);
+                assert!(a.snp);
+                assert_eq!(a.seed, 7);
+                assert_eq!(a.labels, Some(PathBuf::from("l.txt")));
+                assert_eq!(a.top_features, 5);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn score_requires_both_files() {
+        assert!(parse(&argv("score --train a.tsv")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_p() {
+        assert!(parse(&argv("score --train a --test b --p 1.5")).is_err());
+        assert!(parse(&argv("score --train a --test b --p abc")).is_err());
+    }
+
+    #[test]
+    fn parses_entropy_and_generate() {
+        assert_eq!(
+            parse(&argv("entropy --data x.tsv --top 5")).unwrap(),
+            Command::Entropy { data: "x.tsv".into(), top: 5 }
+        );
+        match parse(&argv("generate --dataset autism --out /tmp/x")).unwrap() {
+            Command::Generate { dataset, seed, .. } => {
+                assert_eq!(dataset, "autism");
+                // Default seed comes from the registry.
+                assert_eq!(seed, frac_synth::registry::spec("autism").default_seed);
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn unknown_flags_and_subcommands_rejected() {
+        assert!(parse(&argv("score --train a --test b --bogus 1")).is_err());
+        assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn empty_argv_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,343 @@
+//! Command implementations.
+
+use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
+use frac_core::{run_variant, FeatureSelector, FracConfig, FracModel, TrainingPlan, Variant};
+use frac_dataset::io::{read_tsv, write_tsv};
+use frac_eval::auc::auc_from_scores;
+use frac_projection::JlMatrixKind;
+use frac_synth::registry::{make_dataset, spec};
+
+type Error = Box<dyn std::error::Error>;
+
+/// Execute a parsed command.
+pub fn run(cmd: Command) -> Result<(), Error> {
+    match cmd {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Train(args) => train(args),
+        Command::Score(args) => score(args),
+        Command::Entropy { data, top } => entropy(&data, top),
+        Command::Generate { dataset, out, seed } => generate(&dataset, &out, seed),
+    }
+}
+
+/// Build the requested variant from CLI flags.
+fn variant_from(args: &ScoreArgs) -> Result<Variant, Error> {
+    Ok(match args.variant.as_str() {
+        "full" => Variant::Full,
+        "filter" => Variant::FullFilter { selector: FeatureSelector::Random, p: args.p },
+        "filter-ens" => Variant::Ensemble {
+            base: Box::new(Variant::FullFilter {
+                selector: FeatureSelector::Random,
+                p: args.p,
+            }),
+            members: args.members,
+        },
+        "entropy" => Variant::FullFilter { selector: FeatureSelector::Entropy, p: args.p },
+        "diverse" => Variant::Diverse { p: args.p.max(0.01), models_per_feature: 1 },
+        "jl" => Variant::JlProject { dim: args.dim, kind: JlMatrixKind::Gaussian },
+        other => return Err(format!("unknown variant `{other}`").into()),
+    })
+}
+
+fn train(args: TrainArgs) -> Result<(), Error> {
+    let train = read_tsv(&args.train)?;
+    let config = if args.snp {
+        FracConfig::snp().with_seed(args.seed)
+    } else {
+        FracConfig::default().with_seed(args.seed)
+    };
+    let plan = match args.variant.as_str() {
+        "full" => TrainingPlan::full(train.n_features()),
+        "filter" => {
+            let selected = FeatureSelector::Random.select(&train, args.p, args.seed);
+            TrainingPlan::full_filtered(&selected)
+        }
+        "entropy" => {
+            let selected = FeatureSelector::Entropy.select(&train, args.p, args.seed);
+            TrainingPlan::full_filtered(&selected)
+        }
+        other => {
+            return Err(format!(
+                "unknown train variant `{other}` (full | filter | entropy)"
+            )
+            .into())
+        }
+    };
+    eprintln!(
+        "fitting {} on {} samples × {} features ({} targets)…",
+        args.variant,
+        train.n_rows(),
+        train.n_features(),
+        plan.n_targets()
+    );
+    let (model, report) = FracModel::fit(&train, &plan, &config);
+    model.save(&args.out)?;
+    eprintln!(
+        "saved {} ({} feature models, {:.3} Gflop training)",
+        args.out.display(),
+        model.n_targets(),
+        report.flops as f64 / 1e9
+    );
+    Ok(())
+}
+
+/// Score with a previously saved model.
+fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Error> {
+    let test = read_tsv(&args.test)?;
+    let model = FracModel::load(path)?;
+    eprintln!(
+        "loaded model with {} feature models; scoring {} samples…",
+        model.n_targets(),
+        test.n_rows()
+    );
+    let contributions = model.contributions(&test);
+    let ns = contributions.ns_scores();
+    println!("sample\tns_score");
+    for (r, v) in ns.iter().enumerate() {
+        println!("{r}\t{v:.6}");
+    }
+    if let Some(lpath) = &args.labels {
+        let text = std::fs::read_to_string(lpath)?;
+        let labels: Vec<bool> = text
+            .split_whitespace()
+            .map(|t| t == "1")
+            .collect();
+        if labels.len() == ns.len() {
+            eprintln!("AUC = {:.4}", auc_from_scores(&ns, &labels));
+        }
+    }
+    Ok(())
+}
+
+fn score(args: ScoreArgs) -> Result<(), Error> {
+    if let Some(path) = args.model.clone() {
+        return score_with_model(&args, &path);
+    }
+    let train = read_tsv(&args.train)?;
+    let test = read_tsv(&args.test)?;
+    if train.schema() != test.schema() {
+        return Err("train and test schemas differ".into());
+    }
+    let variant = variant_from(&args)?;
+    let config = if args.snp {
+        FracConfig::snp().with_seed(args.seed)
+    } else {
+        FracConfig::default().with_seed(args.seed)
+    };
+    eprintln!(
+        "training {variant} on {} samples × {} features…",
+        train.n_rows(),
+        train.n_features()
+    );
+    let out = run_variant(&train, &test, &variant, &config);
+
+    println!("sample\tns_score");
+    for (r, ns) in out.ns.iter().enumerate() {
+        println!("{r}\t{ns:.6}");
+    }
+
+    if args.top_features > 0 {
+        for r in 0..test.n_rows() {
+            let mut contribs: Vec<(usize, f64)> = out
+                .contributions
+                .feature_ids
+                .iter()
+                .zip(&out.contributions.values)
+                .map(|(&f, col)| (f, col[r]))
+                .collect();
+            contribs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            let tops: Vec<String> = contribs
+                .iter()
+                .take(args.top_features)
+                .map(|&(f, c)| format!("{}={c:.2}", test.schema().feature(f).name))
+                .collect();
+            eprintln!("sample {r} top features: {}", tops.join(" "));
+        }
+    }
+
+    if let Some(path) = &args.labels {
+        let text = std::fs::read_to_string(path)?;
+        let labels: Vec<bool> = text
+            .split_whitespace()
+            .map(|t| match t {
+                "0" => Ok(false),
+                "1" => Ok(true),
+                other => Err(format!("bad label `{other}` (expected 0/1)")),
+            })
+            .collect::<Result<_, _>>()?;
+        if labels.len() != out.ns.len() {
+            return Err(format!(
+                "{} labels for {} test rows",
+                labels.len(),
+                out.ns.len()
+            )
+            .into());
+        }
+        eprintln!("AUC = {:.4}", auc_from_scores(&out.ns, &labels));
+    }
+
+    eprintln!(
+        "resources: {} models, {:.3} Gflop, peak ≈ {:.1} MiB, {:?}",
+        out.resources.models_trained,
+        out.resources.flops as f64 / 1e9,
+        out.resources.peak_bytes() as f64 / (1024.0 * 1024.0),
+        out.resources.wall
+    );
+    Ok(())
+}
+
+fn entropy(path: &std::path::Path, top: usize) -> Result<(), Error> {
+    let data = read_tsv(path)?;
+    let entropies = frac_dataset::entropy::feature_entropies(&data);
+    let order = frac_dataset::entropy::rank_by_entropy(&data);
+    println!("rank\tfeature\tkind\tentropy_nats");
+    for (rank, &j) in order.iter().take(top).enumerate() {
+        let f = data.schema().feature(j);
+        println!("{}\t{}\t{}\t{:.4}", rank + 1, f.name, f.kind, entropies[j]);
+    }
+    Ok(())
+}
+
+fn generate(name: &str, out: &std::path::Path, seed: u64) -> Result<(), Error> {
+    let s = spec(name); // panics with a clear message on unknown names
+    std::fs::create_dir_all(out)?;
+    let ld = make_dataset(name, seed);
+
+    // Paper protocol: train = ⅔ of normals; test = rest + anomalies.
+    let normals = ld.normal_indices();
+    let n_train = (normals.len() * 2) / 3;
+    let train_rows = &normals[..n_train];
+    let mut test_rows: Vec<usize> = normals[n_train..].to_vec();
+    test_rows.extend(ld.anomaly_indices());
+
+    let train_path = out.join(format!("{name}.train.tsv"));
+    let test_path = out.join(format!("{name}.test.tsv"));
+    let labels_path = out.join(format!("{name}.labels.txt"));
+    write_tsv(&ld.data.select_rows(train_rows), &train_path)?;
+    write_tsv(&ld.data.select_rows(&test_rows), &test_path)?;
+    let labels: Vec<String> = test_rows
+        .iter()
+        .map(|&r| if ld.labels[r] { "1".into() } else { "0".into() })
+        .collect();
+    std::fs::write(&labels_path, labels.join("\n") + "\n")?;
+
+    println!(
+        "wrote {} ({} samples × {} features), {} ({} samples), {}",
+        train_path.display(),
+        n_train,
+        s.n_features(),
+        test_path.display(),
+        test_rows.len(),
+        labels_path.display()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variant_construction() {
+        let mut a = ScoreArgs::default();
+        for (name, expect_display) in [
+            ("full", "full"),
+            ("filter", "Random-filter(p=0.05)"),
+            ("entropy", "Entropy-filter(p=0.05)"),
+            ("jl", "jl(d=64,Gaussian)"),
+        ] {
+            a.variant = name.into();
+            assert_eq!(variant_from(&a).unwrap().to_string(), expect_display);
+        }
+        a.variant = "bogus".into();
+        assert!(variant_from(&a).is_err());
+    }
+
+    #[test]
+    fn generate_then_score_roundtrip() {
+        let dir = std::env::temp_dir().join("frac-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let train = read_tsv(dir.join("breast.basal.train.tsv")).unwrap();
+        let test = read_tsv(dir.join("breast.basal.test.tsv")).unwrap();
+        assert_eq!(train.n_features(), 320);
+        assert_eq!(train.schema(), test.schema());
+        let labels = std::fs::read_to_string(dir.join("breast.basal.labels.txt")).unwrap();
+        assert_eq!(labels.split_whitespace().count(), test.n_rows());
+        // Score with the cheapest variant to exercise the whole path.
+        let args = ScoreArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            test: dir.join("breast.basal.test.tsv"),
+            variant: "filter".into(),
+            p: 0.03,
+            labels: Some(dir.join("breast.basal.labels.txt")),
+            top_features: 2,
+            ..ScoreArgs::default()
+        };
+        score(args).unwrap();
+    }
+
+    #[test]
+    fn train_then_score_with_saved_model() {
+        let dir = std::env::temp_dir().join("frac-cli-test-model");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let model_path = dir.join("model.frac");
+        train(TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: model_path.clone(),
+            variant: "filter".into(),
+            p: 0.04,
+            ..TrainArgs::default()
+        })
+        .unwrap();
+        assert!(model_path.exists());
+        let args = ScoreArgs {
+            model: Some(model_path),
+            test: dir.join("breast.basal.test.tsv"),
+            labels: Some(dir.join("breast.basal.labels.txt")),
+            ..ScoreArgs::default()
+        };
+        score(args).unwrap();
+    }
+
+    #[test]
+    fn train_rejects_unknown_variant() {
+        let dir = std::env::temp_dir().join("frac-cli-test-model2");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        assert!(train(TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: dir.join("m.frac"),
+            variant: "jl".into(),
+            ..TrainArgs::default()
+        })
+        .is_err());
+    }
+
+    #[test]
+    fn entropy_command_runs() {
+        let dir = std::env::temp_dir().join("frac-cli-test-entropy");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("autism", &dir, 3).unwrap();
+        entropy(&dir.join("autism.train.tsv"), 5).unwrap();
+    }
+
+    #[test]
+    fn score_rejects_schema_mismatch() {
+        let dir = std::env::temp_dir().join("frac-cli-test-mismatch");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        generate("autism", &dir, 5).unwrap();
+        let args = ScoreArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            test: dir.join("autism.test.tsv"),
+            variant: "filter".into(),
+            ..ScoreArgs::default()
+        };
+        assert!(score(args).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! `frac` — command-line FRaC anomaly detection.
+//!
+//! ```text
+//! frac score    --train ref.tsv --test new.tsv [options]   score a cohort
+//! frac entropy  --data x.tsv [--top K]                     rank feature entropies
+//! frac generate --dataset breast.basal --out DIR           write a paper surrogate
+//! frac help                                                this text
+//! ```
+//!
+//! See `frac help` for the full option list. Files use the TSV interchange
+//! format documented in `frac_dataset::io`.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match args::parse(&argv) {
+        Ok(cmd) => match commands::run(cmd) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprintln!("{}", args::USAGE);
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! FRaC configuration: model families, CV folds, seeds.
+
+use frac_learn::tree::TreeConfig;
+use frac_learn::{SvcConfig, SvrConfig};
+
+/// Which model family learns real-valued target features.
+#[derive(Debug, Clone, Copy)]
+pub enum RealModel {
+    /// Linear ε-SVR — the paper's choice for expression data.
+    Svr(SvrConfig),
+    /// Regression tree — used in the JL-projected space on SNP data.
+    Tree(TreeConfig),
+    /// Constant mean predictor (baseline / degenerate fallback).
+    Constant,
+}
+
+/// Which model family learns categorical target features.
+#[derive(Debug, Clone, Copy)]
+pub enum CatModel {
+    /// Decision tree — the paper's choice for SNP data.
+    Tree(TreeConfig),
+    /// Linear SVM (one-vs-rest) — the paper found this inferior on SNP
+    /// data; kept for the tree-vs-SVM ablation.
+    Svc(SvcConfig),
+    /// Majority-class predictor (baseline / degenerate fallback).
+    Majority,
+}
+
+/// Full configuration of a FRaC run.
+#[derive(Debug, Clone, Copy)]
+pub struct FracConfig {
+    /// Cross-validation folds for error-model fitting (paper: k-fold CV).
+    pub cv_folds: usize,
+    /// Whether to z-score real input features (recommended for SVMs).
+    pub standardize: bool,
+    /// Model family for real targets.
+    pub real_model: RealModel,
+    /// Model family for categorical targets.
+    pub cat_model: CatModel,
+    /// Master seed: all per-feature, per-fold and per-member randomness is
+    /// derived from it.
+    pub seed: u64,
+}
+
+impl Default for FracConfig {
+    fn default() -> Self {
+        FracConfig {
+            cv_folds: 5,
+            standardize: true,
+            real_model: RealModel::Svr(SvrConfig::default()),
+            cat_model: CatModel::Tree(TreeConfig::default()),
+            seed: 0xF12AC,
+        }
+    }
+}
+
+impl FracConfig {
+    /// The paper's expression-data configuration: linear SVR everywhere
+    /// real, trees for any categorical features.
+    pub fn expression() -> Self {
+        FracConfig::default()
+    }
+
+    /// The paper's SNP-data configuration: decision trees (SVMs "did not
+    /// appear to work well on the discrete SNP data").
+    pub fn snp() -> Self {
+        FracConfig {
+            real_model: RealModel::Tree(TreeConfig::default()),
+            cat_model: CatModel::Tree(TreeConfig::default()),
+            ..FracConfig::default()
+        }
+    }
+
+    /// Replace the master seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_protocol() {
+        let c = FracConfig::default();
+        assert_eq!(c.cv_folds, 5);
+        assert!(c.standardize);
+        assert!(matches!(c.real_model, RealModel::Svr(_)));
+        assert!(matches!(c.cat_model, CatModel::Tree(_)));
+    }
+
+    #[test]
+    fn snp_config_uses_trees_for_everything() {
+        let c = FracConfig::snp();
+        assert!(matches!(c.real_model, RealModel::Tree(_)));
+        assert!(matches!(c.cat_model, CatModel::Tree(_)));
+    }
+
+    #[test]
+    fn with_seed_only_changes_seed() {
+        let c = FracConfig::default().with_seed(42);
+        assert_eq!(c.seed, 42);
+        assert_eq!(c.cv_folds, FracConfig::default().cv_folds);
+    }
+}

@@ -1,0 +1,651 @@
+//! Fitting and scoring of FRaC models.
+//!
+//! [`FracModel::fit`] executes a [`TrainingPlan`]: per target feature it
+//! fits the configured predictor(s) plus a cross-validated error model and
+//! records the training-set entropy `H(f_i)`. [`FracModel::contributions`]
+//! then scores a test set, returning each feature's normalized-surprisal
+//! contribution separately (the paper's interpretability analyses — "two of
+//! the top 20 predictive SNP models" — need per-feature scores, and
+//! ensembles combine members per-feature by median).
+//!
+//! Per-feature work runs under rayon with seeds derived from
+//! `(config.seed, target, member)`, so results are identical at any thread
+//! count.
+
+use crate::config::{CatModel, FracConfig, RealModel};
+use crate::plan::TrainingPlan;
+use crate::resources::ResourceReport;
+use frac_dataset::design::DesignSpec;
+use frac_dataset::entropy::column_entropy;
+use frac_dataset::split::derive_seed;
+use frac_dataset::{Column, Dataset};
+use frac_learn::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
+use frac_learn::cv::{cv_classification, cv_regression};
+use frac_learn::svc::SvcTrainer;
+use frac_learn::svr::SvrTrainer;
+use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
+use frac_learn::{
+    Classifier, ClassificationTree, ConfusionErrorModel, ConstantRegressor, GaussianErrorModel,
+    LinearSvc, LinearSvr, MajorityClassifier, RegressionTree, Regressor, TrainingCost,
+};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A fitted real-target predictor: a closed enum (rather than a trait
+/// object) so models can be persisted and reloaded exactly.
+pub(crate) enum RealPredictor {
+    Svr(LinearSvr),
+    Tree(RegressionTree),
+    Constant(ConstantRegressor),
+}
+
+impl RealPredictor {
+    pub(crate) fn predict(&self, x: &[f64]) -> f64 {
+        match self {
+            RealPredictor::Svr(m) => m.predict(x),
+            RealPredictor::Tree(m) => m.predict(x),
+            RealPredictor::Constant(m) => m.predict(x),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            RealPredictor::Svr(m) => m.approx_bytes(),
+            RealPredictor::Tree(m) => m.approx_bytes(),
+            RealPredictor::Constant(m) => m.approx_bytes(),
+        }
+    }
+}
+
+/// A fitted categorical-target predictor (closed enum, see
+/// [`RealPredictor`]).
+pub(crate) enum CatPredictor {
+    Tree(ClassificationTree),
+    Svc(LinearSvc),
+    Majority(MajorityClassifier),
+}
+
+impl CatPredictor {
+    pub(crate) fn predict(&self, x: &[f64]) -> u32 {
+        match self {
+            CatPredictor::Tree(m) => m.predict(x),
+            CatPredictor::Svc(m) => m.predict(x),
+            CatPredictor::Majority(m) => m.predict(x),
+        }
+    }
+
+    fn approx_bytes(&self) -> usize {
+        match self {
+            CatPredictor::Tree(m) => m.approx_bytes(),
+            CatPredictor::Svc(m) => m.approx_bytes(),
+            CatPredictor::Majority(m) => m.approx_bytes(),
+        }
+    }
+}
+
+/// A fitted predictor for one target feature.
+pub(crate) enum PredictorModel {
+    Real(RealPredictor),
+    Cat(CatPredictor),
+}
+
+impl PredictorModel {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            PredictorModel::Real(m) => m.approx_bytes(),
+            PredictorModel::Cat(m) => m.approx_bytes(),
+        }
+    }
+}
+
+/// The error model paired with a predictor.
+pub(crate) enum ErrorModel {
+    Gaussian(GaussianErrorModel),
+    Confusion(ConfusionErrorModel),
+}
+
+impl ErrorModel {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            ErrorModel::Gaussian(m) => m.approx_bytes(),
+            ErrorModel::Confusion(m) => m.approx_bytes(),
+        }
+    }
+}
+
+/// One (spec, predictor, error model) triple — a `p_ij` of the NS formula.
+pub(crate) struct FeaturePredictor {
+    pub(crate) spec: DesignSpec,
+    pub(crate) model: PredictorModel,
+    pub(crate) error: ErrorModel,
+}
+
+/// Everything fitted for one target feature.
+pub(crate) struct FeatureModel {
+    pub(crate) target: usize,
+    pub(crate) entropy: f64,
+    /// Cross-validated predictive strength in `[0, 1]`: R²-like for real
+    /// targets, holdout accuracy for categorical ones.
+    pub(crate) strength: f64,
+    pub(crate) predictors: Vec<FeaturePredictor>,
+}
+
+/// A complete fitted FRaC model.
+pub struct FracModel {
+    pub(crate) features: Vec<FeatureModel>,
+}
+
+/// Per-feature NS contributions for a scored test set.
+///
+/// `values[c][r]` is the contribution of target feature `feature_ids[c]` to
+/// test row `r`'s NS score; the row's NS is the sum over columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContributionMatrix {
+    /// Target feature index (into the scored data set) per column.
+    pub feature_ids: Vec<usize>,
+    /// `values[column][row]` contribution.
+    pub values: Vec<Vec<f64>>,
+    /// Number of scored rows.
+    pub n_rows: usize,
+}
+
+impl ContributionMatrix {
+    /// NS score per row: the sum of all feature contributions.
+    pub fn ns_scores(&self) -> Vec<f64> {
+        let mut ns = vec![0.0f64; self.n_rows];
+        for col in &self.values {
+            for (acc, v) in ns.iter_mut().zip(col) {
+                *acc += v;
+            }
+        }
+        ns
+    }
+}
+
+/// Fit a single predictor + error model; returns it with its training cost.
+#[allow(clippy::too_many_arguments)]
+fn fit_predictor(
+    train: &Dataset,
+    target: usize,
+    inputs: &[usize],
+    config: &FracConfig,
+    member_seed: u64,
+) -> (FeaturePredictor, f64, TrainingCost) {
+    let spec = DesignSpec::fit(train, inputs, config.standardize);
+    let x_all = spec.encode(train);
+
+    match train.column(target) {
+        Column::Real(values) => {
+            // Train only on rows where the target is present.
+            let present: Vec<usize> =
+                (0..train.n_rows()).filter(|&r| !values[r].is_nan()).collect();
+            let x = x_all.select_rows(&present);
+            let y: Vec<f64> = present.iter().map(|&r| values[r]).collect();
+
+            let (model, fit_cost, error, strength, cv_cost) = match &config.real_model {
+                RealModel::Svr(cfg) => {
+                    let mut cfg = *cfg;
+                    cfg.seed = derive_seed(member_seed, 2);
+                    run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, config, member_seed)
+                }
+                RealModel::Tree(cfg) => run_real(
+                    &RegressionTreeTrainer::new(*cfg),
+                    RealPredictor::Tree,
+                    &x,
+                    &y,
+                    config,
+                    member_seed,
+                ),
+                RealModel::Constant => run_real(
+                    &ConstantRegressorTrainer,
+                    RealPredictor::Constant,
+                    &x,
+                    &y,
+                    config,
+                    member_seed,
+                ),
+            };
+            let total = TrainingCost {
+                flops: cv_cost.flops + fit_cost.flops,
+                peak_bytes: cv_cost
+                    .peak_bytes
+                    .max(fit_cost.peak_bytes)
+                    .max(x_all.approx_bytes() as u64),
+            };
+            (
+                FeaturePredictor {
+                    spec,
+                    model: PredictorModel::Real(model),
+                    error: ErrorModel::Gaussian(error),
+                },
+                strength,
+                total,
+            )
+        }
+        Column::Categorical { arity, codes } => {
+            let present: Vec<usize> = (0..train.n_rows())
+                .filter(|&r| codes[r] != frac_dataset::dataset::MISSING_CODE)
+                .collect();
+            let x = x_all.select_rows(&present);
+            let y: Vec<u32> = present.iter().map(|&r| codes[r]).collect();
+
+            let (model, fit_cost, error, strength, cv_cost) = match &config.cat_model {
+                CatModel::Tree(cfg) => run_cat(
+                    &ClassificationTreeTrainer::new(*cfg),
+                    CatPredictor::Tree,
+                    &x,
+                    &y,
+                    *arity,
+                    config,
+                    member_seed,
+                ),
+                CatModel::Svc(cfg) => {
+                    let mut cfg = *cfg;
+                    cfg.seed = derive_seed(member_seed, 2);
+                    run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, config, member_seed)
+                }
+                CatModel::Majority => run_cat(
+                    &MajorityClassifierTrainer,
+                    CatPredictor::Majority,
+                    &x,
+                    &y,
+                    *arity,
+                    config,
+                    member_seed,
+                ),
+            };
+            let total = TrainingCost {
+                flops: cv_cost.flops + fit_cost.flops,
+                peak_bytes: cv_cost
+                    .peak_bytes
+                    .max(fit_cost.peak_bytes)
+                    .max(x_all.approx_bytes() as u64),
+            };
+            (
+                FeaturePredictor {
+                    spec,
+                    model: PredictorModel::Cat(model),
+                    error: ErrorModel::Confusion(error),
+                },
+                strength,
+                total,
+            )
+        }
+    }
+}
+
+/// Cross-validate + final-fit one real-target trainer, wrapping its model
+/// into the closed [`RealPredictor`] enum.
+fn run_real<T: frac_learn::RegressorTrainer>(
+    trainer: &T,
+    wrap: impl Fn(T::Model) -> RealPredictor,
+    x: &frac_dataset::DesignMatrix,
+    y: &[f64],
+    config: &FracConfig,
+    member_seed: u64,
+) -> (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost) {
+    let (oof, cv_cost) = cv_regression(trainer, x, y, config.cv_folds, derive_seed(member_seed, 1));
+    let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
+    let error = GaussianErrorModel::fit(&pairs);
+    let strength = r2_strength(y, &oof);
+    let trained = trainer.train(x, y);
+    (wrap(trained.model), trained.cost, error, strength, cv_cost)
+}
+
+/// Cross-validate + final-fit one categorical-target trainer, wrapping its
+/// model into the closed [`CatPredictor`] enum.
+#[allow(clippy::too_many_arguments)]
+fn run_cat<T: frac_learn::ClassifierTrainer>(
+    trainer: &T,
+    wrap: impl Fn(T::Model) -> CatPredictor,
+    x: &frac_dataset::DesignMatrix,
+    y: &[u32],
+    arity: u32,
+    config: &FracConfig,
+    member_seed: u64,
+) -> (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost) {
+    let (oof, cv_cost) =
+        cv_classification(trainer, x, y, arity, config.cv_folds, derive_seed(member_seed, 1));
+    let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
+    let error = ConfusionErrorModel::fit(&pairs, arity);
+    let strength = accuracy_strength(y, &oof);
+    let trained = trainer.train(x, y, arity);
+    (wrap(trained.model), trained.cost, error, strength, cv_cost)
+}
+
+/// R²-like strength: 1 − MSE/Var, clamped to `[0, 1]`.
+fn r2_strength(y: &[f64], pred: &[f64]) -> f64 {
+    if y.len() < 2 {
+        return 0.0;
+    }
+    let mean = y.iter().sum::<f64>() / y.len() as f64;
+    let var: f64 = y.iter().map(|v| (v - mean) * (v - mean)).sum();
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let mse: f64 = y
+        .iter()
+        .zip(pred)
+        .map(|(t, p)| if p.is_nan() { (t - mean) * (t - mean) } else { (t - p) * (t - p) })
+        .sum();
+    (1.0 - mse / var).clamp(0.0, 1.0)
+}
+
+/// Holdout accuracy.
+fn accuracy_strength(y: &[u32], pred: &[u32]) -> f64 {
+    if y.is_empty() {
+        return 0.0;
+    }
+    y.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / y.len() as f64
+}
+
+impl FracModel {
+    /// Execute a training plan over `train`.
+    ///
+    /// Returns the fitted model plus a [`ResourceReport`] whose flops sum
+    /// over every CV-fold and final training, whose `model_bytes` cover all
+    /// retained predictor/error-model state, and whose `transient_bytes` is
+    /// the worst single-predictor working set.
+    pub fn fit(train: &Dataset, plan: &TrainingPlan, config: &FracConfig) -> (FracModel, ResourceReport) {
+        let t0 = Instant::now();
+        let results: Vec<(FeatureModel, u64, u64, u64, u64)> = plan
+            .targets
+            .par_iter()
+            .map(|tp| {
+                let entropy = column_entropy(train.column(tp.target));
+                let mut predictors = Vec::with_capacity(tp.input_sets.len());
+                let mut flops = 0u64;
+                let mut transient = 0u64;
+                let mut model_bytes = 0u64;
+                let mut strength_acc = 0.0f64;
+                for (m, inputs) in tp.input_sets.iter().enumerate() {
+                    let member_seed =
+                        derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
+                    let (fp, strength, cost) =
+                        fit_predictor(train, tp.target, inputs, config, member_seed);
+                    flops += cost.flops;
+                    transient = transient.max(cost.peak_bytes);
+                    model_bytes += (fp.model.approx_bytes()
+                        + fp.error.approx_bytes()
+                        + std::mem::size_of_val(fp.spec.input_features()))
+                        as u64;
+                    strength_acc += strength;
+                    predictors.push(fp);
+                }
+                let n_models =
+                    (tp.input_sets.len() * (config.cv_folds.max(1) + 1)) as u64;
+                let strength = strength_acc / tp.input_sets.len().max(1) as f64;
+                (
+                    FeatureModel { target: tp.target, entropy, strength, predictors },
+                    flops,
+                    transient,
+                    model_bytes,
+                    n_models,
+                )
+            })
+            .collect();
+
+        let mut report = ResourceReport {
+            dataset_bytes: train.approx_bytes() as u64,
+            ..ResourceReport::default()
+        };
+        let mut features = Vec::with_capacity(results.len());
+        for (fm, flops, transient, model_bytes, n_models) in results {
+            report.flops += flops;
+            report.transient_bytes = report.transient_bytes.max(transient);
+            report.model_bytes += model_bytes;
+            report.models_trained += n_models;
+            features.push(fm);
+        }
+        report.wall = t0.elapsed();
+        (FracModel { features }, report)
+    }
+
+    /// Number of target features with fitted models.
+    pub fn n_targets(&self) -> usize {
+        self.features.len()
+    }
+
+    /// `(target feature, cross-validated predictive strength)` pairs, the
+    /// basis of the paper's "most predictive gene/SNP models" analyses.
+    pub fn feature_strengths(&self) -> Vec<(usize, f64)> {
+        self.features.iter().map(|f| (f.target, f.strength)).collect()
+    }
+
+    /// Score a test set, returning per-feature NS contributions.
+    ///
+    /// `test` must share the training schema. Missing test values contribute
+    /// zero, per the NS definition.
+    pub fn contributions(&self, test: &Dataset) -> ContributionMatrix {
+        let n_rows = test.n_rows();
+        let values: Vec<Vec<f64>> = self
+            .features
+            .par_iter()
+            .map(|fm| {
+                let mut col = vec![0.0f64; n_rows];
+                for fp in &fm.predictors {
+                    let x = fp.spec.encode(test);
+                    match (&fp.model, &fp.error, test.column(fm.target)) {
+                        (
+                            PredictorModel::Real(model),
+                            ErrorModel::Gaussian(err),
+                            Column::Real(truth),
+                        ) => {
+                            for r in 0..n_rows {
+                                let t = truth[r];
+                                if t.is_nan() {
+                                    continue;
+                                }
+                                let pred = model.predict(x.row(r));
+                                col[r] += err.surprisal(t, pred) - fm.entropy;
+                            }
+                        }
+                        (
+                            PredictorModel::Cat(model),
+                            ErrorModel::Confusion(err),
+                            Column::Categorical { codes, .. },
+                        ) => {
+                            for r in 0..n_rows {
+                                let t = codes[r];
+                                if t == frac_dataset::dataset::MISSING_CODE {
+                                    continue;
+                                }
+                                let pred = model.predict(x.row(r));
+                                col[r] += err.surprisal(t, pred) - fm.entropy;
+                            }
+                        }
+                        _ => unreachable!(
+                            "model/error/column kinds are constructed consistently"
+                        ),
+                    }
+                }
+                col
+            })
+            .collect();
+        ContributionMatrix {
+            feature_ids: self.features.iter().map(|f| f.target).collect(),
+            values,
+            n_rows,
+        }
+    }
+
+    /// NS anomaly score per test row (sum of all feature contributions).
+    pub fn score(&self, test: &Dataset) -> Vec<f64> {
+        self.contributions(test).ns_scores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frac_dataset::dataset::{DatasetBuilder, MISSING_CODE};
+    use frac_synth::{ExpressionConfig, ExpressionGenerator};
+
+    fn expr_data(n_normal: usize, n_anomaly: usize) -> (Dataset, Vec<bool>) {
+        ExpressionGenerator::new(ExpressionConfig {
+            n_features: 24,
+            n_modules: 4,
+            relevant_fraction: 0.9,
+            anomaly_modules: 2,
+            anomaly_shift: 3.0,
+            noise_sd: 0.5,
+            structure_seed: 77,
+            ..ExpressionConfig::default()
+        })
+        .generate(n_normal, n_anomaly, 7)
+    }
+
+    #[test]
+    fn anomalies_score_higher_than_normals() {
+        let (data, labels) = expr_data(40, 8);
+        let normal_rows: Vec<usize> =
+            (0..30).filter(|&r| !labels[r]).collect();
+        let train = data.select_rows(&normal_rows);
+        let test_rows: Vec<usize> = (30..48).collect();
+        let test = data.select_rows(&test_rows);
+
+        let plan = TrainingPlan::full(train.n_features());
+        let (model, report) = FracModel::fit(&train, &plan, &FracConfig::default());
+        let ns = model.score(&test);
+
+        let mean = |rows: Vec<usize>| -> f64 {
+            let v: Vec<f64> = rows.iter().map(|&i| ns[i]).collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let normal_mean = mean(
+            (0..test_rows.len()).filter(|&i| !labels[test_rows[i]]).collect(),
+        );
+        let anomaly_mean = mean(
+            (0..test_rows.len()).filter(|&i| labels[test_rows[i]]).collect(),
+        );
+        assert!(
+            anomaly_mean > normal_mean,
+            "anomalies must be more surprising: {anomaly_mean} vs {normal_mean}"
+        );
+        assert!(report.models_trained > 0);
+        assert!(report.flops > 0);
+        assert!(report.model_bytes > 0);
+    }
+
+    #[test]
+    fn contributions_sum_to_scores() {
+        let (data, _) = expr_data(20, 4);
+        let train = data.select_rows(&(0..16).collect::<Vec<_>>());
+        let test = data.select_rows(&(16..24).collect::<Vec<_>>());
+        let plan = TrainingPlan::full(train.n_features());
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+        let contrib = model.contributions(&test);
+        let ns = model.score(&test);
+        for r in 0..test.n_rows() {
+            let sum: f64 = contrib.values.iter().map(|c| c[r]).sum();
+            assert!((sum - ns[r]).abs() < 1e-9);
+        }
+        assert_eq!(contrib.feature_ids.len(), train.n_features());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (data, _) = expr_data(20, 4);
+        let train = data.select_rows(&(0..16).collect::<Vec<_>>());
+        let test = data.select_rows(&(16..24).collect::<Vec<_>>());
+        let plan = TrainingPlan::full(train.n_features());
+        let cfg = FracConfig::default();
+        let (m1, _) = FracModel::fit(&train, &plan, &cfg);
+        let (m2, _) = FracModel::fit(&train, &plan, &cfg);
+        assert_eq!(m1.score(&test), m2.score(&test));
+    }
+
+    #[test]
+    fn missing_test_values_contribute_zero() {
+        let train = DatasetBuilder::new()
+            .real("a", (0..20).map(|i| i as f64).collect())
+            .real("b", (0..20).map(|i| 2.0 * i as f64).collect())
+            .build();
+        let plan = TrainingPlan::full(2);
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+        let test_full = DatasetBuilder::new()
+            .real("a", vec![5.0])
+            .real("b", vec![10.0])
+            .build();
+        let test_missing = DatasetBuilder::new()
+            .real("a", vec![f64::NAN])
+            .real("b", vec![10.0])
+            .build();
+        let c_full = model.contributions(&test_full);
+        let c_miss = model.contributions(&test_missing);
+        // Feature a's contribution vanishes when a is missing.
+        assert_ne!(c_full.values[0][0], 0.0);
+        assert_eq!(c_miss.values[0][0], 0.0);
+    }
+
+    #[test]
+    fn categorical_targets_use_confusion_models() {
+        // Deterministic relationship between two ternary SNPs.
+        let codes: Vec<u32> = (0..30).map(|i| (i % 3) as u32).collect();
+        let train = DatasetBuilder::new()
+            .categorical("s1", 3, codes.clone())
+            .categorical("s2", 3, codes.clone())
+            .build();
+        let plan = TrainingPlan::full(2);
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::snp());
+        // Consistent row scores low; violated relationship scores high.
+        let consistent = DatasetBuilder::new()
+            .categorical("s1", 3, vec![1])
+            .categorical("s2", 3, vec![1])
+            .build();
+        let violated = DatasetBuilder::new()
+            .categorical("s1", 3, vec![1])
+            .categorical("s2", 3, vec![2])
+            .build();
+        let ns_ok = model.score(&consistent)[0];
+        let ns_bad = model.score(&violated)[0];
+        assert!(ns_bad > ns_ok, "violation must surprise: {ns_bad} vs {ns_ok}");
+    }
+
+    #[test]
+    fn missing_training_targets_are_dropped_not_crashing() {
+        let train = DatasetBuilder::new()
+            .real("a", vec![1.0, 2.0, f64::NAN, 4.0, 5.0, 6.0])
+            .categorical("b", 3, vec![0, 1, 2, MISSING_CODE, 1, 0])
+            .build();
+        let plan = TrainingPlan::full(2);
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+        assert_eq!(model.n_targets(), 2);
+        let ns = model.score(&train);
+        assert!(ns.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn strengths_reflect_learnability() {
+        // Feature pair (a,b) perfectly linearly related; c is pure noise.
+        let a: Vec<f64> = (0..30).map(|i| i as f64 * 0.1).collect();
+        let b: Vec<f64> = a.iter().map(|x| 2.0 * x + 1.0).collect();
+        let c: Vec<f64> = (0..30)
+            .map(|i| ((i * 2654435761usize) % 97) as f64 / 97.0)
+            .collect();
+        let train = DatasetBuilder::new()
+            .real("a", a)
+            .real("b", b)
+            .real("c", c)
+            .build();
+        let plan = TrainingPlan::full(3);
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+        let strengths = model.feature_strengths();
+        let get = |t: usize| strengths.iter().find(|&&(f, _)| f == t).unwrap().1;
+        assert!(get(0) > 0.8, "a is perfectly predictable: {}", get(0));
+        assert!(get(2) < 0.5, "c is noise: {}", get(2));
+    }
+
+    #[test]
+    fn empty_input_set_learns_a_constant() {
+        let train = DatasetBuilder::new()
+            .real("a", vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+            .build();
+        let plan = TrainingPlan {
+            targets: vec![crate::plan::TargetPlan { target: 0, input_sets: vec![vec![]] }],
+        };
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
+        let ns = model.score(&train);
+        assert!(ns.iter().all(|s| s.is_finite()));
+    }
+}

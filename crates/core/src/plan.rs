@@ -1,0 +1,205 @@
+//! Training plans: which predictors get trained on which inputs.
+//!
+//! Every FRaC variant is, at training time, just a different answer to "for
+//! each target feature, which other features feed its predictor(s)?" —
+//! Figure 1 of the paper is exactly this picture. A [`TrainingPlan`]
+//! materializes that answer so the model fitter ([`crate::model`]) is
+//! variant-agnostic.
+
+use frac_dataset::split::derive_seed;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The plan for one target feature: one entry in `input_sets` per predictor
+/// (Diverse FRaC may train several predictors per target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TargetPlan {
+    /// Feature index (into the training data set) being predicted.
+    pub target: usize,
+    /// One input-feature-index set per predictor to train. An empty set is
+    /// legal and yields a constant predictor.
+    pub input_sets: Vec<Vec<usize>>,
+}
+
+/// The complete per-feature plan of a FRaC run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainingPlan {
+    /// One plan per target feature (in ascending target order).
+    pub targets: Vec<TargetPlan>,
+}
+
+impl TrainingPlan {
+    /// Ordinary FRaC: every feature is a target, predicted from all others.
+    pub fn full(n_features: usize) -> Self {
+        let targets = (0..n_features)
+            .map(|t| TargetPlan {
+                target: t,
+                input_sets: vec![(0..n_features).filter(|&j| j != t).collect()],
+            })
+            .collect();
+        TrainingPlan { targets }
+    }
+
+    /// Full filtering (§II-A): only `selected` features are targets, and
+    /// predictors see only the selected features (minus the target). The
+    /// unselected features are removed from the problem entirely.
+    ///
+    /// # Panics
+    /// Panics if `selected` is empty.
+    pub fn full_filtered(selected: &[usize]) -> Self {
+        assert!(!selected.is_empty(), "full filtering needs ≥ 1 feature");
+        let targets = selected
+            .iter()
+            .map(|&t| TargetPlan {
+                target: t,
+                input_sets: vec![selected.iter().copied().filter(|&j| j != t).collect()],
+            })
+            .collect();
+        TrainingPlan { targets }
+    }
+
+    /// Partial filtering (§II-A): only `selected` features are targets, but
+    /// predictors see *all* `n_features − 1` other features — slower, less
+    /// lossy.
+    ///
+    /// # Panics
+    /// Panics if `selected` is empty or any index is out of range.
+    pub fn partial_filtered(selected: &[usize], n_features: usize) -> Self {
+        assert!(!selected.is_empty(), "partial filtering needs ≥ 1 feature");
+        assert!(
+            selected.iter().all(|&t| t < n_features),
+            "selected index out of range"
+        );
+        let targets = selected
+            .iter()
+            .map(|&t| TargetPlan {
+                target: t,
+                input_sets: vec![(0..n_features).filter(|&j| j != t).collect()],
+            })
+            .collect();
+        TrainingPlan { targets }
+    }
+
+    /// Diverse FRaC (§II-B): every feature is a target; each of its
+    /// `models_per_feature` predictors sees an independent Bernoulli(`p`)
+    /// subset of the other features. Subsets are derived from
+    /// `(seed, target, member)`, so the plan is schedule-independent.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p ≤ 1` and `models_per_feature ≥ 1`.
+    pub fn diverse(n_features: usize, p: f64, models_per_feature: usize, seed: u64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "selection probability must be in (0,1]");
+        assert!(models_per_feature >= 1, "need at least one model per feature");
+        let targets = (0..n_features)
+            .map(|t| {
+                let input_sets = (0..models_per_feature)
+                    .map(|m| {
+                        let s = derive_seed(seed, (t * models_per_feature + m) as u64);
+                        let mut rng = StdRng::seed_from_u64(s);
+                        (0..n_features)
+                            .filter(|&j| j != t && rng.random::<f64>() < p)
+                            .collect()
+                    })
+                    .collect();
+                TargetPlan { target: t, input_sets }
+            })
+            .collect();
+        TrainingPlan { targets }
+    }
+
+    /// Total number of predictors the plan will train (before CV
+    /// multiplication).
+    pub fn n_predictors(&self) -> usize {
+        self.targets.iter().map(|t| t.input_sets.len()).sum()
+    }
+
+    /// Number of target features.
+    pub fn n_targets(&self) -> usize {
+        self.targets.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_plan_excludes_self() {
+        let p = TrainingPlan::full(4);
+        assert_eq!(p.n_targets(), 4);
+        assert_eq!(p.n_predictors(), 4);
+        for tp in &p.targets {
+            assert_eq!(tp.input_sets[0].len(), 3);
+            assert!(!tp.input_sets[0].contains(&tp.target));
+        }
+    }
+
+    #[test]
+    fn full_filtered_restricts_both_sides() {
+        let p = TrainingPlan::full_filtered(&[1, 3, 5]);
+        assert_eq!(p.n_targets(), 3);
+        let tp = &p.targets[1];
+        assert_eq!(tp.target, 3);
+        assert_eq!(tp.input_sets[0], vec![1, 5]);
+    }
+
+    #[test]
+    fn partial_filtered_keeps_all_inputs() {
+        let p = TrainingPlan::partial_filtered(&[1, 3], 6);
+        let tp = &p.targets[0];
+        assert_eq!(tp.target, 1);
+        assert_eq!(tp.input_sets[0], vec![0, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn diverse_halves_problem_size_at_p_half() {
+        let p = TrainingPlan::diverse(200, 0.5, 1, 7);
+        let avg: f64 = p
+            .targets
+            .iter()
+            .map(|t| t.input_sets[0].len() as f64)
+            .sum::<f64>()
+            / 200.0;
+        assert!((avg - 99.5).abs() < 5.0, "average subset size {avg}");
+        for tp in &p.targets {
+            assert!(!tp.input_sets[0].contains(&tp.target));
+        }
+    }
+
+    #[test]
+    fn diverse_members_use_different_subsets() {
+        let p = TrainingPlan::diverse(50, 0.3, 3, 1);
+        assert_eq!(p.n_predictors(), 150);
+        let tp = &p.targets[0];
+        assert_ne!(tp.input_sets[0], tp.input_sets[1]);
+        assert_ne!(tp.input_sets[1], tp.input_sets[2]);
+    }
+
+    #[test]
+    fn diverse_is_deterministic() {
+        let a = TrainingPlan::diverse(30, 0.4, 2, 9);
+        let b = TrainingPlan::diverse(30, 0.4, 2, 9);
+        assert_eq!(a, b);
+        let c = TrainingPlan::diverse(30, 0.4, 2, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn diverse_p_one_is_full() {
+        let d = TrainingPlan::diverse(5, 1.0, 1, 3);
+        let f = TrainingPlan::full(5);
+        assert_eq!(d, f);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs ≥ 1 feature")]
+    fn empty_filter_rejected() {
+        TrainingPlan::full_filtered(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn partial_filter_bounds_checked() {
+        TrainingPlan::partial_filtered(&[9], 4);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic resource accounting.
+//!
+//! The paper's Tables II–V report CPU time (hours) and memory (GB); its
+//! scalability claims are entirely about the *ratios* of these quantities
+//! between variants. At our reduced scale, wall-clock and RSS sampling are
+//! dominated by constant overheads and allocator noise, so the primary
+//! metric is analytic:
+//!
+//! * **flops** — every model training reports its floating-point work
+//!   (epochs × samples × dimensions for the SVMs, node-sweep costs for the
+//!   trees), summed over CV folds, features, and ensemble members.
+//! * **peak_bytes** — the data set, all *retained* model state (FRaC keeps
+//!   every feature's model for scoring — the reason the paper's full runs
+//!   needed ~200 GB), plus the largest transient training working set.
+//!
+//! Wall time is also measured and reported; at full scale the analytic and
+//! measured ratios converge, and our benches print both.
+
+use std::time::Duration;
+
+/// Resource usage of one FRaC run (training + scoring).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResourceReport {
+    /// Number of predictor trainings performed (CV folds included).
+    pub models_trained: u64,
+    /// Approximate floating-point operations.
+    pub flops: u64,
+    /// Bytes of the training data resident during the run.
+    pub dataset_bytes: u64,
+    /// Bytes of retained model state (predictors + error models).
+    pub model_bytes: u64,
+    /// Largest transient working set of any single model training
+    /// (design matrix + solver state).
+    pub transient_bytes: u64,
+    /// Measured wall-clock time.
+    pub wall: Duration,
+}
+
+impl ResourceReport {
+    /// Total peak bytes: data + retained models + worst transient.
+    pub fn peak_bytes(&self) -> u64 {
+        self.dataset_bytes + self.model_bytes + self.transient_bytes
+    }
+
+    /// Merge a report for work executed *after* `other` (sequential
+    /// composition): flops/models add, transients max, retained model bytes
+    /// add, dataset bytes max (the same data set is shared).
+    pub fn merge_sequential(&mut self, other: &ResourceReport) {
+        self.models_trained += other.models_trained;
+        self.flops += other.flops;
+        self.dataset_bytes = self.dataset_bytes.max(other.dataset_bytes);
+        self.model_bytes += other.model_bytes;
+        self.transient_bytes = self.transient_bytes.max(other.transient_bytes);
+        self.wall += other.wall;
+    }
+
+    /// Fraction of another (baseline) report's flops — the paper's "Time %".
+    pub fn flops_fraction_of(&self, baseline: &ResourceReport) -> f64 {
+        if baseline.flops == 0 {
+            return f64::NAN;
+        }
+        self.flops as f64 / baseline.flops as f64
+    }
+
+    /// Fraction of another report's peak bytes — the paper's "Mem %".
+    pub fn mem_fraction_of(&self, baseline: &ResourceReport) -> f64 {
+        if baseline.peak_bytes() == 0 {
+            return f64::NAN;
+        }
+        self.peak_bytes() as f64 / baseline.peak_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(models: u64, flops: u64, data: u64, model: u64, transient: u64) -> ResourceReport {
+        ResourceReport {
+            models_trained: models,
+            flops,
+            dataset_bytes: data,
+            model_bytes: model,
+            transient_bytes: transient,
+            wall: Duration::from_millis(10),
+        }
+    }
+
+    #[test]
+    fn peak_is_data_plus_models_plus_transient() {
+        let r = report(1, 100, 1000, 500, 200);
+        assert_eq!(r.peak_bytes(), 1700);
+    }
+
+    #[test]
+    fn sequential_merge_semantics() {
+        let mut a = report(2, 100, 1000, 500, 200);
+        let b = report(3, 50, 800, 300, 400);
+        a.merge_sequential(&b);
+        assert_eq!(a.models_trained, 5);
+        assert_eq!(a.flops, 150);
+        assert_eq!(a.dataset_bytes, 1000); // shared data: max
+        assert_eq!(a.model_bytes, 800); // retained: add
+        assert_eq!(a.transient_bytes, 400); // transient: max
+        assert_eq!(a.wall, Duration::from_millis(20));
+    }
+
+    #[test]
+    fn fractions_against_baseline() {
+        let full = report(10, 1000, 100, 900, 0);
+        let reduced = report(1, 50, 100, 9, 0);
+        assert!((reduced.flops_fraction_of(&full) - 0.05).abs() < 1e-12);
+        assert!((reduced.mem_fraction_of(&full) - 109.0 / 1000.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_yields_nan() {
+        let z = ResourceReport::default();
+        assert!(z.flops_fraction_of(&z).is_nan());
+        assert!(z.mem_fraction_of(&z).is_nan());
+    }
+}

@@ -1,0 +1,143 @@
+//! Feature selectors for the filtering variants (paper §II-A).
+//!
+//! "Filter techniques identify some property of each feature, rank the
+//! features by this property, and remove some features from consideration."
+//! The paper evaluates **random** selection (most effective overall) and
+//! **entropy** ranking (spectacular on some data sets, poor on others).
+
+use frac_dataset::entropy::rank_by_entropy;
+use frac_dataset::split::permutation;
+use frac_dataset::Dataset;
+
+/// A strategy for choosing which features survive filtering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FeatureSelector {
+    /// Keep a uniform random subset (seeded).
+    Random,
+    /// Keep the highest-entropy features: the most informative ones by the
+    /// plug-in (categorical) or KDE differential (real) entropy estimate.
+    Entropy,
+}
+
+impl FeatureSelector {
+    /// Select `⌈p · f⌉` features of `train` (at least 1). Returned indices
+    /// are sorted ascending for deterministic downstream iteration.
+    ///
+    /// The selection looks only at the *training* data (entropies are
+    /// training-set statistics), so no test leakage is possible.
+    ///
+    /// # Panics
+    /// Panics unless `0 < p ≤ 1` and the data set has features.
+    pub fn select(&self, train: &Dataset, p: f64, seed: u64) -> Vec<usize> {
+        assert!(p > 0.0 && p <= 1.0, "keep fraction must be in (0, 1], got {p}");
+        let f = train.n_features();
+        assert!(f > 0, "cannot select from an empty data set");
+        let keep = ((p * f as f64).ceil() as usize).clamp(1, f);
+        let mut chosen: Vec<usize> = match self {
+            FeatureSelector::Random => {
+                permutation(f, seed).into_iter().take(keep).collect()
+            }
+            FeatureSelector::Entropy => {
+                rank_by_entropy(train).into_iter().take(keep).collect()
+            }
+        };
+        chosen.sort_unstable();
+        chosen
+    }
+
+    /// Entropy-selection cost in flops (KDE resubstitution is O(n²) per
+    /// real feature; categorical counting is O(n)). Random selection is
+    /// effectively free. Used by the resource meter.
+    pub fn selection_flops(&self, train: &Dataset) -> u64 {
+        match self {
+            FeatureSelector::Random => 0,
+            FeatureSelector::Entropy => {
+                let n = train.n_rows() as u64;
+                (0..train.n_features())
+                    .map(|j| {
+                        if train.schema().kind(j).is_real() {
+                            n * n * 4
+                        } else {
+                            n
+                        }
+                    })
+                    .sum()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frac_dataset::dataset::DatasetBuilder;
+
+    fn data() -> Dataset {
+        DatasetBuilder::new()
+            .categorical("low", 3, vec![0; 12]) // entropy 0
+            .categorical("high", 3, vec![0, 1, 2, 0, 1, 2, 0, 1, 2, 0, 1, 2]) // ln 3
+            .categorical("mid", 3, vec![0, 0, 0, 0, 0, 0, 1, 1, 1, 2, 2, 2]) // < ln 3
+            .build()
+    }
+
+    #[test]
+    fn entropy_keeps_most_informative() {
+        let d = data();
+        // f = 3: ⌈0.3·3⌉ = 1 keeps the top feature; ⌈0.6·3⌉ = 2 the top two.
+        assert_eq!(FeatureSelector::Entropy.select(&d, 0.3, 0), vec![1]);
+        assert_eq!(FeatureSelector::Entropy.select(&d, 0.6, 0), vec![1, 2]);
+    }
+
+    #[test]
+    fn random_is_seeded_and_correct_size() {
+        let d = data();
+        let a = FeatureSelector::Random.select(&d, 0.6, 5);
+        let b = FeatureSelector::Random.select(&d, 0.6, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        assert!(a.windows(2).all(|w| w[0] < w[1]), "sorted");
+        // Different seeds eventually differ.
+        let distinct = (0..20)
+            .map(|s| FeatureSelector::Random.select(&d, 0.6, s))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(distinct.len() > 1);
+    }
+
+    #[test]
+    fn keep_fraction_one_keeps_everything() {
+        let d = data();
+        assert_eq!(FeatureSelector::Random.select(&d, 1.0, 3), vec![0, 1, 2]);
+        assert_eq!(FeatureSelector::Entropy.select(&d, 1.0, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_at_least_one() {
+        let d = data();
+        assert_eq!(FeatureSelector::Random.select(&d, 0.0001, 1).len(), 1);
+    }
+
+    #[test]
+    fn ceil_rule_matches_paper_5_percent() {
+        // The paper filters at p = 0.05; for 320 features that is 16.
+        let cols: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let mut builder = DatasetBuilder::new();
+        for j in 0..320 {
+            builder = builder.real(format!("g{j}"), cols.clone());
+        }
+        let d = builder.build();
+        assert_eq!(FeatureSelector::Random.select(&d, 0.05, 0).len(), 16);
+    }
+
+    #[test]
+    fn selection_cost_only_for_entropy() {
+        let d = data();
+        assert_eq!(FeatureSelector::Random.selection_flops(&d), 0);
+        assert!(FeatureSelector::Entropy.selection_flops(&d) > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "keep fraction")]
+    fn zero_fraction_rejected() {
+        FeatureSelector::Random.select(&data(), 0.0, 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Row-major design matrices for per-feature model training.
+//!
+//! FRaC trains, for each target feature `i`, a predictor of `x_i` from some
+//! subset of the remaining features. This module materializes that learning
+//! problem: chosen input features are encoded to real columns (categorical
+//! inputs are one-hot expanded, as in Fig. 2 of the paper; real inputs are
+//! optionally z-scored), missing inputs are mean-imputed (zero after
+//! standardization / all-zero indicator block), and the result is a dense
+//! row-major `f64` matrix suitable for both the linear-SVM coordinate-descent
+//! solvers and the decision trees.
+//!
+//! The encoding is *fit* on the training set ([`DesignSpec::fit`]) and then
+//! applied unchanged to held-out folds and test samples, so no test-set
+//! statistics leak into training.
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::FeatureKind;
+use crate::stats;
+
+/// Per-feature encoding parameters, fit on a training set.
+#[derive(Debug, Clone)]
+enum FeatureEncoder {
+    /// Real feature: `(x - mean) / std` (std clamped away from 0), missing → 0.
+    Real {
+        mean: f64,
+        inv_std: f64,
+    },
+    /// Real feature passed through unscaled, missing → training mean.
+    RealRaw {
+        mean: f64,
+    },
+    /// Categorical feature: arity-wide indicator block, missing → all zeros.
+    OneHot {
+        arity: u32,
+    },
+}
+
+impl FeatureEncoder {
+    fn width(&self) -> usize {
+        match self {
+            FeatureEncoder::Real { .. } | FeatureEncoder::RealRaw { .. } => 1,
+            FeatureEncoder::OneHot { arity } => *arity as usize,
+        }
+    }
+}
+
+/// A fitted encoding of a chosen set of input features.
+///
+/// `DesignSpec` is the reusable half of the pipeline: fit once on training
+/// data, then [`DesignSpec::encode`] any data set with the same schema.
+#[derive(Debug, Clone)]
+pub struct DesignSpec {
+    /// Indices (into the source schema) of the input features, in order.
+    input_features: Vec<usize>,
+    encoders: Vec<FeatureEncoder>,
+    n_cols: usize,
+}
+
+impl DesignSpec {
+    /// Fit an encoding for `input_features` of `train`.
+    ///
+    /// If `standardize` is true, real features are z-scored with statistics
+    /// of the non-missing training values (the usual preparation for the
+    /// regularized linear SVMs the paper uses); otherwise they pass through
+    /// with mean imputation only.
+    pub fn fit(train: &Dataset, input_features: &[usize], standardize: bool) -> Self {
+        let mut encoders = Vec::with_capacity(input_features.len());
+        let mut n_cols = 0usize;
+        for &j in input_features {
+            let enc = match train.schema().kind(j) {
+                FeatureKind::Real => {
+                    let present = train.column(j).present_reals();
+                    let mean = stats::mean(&present).unwrap_or(0.0);
+                    if standardize {
+                        let sd = stats::std_dev(&present).unwrap_or(0.0);
+                        let inv_std = if sd > 1e-12 { 1.0 / sd } else { 0.0 };
+                        FeatureEncoder::Real { mean, inv_std }
+                    } else {
+                        FeatureEncoder::RealRaw { mean }
+                    }
+                }
+                FeatureKind::Categorical { arity } => FeatureEncoder::OneHot { arity },
+            };
+            n_cols += enc.width();
+            encoders.push(enc);
+        }
+        DesignSpec {
+            input_features: input_features.to_vec(),
+            encoders,
+            n_cols,
+        }
+    }
+
+    /// Number of encoded columns.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The input feature indices this spec encodes.
+    #[inline]
+    pub fn input_features(&self) -> &[usize] {
+        &self.input_features
+    }
+
+    /// Serialize this spec into a [`crate::textio::TextWriter`] (model
+    /// persistence).
+    pub fn write_text(&self, w: &mut crate::textio::TextWriter) {
+        w.line("designspec", [self.input_features.len()]);
+        w.line("inputs", self.input_features.iter());
+        for enc in &self.encoders {
+            match enc {
+                FeatureEncoder::Real { mean, inv_std } => {
+                    w.floats("enc_real", &[*mean, *inv_std]);
+                }
+                FeatureEncoder::RealRaw { mean } => {
+                    w.floats("enc_raw", &[*mean]);
+                }
+                FeatureEncoder::OneHot { arity } => {
+                    w.line("enc_onehot", [*arity]);
+                }
+            }
+        }
+    }
+
+    /// Parse a spec previously produced by [`DesignSpec::write_text`].
+    pub fn parse_text(
+        r: &mut crate::textio::TextReader<'_>,
+    ) -> Result<Self, crate::textio::TextError> {
+        let n: usize = r.parse_one("designspec")?;
+        let input_features: Vec<usize> = r.parse_all("inputs")?;
+        if input_features.len() != n {
+            return Err(format!(
+                "designspec declares {n} inputs but lists {}",
+                input_features.len()
+            ));
+        }
+        let mut encoders = Vec::with_capacity(n);
+        let mut n_cols = 0usize;
+        for _ in 0..n {
+            let enc = if r.peek_is("enc_real") {
+                let v: Vec<f64> = r.parse_all("enc_real")?;
+                if v.len() != 2 {
+                    return Err("enc_real expects mean inv_std".into());
+                }
+                FeatureEncoder::Real { mean: v[0], inv_std: v[1] }
+            } else if r.peek_is("enc_raw") {
+                let v: Vec<f64> = r.parse_all("enc_raw")?;
+                if v.len() != 1 {
+                    return Err("enc_raw expects mean".into());
+                }
+                FeatureEncoder::RealRaw { mean: v[0] }
+            } else {
+                let arity: u32 = r.parse_one("enc_onehot")?;
+                FeatureEncoder::OneHot { arity }
+            };
+            n_cols += enc.width();
+            encoders.push(enc);
+        }
+        Ok(DesignSpec { input_features, encoders, n_cols })
+    }
+
+    /// Encode all rows of `data` into a dense design matrix.
+    ///
+    /// # Panics
+    /// Panics if `data`'s schema is incompatible with the features this spec
+    /// was fit on (kind/arity mismatch).
+    pub fn encode(&self, data: &Dataset) -> DesignMatrix {
+        let n_rows = data.n_rows();
+        let mut values = vec![0.0f64; n_rows * self.n_cols];
+        let mut col_base = 0usize;
+        for (&j, enc) in self.input_features.iter().zip(&self.encoders) {
+            match (data.column(j), enc) {
+                (Column::Real(v), FeatureEncoder::Real { mean, inv_std }) => {
+                    for (r, &x) in v.iter().enumerate() {
+                        let z = if x.is_nan() { 0.0 } else { (x - mean) * inv_std };
+                        values[r * self.n_cols + col_base] = z;
+                    }
+                }
+                (Column::Real(v), FeatureEncoder::RealRaw { mean }) => {
+                    for (r, &x) in v.iter().enumerate() {
+                        let z = if x.is_nan() { *mean } else { x };
+                        values[r * self.n_cols + col_base] = z;
+                    }
+                }
+                (Column::Categorical { arity, codes }, FeatureEncoder::OneHot { arity: a }) => {
+                    assert_eq!(arity, a, "arity mismatch between spec and data");
+                    for (r, &c) in codes.iter().enumerate() {
+                        if c != crate::dataset::MISSING_CODE {
+                            values[r * self.n_cols + col_base + c as usize] = 1.0;
+                        }
+                    }
+                }
+                (col, enc) => panic!(
+                    "feature {j}: column kind {:?} incompatible with encoder {enc:?}",
+                    col.kind()
+                ),
+            }
+            col_base += enc.width();
+        }
+        DesignMatrix { n_rows, n_cols: self.n_cols, values }
+    }
+}
+
+/// A dense, row-major, all-real matrix of encoded input features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignMatrix {
+    n_rows: usize,
+    n_cols: usize,
+    values: Vec<f64>,
+}
+
+impl DesignMatrix {
+    /// Build directly from row-major storage.
+    ///
+    /// # Panics
+    /// Panics if `values.len() != n_rows * n_cols`.
+    pub fn from_raw(n_rows: usize, n_cols: usize, values: Vec<f64>) -> Self {
+        assert_eq!(values.len(), n_rows * n_cols, "shape mismatch");
+        DesignMatrix { n_rows, n_cols, values }
+    }
+
+    /// An `n_rows × 0` matrix (useful for degenerate feature subsets:
+    /// predictors then learn a constant).
+    pub fn empty(n_rows: usize) -> Self {
+        DesignMatrix { n_rows, n_cols: 0, values: Vec::new() }
+    }
+
+    /// Number of rows (samples).
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of columns (encoded inputs).
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Row `r` as a contiguous slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.values[r * self.n_cols..(r + 1) * self.n_cols]
+    }
+
+    /// Entry at (`r`, `c`).
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.values[r * self.n_cols + c]
+    }
+
+    /// Gather column `c` into a fresh vector.
+    pub fn col(&self, c: usize) -> Vec<f64> {
+        (0..self.n_rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// Matrix restricted to `rows` (in order) — used by the k-fold splitter.
+    pub fn select_rows(&self, rows: &[usize]) -> DesignMatrix {
+        let mut values = Vec::with_capacity(rows.len() * self.n_cols);
+        for &r in rows {
+            values.extend_from_slice(self.row(r));
+        }
+        DesignMatrix { n_rows: rows.len(), n_cols: self.n_cols, values }
+    }
+
+    /// Dot product of row `r` with a weight vector.
+    ///
+    /// # Panics
+    /// Panics if `w.len() != n_cols`.
+    #[inline]
+    pub fn row_dot(&self, r: usize, w: &[f64]) -> f64 {
+        let row = self.row(r);
+        assert_eq!(w.len(), row.len());
+        row.iter().zip(w).map(|(a, b)| a * b).sum()
+    }
+
+    /// The backing storage (row-major).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Resident bytes of the backing storage — input to the resource meter.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, MISSING_CODE};
+
+    fn mixed() -> Dataset {
+        DatasetBuilder::new()
+            .real("e1", vec![1.0, 2.0, 3.0, 4.0])
+            .real("e2", vec![10.0, f64::NAN, 30.0, 40.0])
+            .categorical("snp", 3, vec![0, 1, 2, MISSING_CODE])
+            .build()
+    }
+
+    #[test]
+    fn one_hot_block_matches_fig2() {
+        let d = mixed();
+        let spec = DesignSpec::fit(&d, &[2], false);
+        assert_eq!(spec.n_cols(), 3);
+        let m = spec.encode(&d);
+        assert_eq!(m.row(0), &[1.0, 0.0, 0.0]);
+        assert_eq!(m.row(1), &[0.0, 1.0, 0.0]);
+        assert_eq!(m.row(2), &[0.0, 0.0, 1.0]);
+        // Missing categorical → all-zero indicator block.
+        assert_eq!(m.row(3), &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn standardization_zero_mean_unit_var() {
+        let d = mixed();
+        let spec = DesignSpec::fit(&d, &[0], true);
+        let m = spec.encode(&d);
+        let col = m.col(0);
+        let mean: f64 = col.iter().sum::<f64>() / col.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        let var: f64 = col.iter().map(|x| x * x).sum::<f64>() / (col.len() - 1) as f64;
+        assert!((var - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_real_imputes_mean() {
+        let d = mixed();
+        // Standardized: missing → 0 == the training mean.
+        let spec = DesignSpec::fit(&d, &[1], true);
+        let m = spec.encode(&d);
+        assert_eq!(m.get(1, 0), 0.0);
+        // Raw: missing → literal training mean of the present values.
+        let spec = DesignSpec::fit(&d, &[1], false);
+        let m = spec.encode(&d);
+        let mean = (10.0 + 30.0 + 40.0) / 3.0;
+        assert!((m.get(1, 0) - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spec_fit_on_train_applies_to_test() {
+        let d = mixed();
+        let train = d.select_rows(&[0, 1]);
+        let test = d.select_rows(&[2, 3]);
+        let spec = DesignSpec::fit(&train, &[0], false);
+        let m = spec.encode(&test);
+        assert_eq!(m.n_rows(), 2);
+        assert_eq!(m.get(0, 0), 3.0);
+    }
+
+    #[test]
+    fn constant_feature_encodes_to_zero() {
+        let d = DatasetBuilder::new().real("c", vec![5.0, 5.0, 5.0]).build();
+        let spec = DesignSpec::fit(&d, &[0], true);
+        let m = spec.encode(&d);
+        assert_eq!(m.col(0), vec![0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn mixed_spec_concatenates_blocks() {
+        let d = mixed();
+        let spec = DesignSpec::fit(&d, &[0, 2, 1], false);
+        assert_eq!(spec.n_cols(), 1 + 3 + 1);
+        let m = spec.encode(&d);
+        assert_eq!(m.row(0), &[1.0, 1.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn row_dot_and_select_rows() {
+        let m = DesignMatrix::from_raw(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(m.row_dot(1, &[1.0, 0.0, -1.0]), -2.0);
+        let s = m.select_rows(&[1, 1, 0]);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.row(2), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn spec_text_roundtrip() {
+        let d = mixed();
+        for standardize in [true, false] {
+            let spec = DesignSpec::fit(&d, &[0, 2, 1], standardize);
+            let mut w = crate::textio::TextWriter::new();
+            spec.write_text(&mut w);
+            let text = w.finish();
+            let mut r = crate::textio::TextReader::new(&text);
+            let back = DesignSpec::parse_text(&mut r).unwrap();
+            assert_eq!(back.input_features(), spec.input_features());
+            assert_eq!(back.n_cols(), spec.n_cols());
+            // Encodings agree exactly on data.
+            assert_eq!(back.encode(&d), spec.encode(&d));
+        }
+    }
+
+    #[test]
+    fn empty_matrix_has_zero_cols() {
+        let m = DesignMatrix::empty(4);
+        assert_eq!(m.n_rows(), 4);
+        assert_eq!(m.n_cols(), 0);
+        assert_eq!(m.row(2), &[] as &[f64]);
+    }
+}

@@ -1,0 +1,198 @@
+//! Per-feature entropy estimation.
+//!
+//! Entropy plays two roles in the paper:
+//!
+//! 1. The `H(f_i)` term of normalized surprisal — each feature's surprisal is
+//!    centred by its training-set entropy so that an unsurprising value of a
+//!    predictable feature contributes ≈ 0.
+//! 2. The ranking criterion of the *entropy filtering* selector (§II-A):
+//!    features are ranked by information content and only the top `p` are
+//!    kept.
+//!
+//! For nominal features with values `v_1..v_k` the paper uses the plug-in
+//! estimate `Σ −pr(v) log pr(v)` with probabilities from training-set
+//! frequencies. For continuous features it fits a Gaussian KDE and takes the
+//! differential entropy of the fitted density. All entropies are in nats.
+
+use crate::dataset::{Column, Dataset, MISSING_CODE};
+use crate::kde::GaussianKde;
+
+/// Plug-in Shannon entropy (nats) of categorical codes, ignoring missing
+/// values. Returns 0.0 when no values are present.
+pub fn categorical_entropy(codes: &[u32], arity: u32) -> f64 {
+    let mut counts = vec![0usize; arity as usize];
+    let mut n = 0usize;
+    for &c in codes {
+        if c != MISSING_CODE {
+            counts[c as usize] += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Empirical category probabilities (ignoring missing values), uniform when
+/// no values are present.
+pub fn categorical_probs(codes: &[u32], arity: u32) -> Vec<f64> {
+    let mut counts = vec![0usize; arity as usize];
+    let mut n = 0usize;
+    for &c in codes {
+        if c != MISSING_CODE {
+            counts[c as usize] += 1;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return vec![1.0 / arity as f64; arity as usize];
+    }
+    counts.iter().map(|&c| c as f64 / n as f64).collect()
+}
+
+/// Differential entropy (nats) of real values via Gaussian-KDE
+/// resubstitution, ignoring NaNs. Returns a very low value for constant or
+/// empty features so they rank last under entropy filtering.
+pub fn differential_entropy(values: &[f64]) -> f64 {
+    let present: Vec<f64> = values.iter().copied().filter(|x| !x.is_nan()).collect();
+    if present.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    GaussianKde::fit(&present).resubstitution_entropy()
+}
+
+/// Entropy of one column, dispatching on its kind: plug-in entropy for
+/// categorical, KDE differential entropy for real.
+pub fn column_entropy(column: &Column) -> f64 {
+    match column {
+        Column::Real(v) => differential_entropy(v),
+        Column::Categorical { arity, codes } => categorical_entropy(codes, *arity),
+    }
+}
+
+/// Entropy of every feature of a data set, in feature order.
+pub fn feature_entropies(data: &Dataset) -> Vec<f64> {
+    (0..data.n_features())
+        .map(|j| column_entropy(data.column(j)))
+        .collect()
+}
+
+/// Indices of all features ranked by *descending* entropy — the ordering the
+/// paper's entropy filter keeps the prefix of. Ties broken by feature index
+/// for determinism; non-finite entropies sort last.
+pub fn rank_by_entropy(data: &Dataset) -> Vec<usize> {
+    let ent = feature_entropies(data);
+    let mut idx: Vec<usize> = (0..ent.len()).collect();
+    idx.sort_by(|&a, &b| {
+        let (ea, eb) = (ent[a], ent[b]);
+        match (ea.is_finite(), eb.is_finite()) {
+            (true, true) => eb.partial_cmp(&ea).unwrap().then(a.cmp(&b)),
+            (true, false) => std::cmp::Ordering::Less,
+            (false, true) => std::cmp::Ordering::Greater,
+            (false, false) => a.cmp(&b),
+        }
+    });
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    #[test]
+    fn uniform_categorical_is_log_k() {
+        let codes = vec![0, 1, 2, 0, 1, 2];
+        let h = categorical_entropy(&codes, 3);
+        assert!((h - 3.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_categorical_is_zero() {
+        assert_eq!(categorical_entropy(&[1, 1, 1, 1], 3), 0.0);
+    }
+
+    #[test]
+    fn missing_codes_ignored() {
+        let h_with = categorical_entropy(&[0, 1, MISSING_CODE, MISSING_CODE], 2);
+        let h_without = categorical_entropy(&[0, 1], 2);
+        assert!((h_with - h_without).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_missing_entropy_is_zero() {
+        assert_eq!(categorical_entropy(&[MISSING_CODE; 4], 3), 0.0);
+    }
+
+    #[test]
+    fn probs_sum_to_one() {
+        let p = categorical_probs(&[0, 0, 1, 2], 3);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(p[0], 0.5);
+        let uniform = categorical_probs(&[MISSING_CODE], 4);
+        assert_eq!(uniform, vec![0.25; 4]);
+    }
+
+    #[test]
+    fn binary_entropy_skewed_below_uniform() {
+        let skew = categorical_entropy(&[0, 0, 0, 1], 2);
+        let unif = categorical_entropy(&[0, 0, 1, 1], 2);
+        assert!(skew < unif);
+        assert!((unif - 2.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn differential_entropy_ignores_nans() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.1).collect();
+        let mut with_nan = xs.clone();
+        with_nan.push(f64::NAN);
+        assert!((differential_entropy(&xs) - differential_entropy(&with_nan)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_real_feature_is_neg_infinite() {
+        assert_eq!(differential_entropy(&[f64::NAN, f64::NAN]), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn rank_by_entropy_orders_features() {
+        // Feature 0: constant (lowest). Feature 1: wide spread (highest).
+        // Feature 2: uniform ternary. Feature 3: deterministic ternary.
+        let d = DatasetBuilder::new()
+            .real("const", vec![1.0; 9])
+            .real(
+                "wide",
+                vec![-40.0, -30.0, -20.0, -10.0, 0.0, 10.0, 20.0, 30.0, 40.0],
+            )
+            .categorical("unif", 3, vec![0, 1, 2, 0, 1, 2, 0, 1, 2])
+            .categorical("det", 3, vec![1; 9])
+            .build();
+        let rank = rank_by_entropy(&d);
+        assert_eq!(rank[0], 1, "wide real feature must rank first: {rank:?}");
+        // The constant real feature has very negative differential entropy
+        // and must rank below the deterministic categorical (entropy 0).
+        let pos_const = rank.iter().position(|&i| i == 0).unwrap();
+        let pos_det = rank.iter().position(|&i| i == 3).unwrap();
+        assert!(pos_det < pos_const, "rank: {rank:?}");
+    }
+
+    #[test]
+    fn feature_entropies_matches_columns() {
+        let d = DatasetBuilder::new()
+            .categorical("a", 2, vec![0, 1, 0, 1])
+            .categorical("b", 2, vec![0, 0, 0, 0])
+            .build();
+        let e = feature_entropies(&d);
+        assert!((e[0] - 2.0f64.ln()).abs() < 1e-12);
+        assert_eq!(e[1], 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! TSV interchange format with a typed header.
+//!
+//! Format: the first line is a header of `name:kind` pairs where `kind` is
+//! `real` or `catK` (K = arity); subsequent lines are rows with `?` for
+//! missing values. This is sufficient to round-trip any [`Dataset`] and to
+//! import externally prepared expression/SNP matrices.
+//!
+//! ```text
+//! geneA:real<TAB>geneB:real<TAB>rs123:cat3
+//! 0.52<TAB>-1.3<TAB>2
+//! ?<TAB>0.7<TAB>0
+//! ```
+
+use crate::dataset::{Column, Dataset};
+use crate::schema::{Feature, FeatureKind, Schema};
+use std::fmt::Write as _;
+use std::io::{self, BufRead, Write};
+use std::path::Path;
+
+/// Errors arising while parsing the TSV format.
+#[derive(Debug)]
+pub enum ParseError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Malformed header cell.
+    Header(String),
+    /// Malformed data cell, with (line, column) for context.
+    Cell {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column index.
+        column: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A row with the wrong number of cells.
+    RowWidth {
+        /// 1-based line number.
+        line: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected from the header.
+        expected: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Io(e) => write!(f, "I/O error: {e}"),
+            ParseError::Header(msg) => write!(f, "bad header: {msg}"),
+            ParseError::Cell { line, column, message } => {
+                write!(f, "line {line}, column {column}: {message}")
+            }
+            ParseError::RowWidth { line, found, expected } => {
+                write!(f, "line {line}: {found} cells, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> Self {
+        ParseError::Io(e)
+    }
+}
+
+fn parse_kind(s: &str) -> Result<FeatureKind, String> {
+    if s == "real" {
+        Ok(FeatureKind::Real)
+    } else if let Some(k) = s.strip_prefix("cat") {
+        let arity: u32 = k.parse().map_err(|_| format!("bad arity in kind `{s}`"))?;
+        if arity < 2 {
+            return Err(format!("arity must be ≥ 2, got `{s}`"));
+        }
+        Ok(FeatureKind::Categorical { arity })
+    } else {
+        Err(format!("unknown kind `{s}` (expected `real` or `catK`)"))
+    }
+}
+
+/// Serialize a data set to the TSV format.
+pub fn to_tsv(data: &Dataset) -> String {
+    let mut out = String::new();
+    let header: Vec<String> = data
+        .schema()
+        .iter()
+        .map(|f| format!("{}:{}", f.name, f.kind))
+        .collect();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for r in 0..data.n_rows() {
+        for j in 0..data.n_features() {
+            if j > 0 {
+                out.push('\t');
+            }
+            let _ = write!(out, "{}", data.value(r, j));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a data set from the TSV format.
+pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::Header("empty input".into()))?;
+    let mut features = Vec::new();
+    for cell in header.split('\t') {
+        let (name, kind) = cell
+            .rsplit_once(':')
+            .ok_or_else(|| ParseError::Header(format!("cell `{cell}` lacks `:kind`")))?;
+        let kind = parse_kind(kind).map_err(ParseError::Header)?;
+        features.push(Feature::new(name, kind));
+    }
+    let schema = Schema::new(features);
+    let n_features = schema.len();
+
+    let mut columns: Vec<Column> = schema
+        .iter()
+        .map(|f| match f.kind {
+            FeatureKind::Real => Column::Real(Vec::new()),
+            FeatureKind::Categorical { arity } => {
+                Column::Categorical { arity, codes: Vec::new() }
+            }
+        })
+        .collect();
+    let mut n_rows = 0usize;
+    for (lineno, line) in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let cells: Vec<&str> = line.split('\t').collect();
+        if cells.len() != n_features {
+            return Err(ParseError::RowWidth {
+                line: lineno + 1,
+                found: cells.len(),
+                expected: n_features,
+            });
+        }
+        for (j, cell) in cells.iter().enumerate() {
+            let cell_err = |message: String| ParseError::Cell {
+                line: lineno + 1,
+                column: j,
+                message,
+            };
+            match &mut columns[j] {
+                Column::Real(v) => {
+                    if *cell == "?" {
+                        v.push(f64::NAN);
+                    } else {
+                        v.push(
+                            cell.parse::<f64>()
+                                .map_err(|_| cell_err(format!("bad real `{cell}`")))?,
+                        );
+                    }
+                }
+                Column::Categorical { arity, codes } => {
+                    if *cell == "?" {
+                        codes.push(crate::dataset::MISSING_CODE);
+                    } else {
+                        let c: u32 = cell
+                            .parse()
+                            .map_err(|_| cell_err(format!("bad code `{cell}`")))?;
+                        if c >= *arity {
+                            return Err(cell_err(format!(
+                                "code {c} out of range for arity {arity}"
+                            )));
+                        }
+                        codes.push(c);
+                    }
+                }
+            }
+        }
+        n_rows += 1;
+    }
+    let _ = n_rows;
+    Ok(Dataset::new(schema, columns))
+}
+
+/// Write a data set to a file in the TSV format.
+pub fn write_tsv(data: &Dataset, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    f.write_all(to_tsv(data).as_bytes())
+}
+
+/// Read a data set from a TSV file.
+pub fn read_tsv(path: impl AsRef<Path>) -> Result<Dataset, ParseError> {
+    let file = std::fs::File::open(path)?;
+    let mut text = String::new();
+    let mut reader = std::io::BufReader::new(file);
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        text.push_str(&line);
+    }
+    from_tsv(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{DatasetBuilder, Value, MISSING_CODE};
+
+    fn sample() -> Dataset {
+        DatasetBuilder::new()
+            .real("geneA", vec![0.5, f64::NAN, -2.25])
+            .categorical("rs1", 3, vec![2, 0, MISSING_CODE])
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = sample();
+        let text = to_tsv(&d);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(back.schema(), d.schema());
+        assert_eq!(back.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() {
+            for j in 0..d.n_features() {
+                match (d.value(r, j), back.value(r, j)) {
+                    (Value::Real(a), Value::Real(b)) => assert!((a - b).abs() < 1e-12),
+                    (a, b) => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn header_encodes_kinds() {
+        let text = to_tsv(&sample());
+        assert!(text.starts_with("geneA:real\trs1:cat3\n"));
+    }
+
+    #[test]
+    fn missing_serialized_as_question_mark() {
+        let text = to_tsv(&sample());
+        let row2: Vec<&str> = text.lines().nth(2).unwrap().split('\t').collect();
+        assert_eq!(row2[0], "?");
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        assert!(matches!(
+            from_tsv("a:flavor\n1\n"),
+            Err(ParseError::Header(_))
+        ));
+        assert!(matches!(from_tsv("a:cat1\n0\n"), Err(ParseError::Header(_))));
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = from_tsv("a:real\tb:real\n1.0\n").unwrap_err();
+        assert!(matches!(err, ParseError::RowWidth { expected: 2, found: 1, .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_range_code() {
+        let err = from_tsv("a:cat2\n5\n").unwrap_err();
+        assert!(matches!(err, ParseError::Cell { .. }));
+    }
+
+    #[test]
+    fn rejects_unparseable_real() {
+        let err = from_tsv("a:real\nxyz\n").unwrap_err();
+        assert!(matches!(err, ParseError::Cell { .. }));
+    }
+
+    #[test]
+    fn empty_rows_are_skipped() {
+        let d = from_tsv("a:real\n1.0\n\n2.0\n").unwrap();
+        assert_eq!(d.n_rows(), 2);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let d = sample();
+        let dir = std::env::temp_dir().join("frac-dataset-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.tsv");
+        write_tsv(&d, &path).unwrap();
+        let back = read_tsv(&path).unwrap();
+        assert_eq!(back.n_rows(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn colon_in_name_parses_via_rsplit() {
+        let d = from_tsv("chr1:1234:real\n0.5\n").unwrap();
+        assert_eq!(d.schema().feature(0).name, "chr1:1234");
+    }
+}

@@ -1,0 +1,43 @@
+//! # frac-dataset
+//!
+//! Dataset substrate for the FRaC anomaly-detection family (Cousins, Pietras,
+//! Slonim — *Scalable FRaC Variants*, IPPS 2017).
+//!
+//! FRaC operates on data that is "real, categorical, or mixed" with possibly
+//! missing entries. This crate provides:
+//!
+//! * [`Schema`] / [`FeatureKind`] — typed feature descriptions (real-valued
+//!   expression levels, k-ary categorical SNP genotypes, …).
+//! * [`Dataset`] — column-major mixed storage with missing-value support.
+//! * [`DesignMatrix`] — a row-major, all-real view used to train predictors
+//!   for one target feature from a chosen subset of the remaining features
+//!   (categorical inputs are one-hot expanded, exactly the encoding of the
+//!   paper's Fig. 2).
+//! * [`entropy`] — plug-in entropy for categorical features and Gaussian-KDE
+//!   differential entropy for real features (the quantities the paper's
+//!   entropy-filtering selector ranks by, and the `H(f_i)` term of the
+//!   normalized-surprisal score).
+//! * [`split`] — deterministic shuffles, train/test splits and k-fold
+//!   partitions implementing the paper's replicate protocol.
+//! * [`io`] — a simple TSV interchange format with a typed header.
+//! * [`stats`] — small numeric helpers shared across the workspace.
+//!
+//! Everything stochastic takes an explicit seed; nothing here depends on
+//! global RNG state.
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod design;
+pub mod entropy;
+pub mod io;
+pub mod kde;
+pub mod schema;
+pub mod split;
+pub mod stats;
+pub mod textio;
+
+pub use dataset::{Column, Dataset, Value};
+pub use design::DesignMatrix;
+pub use kde::GaussianKde;
+pub use schema::{Feature, FeatureKind, Schema};

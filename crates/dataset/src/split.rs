@@ -1,0 +1,199 @@
+//! Deterministic splits: the paper's replicate protocol and k-fold CV.
+//!
+//! Experimental protocol (paper §III-A): each replicate trains on a randomly
+//! selected two-thirds of the *normal* samples; the test set is the remaining
+//! normal samples plus all anomalous samples. Error models are built by
+//! k-fold cross-validation over the training set (§I-A-1).
+//!
+//! All randomness is seeded; per-item seeds are derived with SplitMix64 so
+//! results are independent of thread scheduling.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// SplitMix64 output function: a high-quality 64-bit mixer used to derive
+/// independent sub-seeds from `(seed, index)` pairs.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Derive an independent sub-seed from a base seed and an item index.
+/// Used everywhere a parallel loop needs per-item determinism.
+#[inline]
+pub fn derive_seed(seed: u64, index: u64) -> u64 {
+    splitmix64(seed ^ splitmix64(index.wrapping_add(0xA5A5_5A5A_DEAD_BEEF)))
+}
+
+/// A seeded Fisher–Yates permutation of `0..n`.
+pub fn permutation(n: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx
+}
+
+/// A train/test split of row indices `0..n`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrainTestSplit {
+    /// Training row indices.
+    pub train: Vec<usize>,
+    /// Held-out row indices.
+    pub test: Vec<usize>,
+}
+
+/// Split `0..n` into a training fraction and the remainder, after a seeded
+/// shuffle. `train_fraction` is clamped to `[0, 1]`; the training set size is
+/// `round(n · fraction)` but at least 1 and at most `n − 1` when `n ≥ 2`, so
+/// neither side is empty unless `n < 2`.
+pub fn train_test_split(n: usize, train_fraction: f64, seed: u64) -> TrainTestSplit {
+    let idx = permutation(n, seed);
+    let f = train_fraction.clamp(0.0, 1.0);
+    let mut k = (n as f64 * f).round() as usize;
+    if n >= 2 {
+        k = k.clamp(1, n - 1);
+    } else {
+        k = k.min(n);
+    }
+    TrainTestSplit { train: idx[..k].to_vec(), test: idx[k..].to_vec() }
+}
+
+/// The paper's replicate split: two-thirds of the rows for training.
+pub fn replicate_split(n_normal: usize, replicate: usize, seed: u64) -> TrainTestSplit {
+    train_test_split(n_normal, 2.0 / 3.0, derive_seed(seed, replicate as u64))
+}
+
+/// One fold of a k-fold partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fold {
+    /// Rows used to train in this fold.
+    pub train: Vec<usize>,
+    /// Held-out rows whose predictions feed the error model.
+    pub holdout: Vec<usize>,
+}
+
+/// A seeded k-fold partition of `0..n`.
+///
+/// Folds are as equal as possible (sizes differ by at most one); every index
+/// appears in exactly one holdout. If `k > n`, the fold count is reduced to
+/// `n` so no fold is empty; if `n < 2` or `k < 2` a single degenerate fold is
+/// returned with all rows in both sides (the caller effectively trains and
+/// evaluates on the same data — the best available at such tiny sizes).
+pub fn k_fold(n: usize, k: usize, seed: u64) -> Vec<Fold> {
+    if n < 2 || k < 2 {
+        let all: Vec<usize> = (0..n).collect();
+        return vec![Fold { train: all.clone(), holdout: all }];
+    }
+    let k = k.min(n);
+    let idx = permutation(n, seed);
+    let mut folds = Vec::with_capacity(k);
+    let base = n / k;
+    let extra = n % k;
+    let mut start = 0usize;
+    for f in 0..k {
+        let size = base + usize::from(f < extra);
+        let holdout: Vec<usize> = idx[start..start + size].to_vec();
+        let train: Vec<usize> = idx[..start]
+            .iter()
+            .chain(&idx[start + size..])
+            .copied()
+            .collect();
+        folds.push(Fold { train, holdout });
+        start += size;
+    }
+    folds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn splitmix_and_derive_are_deterministic_and_spread() {
+        assert_eq!(splitmix64(42), splitmix64(42));
+        assert_ne!(splitmix64(42), splitmix64(43));
+        let seeds: HashSet<u64> = (0..1000).map(|i| derive_seed(7, i)).collect();
+        assert_eq!(seeds.len(), 1000, "derived seeds must not collide trivially");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let p = permutation(100, 3);
+        let set: HashSet<usize> = p.iter().copied().collect();
+        assert_eq!(set.len(), 100);
+        assert_eq!(p, permutation(100, 3));
+        assert_ne!(p, permutation(100, 4));
+    }
+
+    #[test]
+    fn train_test_split_partitions() {
+        let s = train_test_split(30, 2.0 / 3.0, 9);
+        assert_eq!(s.train.len(), 20);
+        assert_eq!(s.test.len(), 10);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_never_empties_either_side() {
+        for n in 2..10 {
+            for &f in &[0.0, 0.01, 0.5, 0.99, 1.0] {
+                let s = train_test_split(n, f, 1);
+                assert!(!s.train.is_empty(), "n={n} f={f}");
+                assert!(!s.test.is_empty(), "n={n} f={f}");
+            }
+        }
+    }
+
+    #[test]
+    fn replicates_differ_but_are_reproducible() {
+        let a = replicate_split(60, 0, 5);
+        let b = replicate_split(60, 1, 5);
+        assert_ne!(a, b);
+        assert_eq!(a, replicate_split(60, 0, 5));
+        assert_eq!(a.train.len(), 40, "two-thirds of 60");
+    }
+
+    #[test]
+    fn k_fold_covers_each_index_once() {
+        let folds = k_fold(23, 5, 11);
+        assert_eq!(folds.len(), 5);
+        let mut holdouts: Vec<usize> = folds.iter().flat_map(|f| f.holdout.clone()).collect();
+        holdouts.sort_unstable();
+        assert_eq!(holdouts, (0..23).collect::<Vec<_>>());
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.holdout.len(), 23);
+            let train: HashSet<_> = fold.train.iter().collect();
+            assert!(fold.holdout.iter().all(|i| !train.contains(i)));
+        }
+    }
+
+    #[test]
+    fn k_fold_sizes_balanced() {
+        let folds = k_fold(10, 4, 2);
+        let sizes: Vec<usize> = folds.iter().map(|f| f.holdout.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 10);
+        assert!(sizes.iter().all(|&s| s == 2 || s == 3));
+    }
+
+    #[test]
+    fn k_fold_clamps_k_to_n() {
+        let folds = k_fold(3, 10, 0);
+        assert_eq!(folds.len(), 3);
+        assert!(folds.iter().all(|f| f.holdout.len() == 1 && f.train.len() == 2));
+    }
+
+    #[test]
+    fn k_fold_degenerate_small_n() {
+        let folds = k_fold(1, 5, 0);
+        assert_eq!(folds.len(), 1);
+        assert_eq!(folds[0].train, vec![0]);
+        assert_eq!(folds[0].holdout, vec![0]);
+    }
+}

@@ -1,0 +1,178 @@
+//! Small numeric helpers shared across the workspace.
+
+/// Arithmetic mean; `None` for an empty slice.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Unbiased sample variance (n−1 denominator); `None` for fewer than two
+/// points. Computed with the numerically stable two-pass formula.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Unbiased sample standard deviation; `None` for fewer than two points.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Population (biased, n denominator) variance; `None` for an empty slice.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let m = mean(xs)?;
+    let ss: f64 = xs.iter().map(|x| (x - m) * (x - m)).sum();
+    Some(ss / xs.len() as f64)
+}
+
+/// Median of a slice (averaging the two central order statistics for even
+/// lengths); `None` for an empty slice. NaNs are sorted last and should be
+/// filtered by the caller when meaningful.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = v.len();
+    Some(if n % 2 == 1 {
+        v[n / 2]
+    } else {
+        0.5 * (v[n / 2 - 1] + v[n / 2])
+    })
+}
+
+/// Minimum ignoring NaNs; `None` if no finite values.
+pub fn finite_min(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| x.is_finite()).fold(None, |acc, x| {
+        Some(acc.map_or(x, |a: f64| a.min(x)))
+    })
+}
+
+/// Maximum ignoring NaNs; `None` if no finite values.
+pub fn finite_max(xs: &[f64]) -> Option<f64> {
+    xs.iter().copied().filter(|x| x.is_finite()).fold(None, |acc, x| {
+        Some(acc.map_or(x, |a: f64| a.max(x)))
+    })
+}
+
+/// Interquartile range via the linear-interpolation quantile rule;
+/// `None` for fewer than two points.
+pub fn iqr(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mut v = xs.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Some(quantile_sorted(&v, 0.75) - quantile_sorted(&v, 0.25))
+}
+
+/// Linear-interpolation quantile of an already-sorted slice, `q ∈ [0, 1]`.
+///
+/// # Panics
+/// Panics if the slice is empty or `q` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0,1]");
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Natural-log Gaussian pdf value at `x` for mean `mu` and std `sigma`.
+///
+/// For `sigma <= 0`, returns a degenerate spike: 0 density away from the
+/// mean, a large finite log-density at it (keeps NS sums finite when a
+/// residual distribution collapses, which happens for perfectly predictable
+/// features in small training sets).
+pub fn log_gaussian_pdf(x: f64, mu: f64, sigma: f64) -> f64 {
+    /// Cap used for degenerate (zero-variance) error models; e^{+37} ≈ 1e16
+    /// keeps scores finite and comparable.
+    const DEGENERATE_LOG_DENSITY: f64 = 37.0;
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return if (x - mu).abs() < 1e-12 {
+            DEGENERATE_LOG_DENSITY
+        } else {
+            -DEGENERATE_LOG_DENSITY
+        };
+    }
+    let z = (x - mu) / sigma;
+    -0.5 * z * z - sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), Some(5.0));
+        assert!((variance(&xs).unwrap() - 32.0 / 7.0).abs() < 1e-12);
+        assert!((population_variance(&xs).unwrap() - 4.0).abs() < 1e-12);
+        assert!((std_dev(&xs).unwrap() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton_edge_cases() {
+        assert_eq!(mean(&[]), None);
+        assert_eq!(variance(&[1.0]), None);
+        assert_eq!(std_dev(&[]), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[3.0]), Some(3.0));
+        assert_eq!(population_variance(&[1.0]), Some(0.0));
+    }
+
+    #[test]
+    fn median_even_odd() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 3.0, 2.0]), Some(2.5));
+    }
+
+    #[test]
+    fn finite_extrema_skip_nan() {
+        let xs = [f64::NAN, 2.0, -1.0, f64::INFINITY];
+        assert_eq!(finite_min(&xs), Some(-1.0));
+        assert_eq!(finite_max(&xs), Some(2.0));
+        assert_eq!(finite_min(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn quantiles_and_iqr() {
+        let v: Vec<f64> = (1..=5).map(|x| x as f64).collect();
+        assert_eq!(quantile_sorted(&v, 0.0), 1.0);
+        assert_eq!(quantile_sorted(&v, 1.0), 5.0);
+        assert_eq!(quantile_sorted(&v, 0.5), 3.0);
+        assert_eq!(iqr(&v), Some(2.0));
+    }
+
+    #[test]
+    fn log_gaussian_matches_closed_form() {
+        // N(0,1) at 0: log(1/sqrt(2π)).
+        let expect = -0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((log_gaussian_pdf(0.0, 0.0, 1.0) - expect).abs() < 1e-12);
+        // Scaling: N(μ,σ) at μ is N(0,1) at 0 minus ln σ.
+        assert!(
+            (log_gaussian_pdf(5.0, 5.0, 2.0) - (expect - 2.0f64.ln())).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn log_gaussian_degenerate_sigma() {
+        assert!(log_gaussian_pdf(1.0, 1.0, 0.0) > 0.0);
+        assert!(log_gaussian_pdf(2.0, 1.0, 0.0) < 0.0);
+        assert!(log_gaussian_pdf(2.0, 1.0, f64::NAN).is_finite());
+    }
+}

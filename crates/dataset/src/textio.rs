@@ -1,0 +1,197 @@
+//! Minimal line-oriented text (de)serialization substrate.
+//!
+//! Fitted FRaC models must be persistable (train once on the reference
+//! cohort, screen new samples for months) without pulling a serialization
+//! framework into a numerics workspace. The format is deliberately plain:
+//! one record per line, `tag value value …`, human-inspectable and
+//! dependency-free. Floats are written with `{:?}` (shortest round-trip
+//! representation), so save/load is bit-exact.
+
+/// Writer side: push tagged lines into a growing buffer.
+#[derive(Debug, Default)]
+pub struct TextWriter {
+    buf: String,
+}
+
+impl TextWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write a line: the tag followed by space-separated fields.
+    pub fn line<I, S>(&mut self, tag: &str, fields: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: std::fmt::Display,
+    {
+        self.buf.push_str(tag);
+        for f in fields {
+            self.buf.push(' ');
+            self.buf.push_str(&f.to_string());
+        }
+        self.buf.push('\n');
+    }
+
+    /// Write a tag-only line.
+    pub fn tag(&mut self, tag: &str) {
+        self.buf.push_str(tag);
+        self.buf.push('\n');
+    }
+
+    /// Write a line of f64 fields in round-trip representation.
+    pub fn floats(&mut self, tag: &str, values: &[f64]) {
+        self.buf.push_str(tag);
+        for v in values {
+            self.buf.push(' ');
+            self.buf.push_str(&format!("{v:?}"));
+        }
+        self.buf.push('\n');
+    }
+
+    /// Finish, returning the buffer.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Reader side: consume tagged lines with typed field extraction.
+#[derive(Debug)]
+pub struct TextReader<'a> {
+    lines: std::str::Lines<'a>,
+    /// 1-based line number of the last line read (for error messages).
+    line_no: usize,
+}
+
+/// Parse error: line number + message.
+pub type TextError = String;
+
+impl<'a> TextReader<'a> {
+    /// Read from a text buffer.
+    pub fn new(text: &'a str) -> Self {
+        TextReader { lines: text.lines(), line_no: 0 }
+    }
+
+    /// Next non-empty line's fields; errors at end of input.
+    fn next_fields(&mut self) -> Result<Vec<&'a str>, TextError> {
+        loop {
+            self.line_no += 1;
+            match self.lines.next() {
+                None => return Err(format!("line {}: unexpected end of input", self.line_no)),
+                Some(l) if l.trim().is_empty() => continue,
+                Some(l) => return Ok(l.split_whitespace().collect()),
+            }
+        }
+    }
+
+    /// Consume a line that must start with `tag`; returns its fields.
+    pub fn expect(&mut self, tag: &str) -> Result<Vec<&'a str>, TextError> {
+        let fields = self.next_fields()?;
+        if fields.first() != Some(&tag) {
+            return Err(format!(
+                "line {}: expected tag `{tag}`, found `{}`",
+                self.line_no,
+                fields.first().unwrap_or(&"")
+            ));
+        }
+        Ok(fields[1..].to_vec())
+    }
+
+    /// Consume a `tag`-line and parse all fields as `T`.
+    pub fn parse_all<T: std::str::FromStr>(&mut self, tag: &str) -> Result<Vec<T>, TextError> {
+        let line_no = self.line_no + 1;
+        self.expect(tag)?
+            .into_iter()
+            .map(|f| {
+                f.parse::<T>()
+                    .map_err(|_| format!("line {line_no}: bad field `{f}` for `{tag}`"))
+            })
+            .collect()
+    }
+
+    /// Consume a `tag`-line that must carry exactly one field, parsed as `T`.
+    pub fn parse_one<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, TextError> {
+        let v: Vec<T> = self.parse_all(tag)?;
+        if v.len() != 1 {
+            return Err(format!(
+                "line {}: tag `{tag}` expects exactly one field, found {}",
+                self.line_no,
+                v.len()
+            ));
+        }
+        Ok(v.into_iter().next().unwrap())
+    }
+
+    /// Peek whether the next non-empty line starts with `tag` (does not
+    /// consume).
+    pub fn peek_is(&self, tag: &str) -> bool {
+        self.lines
+            .clone()
+            .find(|l| !l.trim().is_empty())
+            .is_some_and(|l| l.split_whitespace().next() == Some(tag))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_tagged_lines() {
+        let mut w = TextWriter::new();
+        w.line("header", ["v1"]);
+        w.floats("weights", &[1.5, -0.25, 1e-300, f64::MAX]);
+        w.line("count", [42u32]);
+        w.tag("end");
+        let text = w.finish();
+
+        let mut r = TextReader::new(&text);
+        assert_eq!(r.expect("header").unwrap(), vec!["v1"]);
+        let ws: Vec<f64> = r.parse_all("weights").unwrap();
+        assert_eq!(ws, vec![1.5, -0.25, 1e-300, f64::MAX]);
+        assert_eq!(r.parse_one::<u32>("count").unwrap(), 42);
+        assert!(r.expect("end").unwrap().is_empty());
+    }
+
+    #[test]
+    fn float_roundtrip_is_bit_exact() {
+        let values = [0.1, 1.0 / 3.0, std::f64::consts::PI, -2.2250738585072014e-308];
+        let mut w = TextWriter::new();
+        w.floats("v", &values);
+        let text = w.finish();
+        let mut r = TextReader::new(&text);
+        let back: Vec<f64> = r.parse_all("v").unwrap();
+        for (a, b) in values.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn wrong_tag_is_an_error_with_location() {
+        let mut r = TextReader::new("alpha 1\nbeta 2\n");
+        assert!(r.expect("alpha").is_ok());
+        let err = r.expect("gamma").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        assert!(err.contains("gamma"), "{err}");
+    }
+
+    #[test]
+    fn eof_and_bad_fields_error() {
+        let mut r = TextReader::new("x 1\n");
+        assert!(r.parse_all::<i32>("x").is_ok());
+        assert!(r.expect("y").unwrap_err().contains("end of input"));
+        let mut r = TextReader::new("x one two\n");
+        assert!(r.parse_all::<i32>("x").unwrap_err().contains("bad field"));
+        let mut r = TextReader::new("x 1 2\n");
+        assert!(r.parse_one::<i32>("x").unwrap_err().contains("exactly one"));
+    }
+
+    #[test]
+    fn empty_lines_are_skipped_and_peek_works() {
+        let mut r = TextReader::new("\n\na 1\n\nb 2\n");
+        assert!(r.peek_is("a"));
+        assert_eq!(r.parse_one::<i32>("a").unwrap(), 1);
+        assert!(r.peek_is("b"));
+        assert!(!r.peek_is("a"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests of dataset-substrate invariants: entropy axioms,
+//! design-matrix encoding, KDE normalization.
+
+use frac_dataset::dataset::{Column, Dataset, DatasetBuilder, MISSING_CODE};
+use frac_dataset::design::DesignSpec;
+use frac_dataset::entropy::{categorical_entropy, categorical_probs};
+use frac_dataset::kde::GaussianKde;
+use frac_dataset::stats;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn categorical_entropy_bounded_by_log_arity(
+        codes in prop::collection::vec(0u32..5, 1..80),
+    ) {
+        let h = categorical_entropy(&codes, 5);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= 5.0f64.ln() + 1e-12);
+    }
+
+    #[test]
+    fn entropy_invariant_under_permutation(
+        mut codes in prop::collection::vec(0u32..4, 2..60),
+    ) {
+        let h1 = categorical_entropy(&codes, 4);
+        codes.reverse();
+        let h2 = categorical_entropy(&codes, 4);
+        prop_assert!((h1 - h2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_invariant_under_relabeling(
+        codes in prop::collection::vec(0u32..3, 2..60),
+    ) {
+        // Swapping category labels 0 ↔ 2 cannot change entropy.
+        let swapped: Vec<u32> = codes.iter().map(|&c| match c {
+            0 => 2,
+            2 => 0,
+            x => x,
+        }).collect();
+        prop_assert!(
+            (categorical_entropy(&codes, 3) - categorical_entropy(&swapped, 3)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn probs_form_a_distribution(
+        codes in prop::collection::vec(0u32..4, 0..60),
+    ) {
+        let p = categorical_probs(&codes, 4);
+        prop_assert_eq!(p.len(), 4);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn duplicating_samples_preserves_entropy(
+        codes in prop::collection::vec(0u32..3, 1..40),
+    ) {
+        // Entropy is a function of frequencies, so doubling the data set
+        // changes nothing.
+        let mut doubled = codes.clone();
+        doubled.extend_from_slice(&codes);
+        prop_assert!(
+            (categorical_entropy(&codes, 3) - categorical_entropy(&doubled, 3)).abs() < 1e-12
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn design_encoding_shape_and_finiteness(
+        reals in prop::collection::vec(-100.0f64..100.0, 4..20),
+        codes in prop::collection::vec(0u32..3, 4..20),
+        standardize in any::<bool>(),
+    ) {
+        let n = reals.len().min(codes.len());
+        let d = DatasetBuilder::new()
+            .real("r", reals[..n].to_vec())
+            .categorical("c", 3, codes[..n].to_vec())
+            .build();
+        let spec = DesignSpec::fit(&d, &[0, 1], standardize);
+        prop_assert_eq!(spec.n_cols(), 4);
+        let m = spec.encode(&d);
+        prop_assert_eq!(m.n_rows(), n);
+        for r in 0..n {
+            prop_assert!(m.row(r).iter().all(|v| v.is_finite()));
+            // Indicator block sums to exactly 1 for present codes.
+            let ind: f64 = m.row(r)[1..].iter().sum();
+            prop_assert!((ind - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardized_columns_have_unit_scale(
+        reals in prop::collection::vec(-50.0f64..50.0, 3..30),
+    ) {
+        let d = DatasetBuilder::new().real("r", reals.clone()).build();
+        let spec = DesignSpec::fit(&d, &[0], true);
+        let m = spec.encode(&d);
+        let col = m.col(0);
+        let mean = stats::mean(&col).unwrap();
+        prop_assert!(mean.abs() < 1e-9, "mean {mean}");
+        if let Some(sd) = stats::std_dev(&reals) {
+            if sd > 1e-9 {
+                let enc_sd = stats::std_dev(&col).unwrap();
+                prop_assert!((enc_sd - 1.0).abs() < 1e-9, "sd {enc_sd}");
+            }
+        }
+    }
+
+    #[test]
+    fn feature_selection_commutes_with_row_selection(
+        reals in prop::collection::vec(-10f64..10.0, 6..30),
+    ) {
+        let n = reals.len() / 3;
+        let d = DatasetBuilder::new()
+            .real("a", reals[..n].to_vec())
+            .real("b", reals[n..2 * n].to_vec())
+            .real("c", reals[2 * n..3 * n].to_vec())
+            .build();
+        let rows: Vec<usize> = (0..n).step_by(2).collect();
+        let fr = d.select_features(&[2, 0]).select_rows(&rows);
+        let rf = d.select_rows(&rows).select_features(&[2, 0]);
+        prop_assert_eq!(fr, rf);
+    }
+
+    #[test]
+    fn kde_log_density_is_log_of_density(
+        pts in prop::collection::vec(-20f64..20.0, 2..40),
+        probe in -30f64..30.0,
+    ) {
+        let kde = GaussianKde::fit(&pts);
+        let d = kde.density(probe);
+        if d > 1e-300 {
+            prop_assert!((kde.log_density(probe) - d.ln()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn missing_values_roundtrip_through_columns(
+        codes in prop::collection::vec(prop_oneof![Just(MISSING_CODE), (0u32..3)], 1..30),
+    ) {
+        let col = Column::Categorical { arity: 3, codes: codes.clone() };
+        let n_missing = codes.iter().filter(|&&c| c == MISSING_CODE).count();
+        prop_assert_eq!(col.n_missing(), n_missing);
+        let d = Dataset::new(
+            frac_dataset::Schema::all_categorical(1, 3),
+            vec![col],
+        );
+        prop_assert_eq!(d.n_missing(), n_missing);
+    }
+}

@@ -1,0 +1,307 @@
+//! ROC analysis (Spackman 1989 — the paper's ref. 9).
+//!
+//! FRaC's quality metric is the AUC of ranking test samples by NS score:
+//! the probability that a uniformly chosen anomaly outranks a uniformly
+//! chosen normal sample. We compute it with the Mann–Whitney rank statistic,
+//! averaging ranks across ties (a tie counts ½).
+
+/// AUC of `scores` against boolean `labels` (`true` = anomaly = should rank
+/// higher). Returns 0.5 when either class is empty (no ranking information).
+///
+/// # Panics
+/// Panics if lengths differ or any score is NaN.
+pub fn auc_from_scores(scores: &[f64], labels: &[bool]) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(
+        scores.iter().all(|s| !s.is_nan()),
+        "NaN scores cannot be ranked"
+    );
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Sort by score ascending, assign average ranks to ties, sum positive
+    // ranks.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap());
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0usize;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Items i..=j share the average of ranks i+1 ..= j+1.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let u = rank_sum_pos - (n_pos * (n_pos + 1)) as f64 / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// ROC curve points `(false-positive rate, true-positive rate)`, from the
+/// all-negative corner (0,0) to (1,1), thresholding at every distinct score
+/// (descending).
+///
+/// # Panics
+/// Panics if lengths differ, any score is NaN, or either class is empty.
+pub fn roc_curve(scores: &[f64], labels: &[bool]) -> Vec<(f64, f64)> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    assert!(scores.iter().all(|s| !s.is_nan()), "NaN scores");
+    let n_pos = labels.iter().filter(|&&l| l).count();
+    let n_neg = labels.len() - n_pos;
+    assert!(n_pos > 0 && n_neg > 0, "ROC needs both classes");
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap());
+    let mut curve = vec![(0.0, 0.0)];
+    let (mut tp, mut fp) = (0usize, 0usize);
+    let mut i = 0usize;
+    while i < idx.len() {
+        let threshold = scores[idx[i]];
+        while i < idx.len() && scores[idx[i]] == threshold {
+            if labels[idx[i]] {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            i += 1;
+        }
+        curve.push((fp as f64 / n_neg as f64, tp as f64 / n_pos as f64));
+    }
+    curve
+}
+
+/// Trapezoidal area under an ROC curve (cross-check for
+/// [`auc_from_scores`]).
+pub fn auc_from_curve(curve: &[(f64, f64)]) -> f64 {
+    curve
+        .windows(2)
+        .map(|w| (w[1].0 - w[0].0) * (w[0].1 + w[1].1) / 2.0)
+        .sum()
+}
+
+/// DeLong variance of the AUC estimate (DeLong, DeLong & Clarke-Pearson
+/// 1988): `V = var(V10)/m + var(V01)/n`, where `V10[i]` is anomaly `i`'s
+/// placement among normals and `V01[j]` normal `j`'s placement among
+/// anomalies. Returns `None` when either class has fewer than two samples
+/// (the variance is undefined).
+pub fn auc_delong_variance(scores: &[f64], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "scores/labels length mismatch");
+    let pos: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| l)
+        .map(|(&s, _)| s)
+        .collect();
+    let neg: Vec<f64> = scores
+        .iter()
+        .zip(labels)
+        .filter(|(_, &l)| !l)
+        .map(|(&s, _)| s)
+        .collect();
+    let (m, n) = (pos.len(), neg.len());
+    if m < 2 || n < 2 {
+        return None;
+    }
+    let placement = |x: f64, others: &[f64]| -> f64 {
+        others
+            .iter()
+            .map(|&o| {
+                if x > o {
+                    1.0
+                } else if x == o {
+                    0.5
+                } else {
+                    0.0
+                }
+            })
+            .sum::<f64>()
+            / others.len() as f64
+    };
+    let v10: Vec<f64> = pos.iter().map(|&p| placement(p, &neg)).collect();
+    let v01: Vec<f64> = neg.iter().map(|&q| 1.0 - placement(q, &pos)).collect();
+    let var = |v: &[f64]| -> f64 {
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (v.len() - 1) as f64
+    };
+    Some(var(&v10) / m as f64 + var(&v01) / n as f64)
+}
+
+/// Normal-approximation confidence interval for the AUC at the given
+/// two-sided level (e.g. 0.95), clamped to `[0, 1]`; `None` when the
+/// DeLong variance is undefined. Supported levels: 0.90, 0.95, 0.99.
+///
+/// # Panics
+/// Panics on unsupported levels.
+pub fn auc_confidence_interval(
+    scores: &[f64],
+    labels: &[bool],
+    level: f64,
+) -> Option<(f64, f64)> {
+    let z = match (level * 100.0).round() as u32 {
+        90 => 1.6448536269514722,
+        95 => 1.959963984540054,
+        99 => 2.5758293035489004,
+        _ => panic!("unsupported confidence level {level}; use 0.90/0.95/0.99"),
+    };
+    let var = auc_delong_variance(scores, labels)?;
+    let auc = auc_from_scores(scores, labels);
+    let half = z * var.sqrt();
+    Some(((auc - half).max(0.0), (auc + half).min(1.0)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.1, 0.2, 0.9, 0.8];
+        let labels = [false, false, true, true];
+        assert_eq!(auc_from_scores(&scores, &labels), 1.0);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert_eq!(auc_from_scores(&scores, &labels), 0.0);
+    }
+
+    #[test]
+    fn interleaved_is_half() {
+        let scores = [1.0, 2.0, 3.0, 4.0];
+        let labels = [false, true, false, true];
+        assert_eq!(auc_from_scores(&scores, &labels), 0.75);
+        let labels = [true, false, true, false];
+        assert_eq!(auc_from_scores(&scores, &labels), 0.25);
+    }
+
+    #[test]
+    fn all_tied_is_half() {
+        let scores = [5.0; 6];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(auc_from_scores(&scores, &labels), 0.5);
+    }
+
+    #[test]
+    fn partial_ties_average() {
+        // One anomaly tied with one normal above another normal:
+        // P(anom > norm) = ½·(1 + ½) = 0.75.
+        let scores = [1.0, 2.0, 2.0];
+        let labels = [false, false, true];
+        assert_eq!(auc_from_scores(&scores, &labels), 0.75);
+    }
+
+    #[test]
+    fn degenerate_classes_return_half() {
+        assert_eq!(auc_from_scores(&[1.0, 2.0], &[true, true]), 0.5);
+        assert_eq!(auc_from_scores(&[1.0, 2.0], &[false, false]), 0.5);
+        assert_eq!(auc_from_scores(&[], &[]), 0.5);
+    }
+
+    #[test]
+    fn curve_matches_rank_auc() {
+        let scores = [0.3, 0.1, 0.9, 0.5, 0.4, 0.8, 0.2, 0.7];
+        let labels = [false, false, true, true, false, true, false, true];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.first(), Some(&(0.0, 0.0)));
+        assert_eq!(curve.last(), Some(&(1.0, 1.0)));
+        let a1 = auc_from_scores(&scores, &labels);
+        let a2 = auc_from_curve(&curve);
+        assert!((a1 - a2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn curve_handles_tied_scores() {
+        let scores = [1.0, 1.0, 0.0, 0.0];
+        let labels = [true, false, true, false];
+        let curve = roc_curve(&scores, &labels);
+        // Ties produce diagonal segments; area must equal the rank AUC (0.5).
+        assert!((auc_from_curve(&curve) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn monotone_transform_invariance() {
+        let scores = [0.3, 0.1, 0.9, 0.5, 0.4];
+        let labels = [false, false, true, true, false];
+        let transformed: Vec<f64> = scores.iter().map(|&s: &f64| s.exp() * 7.0 + 3.0).collect();
+        assert_eq!(
+            auc_from_scores(&scores, &labels),
+            auc_from_scores(&transformed, &labels)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_scores_rejected() {
+        auc_from_scores(&[f64::NAN, 1.0], &[true, false]);
+    }
+
+    fn separated_sample(n_per_class: usize, gap: f64) -> (Vec<f64>, Vec<bool>) {
+        let mut scores = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n_per_class {
+            scores.push(i as f64 * 0.1);
+            labels.push(false);
+            scores.push(i as f64 * 0.1 + gap);
+            labels.push(true);
+        }
+        (scores, labels)
+    }
+
+    #[test]
+    fn delong_ci_contains_the_point_estimate() {
+        let (scores, labels) = separated_sample(20, 0.35);
+        let auc = auc_from_scores(&scores, &labels);
+        let (lo, hi) = auc_confidence_interval(&scores, &labels, 0.95).unwrap();
+        assert!(lo <= auc && auc <= hi, "[{lo}, {hi}] ∌ {auc}");
+        assert!(lo >= 0.0 && hi <= 1.0);
+    }
+
+    #[test]
+    fn delong_variance_shrinks_with_sample_size() {
+        let (s_small, l_small) = separated_sample(10, 0.35);
+        let (s_big, l_big) = separated_sample(200, 0.35);
+        let v_small = auc_delong_variance(&s_small, &l_small).unwrap();
+        let v_big = auc_delong_variance(&s_big, &l_big).unwrap();
+        assert!(v_big < v_small / 4.0, "{v_big} vs {v_small}");
+    }
+
+    #[test]
+    fn delong_perfect_separation_has_zero_variance() {
+        let scores = [0.0, 0.1, 0.2, 1.0, 1.1, 1.2];
+        let labels = [false, false, false, true, true, true];
+        let v = auc_delong_variance(&scores, &labels).unwrap();
+        assert_eq!(v, 0.0);
+        let (lo, hi) = auc_confidence_interval(&scores, &labels, 0.95).unwrap();
+        assert_eq!((lo, hi), (1.0, 1.0));
+    }
+
+    #[test]
+    fn delong_needs_two_per_class() {
+        assert!(auc_delong_variance(&[1.0, 0.0, 0.5], &[true, false, false]).is_none());
+        assert!(auc_confidence_interval(&[1.0, 0.0], &[true, false], 0.95).is_none());
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let (scores, labels) = separated_sample(15, 0.25);
+        let (lo90, hi90) = auc_confidence_interval(&scores, &labels, 0.90).unwrap();
+        let (lo99, hi99) = auc_confidence_interval(&scores, &labels, 0.99).unwrap();
+        assert!(lo99 <= lo90 && hi99 >= hi90);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported confidence level")]
+    fn bad_level_rejected() {
+        let (scores, labels) = separated_sample(10, 0.3);
+        auc_confidence_interval(&scores, &labels, 0.5);
+    }
+}

@@ -1,0 +1,28 @@
+//! # frac-eval
+//!
+//! Evaluation harness reproducing the paper's experimental protocol:
+//!
+//! * [`auc`] — area under the ROC curve by the rank statistic (ties
+//!   averaged), the paper's sole accuracy metric, plus the ROC curve itself.
+//! * [`replicates`] — the §III-A protocol: per replicate, train on a random
+//!   two-thirds of the normal samples, test on the remaining normals plus
+//!   all anomalies; report mean/SD AUC over (typically five) replicates.
+//! * [`experiments`] — the per-table method roster (random-filter ensemble,
+//!   JL, entropy filter, Diverse, Diverse ensemble), per-data-set model
+//!   configuration, scaled JL dimensions, and the autism→schizophrenia
+//!   full-run extrapolation of Table II.
+//! * [`tables`] — plain-text table rendering used by the bench binaries.
+
+#![warn(missing_docs)]
+
+pub mod auc;
+pub mod experiments;
+pub mod replicates;
+pub mod tables;
+
+pub use auc::{auc_confidence_interval, auc_delong_variance, auc_from_scores, roc_curve};
+pub use experiments::{
+    config_for, extrapolate_full_run, jl_dim_for, paper_method_roster, MethodSpec,
+};
+pub use replicates::{aggregate, run_replicates, Aggregate, ReplicateResult};
+pub use tables::Table;

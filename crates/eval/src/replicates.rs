@@ -1,0 +1,223 @@
+//! The paper's replicate protocol (§III-A).
+//!
+//! "Each replicate consists of a training set containing a randomly selected
+//! two-thirds of the normal samples. The test set consists of the remaining
+//! normal samples as well as all non-normal samples." Five replicates per
+//! data set; Tables II–IV report mean and standard deviation over them.
+
+use crate::auc::auc_from_scores;
+use frac_core::{run_variant, FracConfig, ResourceReport, Variant};
+use frac_dataset::split::{derive_seed, replicate_split};
+use frac_dataset::stats;
+use frac_synth::LabeledDataset;
+
+/// The outcome of one replicate.
+#[derive(Debug)]
+pub struct ReplicateResult {
+    /// Replicate index.
+    pub replicate: usize,
+    /// AUC of NS against the test labels.
+    pub auc: f64,
+    /// NS score per test row.
+    pub ns: Vec<f64>,
+    /// Test labels aligned with `ns`.
+    pub labels: Vec<bool>,
+    /// Resource accounting for the run.
+    pub resources: ResourceReport,
+}
+
+/// Run `n_replicates` replicates of `variant` on a labeled data set.
+///
+/// Replicate `r` trains on two-thirds of the normal rows chosen by
+/// `derive_seed(split_seed, r)` and uses a per-replicate algorithm seed, so
+/// both the split and the variant's internal randomness vary across
+/// replicates exactly as in the paper, while the whole experiment stays
+/// reproducible.
+pub fn run_replicates(
+    dataset: &LabeledDataset,
+    variant: &Variant,
+    config: &FracConfig,
+    n_replicates: usize,
+    split_seed: u64,
+) -> Vec<ReplicateResult> {
+    assert!(n_replicates >= 1, "need at least one replicate");
+    let normal_rows = dataset.normal_indices();
+    let anomaly_rows = dataset.anomaly_indices();
+    assert!(
+        normal_rows.len() >= 3,
+        "replicate protocol needs at least 3 normal samples"
+    );
+    (0..n_replicates)
+        .map(|r| {
+            let split = replicate_split(normal_rows.len(), r, split_seed);
+            let train_rows: Vec<usize> = split.train.iter().map(|&i| normal_rows[i]).collect();
+            let mut test_rows: Vec<usize> = split.test.iter().map(|&i| normal_rows[i]).collect();
+            test_rows.extend(anomaly_rows.iter().copied());
+
+            let train = dataset.data.select_rows(&train_rows);
+            let test = dataset.data.select_rows(&test_rows);
+            let labels: Vec<bool> = test_rows.iter().map(|&i| dataset.labels[i]).collect();
+
+            let cfg = config.with_seed(derive_seed(config.seed, r as u64));
+            let out = run_variant(&train, &test, variant, &cfg);
+            let auc = auc_from_scores(&out.ns, &labels);
+            ReplicateResult {
+                replicate: r,
+                auc,
+                ns: out.ns,
+                labels,
+                resources: out.resources,
+            }
+        })
+        .collect()
+}
+
+/// Aggregated replicate statistics — one row of the paper's tables.
+#[derive(Debug, Clone, Copy)]
+pub struct Aggregate {
+    /// Mean AUC over replicates.
+    pub mean_auc: f64,
+    /// AUC standard deviation (0 for a single replicate).
+    pub sd_auc: f64,
+    /// Mean flops per replicate.
+    pub mean_flops: f64,
+    /// Mean peak bytes per replicate.
+    pub mean_peak_bytes: f64,
+    /// Mean wall-clock seconds per replicate.
+    pub mean_wall_s: f64,
+    /// Number of replicates aggregated.
+    pub n: usize,
+}
+
+impl Aggregate {
+    /// Ratio of this aggregate's mean AUC to a baseline's (the paper's
+    /// "AUC %" columns in Tables III–V).
+    pub fn auc_fraction_of(&self, baseline: &Aggregate) -> f64 {
+        self.mean_auc / baseline.mean_auc
+    }
+
+    /// Ratio of mean flops to a baseline's ("Time %").
+    pub fn time_fraction_of(&self, baseline: &Aggregate) -> f64 {
+        self.mean_flops / baseline.mean_flops
+    }
+
+    /// Ratio of mean peak bytes to a baseline's ("Mem %").
+    pub fn mem_fraction_of(&self, baseline: &Aggregate) -> f64 {
+        self.mean_peak_bytes / baseline.mean_peak_bytes
+    }
+}
+
+/// Aggregate replicate results into table-row statistics.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn aggregate(results: &[ReplicateResult]) -> Aggregate {
+    assert!(!results.is_empty(), "cannot aggregate zero replicates");
+    let aucs: Vec<f64> = results.iter().map(|r| r.auc).collect();
+    let flops: Vec<f64> = results.iter().map(|r| r.resources.flops as f64).collect();
+    let peaks: Vec<f64> = results
+        .iter()
+        .map(|r| r.resources.peak_bytes() as f64)
+        .collect();
+    let walls: Vec<f64> = results
+        .iter()
+        .map(|r| r.resources.wall.as_secs_f64())
+        .collect();
+    Aggregate {
+        mean_auc: stats::mean(&aucs).unwrap(),
+        sd_auc: stats::std_dev(&aucs).unwrap_or(0.0),
+        mean_flops: stats::mean(&flops).unwrap(),
+        mean_peak_bytes: stats::mean(&peaks).unwrap(),
+        mean_wall_s: stats::mean(&walls).unwrap(),
+        n: results.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frac_synth::{ExpressionConfig, ExpressionGenerator};
+
+    fn toy_dataset() -> LabeledDataset {
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 20,
+            n_modules: 4,
+            relevant_fraction: 0.9,
+            anomaly_modules: 2,
+            anomaly_shift: 3.0,
+            noise_sd: 0.5,
+            structure_seed: 13,
+            ..ExpressionConfig::default()
+        });
+        let (data, labels) = g.generate(24, 8, 5);
+        LabeledDataset { name: "toy".into(), data, labels }
+    }
+
+    #[test]
+    fn replicates_follow_the_protocol() {
+        let ld = toy_dataset();
+        let results = run_replicates(&ld, &Variant::Full, &FracConfig::default(), 3, 42);
+        assert_eq!(results.len(), 3);
+        for r in &results {
+            // Test set = 24 − 16 remaining normals + 8 anomalies.
+            assert_eq!(r.ns.len(), 16);
+            assert_eq!(r.labels.iter().filter(|&&l| l).count(), 8);
+            assert!(r.auc >= 0.0 && r.auc <= 1.0);
+            assert!(r.resources.models_trained > 0);
+        }
+    }
+
+    #[test]
+    fn strong_signal_yields_high_auc() {
+        let ld = toy_dataset();
+        let results = run_replicates(&ld, &Variant::Full, &FracConfig::default(), 3, 1);
+        let agg = aggregate(&results);
+        assert!(agg.mean_auc > 0.7, "mean AUC {}", agg.mean_auc);
+        assert_eq!(agg.n, 3);
+        assert!(agg.mean_flops > 0.0);
+    }
+
+    #[test]
+    fn replicates_are_reproducible_but_distinct() {
+        let ld = toy_dataset();
+        let cfg = FracConfig::default();
+        let a = run_replicates(&ld, &Variant::Full, &cfg, 2, 9);
+        let b = run_replicates(&ld, &Variant::Full, &cfg, 2, 9);
+        assert_eq!(a[0].ns, b[0].ns);
+        assert_eq!(a[1].ns, b[1].ns);
+        // Different replicates use different splits.
+        assert_ne!(a[0].ns, a[1].ns);
+    }
+
+    #[test]
+    fn aggregate_statistics() {
+        let ld = toy_dataset();
+        let results = run_replicates(&ld, &Variant::Full, &FracConfig::default(), 4, 3);
+        let agg = aggregate(&results);
+        let manual_mean: f64 = results.iter().map(|r| r.auc).sum::<f64>() / 4.0;
+        assert!((agg.mean_auc - manual_mean).abs() < 1e-12);
+        assert!(agg.sd_auc >= 0.0);
+    }
+
+    #[test]
+    fn fractions_between_aggregates() {
+        let base = Aggregate {
+            mean_auc: 0.8,
+            sd_auc: 0.0,
+            mean_flops: 1000.0,
+            mean_peak_bytes: 4000.0,
+            mean_wall_s: 1.0,
+            n: 5,
+        };
+        let reduced = Aggregate { mean_auc: 0.76, mean_flops: 50.0, mean_peak_bytes: 40.0, ..base };
+        assert!((reduced.auc_fraction_of(&base) - 0.95).abs() < 1e-12);
+        assert!((reduced.time_fraction_of(&base) - 0.05).abs() < 1e-12);
+        assert!((reduced.mem_fraction_of(&base) - 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero replicates")]
+    fn aggregate_rejects_empty() {
+        aggregate(&[]);
+    }
+}

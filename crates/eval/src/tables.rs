@@ -1,0 +1,164 @@
+//! Plain-text table rendering for the bench binaries.
+//!
+//! The bench harness prints the paper's tables as aligned monospace text —
+//! one `Table` per paper table, with the same row/column structure so
+//! paper-vs-measured comparison is a side-by-side read.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    /// Panics if the cell count differs from the header count.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width {} != header width {}",
+            cells.len(),
+            self.headers.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Render with aligned columns (first column left-aligned, the rest
+    /// right-aligned — the conventional layout for numeric tables).
+    pub fn render(&self) -> String {
+        let n_cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let fmt_row = |cells: &[String]| -> String {
+            let mut line = String::new();
+            for (c, (cell, w)) in cells.iter().zip(&widths).enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                if c == 0 {
+                    line.push_str(&format!("{cell:<w$}"));
+                } else {
+                    line.push_str(&format!("{cell:>w$}"));
+                }
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (n_cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format a fraction with three decimals (the paper's Time%/Mem% style).
+pub fn fmt_frac(x: f64) -> String {
+    if x.is_nan() {
+        "N/A".to_string()
+    } else {
+        format!("{x:.3}")
+    }
+}
+
+/// Format an AUC ratio with its standard deviation: `1.02 (0.06)`.
+pub fn fmt_auc_sd(auc: f64, sd: f64) -> String {
+    format!("{auc:.2} ({sd:.2})")
+}
+
+/// Format bytes with a binary-prefix unit.
+pub fn fmt_bytes(bytes: f64) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut v = bytes;
+    let mut u = 0usize;
+    while v >= 1024.0 && u + 1 < UNITS.len() {
+        v /= 1024.0;
+        u += 1;
+    }
+    format!("{v:.2} {}", UNITS[u])
+}
+
+/// Format a flop count with an SI prefix.
+pub fn fmt_flops(flops: f64) -> String {
+    const UNITS: [&str; 5] = ["", "K", "M", "G", "T"];
+    let mut v = flops;
+    let mut u = 0usize;
+    while v >= 1000.0 && u + 1 < UNITS.len() {
+        v /= 1000.0;
+        u += 1;
+    }
+    format!("{v:.2} {}flop", UNITS[u])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("TABLE X", &["data set", "AUC", "Time %"]);
+        t.add_row(vec!["breast.basal".into(), "0.73".into(), "0.278".into()]);
+        t.add_row(vec!["bild".into(), "0.84".into(), "0.029".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0], "TABLE X");
+        assert!(lines[1].starts_with("data set"));
+        assert!(lines[2].chars().all(|c| c == '-'));
+        // All data lines are equally long (aligned).
+        assert_eq!(lines[3].len(), lines[4].len());
+        assert_eq!(t.n_rows(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn fraction_formatting() {
+        assert_eq!(fmt_frac(0.0456), "0.046");
+        assert_eq!(fmt_frac(f64::NAN), "N/A");
+        assert_eq!(fmt_auc_sd(1.016, 0.034), "1.02 (0.03)");
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_bytes(512.0), "512.00 B");
+        assert_eq!(fmt_bytes(2048.0), "2.00 KiB");
+        assert_eq!(fmt_bytes(3.5 * 1024.0 * 1024.0 * 1024.0), "3.50 GiB");
+        assert_eq!(fmt_flops(1500.0), "1.50 Kflop");
+        assert_eq!(fmt_flops(2.5e9), "2.50 Gflop");
+    }
+}

@@ -1,0 +1,183 @@
+//! Constant baselines.
+//!
+//! Two roles: (1) the degenerate fallback when a predictor's input subset is
+//! empty (Diverse FRaC with very small `p` routinely produces such subsets);
+//! (2) sanity baselines — a feature whose model cannot beat the constant
+//! predictor contributes nothing but noise to NS, the phenomenon the paper's
+//! §II-D footnote discusses.
+
+use crate::traits::{
+    Classifier, ClassifierTrainer, Regressor, RegressorTrainer, Trained, TrainingCost,
+};
+use frac_dataset::{stats, DesignMatrix};
+
+/// Predicts the training-target mean regardless of input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConstantRegressor {
+    mean: f64,
+}
+
+impl ConstantRegressor {
+    /// The constant prediction.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Construct directly (persistence path).
+    pub fn from_mean(mean: f64) -> Self {
+        ConstantRegressor { mean }
+    }
+
+    /// Serialize into a text writer (model persistence).
+    pub fn write_text(&self, w: &mut frac_dataset::textio::TextWriter) {
+        w.floats("const_reg", &[self.mean]);
+    }
+
+    /// Parse a model previously produced by
+    /// [`ConstantRegressor::write_text`].
+    pub fn parse_text(
+        r: &mut frac_dataset::textio::TextReader<'_>,
+    ) -> Result<Self, frac_dataset::textio::TextError> {
+        Ok(ConstantRegressor { mean: r.parse_one("const_reg")? })
+    }
+}
+
+impl Regressor for ConstantRegressor {
+    fn predict(&self, _x: &[f64]) -> f64 {
+        self.mean
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Trainer for [`ConstantRegressor`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ConstantRegressorTrainer;
+
+impl RegressorTrainer for ConstantRegressorTrainer {
+    type Model = ConstantRegressor;
+
+    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<ConstantRegressor> {
+        assert_eq!(x.n_rows(), y.len());
+        Trained {
+            model: ConstantRegressor { mean: stats::mean(y).unwrap_or(0.0) },
+            cost: TrainingCost {
+                flops: y.len() as u64,
+                peak_bytes: std::mem::size_of::<f64>() as u64,
+            },
+        }
+    }
+}
+
+/// Predicts the training-set majority class regardless of input.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityClassifier {
+    class: u32,
+}
+
+impl MajorityClassifier {
+    /// The constant prediction.
+    pub fn class(&self) -> u32 {
+        self.class
+    }
+
+    /// Construct directly (persistence path).
+    pub fn from_class(class: u32) -> Self {
+        MajorityClassifier { class }
+    }
+
+    /// Serialize into a text writer (model persistence).
+    pub fn write_text(&self, w: &mut frac_dataset::textio::TextWriter) {
+        w.line("majority_clf", [self.class]);
+    }
+
+    /// Parse a model previously produced by
+    /// [`MajorityClassifier::write_text`].
+    pub fn parse_text(
+        r: &mut frac_dataset::textio::TextReader<'_>,
+    ) -> Result<Self, frac_dataset::textio::TextError> {
+        Ok(MajorityClassifier { class: r.parse_one("majority_clf")? })
+    }
+}
+
+impl Classifier for MajorityClassifier {
+    fn predict(&self, _x: &[f64]) -> u32 {
+        self.class
+    }
+
+    fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+    }
+}
+
+/// Trainer for [`MajorityClassifier`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityClassifierTrainer;
+
+impl ClassifierTrainer for MajorityClassifierTrainer {
+    type Model = MajorityClassifier;
+
+    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<MajorityClassifier> {
+        assert_eq!(x.n_rows(), y.len());
+        let mut counts = vec![0usize; arity as usize];
+        for &c in y {
+            counts[c as usize] += 1;
+        }
+        let class = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(c, _)| c as u32)
+            .unwrap_or(0);
+        Trained {
+            model: MajorityClassifier { class },
+            cost: TrainingCost {
+                flops: y.len() as u64,
+                peak_bytes: (arity as u64) * std::mem::size_of::<usize>() as u64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_regressor_predicts_mean() {
+        let x = DesignMatrix::from_raw(3, 1, vec![0.0, 1.0, 2.0]);
+        let t = ConstantRegressorTrainer.train(&x, &[1.0, 2.0, 6.0]);
+        assert_eq!(t.model.predict(&[100.0]), 3.0);
+        assert_eq!(t.model.mean(), 3.0);
+    }
+
+    #[test]
+    fn constant_regressor_empty_defaults_to_zero() {
+        let x = DesignMatrix::from_raw(0, 1, vec![]);
+        let t = ConstantRegressorTrainer.train(&x, &[]);
+        assert_eq!(t.model.predict(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn majority_classifier_picks_mode() {
+        let x = DesignMatrix::from_raw(5, 1, vec![0.0; 5]);
+        let t = MajorityClassifierTrainer.train(&x, &[2, 2, 1, 2, 0], 3);
+        assert_eq!(t.model.predict(&[9.9]), 2);
+    }
+
+    #[test]
+    fn majority_tie_breaks_low() {
+        let x = DesignMatrix::from_raw(4, 1, vec![0.0; 4]);
+        let t = MajorityClassifierTrainer.train(&x, &[0, 1, 1, 0], 2);
+        assert_eq!(t.model.class(), 0);
+    }
+
+    #[test]
+    fn majority_empty_defaults_to_zero() {
+        let x = DesignMatrix::from_raw(0, 1, vec![]);
+        let t = MajorityClassifierTrainer.train(&x, &[], 3);
+        assert_eq!(t.model.class(), 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # frac-learn
+//!
+//! Supervised-learning substrate for FRaC (Cousins, Pietras, Slonim — IPPS
+//! 2017). The paper trains, per feature, either a **linear support vector
+//! machine** (continuous expression features, originally via libSVM) or an
+//! **entropy-minimizing decision tree** (categorical SNP features, originally
+//! via the Waffles toolkit), and estimates prediction-error distributions
+//! with **error models** built from k-fold cross-validation.
+//!
+//! This crate reimplements all of that from scratch:
+//!
+//! * [`svr`] — L2-regularized ε-insensitive linear support vector regression
+//!   solved by dual coordinate descent (the liblinear algorithm, exact for
+//!   the linear kernel the paper uses).
+//! * [`svc`] — linear C-SVM classification (dual coordinate descent,
+//!   one-vs-rest for multi-class).
+//! * [`tree`] — CART-style decision trees: entropy-minimizing classification
+//!   trees and variance-minimizing regression trees.
+//! * [`error`] — the paper's error models: a Gaussian fit to continuous
+//!   residuals and a Laplace-smoothed confusion matrix for categorical
+//!   predictions, each exposing the surprisal `−log P(true | predicted)`.
+//! * [`cv`] — k-fold cross-validated predictions used to fit error models
+//!   without leaking training data.
+//! * [`baseline`] — constant-mean / majority-class predictors used when a
+//!   feature subset is empty and as sanity baselines.
+//!
+//! Every trainer returns the fitted model together with a [`TrainingCost`]
+//! so the evaluation harness can reproduce the paper's time/memory columns
+//! analytically.
+
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cv;
+pub mod error;
+pub mod svc;
+pub mod svr;
+pub mod traits;
+pub mod tree;
+
+pub use baseline::{ConstantRegressor, MajorityClassifier};
+pub use error::{ConfusionErrorModel, GaussianErrorModel};
+pub use svc::{LinearSvc, SvcConfig};
+pub use svr::{LinearSvr, SvrConfig};
+pub use traits::{
+    Classifier, ClassifierTrainer, Regressor, RegressorTrainer, Trained, TrainingCost,
+};
+pub use tree::{ClassificationTree, RegressionTree, TreeConfig};

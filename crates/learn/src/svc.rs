@@ -1,0 +1,335 @@
+//! Linear support vector classification.
+//!
+//! Dual coordinate descent for the L2-regularized L1-loss (hinge) linear SVM
+//! (Hsieh et al., *A Dual Coordinate Descent Method for Large-scale Linear
+//! SVM*, ICML 2008), with one-vs-rest reduction for multi-class targets.
+//!
+//! FRaC's SNP experiments found trees better suited to discrete data, but
+//! the paper's methodology explicitly covers SVM classification of discrete
+//! features, and the comparison (tree vs. SVM on SNP data, paper §III-B) is
+//! one of the ablations our bench harness reproduces — so the classifier is
+//! a first-class substrate here.
+
+use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
+use frac_dataset::split::derive_seed;
+use frac_dataset::DesignMatrix;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Hyperparameters for [`LinearSvc`] training.
+#[derive(Debug, Clone, Copy)]
+pub struct SvcConfig {
+    /// Soft-margin cost C.
+    pub c: f64,
+    /// Maximum coordinate-descent epochs per binary problem.
+    pub max_epochs: usize,
+    /// Stop when the largest projected-gradient violation falls below this.
+    pub tolerance: f64,
+    /// Include a bias term (constant-feature augmentation).
+    pub bias: bool,
+    /// Seed for per-epoch coordinate permutations.
+    pub seed: u64,
+}
+
+impl Default for SvcConfig {
+    fn default() -> Self {
+        // Loose stopping for the same reason as `SvrConfig`: inseparable
+        // problems never reach tight tolerances, and FRaC's accuracy is
+        // insensitive to the last digits of the dual.
+        SvcConfig {
+            c: 1.0,
+            max_epochs: 60,
+            tolerance: 0.01,
+            bias: true,
+            seed: 0x0c1a_55e5,
+        }
+    }
+}
+
+/// One-vs-rest linear SVM classifier: `argmax_k (w_kᵀx + b_k)`.
+#[derive(Debug, Clone)]
+pub struct LinearSvc {
+    /// One (weights, bias) pair per class.
+    hyperplanes: Vec<(Vec<f64>, f64)>,
+}
+
+impl LinearSvc {
+    /// Decision value for class `k` on input `x`.
+    pub fn decision_value(&self, k: usize, x: &[f64]) -> f64 {
+        let (w, b) = &self.hyperplanes[k];
+        w.iter().zip(x).map(|(a, v)| a * v).sum::<f64>() + b
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.hyperplanes.len()
+    }
+
+    /// Construct directly from fitted hyperplanes (persistence path).
+    pub fn from_parts(hyperplanes: Vec<(Vec<f64>, f64)>) -> Self {
+        LinearSvc { hyperplanes }
+    }
+
+    /// Serialize into a text writer (model persistence).
+    pub fn write_text(&self, w: &mut frac_dataset::textio::TextWriter) {
+        w.line("svc_classes", [self.hyperplanes.len()]);
+        for (weights, bias) in &self.hyperplanes {
+            w.floats("svc_bias", &[*bias]);
+            w.floats("svc_weights", weights);
+        }
+    }
+
+    /// Parse a model previously produced by [`LinearSvc::write_text`].
+    pub fn parse_text(
+        r: &mut frac_dataset::textio::TextReader<'_>,
+    ) -> Result<Self, frac_dataset::textio::TextError> {
+        let k: usize = r.parse_one("svc_classes")?;
+        let mut hyperplanes = Vec::with_capacity(k);
+        for _ in 0..k {
+            let bias: f64 = r.parse_one("svc_bias")?;
+            let weights: Vec<f64> = r.parse_all("svc_weights")?;
+            hyperplanes.push((weights, bias));
+        }
+        Ok(LinearSvc { hyperplanes })
+    }
+}
+
+impl Classifier for LinearSvc {
+    fn predict(&self, x: &[f64]) -> u32 {
+        let mut best = 0usize;
+        let mut best_v = f64::NEG_INFINITY;
+        for k in 0..self.hyperplanes.len() {
+            let v = self.decision_value(k, x);
+            if v > best_v {
+                best_v = v;
+                best = k;
+            }
+        }
+        best as u32
+    }
+
+    fn approx_bytes(&self) -> usize {
+        self.hyperplanes
+            .iter()
+            .map(|(w, _)| (w.len() + 1) * std::mem::size_of::<f64>())
+            .sum()
+    }
+}
+
+/// Trainer implementing one-vs-rest dual coordinate descent.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SvcTrainer {
+    /// Hyperparameters.
+    pub config: SvcConfig,
+}
+
+impl SvcTrainer {
+    /// Trainer with the given configuration.
+    pub fn new(config: SvcConfig) -> Self {
+        SvcTrainer { config }
+    }
+
+    /// Solve one binary (±1) problem, returning (weights, bias, epochs).
+    fn solve_binary(&self, x: &DesignMatrix, labels: &[f64], class_seed: u64) -> (Vec<f64>, f64, u64) {
+        let cfg = &self.config;
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+        let q_diag: Vec<f64> = (0..n)
+            .map(|i| x.row(i).iter().map(|v| v * v).sum::<f64>() + bias_sq)
+            .collect();
+
+        let mut alpha = vec![0.0f64; n];
+        let mut w = vec![0.0f64; d];
+        let mut w_bias = 0.0f64;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut epochs_run = 0u64;
+
+        for epoch in 0..cfg.max_epochs {
+            let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epoch as u64));
+            order.shuffle(&mut rng);
+            let mut max_violation = 0.0f64;
+
+            for &i in &order {
+                let yi = labels[i];
+                let xi = x.row(i);
+                // G = y_i wᵀx_i − 1
+                let mut g = w_bias * bias_sq;
+                for (wv, xv) in w.iter().zip(xi) {
+                    g += wv * xv;
+                }
+                g = yi * g - 1.0;
+
+                let a = alpha[i];
+                let pg = if a == 0.0 {
+                    g.min(0.0)
+                } else if a >= cfg.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                max_violation = max_violation.max(pg.abs());
+
+                if pg.abs() > 1e-14 && q_diag[i] > 0.0 {
+                    let a_new = (a - g / q_diag[i]).clamp(0.0, cfg.c);
+                    let delta = (a_new - a) * yi;
+                    if delta != 0.0 {
+                        alpha[i] = a_new;
+                        for (wv, xv) in w.iter_mut().zip(xi) {
+                            *wv += delta * xv;
+                        }
+                        w_bias += delta * bias_sq;
+                    }
+                }
+            }
+
+            epochs_run = (epoch + 1) as u64;
+            if max_violation < cfg.tolerance {
+                break;
+            }
+        }
+        (w, if cfg.bias { w_bias } else { 0.0 }, epochs_run)
+    }
+}
+
+impl ClassifierTrainer for SvcTrainer {
+    type Model = LinearSvc;
+
+    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<LinearSvc> {
+        assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let k = arity as usize;
+
+        let mut hyperplanes = Vec::with_capacity(k);
+        let mut total_epochs = 0u64;
+        for class in 0..k {
+            let labels: Vec<f64> = y
+                .iter()
+                .map(|&c| if c as usize == class { 1.0 } else { -1.0 })
+                .collect();
+            if n == 0 {
+                hyperplanes.push((vec![0.0; d], 0.0));
+                continue;
+            }
+            let (w, b, epochs) =
+                self.solve_binary(x, &labels, derive_seed(self.config.seed, class as u64));
+            total_epochs += epochs;
+            hyperplanes.push((w, b));
+        }
+
+        let cost = TrainingCost {
+            flops: total_epochs * (n as u64) * ((d as u64) + 1) * 4,
+            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>()) as u64,
+        };
+        Trained { model: LinearSvc { hyperplanes }, cost }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix(rows: &[&[f64]]) -> DesignMatrix {
+        let n_cols = rows[0].len();
+        let values: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        DesignMatrix::from_raw(rows.len(), n_cols, values)
+    }
+
+    #[test]
+    fn separates_binary_classes() {
+        let x = matrix(&[
+            &[-2.0, -1.5],
+            &[-1.5, -2.0],
+            &[-1.0, -1.0],
+            &[1.0, 1.5],
+            &[2.0, 1.0],
+            &[1.5, 2.0],
+        ]);
+        let y = vec![0, 0, 0, 1, 1, 1];
+        let t = SvcTrainer::default().train(&x, &y, 2);
+        for (i, &label) in y.iter().enumerate() {
+            assert_eq!(t.model.predict(x.row(i)), label, "sample {i}");
+        }
+        assert_eq!(t.model.predict(&[-3.0, -3.0]), 0);
+        assert_eq!(t.model.predict(&[3.0, 3.0]), 1);
+    }
+
+    #[test]
+    fn three_class_one_vs_rest() {
+        // Three well-separated clusters, mimicking ternary SNP structure.
+        let mut rows = Vec::new();
+        let mut y = Vec::new();
+        let centers = [(-3.0, 0.0), (0.0, 3.0), (3.0, 0.0)];
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for k in 0..8 {
+                let jx = (k % 3) as f64 * 0.1 - 0.1;
+                let jy = (k % 4) as f64 * 0.1 - 0.15;
+                rows.push(vec![cx + jx, cy + jy]);
+                y.push(c as u32);
+            }
+        }
+        let refs: Vec<&[f64]> = rows.iter().map(|r| r.as_slice()).collect();
+        let x = matrix(&refs);
+        let t = SvcTrainer::default().train(&x, &y, 3);
+        assert_eq!(t.model.n_classes(), 3);
+        let correct = y
+            .iter()
+            .enumerate()
+            .filter(|&(i, &label)| t.model.predict(x.row(i)) == label)
+            .count();
+        assert_eq!(correct, y.len());
+    }
+
+    #[test]
+    fn never_seen_class_still_has_hyperplane() {
+        let x = matrix(&[&[0.0], &[1.0]]);
+        let y = vec![0, 0];
+        let t = SvcTrainer::default().train(&x, &y, 3);
+        // Predictions remain valid codes even though classes 1,2 were absent.
+        assert!(t.model.predict(&[0.5]) < 3);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let x = matrix(&[&[0.1], &[0.9], &[0.4], &[0.6]]);
+        let y = vec![0, 1, 0, 1];
+        let a = SvcTrainer::default().train(&x, &y, 2);
+        let b = SvcTrainer::default().train(&x, &y, 2);
+        for i in 0..4 {
+            assert_eq!(
+                a.model.decision_value(1, x.row(i)),
+                b.model.decision_value(1, x.row(i))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_training_set_yields_valid_model() {
+        let x = DesignMatrix::from_raw(0, 2, vec![]);
+        let t = SvcTrainer::default().train(&x, &[], 3);
+        assert!(t.model.predict(&[1.0, 1.0]) < 3);
+        assert_eq!(t.cost.flops, 0);
+    }
+
+    #[test]
+    fn small_c_is_more_regularized() {
+        let x = matrix(&[&[-1.0], &[-0.5], &[0.5], &[1.0]]);
+        let y = vec![0, 0, 1, 1];
+        let small = SvcTrainer::new(SvcConfig { c: 1e-3, ..SvcConfig::default() })
+            .train(&x, &y, 2);
+        let large = SvcTrainer::new(SvcConfig { c: 100.0, ..SvcConfig::default() })
+            .train(&x, &y, 2);
+        let norm = |m: &LinearSvc| {
+            m.hyperplanes[1].0.iter().map(|w| w * w).sum::<f64>().sqrt()
+        };
+        assert!(norm(&small.model) <= norm(&large.model) + 1e-9);
+    }
+
+    #[test]
+    fn approx_bytes_counts_all_hyperplanes() {
+        let x = matrix(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let t = SvcTrainer::default().train(&x, &[0, 1], 4);
+        assert_eq!(t.model.approx_bytes(), 4 * 3 * 8);
+    }
+}

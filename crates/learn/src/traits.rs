@@ -1,0 +1,123 @@
+//! Model and trainer abstractions.
+//!
+//! FRaC is model-agnostic ("predictors can be any supervised learning
+//! algorithm"); the core crate drives everything through these traits so any
+//! regressor/classifier pair can be plugged in. Trainers also report a
+//! [`TrainingCost`], the raw material for reproducing the paper's CPU-time
+//! and memory columns.
+
+use frac_dataset::DesignMatrix;
+
+/// Analytic cost of one model-training call.
+///
+/// `flops` approximates the floating-point work performed; `peak_bytes`
+/// approximates the solver's peak transient working set **excluding** the
+/// design matrix itself (the caller owns and accounts for that). Both are
+/// deterministic functions of the training run, so resource tables built
+/// from them are reproducible, unlike wall-clock/RSS sampling at small
+/// scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TrainingCost {
+    /// Approximate floating-point operations performed.
+    pub flops: u64,
+    /// Approximate peak working-set bytes allocated by the trainer.
+    pub peak_bytes: u64,
+}
+
+impl TrainingCost {
+    /// Element-wise sum of two costs (flops add; peaks add, modelling
+    /// concurrently live solver state within one FRaC model build).
+    pub fn plus(self, other: TrainingCost) -> TrainingCost {
+        TrainingCost {
+            flops: self.flops + other.flops,
+            peak_bytes: self.peak_bytes + other.peak_bytes,
+        }
+    }
+}
+
+/// A fitted model plus the cost of fitting it.
+#[derive(Debug, Clone)]
+pub struct Trained<M> {
+    /// The fitted model.
+    pub model: M,
+    /// What it cost to fit.
+    pub cost: TrainingCost,
+}
+
+/// A fitted real-valued predictor.
+pub trait Regressor: Send + Sync {
+    /// Predict the target for one encoded input row.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Predict every row of a design matrix.
+    fn predict_batch(&self, m: &DesignMatrix) -> Vec<f64> {
+        (0..m.n_rows()).map(|r| self.predict(m.row(r))).collect()
+    }
+
+    /// Approximate resident bytes of the fitted model.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// A fitted categorical predictor (outputs a class code).
+pub trait Classifier: Send + Sync {
+    /// Predict the class code for one encoded input row.
+    fn predict(&self, x: &[f64]) -> u32;
+
+    /// Predict every row of a design matrix.
+    fn predict_batch(&self, m: &DesignMatrix) -> Vec<u32> {
+        (0..m.n_rows()).map(|r| self.predict(m.row(r))).collect()
+    }
+
+    /// Approximate resident bytes of the fitted model.
+    fn approx_bytes(&self) -> usize;
+}
+
+/// Trains regressors from `(design matrix, real targets)` pairs.
+pub trait RegressorTrainer: Send + Sync {
+    /// The model type produced.
+    type Model: Regressor;
+
+    /// Fit a model. `y.len()` must equal `x.n_rows()`; `y` contains no NaNs
+    /// (the caller drops rows with missing targets).
+    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model>;
+}
+
+/// Trains classifiers from `(design matrix, class codes, arity)` triples.
+pub trait ClassifierTrainer: Send + Sync {
+    /// The model type produced.
+    type Model: Classifier;
+
+    /// Fit a model. `y.len()` must equal `x.n_rows()`; all codes are
+    /// `< arity` (the caller drops rows with missing targets).
+    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<Self::Model>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_plus_adds_componentwise() {
+        let a = TrainingCost { flops: 10, peak_bytes: 100 };
+        let b = TrainingCost { flops: 5, peak_bytes: 50 };
+        let c = a.plus(b);
+        assert_eq!(c.flops, 15);
+        assert_eq!(c.peak_bytes, 150);
+    }
+
+    struct Zero;
+    impl Regressor for Zero {
+        fn predict(&self, _x: &[f64]) -> f64 {
+            0.0
+        }
+        fn approx_bytes(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn default_batch_prediction_maps_rows() {
+        let m = DesignMatrix::from_raw(3, 2, vec![1.0; 6]);
+        assert_eq!(Zero.predict_batch(&m), vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,144 @@
+//! Round-trip tests of every model type's text serialization: a fitted and
+//! a reloaded model must agree *exactly* on all predictions.
+
+use frac_dataset::textio::{TextReader, TextWriter};
+use frac_dataset::DesignMatrix;
+use frac_learn::baseline::{
+    ConstantRegressor, ConstantRegressorTrainer, MajorityClassifier, MajorityClassifierTrainer,
+};
+use frac_learn::error::{ConfusionErrorModel, GaussianErrorModel};
+use frac_learn::svc::SvcTrainer;
+use frac_learn::svr::{LinearSvr, SvrTrainer};
+use frac_learn::traits::{Classifier, ClassifierTrainer, Regressor, RegressorTrainer};
+use frac_learn::tree::{
+    ClassificationTree, ClassificationTreeTrainer, RegressionTree, RegressionTreeTrainer,
+};
+use frac_learn::LinearSvc;
+
+fn matrix(n: usize, d: usize, seed: u64) -> DesignMatrix {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0
+    };
+    DesignMatrix::from_raw(n, d, (0..n * d).map(|_| next()).collect())
+}
+
+fn roundtrip<T>(model: &T, write: impl Fn(&T, &mut TextWriter), parse: impl Fn(&mut TextReader) -> Result<T, String>) -> T {
+    let mut w = TextWriter::new();
+    write(model, &mut w);
+    let text = w.finish();
+    let mut r = TextReader::new(&text);
+    parse(&mut r).expect("roundtrip parse")
+}
+
+#[test]
+fn svr_roundtrip_is_prediction_exact() {
+    let x = matrix(30, 7, 1);
+    let y: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+    let t = SvrTrainer::default().train(&x, &y);
+    let back = roundtrip(&t.model, LinearSvr::write_text, |r| LinearSvr::parse_text(r));
+    for r in 0..30 {
+        assert_eq!(
+            t.model.predict(x.row(r)).to_bits(),
+            back.predict(x.row(r)).to_bits(),
+            "row {r}"
+        );
+    }
+}
+
+#[test]
+fn svc_roundtrip_is_prediction_exact() {
+    let x = matrix(40, 5, 2);
+    let y: Vec<u32> = (0..40).map(|i| (i % 3) as u32).collect();
+    let t = SvcTrainer::default().train(&x, &y, 3);
+    let back = roundtrip(&t.model, LinearSvc::write_text, |r| LinearSvc::parse_text(r));
+    assert_eq!(back.n_classes(), 3);
+    for r in 0..40 {
+        assert_eq!(t.model.predict(x.row(r)), back.predict(x.row(r)));
+        for k in 0..3 {
+            assert_eq!(
+                t.model.decision_value(k, x.row(r)).to_bits(),
+                back.decision_value(k, x.row(r)).to_bits()
+            );
+        }
+    }
+}
+
+#[test]
+fn tree_roundtrips_preserve_structure() {
+    let x = matrix(60, 4, 3);
+    let yc: Vec<u32> = (0..60).map(|i| u32::from(x.get(i, 0) > 0.0)).collect();
+    let yr: Vec<f64> = (0..60).map(|i| x.get(i, 1) * 2.0).collect();
+
+    let ct = ClassificationTreeTrainer::default().train(&x, &yc, 2);
+    let ct_back = roundtrip(&ct.model, ClassificationTree::write_text, |r| {
+        ClassificationTree::parse_text(r)
+    });
+    assert_eq!(ct.model.n_nodes(), ct_back.n_nodes());
+    assert_eq!(ct.model.n_leaves(), ct_back.n_leaves());
+
+    let rt = RegressionTreeTrainer::default().train(&x, &yr);
+    let rt_back =
+        roundtrip(&rt.model, RegressionTree::write_text, |r| RegressionTree::parse_text(r));
+    for r in 0..60 {
+        assert_eq!(ct.model.predict(x.row(r)), ct_back.predict(x.row(r)));
+        assert_eq!(
+            rt.model.predict(x.row(r)).to_bits(),
+            rt_back.predict(x.row(r)).to_bits()
+        );
+    }
+}
+
+#[test]
+fn error_model_roundtrips() {
+    let pairs: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.1, i as f64 * 0.09)).collect();
+    let g = GaussianErrorModel::fit(&pairs);
+    let g_back = roundtrip(&g, GaussianErrorModel::write_text, |r| {
+        GaussianErrorModel::parse_text(r)
+    });
+    assert_eq!(g.surprisal(1.0, 0.5).to_bits(), g_back.surprisal(1.0, 0.5).to_bits());
+
+    let cpairs: Vec<(u32, u32)> = (0..60).map(|i| ((i % 3) as u32, ((i / 2) % 3) as u32)).collect();
+    let c = ConfusionErrorModel::fit(&cpairs, 3);
+    let c_back = roundtrip(&c, ConfusionErrorModel::write_text, |r| {
+        ConfusionErrorModel::parse_text(r)
+    });
+    for t in 0..3 {
+        for p in 0..3 {
+            assert_eq!(c.surprisal(t, p).to_bits(), c_back.surprisal(t, p).to_bits());
+        }
+    }
+}
+
+#[test]
+fn baseline_roundtrips() {
+    let x = matrix(10, 1, 5);
+    let cr = ConstantRegressorTrainer.train(&x, &[1.0; 10]).model;
+    let cr_back =
+        roundtrip(&cr, ConstantRegressor::write_text, |r| ConstantRegressor::parse_text(r));
+    assert_eq!(cr.mean(), cr_back.mean());
+
+    let mc = MajorityClassifierTrainer.train(&x, &[2; 10], 3).model;
+    let mc_back =
+        roundtrip(&mc, MajorityClassifier::write_text, |r| MajorityClassifier::parse_text(r));
+    assert_eq!(mc.class(), mc_back.class());
+}
+
+#[test]
+fn corrupted_model_text_is_rejected() {
+    // Out-of-range leaf class.
+    let text = "ctree_arity 2\ntree_nodes 1\nleaf 7\n";
+    let mut r = TextReader::new(text);
+    assert!(ClassificationTree::parse_text(&mut r).is_err());
+    // Split child out of range.
+    let text = "rtree\ntree_nodes 1\nsplit 0 0.5 3 4\n";
+    let mut r = TextReader::new(text);
+    assert!(RegressionTree::parse_text(&mut r).is_err());
+    // Wrong counts length.
+    let text = "conf_err 3 1.0\nconf_counts 1 2 3\n";
+    let mut r = TextReader::new(text);
+    assert!(ConfusionErrorModel::parse_text(&mut r).is_err());
+}

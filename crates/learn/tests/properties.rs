@@ -1,0 +1,150 @@
+//! Property-based tests of the learning substrate's mathematical
+//! guarantees: primal-objective descent for the SVMs, output bounds for the
+//! trees, probability axioms for the error models.
+
+use frac_dataset::DesignMatrix;
+use frac_learn::error::{ConfusionErrorModel, GaussianErrorModel};
+use frac_learn::svc::SvcTrainer;
+use frac_learn::svr::{SvrConfig, SvrTrainer};
+use frac_learn::traits::{Classifier, ClassifierTrainer, Regressor, RegressorTrainer};
+use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
+use proptest::prelude::*;
+
+fn arb_problem() -> impl Strategy<Value = (DesignMatrix, Vec<f64>)> {
+    (2usize..20, 1usize..8).prop_flat_map(|(n, d)| {
+        (
+            prop::collection::vec(-5.0f64..5.0, n * d),
+            prop::collection::vec(-5.0f64..5.0, n),
+        )
+            .prop_map(move |(x, y)| (DesignMatrix::from_raw(n, d, x), y))
+    })
+}
+
+/// L1-loss ε-SVR primal objective.
+fn svr_objective(w: &[f64], b: f64, x: &DesignMatrix, y: &[f64], c: f64, eps: f64) -> f64 {
+    let reg: f64 = 0.5 * (w.iter().map(|v| v * v).sum::<f64>() + b * b);
+    let loss: f64 = (0..x.n_rows())
+        .map(|i| (x.row_dot(i, w) + b - y[i]).abs() - eps)
+        .map(|l| l.max(0.0))
+        .sum();
+    reg + c * loss
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn svr_never_worse_than_zero_model((x, y) in arb_problem()) {
+        // The dual solver starts at β = 0 (the zero model) and monotonically
+        // improves the dual; the primal of its solution must not exceed the
+        // zero model's objective by more than the duality gap — and for a
+        // converged solver, must be at most the zero objective (+ slack for
+        // loose stopping).
+        let cfg = SvrConfig::default();
+        let t = SvrTrainer::new(cfg).train(&x, &y);
+        let fitted = svr_objective(t.model.weights(), t.model.bias(), &x, &y, cfg.c, cfg.epsilon);
+        let zero = svr_objective(&vec![0.0; x.n_cols()], 0.0, &x, &y, cfg.c, cfg.epsilon);
+        prop_assert!(fitted <= zero + 1e-6, "fitted {} vs zero {}", fitted, zero);
+    }
+
+    #[test]
+    fn svr_predictions_finite((x, y) in arb_problem()) {
+        let t = SvrTrainer::default().train(&x, &y);
+        for r in 0..x.n_rows() {
+            prop_assert!(t.model.predict(x.row(r)).is_finite());
+        }
+        prop_assert!(t.model.weights().iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn svc_predicts_valid_codes((x, y) in arb_problem(), arity in 2u32..5) {
+        let codes: Vec<u32> = y.iter().map(|v| (v.abs() as u32) % arity).collect();
+        let t = SvcTrainer::default().train(&x, &codes, arity);
+        for r in 0..x.n_rows() {
+            prop_assert!(t.model.predict(x.row(r)) < arity);
+        }
+    }
+
+    #[test]
+    fn regression_tree_bounded_by_targets((x, y) in arb_problem()) {
+        let t = RegressionTreeTrainer::default().train(&x, &y);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Leaf means are convex combinations of targets.
+        for r in 0..x.n_rows() {
+            let p = t.model.predict(x.row(r));
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo}, {hi}]");
+        }
+        // Arbitrary query points also land in leaf means.
+        let probe: Vec<f64> = (0..x.n_cols()).map(|c| c as f64 * 100.0).collect();
+        let p = t.model.predict(&probe);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+    }
+
+    #[test]
+    fn classification_tree_predicts_seen_codes((x, y) in arb_problem(), arity in 2u32..5) {
+        let codes: Vec<u32> = y.iter().map(|v| (v.abs() as u32) % arity).collect();
+        let t = ClassificationTreeTrainer::default().train(&x, &codes, arity);
+        for r in 0..x.n_rows() {
+            let p = t.model.predict(x.row(r));
+            prop_assert!(codes.contains(&p), "predicted unseen class {p}");
+        }
+    }
+
+    #[test]
+    fn tree_training_accuracy_dominates_majority((x, y) in arb_problem()) {
+        // A tree can always fall back to the majority leaf, so training
+        // accuracy is at least the majority-class frequency.
+        let codes: Vec<u32> = y.iter().map(|v| u32::from(*v > 0.0)).collect();
+        let t = ClassificationTreeTrainer::default().train(&x, &codes, 2);
+        let correct = (0..x.n_rows())
+            .filter(|&r| t.model.predict(x.row(r)) == codes[r])
+            .count();
+        let majority = codes.iter().filter(|&&c| c == 1).count().max(
+            codes.iter().filter(|&&c| c == 0).count(),
+        );
+        prop_assert!(correct >= majority, "{correct} < majority {majority}");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn gaussian_surprisal_minimized_at_the_mean_residual(
+        pairs in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..40),
+        probe in -20.0f64..20.0,
+    ) {
+        let m = GaussianErrorModel::fit(&pairs);
+        // Observation exactly at prediction + μ has the minimum surprisal.
+        let at_mode = m.surprisal(m.mu(), 0.0);
+        prop_assert!(m.surprisal(probe, 0.0) >= at_mode - 1e-9);
+    }
+
+    #[test]
+    fn confusion_rows_are_distributions(
+        pairs in prop::collection::vec((0u32..4, 0u32..4), 1..60),
+    ) {
+        let m = ConfusionErrorModel::fit(&pairs, 4);
+        for pred in 0..4 {
+            let total: f64 = (0..4).map(|t| m.probability(t, pred)).sum();
+            prop_assert!((total - 1.0).abs() < 1e-9);
+            for t in 0..4 {
+                let p = m.probability(t, pred);
+                prop_assert!(p > 0.0 && p < 1.0, "smoothed p must be interior");
+                prop_assert!(m.surprisal(t, pred).is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn confusion_surprisal_decreases_with_evidence(
+        n in 1usize..50,
+    ) {
+        // The more often (pred=0, true=0) is observed, the less surprising
+        // true=0 given pred=0 becomes.
+        let few = ConfusionErrorModel::fit(&vec![(0, 0); n], 3);
+        let many = ConfusionErrorModel::fit(&vec![(0, 0); n * 2], 3);
+        prop_assert!(many.surprisal(0, 0) <= few.surprisal(0, 0) + 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! The Johnson–Lindenstrauss dimension bounds of paper §I-A-2.
+//!
+//! Point-set form: for `n` points, squared distances are preserved within
+//! `[1−ε, 1+ε]` for **every** pair when
+//!
+//! ```text
+//!   k ≥ 4 ln(n) / (ε²/2 − ε³/3)
+//! ```
+//!
+//! Distributional form: **any one** pair is preserved with probability
+//! `1 − δ` when
+//!
+//! ```text
+//!   k ≥ ln(2/δ) / (ε²/2 − ε³/3)
+//! ```
+//!
+//! Note — as the paper stresses — neither bound depends on the *input*
+//! dimension, only on the number of points (or on δ alone).
+
+/// The denominator `ε²/2 − ε³/3` common to both bounds.
+///
+/// # Panics
+/// Panics unless `0 < ε < 1` (outside that range the bound is vacuous or the
+/// denominator non-positive).
+fn eps_denom(eps: f64) -> f64 {
+    assert!(eps > 0.0 && eps < 1.0, "ε must be in (0, 1), got {eps}");
+    eps * eps / 2.0 - eps * eps * eps / 3.0
+}
+
+/// Minimum projected dimension preserving all pairwise squared distances of
+/// `n` points within `1 ± ε` (point-set JL bound).
+///
+/// # Panics
+/// Panics if `n < 2` or ε is outside `(0, 1)`.
+pub fn jl_dim_point_set(n: usize, eps: f64) -> usize {
+    assert!(n >= 2, "need at least two points, got {n}");
+    (4.0 * (n as f64).ln() / eps_denom(eps)).ceil() as usize
+}
+
+/// Minimum projected dimension preserving one pair's squared distance within
+/// `1 ± ε` with probability `1 − δ` (distributional JL bound).
+///
+/// # Panics
+/// Panics unless `0 < δ < 1` and `0 < ε < 1`.
+pub fn jl_dim_distributional(delta: f64, eps: f64) -> usize {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1), got {delta}");
+    ((2.0 / delta).ln() / eps_denom(eps)).ceil() as usize
+}
+
+/// The distortion ε actually guaranteed (distributional form) by a projected
+/// dimension `k` at failure probability `δ`, solved by bisection.
+///
+/// Returns `None` when even ε → 1 cannot satisfy the bound (k too small).
+///
+/// The paper reports (δ = 0.05, ε = 0.057) for k = 1024; by the formula as
+/// printed, k = 1024 at δ = 0.05 actually yields ε ≈ 0.087 — see
+/// EXPERIMENTS.md for the discrepancy note.
+pub fn achieved_epsilon(k: usize, delta: f64) -> Option<f64> {
+    assert!(delta > 0.0 && delta < 1.0, "δ must be in (0, 1), got {delta}");
+    assert!(k >= 1, "k must be positive");
+    let target = (2.0 / delta).ln() / k as f64; // need eps_denom(eps) ≥ target
+    let denom_near_one = eps_denom(1.0 - 1e-12);
+    if target > denom_near_one {
+        return None;
+    }
+    // eps_denom is strictly increasing on (0, 1): derivative ε − ε² > 0.
+    let (mut lo, mut hi) = (1e-12, 1.0 - 1e-12);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if eps_denom(mid) < target {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_set_bound_monotone_in_n_and_eps() {
+        assert!(jl_dim_point_set(1000, 0.1) > jl_dim_point_set(100, 0.1));
+        assert!(jl_dim_point_set(100, 0.05) > jl_dim_point_set(100, 0.2));
+    }
+
+    #[test]
+    fn point_set_bound_known_value() {
+        // n = 100, ε = 0.1: 4·ln(100)/(0.005 − 0.000333…) = 3946.00…
+        let k = jl_dim_point_set(100, 0.1);
+        let expect = 4.0 * 100f64.ln() / (0.005 - 0.001 / 3.0);
+        assert_eq!(k, expect.ceil() as usize);
+        assert!((3900..4000).contains(&k), "k = {k}");
+    }
+
+    #[test]
+    fn distributional_bound_independent_of_n() {
+        // The probabilistic form is "just a statement about the fraction of
+        // point pairs" — there is no n anywhere.
+        let k = jl_dim_distributional(0.05, 0.1);
+        let expect = (2.0f64 / 0.05).ln() / (0.005 - 0.001 / 3.0);
+        assert_eq!(k, expect.ceil() as usize);
+    }
+
+    #[test]
+    fn achieved_epsilon_inverts_the_bound() {
+        for &k in &[256usize, 1024, 4096] {
+            let eps = achieved_epsilon(k, 0.05).unwrap();
+            // Plugging ε back must require ≤ k dimensions…
+            assert!(jl_dim_distributional(0.05, eps) <= k);
+            // …and a slightly smaller ε must require > k.
+            assert!(jl_dim_distributional(0.05, eps * 0.99) > k);
+        }
+    }
+
+    #[test]
+    fn paper_parameters_documented_discrepancy() {
+        // k = 1024, δ = 0.05 gives ε ≈ 0.087 by the printed formula (the
+        // paper states 0.057; we record the as-printed-formula value).
+        let eps = achieved_epsilon(1024, 0.05).unwrap();
+        assert!((eps - 0.087).abs() < 0.002, "ε = {eps}");
+    }
+
+    #[test]
+    fn tiny_k_returns_none() {
+        assert_eq!(achieved_epsilon(1, 0.0001), None);
+    }
+
+    #[test]
+    fn larger_k_gives_smaller_epsilon() {
+        let e1 = achieved_epsilon(1024, 0.05).unwrap();
+        let e2 = achieved_epsilon(2048, 0.05).unwrap();
+        let e3 = achieved_epsilon(4096, 0.05).unwrap();
+        assert!(e1 > e2 && e2 > e3);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must be in (0, 1)")]
+    fn rejects_bad_epsilon() {
+        jl_dim_point_set(10, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "δ must be in (0, 1)")]
+    fn rejects_bad_delta() {
+        jl_dim_distributional(0.0, 0.1);
+    }
+}

@@ -1,0 +1,381 @@
+//! The Johnson–Lindenstrauss random projection.
+//!
+//! A `k × D` random matrix `R` with i.i.d. zero-mean unit-variance entries,
+//! scaled by `1/√k`, approximately preserves pairwise distances (and, per
+//! Kabán 2015 — the paper's ref. 12 — dot products). The paper draws entries
+//! "Gaussian distributed or Uniform(−1,1) distributed"; we provide Gaussian,
+//! Rademacher (±1) and the Achlioptas sparse distribution of ref. 11
+//! (√3 · {+1 w.p. ⅙, 0 w.p. ⅔, −1 w.p. ⅙}), all unit-variance.
+//!
+//! **Columns are regenerated from the seed on demand** (`R[:, j]` is a pure
+//! function of `(seed, j)`), so train and test project through bit-identical
+//! geometry without ever storing the full matrix — the trick that lets the
+//! schizophrenia-scale experiment fit in memory, and the reason the paper's
+//! Table III JL memory fractions are tiny.
+
+use frac_dataset::dataset::MISSING_CODE;
+use frac_dataset::split::derive_seed;
+use frac_dataset::{Column, Dataset, DesignMatrix, Schema};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Entry distribution of the projection matrix. All variants have zero mean
+/// and unit variance, so `‖Rx‖²/k` is an unbiased estimate of `‖x‖²`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JlMatrixKind {
+    /// Standard normal entries (the classical construction).
+    Gaussian,
+    /// ±1 entries with equal probability ("binary coins").
+    Rademacher,
+    /// Achlioptas's database-friendly sparse construction:
+    /// √3 · {+1 w.p. ⅙, 0 w.p. ⅔, −1 w.p. ⅙}. Two-thirds of entries vanish,
+    /// tripling projection throughput at identical guarantees.
+    AchlioptasSparse,
+}
+
+/// A seeded JL transform from `D`-dimensional inputs to `k` dimensions.
+#[derive(Debug, Clone, Copy)]
+pub struct JlTransform {
+    out_dim: usize,
+    kind: JlMatrixKind,
+    seed: u64,
+}
+
+impl JlTransform {
+    /// Create a transform to `out_dim` components.
+    ///
+    /// # Panics
+    /// Panics if `out_dim == 0`.
+    pub fn new(out_dim: usize, kind: JlMatrixKind, seed: u64) -> Self {
+        assert!(out_dim > 0, "projected dimension must be positive");
+        JlTransform { out_dim, kind, seed }
+    }
+
+    /// Projected dimension `k`.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Entry distribution in use.
+    pub fn kind(&self) -> JlMatrixKind {
+        self.kind
+    }
+
+    /// Column `j` of the (scaled) projection matrix: `R[:, j] / √k`,
+    /// regenerated deterministically from `(seed, j)`.
+    pub fn column(&self, j: usize) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, j as u64));
+        let scale = 1.0 / (self.out_dim as f64).sqrt();
+        let mut col = Vec::with_capacity(self.out_dim);
+        match self.kind {
+            JlMatrixKind::Gaussian => {
+                // Box–Muller, two draws per pair.
+                let mut pending: Option<f64> = None;
+                for _ in 0..self.out_dim {
+                    let z = match pending.take() {
+                        Some(z) => z,
+                        None => {
+                            let u1: f64 = rng.random::<f64>().max(1e-300);
+                            let u2: f64 = rng.random();
+                            let r = (-2.0 * u1.ln()).sqrt();
+                            let theta = 2.0 * std::f64::consts::PI * u2;
+                            pending = Some(r * theta.sin());
+                            r * theta.cos()
+                        }
+                    };
+                    col.push(z * scale);
+                }
+            }
+            JlMatrixKind::Rademacher => {
+                for _ in 0..self.out_dim {
+                    let sign = if rng.random::<bool>() { 1.0 } else { -1.0 };
+                    col.push(sign * scale);
+                }
+            }
+            JlMatrixKind::AchlioptasSparse => {
+                let root3 = 3.0f64.sqrt();
+                for _ in 0..self.out_dim {
+                    let u: f64 = rng.random();
+                    let v = if u < 1.0 / 6.0 {
+                        root3
+                    } else if u < 2.0 / 6.0 {
+                        -root3
+                    } else {
+                        0.0
+                    };
+                    col.push(v * scale);
+                }
+            }
+        }
+        col
+    }
+
+    /// Project one dense input vector (`x.len()` = D) to `k` components.
+    pub fn project_vector(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0f64; self.out_dim];
+        for (j, &v) in x.iter().enumerate() {
+            if v == 0.0 {
+                continue;
+            }
+            let col = self.column(j);
+            for (o, c) in out.iter_mut().zip(&col) {
+                *o += v * c;
+            }
+        }
+        out
+    }
+
+    /// Project every row of a design matrix, streaming over input columns so
+    /// peak extra memory is `O(k)` beyond the output.
+    pub fn project_matrix(&self, x: &DesignMatrix) -> DesignMatrix {
+        let n = x.n_rows();
+        let k = self.out_dim;
+        let mut out = vec![0.0f64; n * k];
+        for j in 0..x.n_cols() {
+            let col = self.column(j);
+            for r in 0..n {
+                let v = x.get(r, j);
+                if v == 0.0 {
+                    continue;
+                }
+                let dst = &mut out[r * k..(r + 1) * k];
+                for (o, c) in dst.iter_mut().zip(&col) {
+                    *o += v * c;
+                }
+            }
+        }
+        DesignMatrix::from_raw(n, k, out)
+    }
+
+    /// The full pre-projection pipeline of Fig. 2 applied to a mixed data
+    /// set: 1-hot expansion (virtual — indicator blocks are never
+    /// materialized) followed by projection. Returns an all-real data set
+    /// with features `jl0..jl{k−1}`.
+    ///
+    /// Missing inputs contribute nothing (zero block), matching
+    /// [`crate::onehot::one_hot_encode`].
+    pub fn project_dataset(&self, data: &Dataset) -> Dataset {
+        let n = data.n_rows();
+        let k = self.out_dim;
+        let mut out = vec![0.0f64; n * k];
+        let mut base = 0usize;
+        for j in 0..data.n_features() {
+            match data.column(j) {
+                Column::Real(v) => {
+                    let col = self.column(base);
+                    for (r, &x) in v.iter().enumerate() {
+                        if x.is_nan() || x == 0.0 {
+                            continue;
+                        }
+                        let dst = &mut out[r * k..(r + 1) * k];
+                        for (o, c) in dst.iter_mut().zip(&col) {
+                            *o += x * c;
+                        }
+                    }
+                    base += 1;
+                }
+                Column::Categorical { arity, codes } => {
+                    let cols: Vec<Vec<f64>> =
+                        (0..*arity as usize).map(|c| self.column(base + c)).collect();
+                    for (r, &code) in codes.iter().enumerate() {
+                        if code == MISSING_CODE {
+                            continue;
+                        }
+                        let col = &cols[code as usize];
+                        let dst = &mut out[r * k..(r + 1) * k];
+                        for (o, c) in dst.iter_mut().zip(col) {
+                            *o += c;
+                        }
+                    }
+                    base += *arity as usize;
+                }
+            }
+        }
+        // Transpose row-major projected rows into columns.
+        let columns = (0..k)
+            .map(|c| Column::Real((0..n).map(|r| out[r * k + c]).collect()))
+            .collect();
+        let schema = Schema::new(
+            (0..k)
+                .map(|c| frac_dataset::Feature::real(format!("jl{c}")))
+                .collect(),
+        );
+        Dataset::new(schema, columns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::onehot::one_hot_encode;
+    use frac_dataset::dataset::DatasetBuilder;
+
+    fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+    }
+
+    fn random_points(n: usize, d: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..d).map(|_| rng.random::<f64>() * 2.0 - 1.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn columns_are_deterministic_and_distinct() {
+        let t = JlTransform::new(16, JlMatrixKind::Gaussian, 42);
+        assert_eq!(t.column(3), t.column(3));
+        assert_ne!(t.column(3), t.column(4));
+        let t2 = JlTransform::new(16, JlMatrixKind::Gaussian, 43);
+        assert_ne!(t.column(3), t2.column(3));
+    }
+
+    #[test]
+    fn column_entries_have_unit_variance_prescale() {
+        for kind in [
+            JlMatrixKind::Gaussian,
+            JlMatrixKind::Rademacher,
+            JlMatrixKind::AchlioptasSparse,
+        ] {
+            let k = 4000;
+            let t = JlTransform::new(k, kind, 7);
+            let col = t.column(0);
+            // Entries are scaled by 1/√k, so variance should be ≈ 1/k.
+            let var: f64 = col.iter().map(|x| x * x).sum::<f64>() / k as f64;
+            assert!(
+                (var - 1.0 / k as f64).abs() < 0.1 / k as f64,
+                "{kind:?}: var·k = {}",
+                var * k as f64
+            );
+        }
+    }
+
+    #[test]
+    fn achlioptas_is_two_thirds_sparse() {
+        let t = JlTransform::new(6000, JlMatrixKind::AchlioptasSparse, 1);
+        let col = t.column(0);
+        let zeros = col.iter().filter(|&&x| x == 0.0).count() as f64 / 6000.0;
+        assert!((zeros - 2.0 / 3.0).abs() < 0.03, "zero fraction {zeros}");
+    }
+
+    #[test]
+    fn distances_preserved_within_epsilon() {
+        // 20 points in 300-d, k from the point-set bound at ε = 0.45 →
+        // distortions should comfortably stay within ±0.45.
+        let pts = random_points(20, 300, 5);
+        let eps = 0.45;
+        let k = crate::dims::jl_dim_point_set(pts.len(), eps);
+        for kind in [JlMatrixKind::Gaussian, JlMatrixKind::AchlioptasSparse] {
+            let t = JlTransform::new(k, kind, 99);
+            let proj: Vec<Vec<f64>> = pts.iter().map(|p| t.project_vector(p)).collect();
+            for i in 0..pts.len() {
+                for j in (i + 1)..pts.len() {
+                    let orig = sq_dist(&pts[i], &pts[j]);
+                    let new = sq_dist(&proj[i], &proj[j]);
+                    let ratio = new / orig;
+                    assert!(
+                        ratio > 1.0 - eps && ratio < 1.0 + eps,
+                        "{kind:?}: pair ({i},{j}) distorted by {ratio}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn project_matrix_matches_project_vector() {
+        let pts = random_points(5, 40, 11);
+        let flat: Vec<f64> = pts.iter().flatten().copied().collect();
+        let m = DesignMatrix::from_raw(5, 40, flat);
+        let t = JlTransform::new(8, JlMatrixKind::Rademacher, 3);
+        let pm = t.project_matrix(&m);
+        for (r, p) in pts.iter().enumerate() {
+            let pv = t.project_vector(p);
+            for (c, v) in pv.iter().enumerate() {
+                assert!((pm.get(r, c) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn project_dataset_equals_onehot_then_project() {
+        let d = DatasetBuilder::new()
+            .real("r1", vec![3.4, 0.0])
+            .real("r2", vec![-2.0, 1.0])
+            .categorical("c3", 3, vec![1, 2])
+            .categorical("c4", 4, vec![2, 0])
+            .build();
+        let t = JlTransform::new(4, JlMatrixKind::Gaussian, 17);
+        let via_dataset = t.project_dataset(&d);
+        let via_matrix = t.project_matrix(&one_hot_encode(&d));
+        assert_eq!(via_dataset.n_features(), 4);
+        for r in 0..2 {
+            for c in 0..4 {
+                let a = via_dataset.column(c).as_real().unwrap()[r];
+                let b = via_matrix.get(r, c);
+                assert!((a - b).abs() < 1e-12, "({r},{c}): {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn projected_dataset_schema_is_all_real() {
+        let d = DatasetBuilder::new()
+            .categorical("c", 3, vec![0, 1, 2])
+            .build();
+        let t = JlTransform::new(5, JlMatrixKind::Gaussian, 1);
+        let p = t.project_dataset(&d);
+        assert_eq!(p.n_features(), 5);
+        assert_eq!(p.schema().n_real(), 5);
+        assert_eq!(p.schema().feature(0).name, "jl0");
+        assert_eq!(p.n_rows(), 3);
+    }
+
+    #[test]
+    fn missing_values_project_to_smaller_norm() {
+        let full = DatasetBuilder::new()
+            .real("a", vec![1.0])
+            .real("b", vec![1.0])
+            .build();
+        let miss = DatasetBuilder::new()
+            .real("a", vec![1.0])
+            .real("b", vec![f64::NAN])
+            .build();
+        let t = JlTransform::new(64, JlMatrixKind::Gaussian, 2);
+        let pf = t.project_dataset(&full);
+        let pm = t.project_dataset(&miss);
+        // The missing coordinate contributes nothing: the projected vector
+        // equals projecting (1, 0).
+        let only_a = t.column(0);
+        for (c, v) in only_a.iter().enumerate() {
+            assert!((pm.column(c).as_real().unwrap()[0] - v).abs() < 1e-12);
+        }
+        assert_ne!(
+            pf.column(0).as_real().unwrap()[0],
+            pm.column(0).as_real().unwrap()[0]
+        );
+    }
+
+    #[test]
+    fn dot_products_approximately_preserved() {
+        // Kabán 2015 (paper ref. 12): JL preserves dot products too.
+        let pts = random_points(10, 200, 23);
+        let t = JlTransform::new(600, JlMatrixKind::Gaussian, 31);
+        let proj: Vec<Vec<f64>> = pts.iter().map(|p| t.project_vector(p)).collect();
+        let dot = |a: &[f64], b: &[f64]| a.iter().zip(b).map(|(x, y)| x * y).sum::<f64>();
+        for i in 0..pts.len() {
+            for j in (i + 1)..pts.len() {
+                let orig = dot(&pts[i], &pts[j]);
+                let new = dot(&proj[i], &proj[j]);
+                // Additive error scales with the norms (~√(200/3) ≈ 8).
+                assert!((orig - new).abs() < 8.0, "pair ({i},{j}): {orig} vs {new}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dim_rejected() {
+        JlTransform::new(0, JlMatrixKind::Gaussian, 0);
+    }
+}

@@ -1,0 +1,32 @@
+//! # frac-projection
+//!
+//! Johnson–Lindenstrauss pre-projection for FRaC (paper §I-A-2, §II-D).
+//!
+//! The pre-projection variant converts a mixed data set to an entirely real
+//! one (categorical features → 1-hot indicator blocks, Fig. 2), concatenates,
+//! and multiplies by a random `k × D` matrix, then runs ordinary FRaC in the
+//! projected space. Because the transform is drawn independently of the data
+//! it "doesn't risk preferentially destroying the very signal FRaC detects,
+//! as might a data-dependent transform such as PCA."
+//!
+//! * [`dims`] — both JL dimension bounds from the paper (point-set ε and
+//!   distributional ε–δ forms) plus the inverse solve (achieved ε for a
+//!   given k).
+//! * [`jl`] — the transform itself, with Gaussian, Rademacher (±1, the
+//!   paper's Uniform(−1,1)-style dense option) and Achlioptas sparse
+//!   (database-friendly, ref. 11) entry distributions. Matrix columns are
+//!   regenerated deterministically from the seed, so projecting the test set
+//!   uses bit-identical geometry to the training set without storing the
+//!   `k × D` matrix.
+//! * [`onehot`] — the Fig. 2 encoding of a mixed [`frac_dataset::Dataset`]
+//!   into its real concatenation.
+
+#![warn(missing_docs)]
+
+pub mod dims;
+pub mod jl;
+pub mod onehot;
+
+pub use dims::{achieved_epsilon, jl_dim_distributional, jl_dim_point_set};
+pub use jl::{JlMatrixKind, JlTransform};
+pub use onehot::one_hot_encode;

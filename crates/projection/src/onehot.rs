@@ -1,0 +1,123 @@
+//! The Fig. 2 encoding: mixed data → all-real concatenation.
+//!
+//! Categorical k-ary features become k-dimensional indicator vectors;
+//! real features pass through; the blocks are concatenated in feature
+//! order. Missing values map to 0 (real) / an all-zero indicator block
+//! (categorical), consistently with the design-matrix encoder.
+
+use frac_dataset::{Column, Dataset, DesignMatrix, FeatureKind};
+
+/// One-hot encode a data set into a dense row-major matrix of width
+/// [`frac_dataset::Schema::one_hot_width`].
+pub fn one_hot_encode(data: &Dataset) -> DesignMatrix {
+    let n = data.n_rows();
+    let width = data.schema().one_hot_width();
+    let mut values = vec![0.0f64; n * width];
+    let mut base = 0usize;
+    for j in 0..data.n_features() {
+        match data.column(j) {
+            Column::Real(v) => {
+                for (r, &x) in v.iter().enumerate() {
+                    values[r * width + base] = if x.is_nan() { 0.0 } else { x };
+                }
+                base += 1;
+            }
+            Column::Categorical { arity, codes } => {
+                for (r, &c) in codes.iter().enumerate() {
+                    if c != frac_dataset::dataset::MISSING_CODE {
+                        values[r * width + base + c as usize] = 1.0;
+                    }
+                }
+                base += *arity as usize;
+            }
+        }
+    }
+    debug_assert_eq!(base, width);
+    DesignMatrix::from_raw(n, width, values)
+}
+
+/// Column offsets of each feature's block within the one-hot concatenation.
+/// `offsets[j]` is the first encoded column of feature `j`; a trailing entry
+/// equals the total width.
+pub fn one_hot_offsets(data: &Dataset) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(data.n_features() + 1);
+    let mut base = 0usize;
+    for j in 0..data.n_features() {
+        offsets.push(base);
+        base += match data.schema().kind(j) {
+            FeatureKind::Real => 1,
+            FeatureKind::Categorical { arity } => arity as usize,
+        };
+    }
+    offsets.push(base);
+    offsets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frac_dataset::dataset::{DatasetBuilder, MISSING_CODE};
+
+    /// The worked example of Fig. 2: data (3.4, 0, −2, 0.6, cat3=1, cat4=2)
+    /// encodes to (3.4, 0, −2, 0.6, 0,1,0, 0,0,1,0).
+    #[test]
+    fn fig2_worked_example() {
+        let d = DatasetBuilder::new()
+            .real("r1", vec![3.4])
+            .real("r2", vec![0.0])
+            .real("r3", vec![-2.0])
+            .real("r4", vec![0.6])
+            .categorical("c3", 3, vec![1])
+            .categorical("c4", 4, vec![2])
+            .build();
+        let m = one_hot_encode(&d);
+        assert_eq!(m.n_cols(), 11);
+        assert_eq!(
+            m.row(0),
+            &[3.4, 0.0, -2.0, 0.6, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn missing_values_become_zero_blocks() {
+        let d = DatasetBuilder::new()
+            .real("r", vec![f64::NAN])
+            .categorical("c", 3, vec![MISSING_CODE])
+            .build();
+        let m = one_hot_encode(&d);
+        assert_eq!(m.row(0), &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn offsets_mark_block_starts() {
+        let d = DatasetBuilder::new()
+            .real("r", vec![1.0])
+            .categorical("c3", 3, vec![0])
+            .real("r2", vec![2.0])
+            .categorical("c2", 2, vec![1])
+            .build();
+        assert_eq!(one_hot_offsets(&d), vec![0, 1, 4, 5, 7]);
+    }
+
+    #[test]
+    fn all_real_dataset_is_identity_encoding() {
+        let d = Dataset::from_real_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let m = one_hot_encode(&d);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn indicator_rows_sum_to_one_per_categorical_feature() {
+        let d = DatasetBuilder::new()
+            .categorical("a", 3, vec![0, 1, 2, 2])
+            .categorical("b", 2, vec![1, 0, 1, 0])
+            .build();
+        let m = one_hot_encode(&d);
+        for r in 0..4 {
+            let row = m.row(r);
+            assert_eq!(row[..3].iter().sum::<f64>(), 1.0);
+            assert_eq!(row[3..].iter().sum::<f64>(), 1.0);
+        }
+    }
+}

@@ -1,0 +1,501 @@
+//! Latent-factor (gene-module) expression generator.
+//!
+//! Surrogate for the CSAX-compendium expression data sets. The generative
+//! story matches how the paper reasons about its data:
+//!
+//! * genes are organized in co-regulated **modules** ("most phenotypes of
+//!   interest involve large numbers of related genes") — a sample's module
+//!   activities `z ~ N(0, I)` drive every member gene through a loading;
+//! * a configurable fraction of genes is **irrelevant** pure noise ("the
+//!   majority of features in most genomic data sets are likely to be
+//!   irrelevant");
+//! * anomalous samples **dysregulate a fixed subset of genes**: within each
+//!   affected module, roughly half the member genes stop following the
+//!   shared factor (they receive an offset their module-mates do not).
+//!   This is the kind of signal FRaC detects — a *violated conditional
+//!   relationship* between a gene and its predictors — and it is diffuse
+//!   (spread over many genes in several modules), which is exactly the
+//!   property that makes random filtering viable (paper §IV). Note that
+//!   merely shifting a whole module's latent activity would be invisible to
+//!   FRaC: every member gene would shift coherently and each would still be
+//!   perfectly predicted by its mates.
+//!
+//! Generated values: `x_g = μ_g + Σ_m w_{gm} z_m + σ ε_g`, plus the gene's
+//! dysregulation offset when the sample is anomalous.
+
+use crate::rng::Sampler;
+use frac_dataset::{Column, Dataset, Schema};
+
+/// How anomalous samples deviate from the normal generative process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnomalyMode {
+    /// Dysregulated genes receive a constant offset their module-mates do
+    /// not follow. Breaks conditional structure *and* shifts marginals —
+    /// the typical disease-expression signature, used for the paper-table
+    /// surrogates.
+    #[default]
+    Offset,
+    /// Dysregulated genes follow an *independent* copy of their module's
+    /// latent factor: marginal distributions are exactly unchanged, only
+    /// the inter-gene relationship breaks. Invisible to distance/density
+    /// detectors, visible to FRaC — the construction behind the
+    /// irrelevant-variable robustness comparison (paper §I's claim).
+    Decouple,
+}
+
+/// Parameters of the expression surrogate.
+#[derive(Debug, Clone)]
+pub struct ExpressionConfig {
+    /// Total number of gene features.
+    pub n_features: usize,
+    /// Number of latent modules.
+    pub n_modules: usize,
+    /// Fraction of genes loading on modules (the rest are pure noise).
+    pub relevant_fraction: f64,
+    /// Scale of module loadings `w`.
+    pub loading_scale: f64,
+    /// Per-gene observation noise σ.
+    pub noise_sd: f64,
+    /// Number of modules dysregulated in anomalous samples.
+    pub anomaly_modules: usize,
+    /// Latent shift applied to dysregulated modules in anomalies
+    /// (ignored under [`AnomalyMode::Decouple`]).
+    pub anomaly_shift: f64,
+    /// How anomalies deviate (offset vs decoupling).
+    pub anomaly_mode: AnomalyMode,
+    /// Structure seed: module memberships, loadings, baselines, and the
+    /// identity/sign of dysregulated modules are pure functions of this.
+    pub structure_seed: u64,
+}
+
+impl Default for ExpressionConfig {
+    fn default() -> Self {
+        ExpressionConfig {
+            n_features: 500,
+            n_modules: 25,
+            relevant_fraction: 0.6,
+            loading_scale: 1.0,
+            noise_sd: 1.0,
+            anomaly_modules: 6,
+            anomaly_shift: 1.0,
+            anomaly_mode: AnomalyMode::Offset,
+            structure_seed: 0xEE17,
+        }
+    }
+}
+
+/// Per-gene structure: baseline, module loadings.
+#[derive(Debug, Clone)]
+struct Gene {
+    baseline: f64,
+    /// (module index, loading weight); empty for irrelevant genes.
+    loadings: Vec<(usize, f64)>,
+}
+
+/// A fixed expression "study": gene/module structure is frozen at
+/// construction; sampling draws subjects from it.
+#[derive(Debug, Clone)]
+pub struct ExpressionGenerator {
+    config: ExpressionConfig,
+    genes: Vec<Gene>,
+    /// Per-gene offset applied in anomalous samples (0 for unaffected
+    /// genes). Nonzero only for dysregulated members of affected modules,
+    /// whose module-mates do *not* move — the conditional violation FRaC
+    /// detects.
+    anomaly_offsets: Vec<f64>,
+    /// Per-gene modules this gene is *decoupled* from in anomalies (used by
+    /// [`AnomalyMode::Decouple`]; same gene selection as the offsets).
+    decoupled: Vec<Vec<usize>>,
+}
+
+impl ExpressionGenerator {
+    /// Build the study structure from the configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations (no features / no modules /
+    /// more anomaly modules than modules).
+    pub fn new(config: ExpressionConfig) -> Self {
+        assert!(config.n_features > 0, "need at least one feature");
+        assert!(config.n_modules > 0, "need at least one module");
+        assert!(
+            config.anomaly_modules <= config.n_modules,
+            "cannot dysregulate more modules than exist"
+        );
+        let mut s = Sampler::seed_from_u64(config.structure_seed);
+        let genes = (0..config.n_features)
+            .map(|_| {
+                let baseline = s.normal_with(0.0, 1.0);
+                let loadings = if s.bernoulli(config.relevant_fraction) {
+                    // Most relevant genes load on one module; some on two,
+                    // creating the masked-weaker-predictor structure the
+                    // paper's introduction discusses (gene promoted strongly
+                    // by B, weakly by C).
+                    let k = if s.bernoulli(0.3) { 2 } else { 1 };
+                    s.subset(config.n_modules, k)
+                        .into_iter()
+                        .map(|m| {
+                            let sign = if s.bernoulli(0.5) { 1.0 } else { -1.0 };
+                            let w = sign
+                                * config.loading_scale
+                                * s.uniform_range(0.5, 1.5);
+                            (m, w)
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                Gene { baseline, loadings }
+            })
+            .collect();
+        let affected: Vec<(usize, f64)> = s
+            .subset(config.n_modules, config.anomaly_modules)
+            .into_iter()
+            .map(|m| {
+                let sign = if s.bernoulli(0.5) { 1.0 } else { -1.0 };
+                (m, sign * config.anomaly_shift)
+            })
+            .collect();
+        // Dysregulate about half of each affected module's member genes: the
+        // offset (or decoupling) breaks their relationship with the mates
+        // that stay put.
+        let genes: Vec<Gene> = genes;
+        let mut anomaly_offsets = vec![0.0f64; genes.len()];
+        let mut decoupled = vec![Vec::new(); genes.len()];
+        for (gi, g) in genes.iter().enumerate() {
+            for &(m, delta) in &affected {
+                if g.loadings.iter().any(|&(gm, _)| gm == m) && s.bernoulli(0.5) {
+                    anomaly_offsets[gi] += delta;
+                    decoupled[gi].push(m);
+                }
+            }
+        }
+        ExpressionGenerator { config, genes, anomaly_offsets, decoupled }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &ExpressionConfig {
+        &self.config
+    }
+
+    /// Ground-truth gene sets, one per module: the genes loading on it.
+    /// These play the role of GO terms / pathway annotations for CSAX-style
+    /// enrichment experiments, with the advantage that the dysregulated
+    /// modules are known.
+    pub fn module_gene_sets(&self) -> Vec<Vec<usize>> {
+        let mut sets = vec![Vec::new(); self.config.n_modules];
+        for (g, gene) in self.genes.iter().enumerate() {
+            for &(m, _) in &gene.loadings {
+                sets[m].push(g);
+            }
+        }
+        sets
+    }
+
+    /// Indices of the modules dysregulated in anomalies (those containing
+    /// at least one gene with a nonzero anomaly offset).
+    pub fn dysregulated_modules(&self) -> Vec<usize> {
+        let sets = self.module_gene_sets();
+        (0..sets.len())
+            .filter(|&m| sets[m].iter().any(|&g| self.anomaly_offsets[g] != 0.0))
+            .collect()
+    }
+
+    /// Indices of dysregulated genes (nonzero anomaly offset) — the
+    /// ground-truth "relevant to the anomaly" set, useful for
+    /// interpretability experiments.
+    pub fn anomaly_relevant_genes(&self) -> Vec<usize> {
+        self.anomaly_offsets
+            .iter()
+            .enumerate()
+            .filter(|(_, &o)| o != 0.0)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn sample_row(&self, anomalous: bool, s: &mut Sampler) -> Vec<f64> {
+        let z: Vec<f64> = (0..self.config.n_modules).map(|_| s.normal()).collect();
+        (0..self.genes.len())
+            .map(|gi| {
+                let g = &self.genes[gi];
+                let mut signal = 0.0f64;
+                for &(m, w) in &g.loadings {
+                    let factor = if anomalous
+                        && self.config.anomaly_mode == AnomalyMode::Decouple
+                        && self.decoupled[gi].contains(&m)
+                    {
+                        // Decoupled: this gene follows its own private copy
+                        // of the factor — marginals unchanged, relationship
+                        // to module-mates destroyed.
+                        s.normal()
+                    } else {
+                        z[m]
+                    };
+                    signal += w * factor;
+                }
+                let dys = if anomalous && self.config.anomaly_mode == AnomalyMode::Offset {
+                    self.anomaly_offsets[gi]
+                } else {
+                    0.0
+                };
+                g.baseline + signal + dys + s.normal_with(0.0, self.config.noise_sd)
+            })
+            .collect()
+    }
+
+    /// Generate a cohort: `n_normal` normal then `n_anomaly` anomalous
+    /// samples (labels aligned by row: `true` = anomalous). Sampling is a
+    /// pure function of `cohort_seed` given the frozen structure.
+    pub fn generate(
+        &self,
+        n_normal: usize,
+        n_anomaly: usize,
+        cohort_seed: u64,
+    ) -> (Dataset, Vec<bool>) {
+        let mut s = Sampler::seed_from_u64(cohort_seed);
+        let n = n_normal + n_anomaly;
+        let mut columns: Vec<Vec<f64>> = vec![Vec::with_capacity(n); self.config.n_features];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let anomalous = i >= n_normal;
+            let row = self.sample_row(anomalous, &mut s);
+            for (c, v) in columns.iter_mut().zip(row) {
+                c.push(v);
+            }
+            labels.push(anomalous);
+        }
+        let schema = Schema::new(
+            (0..self.config.n_features)
+                .map(|g| frac_dataset::Feature::real(format!("gene{g}")))
+                .collect(),
+        );
+        let data = Dataset::new(schema, columns.into_iter().map(Column::Real).collect());
+        (data, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frac_dataset::stats;
+
+    fn small() -> ExpressionGenerator {
+        ExpressionGenerator::new(ExpressionConfig {
+            n_features: 60,
+            n_modules: 6,
+            relevant_fraction: 0.8,
+            anomaly_modules: 2,
+            anomaly_shift: 2.0,
+            ..ExpressionConfig::default()
+        })
+    }
+
+    #[test]
+    fn shapes_and_labels() {
+        let g = small();
+        let (d, labels) = g.generate(20, 10, 1);
+        assert_eq!(d.n_rows(), 30);
+        assert_eq!(d.n_features(), 60);
+        assert_eq!(labels.iter().filter(|&&a| a).count(), 10);
+        assert!(labels[..20].iter().all(|&a| !a));
+        assert!(labels[20..].iter().all(|&a| a));
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let g1 = small();
+        let g2 = small();
+        let (a, _) = g1.generate(5, 5, 9);
+        let (b, _) = g2.generate(5, 5, 9);
+        assert_eq!(a, b);
+        let (c, _) = g1.generate(5, 5, 10);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn module_mates_are_correlated() {
+        // Two genes loading on the same module must correlate far more than
+        // two irrelevant genes.
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 200,
+            n_modules: 4,
+            relevant_fraction: 1.0,
+            noise_sd: 0.3,
+            anomaly_modules: 1,
+            structure_seed: 3,
+            ..ExpressionConfig::default()
+        });
+        let (d, _) = g.generate(400, 0, 7);
+        // Find two genes sharing a module.
+        let mut pair = None;
+        'outer: for i in 0..g.genes.len() {
+            if g.genes[i].loadings.len() != 1 {
+                continue;
+            }
+            for j in (i + 1)..g.genes.len() {
+                if g.genes[j].loadings.len() == 1
+                    && g.genes[i].loadings[0].0 == g.genes[j].loadings[0].0
+                {
+                    pair = Some((i, j));
+                    break 'outer;
+                }
+            }
+        }
+        let (i, j) = pair.expect("some pair must share a module");
+        let xi = d.column(i).as_real().unwrap();
+        let xj = d.column(j).as_real().unwrap();
+        let corr = correlation(xi, xj).abs();
+        assert!(corr > 0.5, "module mates correlate |r| = {corr}");
+    }
+
+    fn correlation(a: &[f64], b: &[f64]) -> f64 {
+        let ma = stats::mean(a).unwrap();
+        let mb = stats::mean(b).unwrap();
+        let cov: f64 = a.iter().zip(b).map(|(x, y)| (x - ma) * (y - mb)).sum();
+        let va: f64 = a.iter().map(|x| (x - ma) * (x - ma)).sum();
+        let vb: f64 = b.iter().map(|y| (y - mb) * (y - mb)).sum();
+        cov / (va.sqrt() * vb.sqrt())
+    }
+
+    #[test]
+    fn irrelevant_genes_uncorrelated_with_modules() {
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 100,
+            relevant_fraction: 0.0,
+            structure_seed: 4,
+            ..ExpressionConfig::default()
+        });
+        let (d, _) = g.generate(300, 0, 2);
+        let a = d.column(0).as_real().unwrap();
+        let b = d.column(1).as_real().unwrap();
+        assert!(correlation(a, b).abs() < 0.15);
+    }
+
+    #[test]
+    fn anomalies_shift_relevant_genes() {
+        let g = small();
+        let relevant = g.anomaly_relevant_genes();
+        assert!(!relevant.is_empty());
+        let (d, _) = g.generate(300, 300, 5);
+        // Mean |shift| over anomaly-relevant genes must exceed that over
+        // non-relevant genes.
+        let mean_shift = |idx: &[usize]| -> f64 {
+            idx.iter()
+                .map(|&j| {
+                    let col = d.column(j).as_real().unwrap();
+                    let normal_mean = stats::mean(&col[..300]).unwrap();
+                    let anom_mean = stats::mean(&col[300..]).unwrap();
+                    (anom_mean - normal_mean).abs()
+                })
+                .sum::<f64>()
+                / idx.len() as f64
+        };
+        let non_relevant: Vec<usize> =
+            (0..60).filter(|i| !relevant.contains(i)).collect();
+        let rel = mean_shift(&relevant);
+        let non = mean_shift(&non_relevant);
+        assert!(rel > 2.0 * non, "relevant shift {rel} vs irrelevant {non}");
+    }
+
+    #[test]
+    fn zero_shift_means_no_signal() {
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 50,
+            anomaly_shift: 0.0,
+            structure_seed: 8,
+            ..ExpressionConfig::default()
+        });
+        let (d, _) = g.generate(200, 200, 3);
+        // Column means should match between groups within noise.
+        for j in 0..10 {
+            let col = d.column(j).as_real().unwrap();
+            let diff = (stats::mean(&col[..200]).unwrap()
+                - stats::mean(&col[200..]).unwrap())
+            .abs();
+            assert!(diff < 0.5, "gene {j} drifted by {diff}");
+        }
+    }
+
+    #[test]
+    fn decouple_mode_preserves_marginals() {
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 60,
+            n_modules: 6,
+            relevant_fraction: 0.9,
+            anomaly_modules: 3,
+            anomaly_shift: 5.0, // irrelevant under Decouple
+            anomaly_mode: AnomalyMode::Decouple,
+            noise_sd: 0.5,
+            structure_seed: 17,
+            ..ExpressionConfig::default()
+        });
+        let relevant = g.anomaly_relevant_genes();
+        assert!(!relevant.is_empty());
+        let (d, _) = g.generate(600, 600, 4);
+        for &j in relevant.iter().take(10) {
+            let col = d.column(j).as_real().unwrap();
+            let m_normal = stats::mean(&col[..600]).unwrap();
+            let m_anom = stats::mean(&col[600..]).unwrap();
+            let v_normal = stats::variance(&col[..600]).unwrap();
+            let v_anom = stats::variance(&col[600..]).unwrap();
+            assert!(
+                (m_normal - m_anom).abs() < 0.25,
+                "gene {j}: mean shifted {m_normal} vs {m_anom}"
+            );
+            assert!(
+                (v_normal / v_anom).ln().abs() < 0.4,
+                "gene {j}: variance changed {v_normal} vs {v_anom}"
+            );
+        }
+    }
+
+    #[test]
+    fn decouple_mode_breaks_module_correlation() {
+        let g = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 120,
+            n_modules: 4,
+            relevant_fraction: 1.0,
+            anomaly_modules: 4,
+            anomaly_mode: AnomalyMode::Decouple,
+            noise_sd: 0.2,
+            structure_seed: 18,
+            ..ExpressionConfig::default()
+        });
+        // Find a decoupled gene and an intact mate of the same module.
+        let relevant = g.anomaly_relevant_genes();
+        let sets = g.module_gene_sets();
+        let mut pair = None;
+        'outer: for &dys in &relevant {
+            for set in &sets {
+                if set.contains(&dys) {
+                    for &mate in set {
+                        if mate != dys && !relevant.contains(&mate) {
+                            pair = Some((dys, mate));
+                            break 'outer;
+                        }
+                    }
+                }
+            }
+        }
+        let (dys, mate) = pair.expect("some decoupled/intact pair exists");
+        let (d, _) = g.generate(500, 500, 6);
+        let xd = d.column(dys).as_real().unwrap();
+        let xm = d.column(mate).as_real().unwrap();
+        let r_normal = correlation(&xd[..500], &xm[..500]).abs();
+        let r_anom = correlation(&xd[500..], &xm[500..]).abs();
+        assert!(r_normal > 0.5, "normal correlation {r_normal}");
+        assert!(
+            r_anom < r_normal - 0.3,
+            "anomalies must decouple: {r_anom} vs {r_normal}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot dysregulate")]
+    fn rejects_too_many_anomaly_modules() {
+        ExpressionGenerator::new(ExpressionConfig {
+            n_modules: 3,
+            anomaly_modules: 5,
+            ..ExpressionConfig::default()
+        });
+    }
+}

@@ -1,0 +1,35 @@
+//! # frac-synth
+//!
+//! Synthetic surrogates for the paper's eight data sets (Table I).
+//!
+//! The originals are GEO gene-expression and SNP genotyping studies that we
+//! cannot redistribute; these generators produce data with the *structural*
+//! properties FRaC's evaluation depends on:
+//!
+//! * [`expression`] — a latent-factor (gene-module) model: genes load on
+//!   correlated modules, anomalies dysregulate a subset of modules, and a
+//!   configurable fraction of genes is pure noise. This reproduces the
+//!   redundancy ("strong and diffuse signal") that makes random filtering
+//!   work, and the irrelevant-variable load the paper worries about.
+//! * [`snp`] — a population-genetics model: ternary genotypes in
+//!   Hardy–Weinberg proportions from Balding–Nichols subpopulation allele
+//!   frequencies, Gaussian-copula linkage-disequilibrium blocks, optional
+//!   disease-risk loci, and optional ancestry confounding (the schizophrenia
+//!   data set's train/test populations differ — the reason entropy filtering
+//!   "solves" it with AUC ≈ 1.0).
+//! * [`registry`] — one spec per paper data set, at a reduced scale chosen
+//!   so the whole evaluation re-runs on one CPU core (scales documented in
+//!   EXPERIMENTS.md), plus the [`registry::LabeledDataset`] carrier type.
+//! * [`rng`] — seeded samplers (normal, gamma, beta) built on `rand`
+//!   without extra dependencies.
+
+#![warn(missing_docs)]
+
+pub mod expression;
+pub mod registry;
+pub mod rng;
+pub mod snp;
+
+pub use expression::{AnomalyMode, ExpressionConfig, ExpressionGenerator};
+pub use registry::{make_dataset, make_fixed_split, DatasetSpec, LabeledDataset, PAPER_DATASETS};
+pub use snp::{SnpConfig, SnpGenerator, SubpopulationMix};

@@ -1,0 +1,243 @@
+//! Seeded samplers for the generators.
+//!
+//! Built on `rand`'s `StdRng` only; normal, gamma and beta variates are
+//! implemented here (Box–Muller and Marsaglia–Tsang) to avoid an extra
+//! distribution dependency.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A seeded sampler bundling the base RNG with variate transforms.
+#[derive(Debug)]
+pub struct Sampler {
+    rng: StdRng,
+    spare_normal: Option<f64>,
+}
+
+impl Sampler {
+    /// Create from a seed.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Sampler { rng: StdRng::seed_from_u64(seed), spare_normal: None }
+    }
+
+    /// Uniform in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        self.rng.random()
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn uniform_range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.random_range(0..n)
+    }
+
+    /// Bernoulli with success probability `p`.
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal via Box–Muller (pairs cached).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        let u1: f64 = self.uniform().max(1e-300);
+        let u2: f64 = self.uniform();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mu: f64, sigma: f64) -> f64 {
+        mu + sigma * self.normal()
+    }
+
+    /// Gamma(shape, 1) via Marsaglia–Tsang (with the shape<1 boost).
+    ///
+    /// # Panics
+    /// Panics unless `shape > 0`.
+    pub fn gamma(&mut self, shape: f64) -> f64 {
+        assert!(shape > 0.0, "gamma shape must be positive");
+        if shape < 1.0 {
+            // Boost: Gamma(a) = Gamma(a+1) · U^{1/a}.
+            let g = self.gamma(shape + 1.0);
+            let u = self.uniform().max(1e-300);
+            return g * u.powf(1.0 / shape);
+        }
+        let d = shape - 1.0 / 3.0;
+        let c = 1.0 / (9.0 * d).sqrt();
+        loop {
+            let x = self.normal();
+            let v = 1.0 + c * x;
+            if v <= 0.0 {
+                continue;
+            }
+            let v3 = v * v * v;
+            let u = self.uniform().max(1e-300);
+            if u.ln() < 0.5 * x * x + d - d * v3 + d * v3.ln() {
+                return d * v3;
+            }
+        }
+    }
+
+    /// Beta(a, b) via two gammas.
+    ///
+    /// # Panics
+    /// Panics unless both parameters are positive.
+    pub fn beta(&mut self, a: f64, b: f64) -> f64 {
+        let x = self.gamma(a);
+        let y = self.gamma(b);
+        x / (x + y)
+    }
+
+    /// Binomial(n, p) by direct simulation (n is small here: 2 for
+    /// genotypes).
+    pub fn binomial(&mut self, n: u32, p: f64) -> u32 {
+        (0..n).filter(|_| self.bernoulli(p)).count() as u32
+    }
+
+    /// Draw an index from a discrete distribution given by weights.
+    ///
+    /// # Panics
+    /// Panics if weights are empty or sum to a non-positive value.
+    pub fn categorical(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(!weights.is_empty() && total > 0.0, "bad categorical weights");
+        let mut u = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            u -= w;
+            if u <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// A random subset of `0..n` of exactly `k` elements (partial
+    /// Fisher–Yates), in random order.
+    ///
+    /// # Panics
+    /// Panics if `k > n`.
+    pub fn subset(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "subset larger than ground set");
+        let mut idx: Vec<usize> = (0..n).collect();
+        for i in 0..k {
+            let j = i + self.index(n - i);
+            idx.swap(i, j);
+        }
+        idx.truncate(k);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Sampler::seed_from_u64(5);
+        let mut b = Sampler::seed_from_u64(5);
+        for _ in 0..100 {
+            assert_eq!(a.normal(), b.normal());
+            assert_eq!(a.gamma(2.5), b.gamma(2.5));
+        }
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut s = Sampler::seed_from_u64(1);
+        let xs: Vec<f64> = (0..20000).map(|_| s.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn gamma_mean_matches_shape() {
+        let mut s = Sampler::seed_from_u64(2);
+        for &shape in &[0.5, 1.0, 3.0, 10.0] {
+            let n = 20000;
+            let mean: f64 = (0..n).map(|_| s.gamma(shape)).sum::<f64>() / n as f64;
+            assert!(
+                (mean - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn beta_mean_matches_parameters() {
+        let mut s = Sampler::seed_from_u64(3);
+        let (a, b) = (2.0, 5.0);
+        let n = 20000;
+        let mean: f64 = (0..n).map(|_| s.beta(a, b)).sum::<f64>() / n as f64;
+        assert!((mean - a / (a + b)).abs() < 0.01, "mean {mean}");
+        // Support check.
+        for _ in 0..100 {
+            let x = s.beta(0.5, 0.5);
+            assert!((0.0..=1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn binomial_two_trials_hardy_weinberg() {
+        let mut s = Sampler::seed_from_u64(4);
+        let p = 0.3;
+        let n = 30000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[s.binomial(2, p) as usize] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / n as f64).collect();
+        assert!((freq[0] - 0.49).abs() < 0.02);
+        assert!((freq[1] - 0.42).abs() < 0.02);
+        assert!((freq[2] - 0.09).abs() < 0.02);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut s = Sampler::seed_from_u64(6);
+        let mut counts = [0usize; 3];
+        for _ in 0..30000 {
+            counts[s.categorical(&[1.0, 2.0, 7.0])] += 1;
+        }
+        assert!((counts[2] as f64 / 30000.0 - 0.7).abs() < 0.02);
+        assert!((counts[0] as f64 / 30000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn subset_is_exact_and_distinct() {
+        let mut s = Sampler::seed_from_u64(7);
+        let sub = s.subset(100, 17);
+        assert_eq!(sub.len(), 17);
+        let set: std::collections::HashSet<_> = sub.iter().collect();
+        assert_eq!(set.len(), 17);
+        assert!(sub.iter().all(|&i| i < 100));
+        // Full subset is a permutation.
+        let full = s.subset(10, 10);
+        let mut sorted = full.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uniform_range_bounds() {
+        let mut s = Sampler::seed_from_u64(8);
+        for _ in 0..1000 {
+            let x = s.uniform_range(-2.0, 3.0);
+            assert!((-2.0..3.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,518 @@
+//! Population-genetics SNP generator.
+//!
+//! Surrogate for the paper's genotyping data sets (autism GSE6754 and the
+//! compound HapMap/schizophrenia set). Each feature is a common single
+//! nucleotide polymorphism: a **ternary** categorical variable (homozygous
+//! major / heterozygous / homozygous minor), exactly the representation the
+//! paper describes. The model:
+//!
+//! * **Ancestral allele frequencies** are drawn uniformly from a
+//!   common-variant range (the paper notes rare variants are useless for
+//!   anomaly detection, so we only generate common ones).
+//! * **Subpopulations** perturb frequencies by the Balding–Nichols model
+//!   `p_s ~ Beta(p̄(1−F)/F′, (1−p̄)(1−F)/F′)` with differentiation `F`,
+//!   giving HapMap-style ancestry structure — the confound that lets entropy
+//!   filtering "diagnose schizophrenia" with AUC ≈ 1.0 in the paper.
+//! * **Linkage disequilibrium** ties adjacent SNPs in blocks through a
+//!   Gaussian copula, providing the signal redundancy random filtering
+//!   exploits.
+//! * **Disease loci** (optional) shift the risk-allele frequency in cases —
+//!   the PLXNA2/GRIN2B-style weak true signal of the paper's §IV.
+//! * Genotypes fall in Hardy–Weinberg proportions `( (1−p)², 2p(1−p), p² )`.
+
+use crate::rng::Sampler;
+use frac_dataset::{Column, Dataset, Schema};
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (|error| < 1.5e-7 — far below the genotype-probability resolution).
+pub fn norm_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    let erf = {
+        let s = t.signum();
+        let a = t.abs();
+        let p = 0.3275911;
+        let u = 1.0 / (1.0 + p * a);
+        let poly = u
+            * (0.254829592
+                + u * (-0.284496736 + u * (1.421413741 + u * (-1.453152027 + u * 1.061405429))));
+        s * (1.0 - poly * (-a * a).exp())
+    };
+    0.5 * (1.0 + erf)
+}
+
+/// Parameters of the SNP surrogate.
+#[derive(Debug, Clone)]
+pub struct SnpConfig {
+    /// Number of SNP features.
+    pub n_snps: usize,
+    /// SNPs per linkage-disequilibrium block.
+    pub ld_block_size: usize,
+    /// Copula correlation within a block (0 = independent SNPs).
+    pub ld_rho: f64,
+    /// Number of subpopulations with distinct allele frequencies.
+    pub n_subpops: usize,
+    /// Balding–Nichols differentiation F (≈ F_ST); 0 = panmictic.
+    pub fst: f64,
+    /// Ancestral minor-allele-frequency range (common variants only).
+    pub maf_range: (f64, f64),
+    /// Number of disease-associated loci.
+    pub n_disease_loci: usize,
+    /// Risk-allele frequency shift in cases at disease loci.
+    pub disease_effect: f64,
+    /// Fraction of SNPs that are ancestry-informative markers (AIMs):
+    /// loci whose differentiation uses `aim_fst` instead of `fst`. Real
+    /// F_ST distributions are heavy-tailed; a small set of high-divergence
+    /// markers is what lets entropy filtering "solve" the confounded
+    /// schizophrenia data set while a random 5% subset usually misses them.
+    pub aim_fraction: f64,
+    /// Balding–Nichols differentiation at AIM loci.
+    pub aim_fst: f64,
+    /// Structure seed: frequencies, blocks and disease loci are pure
+    /// functions of this.
+    pub structure_seed: u64,
+}
+
+impl Default for SnpConfig {
+    fn default() -> Self {
+        SnpConfig {
+            n_snps: 500,
+            ld_block_size: 8,
+            ld_rho: 0.6,
+            n_subpops: 1,
+            fst: 0.1,
+            maf_range: (0.05, 0.5),
+            n_disease_loci: 0,
+            disease_effect: 0.15,
+            aim_fraction: 0.0,
+            aim_fst: 0.0,
+            structure_seed: 0x5189,
+        }
+    }
+}
+
+/// A mixture over subpopulations, used to describe a cohort's ancestry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubpopulationMix {
+    weights: Vec<f64>,
+}
+
+impl SubpopulationMix {
+    /// A mixture with the given (unnormalized) weights, one per subpop.
+    ///
+    /// # Panics
+    /// Panics if empty or non-positive total.
+    pub fn new(weights: Vec<f64>) -> Self {
+        assert!(
+            !weights.is_empty() && weights.iter().sum::<f64>() > 0.0,
+            "mixture weights must be non-empty with positive total"
+        );
+        SubpopulationMix { weights }
+    }
+
+    /// All mass on one subpopulation.
+    pub fn single(pop: usize, n_subpops: usize) -> Self {
+        let mut w = vec![0.0; n_subpops];
+        w[pop] = 1.0;
+        SubpopulationMix { weights: w }
+    }
+
+    /// Uniform over `n` subpopulations.
+    pub fn uniform(n_subpops: usize) -> Self {
+        SubpopulationMix { weights: vec![1.0; n_subpops] }
+    }
+
+    /// The weights.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
+    }
+}
+
+/// One cohort group to generate: `n` individuals from `mix`, case or
+/// control.
+#[derive(Debug, Clone)]
+pub struct CohortGroup {
+    /// Number of individuals.
+    pub n: usize,
+    /// Ancestry mixture of the group.
+    pub mix: SubpopulationMix,
+    /// Whether these individuals are cases (anomalies).
+    pub is_case: bool,
+}
+
+/// A fixed SNP "study": frequencies and structure frozen at construction.
+#[derive(Debug, Clone)]
+pub struct SnpGenerator {
+    config: SnpConfig,
+    /// `freqs[pop][snp]` = minor-allele frequency.
+    freqs: Vec<Vec<f64>>,
+    disease_loci: Vec<usize>,
+    /// Designated ancestry-informative markers (high-F_ST loci).
+    aims: Vec<usize>,
+}
+
+impl SnpGenerator {
+    /// Build the study structure from the configuration.
+    ///
+    /// # Panics
+    /// Panics on degenerate configurations.
+    pub fn new(config: SnpConfig) -> Self {
+        assert!(config.n_snps > 0, "need at least one SNP");
+        assert!(config.n_subpops > 0, "need at least one subpopulation");
+        assert!(config.ld_block_size > 0, "block size must be positive");
+        assert!(
+            (0.0..1.0).contains(&config.ld_rho),
+            "ld_rho must be in [0, 1)"
+        );
+        assert!((0.0..1.0).contains(&config.fst), "fst must be in [0, 1)");
+        let (lo, hi) = config.maf_range;
+        assert!(0.0 < lo && lo < hi && hi <= 0.5, "bad MAF range");
+        assert!(
+            config.n_disease_loci <= config.n_snps,
+            "more disease loci than SNPs"
+        );
+
+        assert!(
+            (0.0..=1.0).contains(&config.aim_fraction),
+            "aim_fraction must be in [0, 1]"
+        );
+        assert!((0.0..1.0).contains(&config.aim_fst), "aim_fst must be in [0, 1)");
+
+        let mut s = Sampler::seed_from_u64(config.structure_seed);
+        let n_aims = (config.aim_fraction * config.n_snps as f64).round() as usize;
+        let mut aims = s.subset(config.n_snps, n_aims);
+        aims.sort_unstable();
+        let is_aim = {
+            let mut mask = vec![false; config.n_snps];
+            for &j in &aims {
+                mask[j] = true;
+            }
+            mask
+        };
+        let ancestral: Vec<f64> = (0..config.n_snps)
+            .map(|j| {
+                if is_aim[j] {
+                    // AIMs get common ancestral frequencies so their pooled
+                    // genotype entropy is high — the property the entropy
+                    // filter ranks by.
+                    s.uniform_range(0.3, 0.5)
+                } else {
+                    s.uniform_range(lo, hi)
+                }
+            })
+            .collect();
+        let freqs: Vec<Vec<f64>> = (0..config.n_subpops)
+            .map(|_| {
+                ancestral
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &p)| {
+                        let fst = if is_aim[j] { config.aim_fst } else { config.fst };
+                        if fst <= 0.0 {
+                            p
+                        } else {
+                            let scale = (1.0 - fst) / fst;
+                            s.beta((p * scale).max(1e-3), ((1.0 - p) * scale).max(1e-3))
+                                .clamp(0.005, 0.995)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let disease_loci = s.subset(config.n_snps, config.n_disease_loci);
+        SnpGenerator { config, freqs, disease_loci, aims }
+    }
+
+    /// The designated ancestry-informative markers (empty when
+    /// `aim_fraction` is 0).
+    pub fn aims(&self) -> &[usize] {
+        &self.aims
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SnpConfig {
+        &self.config
+    }
+
+    /// The disease-associated loci (ground truth for interpretability
+    /// checks, the paper's PLXNA2/GRIN2B analogue).
+    pub fn disease_loci(&self) -> &[usize] {
+        &self.disease_loci
+    }
+
+    /// Minor-allele frequency of `snp` in `pop`.
+    pub fn frequency(&self, pop: usize, snp: usize) -> f64 {
+        self.freqs[pop][snp]
+    }
+
+    /// SNPs ranked by cross-subpopulation frequency divergence (max−min),
+    /// descending — the ancestry-informative markers entropy filtering
+    /// latches onto.
+    pub fn ancestry_informative_loci(&self) -> Vec<usize> {
+        let mut div: Vec<(f64, usize)> = (0..self.config.n_snps)
+            .map(|j| {
+                let mut lo = f64::INFINITY;
+                let mut hi = f64::NEG_INFINITY;
+                for pop in &self.freqs {
+                    lo = lo.min(pop[j]);
+                    hi = hi.max(pop[j]);
+                }
+                (hi - lo, j)
+            })
+            .collect();
+        div.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap().then(a.1.cmp(&b.1)));
+        div.into_iter().map(|(_, j)| j).collect()
+    }
+
+    /// Sample one individual's genotype row.
+    fn sample_row(&self, mix: &SubpopulationMix, is_case: bool, s: &mut Sampler) -> Vec<u32> {
+        assert_eq!(
+            mix.weights().len(),
+            self.config.n_subpops,
+            "mixture arity must match subpopulation count"
+        );
+        let pop = s.categorical(mix.weights());
+        let rho = self.config.ld_rho;
+        let noise_scale = (1.0 - rho * rho).sqrt();
+        let mut row = Vec::with_capacity(self.config.n_snps);
+        let mut block_u = 0.0f64;
+        for j in 0..self.config.n_snps {
+            if j % self.config.ld_block_size == 0 {
+                block_u = s.normal();
+            }
+            let z = rho * block_u + noise_scale * s.normal();
+            let u = norm_cdf(z);
+            let p = self.freqs[pop][j];
+            let q = 1.0 - p;
+            // Hardy–Weinberg thresholds on the copula uniform.
+            let g = if u < q * q {
+                0
+            } else if u < q * q + 2.0 * p * q {
+                1
+            } else {
+                2
+            };
+            row.push(g);
+        }
+        if is_case && self.config.n_disease_loci > 0 {
+            // Cases re-draw disease loci with an enriched risk allele
+            // (independent of the copula: the effect is marginal).
+            for &j in &self.disease_loci {
+                let p = (self.freqs[pop][j] + self.config.disease_effect).clamp(0.005, 0.995);
+                row[j] = s.binomial(2, p);
+            }
+        }
+        row
+    }
+
+    /// Generate a cohort of several groups (concatenated in order). Returns
+    /// the data set and per-row case labels.
+    pub fn generate(&self, groups: &[CohortGroup], cohort_seed: u64) -> (Dataset, Vec<bool>) {
+        let mut s = Sampler::seed_from_u64(cohort_seed);
+        let n_total: usize = groups.iter().map(|g| g.n).sum();
+        let mut columns: Vec<Vec<u32>> = vec![Vec::with_capacity(n_total); self.config.n_snps];
+        let mut labels = Vec::with_capacity(n_total);
+        for group in groups {
+            for _ in 0..group.n {
+                let row = self.sample_row(&group.mix, group.is_case, &mut s);
+                for (c, v) in columns.iter_mut().zip(row) {
+                    c.push(v);
+                }
+                labels.push(group.is_case);
+            }
+        }
+        let schema = Schema::new(
+            (0..self.config.n_snps)
+                .map(|j| frac_dataset::Feature::categorical(format!("rs{j}"), 3))
+                .collect(),
+        );
+        let data = Dataset::new(
+            schema,
+            columns
+                .into_iter()
+                .map(|codes| Column::Categorical { arity: 3, codes })
+                .collect(),
+        );
+        (data, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((norm_cdf(1.96) - 0.9750021).abs() < 1e-5);
+        assert!((norm_cdf(-1.0) - 0.1586553).abs() < 1e-5);
+        assert!(norm_cdf(8.0) > 0.999999);
+        assert!(norm_cdf(-8.0) < 1e-6);
+    }
+
+    fn gen(config: SnpConfig) -> SnpGenerator {
+        SnpGenerator::new(config)
+    }
+
+    fn control_group(n: usize, pops: usize) -> CohortGroup {
+        CohortGroup { n, mix: SubpopulationMix::uniform(pops), is_case: false }
+    }
+
+    #[test]
+    fn genotypes_follow_hardy_weinberg() {
+        let g = gen(SnpConfig {
+            n_snps: 4,
+            ld_rho: 0.0,
+            n_subpops: 1,
+            fst: 0.0,
+            structure_seed: 1,
+            ..SnpConfig::default()
+        });
+        let (d, _) = g.generate(&[control_group(6000, 1)], 2);
+        for j in 0..4 {
+            let p = g.frequency(0, j);
+            let codes = d.column(j).as_categorical().unwrap();
+            let mut counts = [0usize; 3];
+            for &c in codes {
+                counts[c as usize] += 1;
+            }
+            let n = codes.len() as f64;
+            let expect = [(1.0 - p) * (1.0 - p), 2.0 * p * (1.0 - p), p * p];
+            for k in 0..3 {
+                let obs = counts[k] as f64 / n;
+                assert!(
+                    (obs - expect[k]).abs() < 0.02,
+                    "snp {j} genotype {k}: {obs} vs {}",
+                    expect[k]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ld_blocks_are_correlated() {
+        let g = gen(SnpConfig {
+            n_snps: 16,
+            ld_block_size: 8,
+            ld_rho: 0.8,
+            n_subpops: 1,
+            fst: 0.0,
+            structure_seed: 2,
+            ..SnpConfig::default()
+        });
+        let (d, _) = g.generate(&[control_group(3000, 1)], 3);
+        let corr = |a: usize, b: usize| -> f64 {
+            let xa: Vec<f64> = d.column(a).as_categorical().unwrap().iter().map(|&c| c as f64).collect();
+            let xb: Vec<f64> = d.column(b).as_categorical().unwrap().iter().map(|&c| c as f64).collect();
+            let ma = xa.iter().sum::<f64>() / xa.len() as f64;
+            let mb = xb.iter().sum::<f64>() / xb.len() as f64;
+            let cov: f64 = xa.iter().zip(&xb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = xa.iter().map(|x| (x - ma) * (x - ma)).sum();
+            let vb: f64 = xb.iter().map(|y| (y - mb) * (y - mb)).sum();
+            cov / (va.sqrt() * vb.sqrt())
+        };
+        // Same block (0,1) strongly correlated; cross-block (0, 8) not.
+        assert!(corr(0, 1) > 0.3, "within-block r = {}", corr(0, 1));
+        assert!(corr(0, 8).abs() < 0.1, "cross-block r = {}", corr(0, 8));
+    }
+
+    #[test]
+    fn subpopulations_diverge_with_fst() {
+        let g = gen(SnpConfig {
+            n_snps: 300,
+            n_subpops: 3,
+            fst: 0.15,
+            structure_seed: 5,
+            ..SnpConfig::default()
+        });
+        let ranked = g.ancestry_informative_loci();
+        assert_eq!(ranked.len(), 300);
+        let top_div = {
+            let j = ranked[0];
+            let f: Vec<f64> = (0..3).map(|p| g.frequency(p, j)).collect();
+            f.iter().cloned().fold(f64::MIN, f64::max)
+                - f.iter().cloned().fold(f64::MAX, f64::min)
+        };
+        assert!(top_div > 0.2, "top ancestry divergence {top_div}");
+    }
+
+    #[test]
+    fn zero_fst_means_identical_populations() {
+        let g = gen(SnpConfig {
+            n_snps: 50,
+            n_subpops: 3,
+            fst: 0.0,
+            structure_seed: 6,
+            ..SnpConfig::default()
+        });
+        for j in 0..50 {
+            assert_eq!(g.frequency(0, j), g.frequency(1, j));
+            assert_eq!(g.frequency(1, j), g.frequency(2, j));
+        }
+    }
+
+    #[test]
+    fn disease_loci_shift_case_genotypes() {
+        let g = gen(SnpConfig {
+            n_snps: 100,
+            ld_rho: 0.0,
+            n_subpops: 1,
+            fst: 0.0,
+            n_disease_loci: 5,
+            disease_effect: 0.3,
+            structure_seed: 7,
+            ..SnpConfig::default()
+        });
+        let groups = [
+            control_group(2000, 1),
+            CohortGroup { n: 2000, mix: SubpopulationMix::single(0, 1), is_case: true },
+        ];
+        let (d, labels) = g.generate(&groups, 8);
+        let mean_geno = |j: usize, case: bool| -> f64 {
+            let codes = d.column(j).as_categorical().unwrap();
+            let vals: Vec<f64> = codes
+                .iter()
+                .zip(&labels)
+                .filter(|(_, &l)| l == case)
+                .map(|(&c, _)| c as f64)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len() as f64
+        };
+        for &j in g.disease_loci() {
+            let shift = mean_geno(j, true) - mean_geno(j, false);
+            // Expected genotype shift ≈ 2 × effect = 0.6.
+            assert!(shift > 0.3, "locus {j} shift {shift}");
+        }
+        // Non-disease loci do not shift.
+        let j_null = (0..100).find(|j| !g.disease_loci().contains(j)).unwrap();
+        let shift = (mean_geno(j_null, true) - mean_geno(j_null, false)).abs();
+        assert!(shift < 0.1, "null locus shifted by {shift}");
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let cfg = SnpConfig { n_snps: 30, structure_seed: 11, ..SnpConfig::default() };
+        let (a, _) = gen(cfg.clone()).generate(&[control_group(10, 1)], 4);
+        let (b, _) = gen(cfg).generate(&[control_group(10, 1)], 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn labels_match_groups() {
+        let g = gen(SnpConfig { n_snps: 5, structure_seed: 12, ..SnpConfig::default() });
+        let groups = [
+            control_group(3, 1),
+            CohortGroup { n: 2, mix: SubpopulationMix::single(0, 1), is_case: true },
+        ];
+        let (d, labels) = g.generate(&groups, 1);
+        assert_eq!(d.n_rows(), 5);
+        assert_eq!(labels, vec![false, false, false, true, true]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixture arity")]
+    fn mismatched_mix_rejected() {
+        let g = gen(SnpConfig { n_subpops: 2, ..SnpConfig::default() });
+        let groups = [CohortGroup { n: 1, mix: SubpopulationMix::uniform(3), is_case: false }];
+        g.generate(&groups, 0);
+    }
+}

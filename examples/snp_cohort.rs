@@ -1,0 +1,145 @@
+//! SNP cohort analysis on the schizophrenia surrogate, reproducing the
+//! paper's §IV interpretation workflow:
+//!
+//! 1. Entropy filtering reaches near-perfect AUC — but by detecting
+//!    *ancestry*, not disease: the kept features are overwhelmingly the
+//!    designated ancestry-informative markers (the paper's "allele
+//!    frequencies that differ substantially across HapMap populations").
+//! 2. The random-filter ensemble scores lower, but the SNP models most
+//!    responsible for the *cases'* surprisal (case-vs-control contribution
+//!    difference) are enriched for true disease loci, checked with the same
+//!    hypergeometric tail test the paper uses for PLXNA2/GRIN2B
+//!    (p = 0.011 there).
+//!
+//! ```text
+//! cargo run --release --example snp_cohort
+//! ```
+
+use frac::core::{run_variant, FeatureSelector, Variant};
+use frac::eval::auc_from_scores;
+use frac::eval::experiments::config_for;
+use frac::synth::registry::{make_fixed_split, spec, SpecKind};
+use frac::synth::snp::SnpGenerator;
+use std::collections::HashSet;
+
+/// Hypergeometric tail P(X ≥ k) of drawing `k` of `m` marked items in `n`
+/// draws from a population of `total` (the paper's enrichment test).
+fn hypergeometric_tail(total: u64, marked: u64, draws: u64, k: u64) -> f64 {
+    let ln_choose = |n: u64, r: u64| -> f64 {
+        if r > n {
+            return f64::NEG_INFINITY;
+        }
+        let mut acc = 0.0;
+        for i in 0..r {
+            acc += ((n - i) as f64).ln() - ((r - i) as f64).ln();
+        }
+        acc
+    };
+    let denom = ln_choose(total, draws);
+    (k..=draws.min(marked))
+        .map(|x| (ln_choose(marked, x) + ln_choose(total - marked, draws - x) - denom).exp())
+        .sum()
+}
+
+fn main() {
+    let s = spec("schizophrenia");
+    let (train, test) = make_fixed_split(s.default_seed);
+    let cfg = config_for(&s);
+    let generator = match &s.kind {
+        SpecKind::Snp(c) => SnpGenerator::new(c.clone()),
+        _ => unreachable!("schizophrenia is a SNP surrogate"),
+    };
+
+    println!(
+        "schizophrenia surrogate: {} SNPs; train = {} HapMap-style normals;\n\
+         test = {} normals + {} cases from a different ancestry mix\n",
+        train.n_features(),
+        train.n_rows(),
+        test.n_normal(),
+        test.n_anomaly()
+    );
+
+    // ---- 1. entropy filtering: the ancestry shortcut ----
+    let entropy = run_variant(
+        &train,
+        &test.data,
+        &Variant::FullFilter { selector: FeatureSelector::Entropy, p: 0.05 },
+        &cfg,
+    );
+    let auc_e = auc_from_scores(&entropy.ns, &test.labels);
+    let kept: HashSet<usize> = entropy.selected_features.clone().unwrap().into_iter().collect();
+    let aims: HashSet<usize> = generator.aims().iter().copied().collect();
+    let kept_aims = kept.intersection(&aims).count();
+    println!("entropy filtering (p=.05): AUC = {auc_e:.3}");
+    println!(
+        "  kept {} SNPs, of which {} are ancestry-informative markers \
+         ({} AIMs exist among {} SNPs)",
+        kept.len(),
+        kept_aims,
+        aims.len(),
+        train.n_features()
+    );
+    println!(
+        "  → the near-perfect AUC is ancestry detection, not disease biology \
+         (the paper's caveat).\n"
+    );
+
+    // ---- 2. random-filter ensemble: slower but honest ----
+    let ensemble = run_variant(
+        &train,
+        &test.data,
+        &Variant::Ensemble {
+            base: Box::new(Variant::FullFilter { selector: FeatureSelector::Random, p: 0.05 }),
+            members: 10,
+        },
+        &cfg,
+    );
+    let auc_r = auc_from_scores(&ensemble.ns, &test.labels);
+    println!("random-filter ensemble (10 × p=.05): AUC = {auc_r:.3}");
+
+    // The paper found two disease-adjacent SNPs among the top predictive
+    // models of its random run. Our analogous question: which SNP models
+    // drive the *cases'* surprisal specifically? Rank modeled SNPs by mean
+    // NS contribution in cases minus controls, then test the top 20 for
+    // disease-locus enrichment with the paper's hypergeometric tail.
+    let n_cases = test.labels.iter().filter(|&&l| l).count() as f64;
+    let n_ctrl = test.labels.len() as f64 - n_cases;
+    let mut differential: Vec<(usize, f64)> = ensemble
+        .contributions
+        .feature_ids
+        .iter()
+        .zip(&ensemble.contributions.values)
+        .map(|(&f, col)| {
+            let (mut case_sum, mut ctrl_sum) = (0.0f64, 0.0f64);
+            for (v, &is_case) in col.iter().zip(&test.labels) {
+                if is_case {
+                    case_sum += v;
+                } else {
+                    ctrl_sum += v;
+                }
+            }
+            (f, case_sum / n_cases - ctrl_sum / n_ctrl)
+        })
+        .collect();
+    differential.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    let top20: Vec<usize> = differential.iter().take(20).map(|&(f, _)| f).collect();
+    let disease: HashSet<usize> = generator.disease_loci().iter().copied().collect();
+    let hits = top20.iter().filter(|f| disease.contains(f)).count();
+    let pool = differential.len() as u64;
+    let marked = differential
+        .iter()
+        .filter(|(f, _)| disease.contains(f))
+        .count() as u64;
+    let p = hypergeometric_tail(pool, marked, 20, hits as u64);
+    println!(
+        "  top-20 case-differential SNP models contain {hits} of the {} disease loci \
+         present among the {} modeled SNPs",
+        marked, pool
+    );
+    println!("  hypergeometric P(X ≥ {hits}) = {p:.4} (paper's analogous test: 0.011)");
+    if hits > 0 {
+        println!("  → like PLXNA2/GRIN2B in the paper, real disease loci surface among");
+        println!("    the models most responsible for the cases' surprisal, even though");
+        println!("    ancestry dominates the overall score.");
+    }
+}

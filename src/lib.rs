@@ -1,0 +1,67 @@
+//! # frac — Scalable FRaC Variants
+//!
+//! A from-scratch Rust implementation of the FRaC (Feature Regression and
+//! Classification) anomaly-detection algorithm and its scalable variants,
+//! reproducing *Cousins, Pietras, Slonim — "Scalable FRaC Variants: Anomaly
+//! Detection for Precision Medicine", IPPS 2017*.
+//!
+//! FRaC trains one supervised model per feature (predicting it from the
+//! other features) and scores a test sample by its **normalized surprisal**:
+//! the total information its feature values carry, conditioned on each
+//! other, relative to each feature's baseline entropy. High surprisal =
+//! anomaly. The variants — random/entropy filtering, Diverse FRaC,
+//! ensembles, Johnson–Lindenstrauss pre-projection — preserve detection
+//! accuracy at a small fraction of the computation and memory.
+//!
+//! This crate is a facade re-exporting the workspace:
+//!
+//! * [`dataset`] — mixed real/categorical data sets, entropy, splits, I/O
+//! * [`learn`] — linear SVR/SVC (dual coordinate descent), decision trees,
+//!   error models, cross-validation
+//! * [`projection`] — one-hot encoding and JL random projections
+//! * [`synth`] — synthetic surrogates for the paper's 8 data sets
+//! * [`core`] — FRaC itself plus all variants
+//! * [`baselines`] — the competing detectors the FRaC papers compare
+//!   against (LOF, one-class SVM, k-NN distance)
+//! * [`eval`] — AUC, the replicate protocol, experiment rosters
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use frac::core::{run_variant, FracConfig, Variant};
+//! use frac::eval::auc_from_scores;
+//! use frac::synth::{ExpressionConfig, ExpressionGenerator};
+//!
+//! // A small synthetic expression study: 20 genes, anomalies dysregulate
+//! // two modules.
+//! let generator = ExpressionGenerator::new(ExpressionConfig {
+//!     n_features: 20,
+//!     n_modules: 4,
+//!     anomaly_modules: 2,
+//!     anomaly_shift: 3.0,
+//!     noise_sd: 0.5,
+//!     relevant_fraction: 0.9,
+//!     ..ExpressionConfig::default()
+//! });
+//! let (data, labels) = generator.generate(24, 6, 7);
+//!
+//! // Train on the first 18 (normal) samples, test on the rest.
+//! let train = data.select_rows(&(0..18).collect::<Vec<_>>());
+//! let test = data.select_rows(&(18..30).collect::<Vec<_>>());
+//! let test_labels = &labels[18..30];
+//!
+//! let outcome = run_variant(&train, &test, &Variant::Full, &FracConfig::default());
+//! let auc = auc_from_scores(&outcome.ns, test_labels);
+//! assert!(auc > 0.5, "anomalies should rank above normals (AUC = {auc})");
+//! ```
+//!
+//! See `examples/` for realistic end-to-end scenarios and `crates/bench`
+//! for the binaries regenerating every table and figure of the paper.
+
+pub use frac_baselines as baselines;
+pub use frac_core as core;
+pub use frac_dataset as dataset;
+pub use frac_eval as eval;
+pub use frac_learn as learn;
+pub use frac_projection as projection;
+pub use frac_synth as synth;

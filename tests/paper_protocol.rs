@@ -1,0 +1,161 @@
+//! Integration tests of the paper's experimental protocol and its headline
+//! resource claims, at miniature scale.
+
+use frac::core::{FeatureSelector, FracConfig, Variant};
+use frac::eval::replicates::{aggregate, run_replicates};
+use frac::synth::registry::LabeledDataset;
+use frac::synth::{ExpressionConfig, ExpressionGenerator};
+
+fn mini_dataset() -> LabeledDataset {
+    let g = ExpressionGenerator::new(ExpressionConfig {
+        n_features: 40,
+        n_modules: 6,
+        relevant_fraction: 0.85,
+        anomaly_modules: 2,
+        anomaly_shift: 2.8,
+        noise_sd: 0.7,
+        structure_seed: 5,
+        ..ExpressionConfig::default()
+    });
+    let (data, labels) = g.generate(30, 10, 9);
+    LabeledDataset { name: "mini".into(), data, labels }
+}
+
+#[test]
+fn replicate_splits_follow_two_thirds_rule() {
+    let ld = mini_dataset();
+    let results = run_replicates(&ld, &Variant::Full, &FracConfig::default(), 2, 1);
+    for r in &results {
+        // 30 normals → 20 train, 10 test normals + 10 anomalies.
+        assert_eq!(r.ns.len(), 20);
+        assert_eq!(r.labels.iter().filter(|&&l| !l).count(), 10);
+        assert_eq!(r.labels.iter().filter(|&&l| l).count(), 10);
+    }
+}
+
+#[test]
+fn filtering_preserves_auc_at_fraction_of_cost() {
+    // The paper's central claim, in miniature: an ensemble of random
+    // filtering keeps the AUC while cutting compute and memory hard.
+    let ld = mini_dataset();
+    let cfg = FracConfig::default();
+    let full = aggregate(&run_replicates(&ld, &Variant::Full, &cfg, 3, 2));
+    // p = 0.3 at this miniature scale keeps 12 of 40 features per member —
+    // proportionally more than the paper's 5% of 20k, because a 40-feature
+    // problem has far less redundancy to hide behind. Member count is kept
+    // at 3: per-model solver epochs grow as the input dimension shrinks
+    // (see EXPERIMENTS.md's Table IV note), which at this tiny scale erodes
+    // the per-member savings that dominate at real scale.
+    let ens = aggregate(&run_replicates(
+        &ld,
+        &Variant::Ensemble {
+            base: Box::new(Variant::FullFilter {
+                selector: FeatureSelector::Random,
+                p: 0.3,
+            }),
+            members: 3,
+        },
+        &cfg,
+        3,
+        2,
+    ));
+    assert!(full.mean_auc > 0.7, "full AUC {}", full.mean_auc);
+    let auc_frac = ens.auc_fraction_of(&full);
+    assert!(auc_frac > 0.8, "AUC fraction {auc_frac}");
+    let time_frac = ens.time_fraction_of(&full);
+    assert!(time_frac < 0.95, "time fraction {time_frac}");
+    let mem_frac = ens.mem_fraction_of(&full);
+    assert!(mem_frac < 0.95, "memory fraction {mem_frac}");
+}
+
+#[test]
+fn diverse_at_half_p_roughly_halves_memory() {
+    // Table IV's signature: Diverse p=½ sits near 50% memory, far from the
+    // tiny filtering footprints.
+    let ld = mini_dataset();
+    let cfg = FracConfig::default();
+    let full = aggregate(&run_replicates(&ld, &Variant::Full, &cfg, 2, 3));
+    let diverse = aggregate(&run_replicates(
+        &ld,
+        &Variant::Diverse { p: 0.5, models_per_feature: 1 },
+        &cfg,
+        2,
+        3,
+    ));
+    let mem_frac = diverse.mem_fraction_of(&full);
+    assert!(
+        (0.3..0.9).contains(&mem_frac),
+        "diverse memory fraction {mem_frac} should be near ½"
+    );
+    // At miniature scale, time savings are partly eaten by slower solver
+    // convergence on the reduced problems (the full-scale benches show the
+    // paper's ≈0.35 ratio); just require it not blow up.
+    let time_frac = diverse.time_fraction_of(&full);
+    assert!(time_frac < 1.6, "diverse time fraction {time_frac}");
+}
+
+#[test]
+fn ensembles_stabilize_random_filtering() {
+    // §III-B-1: single small random filters are unstable across replicates;
+    // the 10-member median ensemble tightens the spread. Use AUC dispersion
+    // over replicates as the instability proxy.
+    let ld = mini_dataset();
+    let cfg = FracConfig::default();
+    let single = aggregate(&run_replicates(
+        &ld,
+        &Variant::FullFilter { selector: FeatureSelector::Random, p: 0.08 },
+        &cfg,
+        6,
+        4,
+    ));
+    let ensemble = aggregate(&run_replicates(
+        &ld,
+        &Variant::Ensemble {
+            base: Box::new(Variant::FullFilter {
+                selector: FeatureSelector::Random,
+                p: 0.08,
+            }),
+            members: 10,
+        },
+        &cfg,
+        6,
+        4,
+    ));
+    assert!(
+        ensemble.sd_auc <= single.sd_auc + 0.02,
+        "ensemble sd {} vs single sd {}",
+        ensemble.sd_auc,
+        single.sd_auc
+    );
+    assert!(ensemble.mean_auc >= single.mean_auc - 0.05);
+}
+
+#[test]
+fn resource_model_tracks_wall_clock_ordering() {
+    // The analytic flops metric must order methods the same way real time
+    // does (full > diverse > filter), otherwise the Time % columns would be
+    // fiction.
+    let ld = mini_dataset();
+    let cfg = FracConfig::default();
+    let full = aggregate(&run_replicates(&ld, &Variant::Full, &cfg, 2, 5));
+    let diverse = aggregate(&run_replicates(
+        &ld,
+        &Variant::Diverse { p: 0.5, models_per_feature: 1 },
+        &cfg,
+        2,
+        5,
+    ));
+    let filter = aggregate(&run_replicates(
+        &ld,
+        &Variant::FullFilter { selector: FeatureSelector::Random, p: 0.1 },
+        &cfg,
+        2,
+        5,
+    ));
+    // Filtering is unambiguously cheapest in both the analytic and the
+    // measured metric; full-vs-diverse ordering at this miniature scale is
+    // dominated by per-model convergence, so it is not asserted.
+    assert!(full.mean_flops > filter.mean_flops);
+    assert!(diverse.mean_flops > filter.mean_flops);
+    assert!(full.mean_wall_s >= filter.mean_wall_s);
+}

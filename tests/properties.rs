@@ -1,0 +1,209 @@
+//! Property-based tests (proptest) of cross-crate invariants.
+
+use frac::dataset::dataset::{Column, Dataset, MISSING_CODE};
+use frac::dataset::io::{from_tsv, to_tsv};
+use frac::dataset::split::{derive_seed, k_fold, train_test_split};
+use frac::dataset::{Schema, Value};
+use frac::eval::auc::{auc_from_curve, auc_from_scores, roc_curve};
+use frac::projection::{JlMatrixKind, JlTransform};
+use proptest::prelude::*;
+
+// ---------- strategies ----------
+
+fn arb_real_column(n: usize) -> impl Strategy<Value = Column> {
+    prop::collection::vec(
+        prop_oneof![
+            8 => (-1e6f64..1e6).prop_map(|x| x),
+            1 => Just(f64::NAN),
+        ],
+        n,
+    )
+    .prop_map(Column::Real)
+}
+
+fn arb_cat_column(n: usize) -> impl Strategy<Value = Column> {
+    (2u32..6).prop_flat_map(move |arity| {
+        prop::collection::vec(
+            prop_oneof![
+                8 => (0u32..arity).prop_map(|c| c),
+                1 => Just(MISSING_CODE),
+            ],
+            n,
+        )
+        .prop_map(move |codes| Column::Categorical { arity, codes })
+    })
+}
+
+fn arb_dataset() -> impl Strategy<Value = Dataset> {
+    (1usize..12, 1usize..6).prop_flat_map(|(n_rows, n_cols)| {
+        prop::collection::vec(
+            prop_oneof![arb_real_column(n_rows), arb_cat_column(n_rows)],
+            n_cols,
+        )
+        .prop_map(|columns| {
+            let schema = Schema::new(
+                columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| frac::dataset::Feature::new(format!("f{i}"), c.kind()))
+                    .collect(),
+            );
+            Dataset::new(schema, columns)
+        })
+    })
+}
+
+// ---------- dataset / io ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn tsv_roundtrip_preserves_data(d in arb_dataset()) {
+        let text = to_tsv(&d);
+        let back = from_tsv(&text).unwrap();
+        prop_assert_eq!(back.schema(), d.schema());
+        prop_assert_eq!(back.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() {
+            for j in 0..d.n_features() {
+                match (d.value(r, j), back.value(r, j)) {
+                    (Value::Real(a), Value::Real(b)) => {
+                        // Round-trip through decimal text: equal up to
+                        // formatting precision.
+                        prop_assert!((a - b).abs() <= 1e-9 * a.abs().max(1.0));
+                    }
+                    (a, b) => prop_assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_selection_composes(d in arb_dataset(), seed in 0u64..1000) {
+        // Double reversal is the identity. Compare through the TSV
+        // rendering: NaN (missing) breaks `PartialEq` reflexivity but
+        // serializes canonically as `?`.
+        let n = d.n_rows();
+        let idx: Vec<usize> = (0..n).rev().collect();
+        let back = d.select_rows(&idx).select_rows(&idx);
+        prop_assert_eq!(to_tsv(&back), to_tsv(&d));
+        let _ = seed;
+    }
+
+    #[test]
+    fn split_partitions_rows(n in 2usize..200, frac in 0.01f64..0.99, seed in 0u64..500) {
+        let s = train_test_split(n, frac, seed);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+        prop_assert!(!s.train.is_empty());
+        prop_assert!(!s.test.is_empty());
+    }
+
+    #[test]
+    fn k_fold_holdouts_partition(n in 2usize..100, k in 2usize..12, seed in 0u64..200) {
+        let folds = k_fold(n, k, seed);
+        let mut holdouts: Vec<usize> = folds.iter().flat_map(|f| f.holdout.clone()).collect();
+        holdouts.sort_unstable();
+        prop_assert_eq!(holdouts, (0..n).collect::<Vec<_>>());
+        for f in &folds {
+            for h in &f.holdout {
+                prop_assert!(!f.train.contains(h));
+            }
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_stable_and_distinct(seed in any::<u64>(), a in 0u64..10_000, b in 0u64..10_000) {
+        prop_assert_eq!(derive_seed(seed, a), derive_seed(seed, a));
+        if a != b {
+            prop_assert_ne!(derive_seed(seed, a), derive_seed(seed, b));
+        }
+    }
+}
+
+// ---------- AUC ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn auc_bounded_and_antisymmetric(
+        scores in prop::collection::vec(-1e3f64..1e3, 2..50),
+        flip in prop::collection::vec(any::<bool>(), 2..50),
+    ) {
+        let n = scores.len().min(flip.len());
+        let scores = &scores[..n];
+        let labels = &flip[..n];
+        let auc = auc_from_scores(scores, labels);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        // Negating scores flips the ranking: AUC → 1 − AUC (when both
+        // classes are present).
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        if n_pos > 0 && n_pos < n {
+            let neg: Vec<f64> = scores.iter().map(|s| -s).collect();
+            let auc_neg = auc_from_scores(&neg, labels);
+            prop_assert!((auc + auc_neg - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rank_auc_equals_curve_area(
+        scores in prop::collection::vec(-100f64..100.0, 4..40),
+        labels in prop::collection::vec(any::<bool>(), 4..40),
+    ) {
+        let n = scores.len().min(labels.len());
+        let (scores, labels) = (&scores[..n], &labels[..n]);
+        let n_pos = labels.iter().filter(|&&l| l).count();
+        prop_assume!(n_pos > 0 && n_pos < n);
+        let a1 = auc_from_scores(scores, labels);
+        let a2 = auc_from_curve(&roc_curve(scores, labels));
+        prop_assert!((a1 - a2).abs() < 1e-9, "{} vs {}", a1, a2);
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_maps(
+        scores in prop::collection::vec(-50f64..50.0, 4..40),
+        labels in prop::collection::vec(any::<bool>(), 4..40),
+        scale in 0.001f64..100.0,
+        offset in -100f64..100.0,
+    ) {
+        let n = scores.len().min(labels.len());
+        let (scores, labels) = (&scores[..n], &labels[..n]);
+        let mapped: Vec<f64> = scores.iter().map(|&s| s * scale + offset).collect();
+        prop_assert_eq!(auc_from_scores(scores, labels), auc_from_scores(&mapped, labels));
+    }
+}
+
+// ---------- JL projection ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn jl_projection_is_linear(
+        x in prop::collection::vec(-10f64..10.0, 16),
+        y in prop::collection::vec(-10f64..10.0, 16),
+        seed in any::<u64>(),
+    ) {
+        let t = JlTransform::new(8, JlMatrixKind::Gaussian, seed);
+        let px = t.project_vector(&x);
+        let py = t.project_vector(&y);
+        let sum: Vec<f64> = x.iter().zip(&y).map(|(a, b)| a + b).collect();
+        let psum = t.project_vector(&sum);
+        for i in 0..8 {
+            prop_assert!((psum[i] - (px[i] + py[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn jl_norm_unbiased_on_average(seed in 0u64..64) {
+        // E‖Rx‖² = ‖x‖²; with k = 256 the relative error concentrates.
+        let x: Vec<f64> = (0..32).map(|i| ((i * 37) % 11) as f64 / 11.0 - 0.5).collect();
+        let norm: f64 = x.iter().map(|v| v * v).sum();
+        let t = JlTransform::new(256, JlMatrixKind::Rademacher, seed);
+        let p = t.project_vector(&x);
+        let pnorm: f64 = p.iter().map(|v| v * v).sum();
+        prop_assert!((pnorm / norm - 1.0).abs() < 0.5, "ratio {}", pnorm / norm);
+    }
+}
