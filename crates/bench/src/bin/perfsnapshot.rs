@@ -1,0 +1,180 @@
+//! Performance snapshot: full-FRaC fit + score on a mid-size surrogate,
+//! comparing the shared-pool path against the legacy per-target encode
+//! path, written to `BENCH_fit.json` so the perf trajectory is tracked
+//! across PRs.
+//!
+//! ```text
+//! cargo run -p frac-bench --release --bin perfsnapshot
+//! ```
+//!
+//! Environment knobs: `FRAC_PERF_FEATURES` (default 400),
+//! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of).
+
+use frac_core::config::RealModel;
+use frac_core::{FracConfig, FracModel, ResourceReport, TrainingPlan};
+use frac_dataset::Dataset;
+use frac_synth::snp::CohortGroup;
+use frac_synth::{ExpressionConfig, ExpressionGenerator, SnpConfig, SnpGenerator, SubpopulationMix};
+use std::time::Instant;
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One timed fit+score run.
+struct Snapshot {
+    fit_s: f64,
+    score_s: f64,
+    report: ResourceReport,
+}
+
+fn best_of<F: Fn() -> Snapshot>(reps: usize, run: F) -> Snapshot {
+    let mut best: Option<Snapshot> = None;
+    for _ in 0..reps {
+        let s = run();
+        if best.as_ref().is_none_or(|b| s.fit_s < b.fit_s) {
+            best = Some(s);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn timed(
+    train: &Dataset,
+    test: &Dataset,
+    plan: &TrainingPlan,
+    config: &FracConfig,
+    pooled: bool,
+) -> Snapshot {
+    let t0 = Instant::now();
+    let (model, report) = if pooled {
+        FracModel::fit(train, plan, config)
+    } else {
+        FracModel::fit_unpooled(train, plan, config)
+    };
+    let fit_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let ns = if pooled {
+        model.score(test)
+    } else {
+        model.contributions_unpooled(test).ns_scores()
+    };
+    let score_s = t1.elapsed().as_secs_f64();
+    assert!(ns.iter().all(|s| s.is_finite()));
+    Snapshot { fit_s, score_s, report }
+}
+
+/// Time one family (surrogate + config) through both paths and render its
+/// JSON object.
+fn family_json(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    config: &FracConfig,
+    reps: usize,
+) -> String {
+    let plan = TrainingPlan::full(train.n_features());
+    let pooled = best_of(reps, || timed(train, test, &plan, config, true));
+    let legacy = best_of(reps, || timed(train, test, &plan, config, false));
+    let fit_speedup = legacy.fit_s / pooled.fit_s;
+    let score_speedup = legacy.score_s / pooled.score_s;
+    // Design-matrix bytes allocated during fit: the legacy path encodes one
+    // matrix per target (O(f² · n) cells over the run); the pool is O(f · n).
+    let f = train.n_features() as u64;
+    let width = train.schema().one_hot_width() as u64;
+    let cell = std::mem::size_of::<f64>() as u64;
+    let encode_bytes_legacy = f * train.n_rows() as u64 * (width - width / f) * cell;
+    let encode_bytes_pooled = pooled.report.pool_bytes;
+    eprintln!(
+        "{name}: fit pooled {:.3}s vs legacy {:.3}s ({fit_speedup:.2}x); \
+         score pooled {:.4}s vs legacy {:.4}s ({score_speedup:.2}x); \
+         encode alloc {} -> {} bytes",
+        pooled.fit_s, legacy.fit_s, pooled.score_s, legacy.score_s,
+        encode_bytes_legacy, encode_bytes_pooled
+    );
+    format!(
+        "  \"{name}\": {{\n    \
+         \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
+         \"pooled\": {{\"fit_wall_s\": {:.6}, \"score_wall_s\": {:.6}, \"flops\": {}, \
+         \"peak_bytes\": {}, \"pool_bytes\": {}, \"transient_bytes\": {}}},\n    \
+         \"legacy\": {{\"fit_wall_s\": {:.6}, \"score_wall_s\": {:.6}, \"flops\": {}, \
+         \"peak_bytes\": {}, \"pool_bytes\": {}, \"transient_bytes\": {}}},\n    \
+         \"encode_bytes_legacy\": {encode_bytes_legacy},\n    \
+         \"encode_bytes_pooled\": {encode_bytes_pooled},\n    \
+         \"fit_speedup\": {:.3},\n    \"score_speedup\": {:.3}\n  }}",
+        train.n_features(),
+        train.n_rows(),
+        test.n_rows(),
+        pooled.fit_s,
+        pooled.score_s,
+        pooled.report.flops,
+        pooled.report.peak_bytes(),
+        pooled.report.pool_bytes,
+        pooled.report.transient_bytes,
+        legacy.fit_s,
+        legacy.score_s,
+        legacy.report.flops,
+        legacy.report.peak_bytes(),
+        legacy.report.pool_bytes,
+        legacy.report.transient_bytes,
+        fit_speedup,
+        score_speedup,
+    )
+}
+
+fn main() {
+    let n_features = env_usize("FRAC_PERF_FEATURES", 400);
+    let n_rows = env_usize("FRAC_PERF_ROWS", 80);
+    let reps = env_usize("FRAC_PERF_REPS", 2).max(1);
+    let n_test = n_rows;
+
+    eprintln!("perfsnapshot: {n_features} features x {n_rows} train rows, best of {reps}");
+
+    let (expr, _) = ExpressionGenerator::new(ExpressionConfig {
+        n_features,
+        n_modules: 12,
+        relevant_fraction: 0.8,
+        anomaly_modules: 3,
+        anomaly_shift: 2.5,
+        noise_sd: 0.6,
+        structure_seed: 42,
+        ..ExpressionConfig::default()
+    })
+    .generate(n_rows, n_test, 9);
+    let expr_train = expr.select_rows(&(0..n_rows).collect::<Vec<_>>());
+    let expr_test = expr.select_rows(&(n_rows..n_rows + n_test).collect::<Vec<_>>());
+
+    let (snp, _) = SnpGenerator::new(SnpConfig {
+        n_snps: n_features,
+        n_subpops: 2,
+        fst: 0.1,
+        n_disease_loci: n_features / 20,
+        disease_effect: 0.2,
+        structure_seed: 42,
+        ..SnpConfig::default()
+    })
+    .generate(
+        &[
+            CohortGroup { n: n_rows, mix: SubpopulationMix::uniform(2), is_case: false },
+            CohortGroup { n: n_test, mix: SubpopulationMix::uniform(2), is_case: true },
+        ],
+        9,
+    );
+    let snp_train = snp.select_rows(&(0..n_rows).collect::<Vec<_>>());
+    let snp_test = snp.select_rows(&(n_rows..n_rows + n_test).collect::<Vec<_>>());
+
+    let expr_json =
+        family_json("expression", &expr_train, &expr_test, &FracConfig::expression(), reps);
+    let snp_json = family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+    // Encode-bound family: constant predictors make training trivial, so the
+    // fit wall is dominated by design-matrix construction — the component
+    // the pool replaces. This isolates the O(f² · n) → O(f · n) change from
+    // solver time, which dominates the two paper families at this scale.
+    let encode_cfg =
+        FracConfig { real_model: RealModel::Constant, ..FracConfig::default() };
+    let encode_json = family_json("encode_bound", &expr_train, &expr_test, &encode_cfg, reps);
+
+    let json = format!("{{\n{expr_json},\n{snp_json},\n{encode_json}\n}}\n");
+    std::fs::write("BENCH_fit.json", &json).expect("write BENCH_fit.json");
+    println!("{json}");
+}

@@ -15,10 +15,10 @@
 use crate::config::{CatModel, FracConfig, RealModel};
 use crate::plan::TrainingPlan;
 use crate::resources::ResourceReport;
-use frac_dataset::design::DesignSpec;
+use frac_dataset::design::{DesignSpec, PoolSpec};
 use frac_dataset::entropy::column_entropy;
 use frac_dataset::split::derive_seed;
-use frac_dataset::{Column, Dataset};
+use frac_dataset::{Column, Dataset, DesignMatrix, DesignView, EncodedPool, PoolView, RowSubset};
 use frac_learn::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
 use frac_learn::cv::{cv_classification, cv_regression};
 use frac_learn::svc::SvcTrainer;
@@ -163,6 +163,11 @@ impl ContributionMatrix {
 }
 
 /// Fit a single predictor + error model; returns it with its training cost.
+///
+/// With `pool`, the per-target design matrix is a zero-copy view over the
+/// shared encoded pool and the spec is assembled from pooled encoders
+/// (identical parameters — same fitting code path). Without it, the legacy
+/// owned path fits and encodes a fresh matrix for this predictor alone.
 #[allow(clippy::too_many_arguments)]
 fn fit_predictor(
     train: &Dataset,
@@ -170,16 +175,37 @@ fn fit_predictor(
     inputs: &[usize],
     config: &FracConfig,
     member_seed: u64,
+    pool: Option<&EncodedPool>,
 ) -> (FeaturePredictor, f64, TrainingCost) {
-    let spec = DesignSpec::fit(train, inputs, config.standardize);
-    let x_all = spec.encode(train);
+    let owned: DesignMatrix;
+    let pooled: PoolView<'_>;
+    let spec: DesignSpec;
+    let x_all: &dyn DesignView = match pool {
+        Some(p) => {
+            spec = p.spec().spec_for(inputs);
+            pooled = p.view(inputs);
+            &pooled
+        }
+        None => {
+            spec = DesignSpec::fit(train, inputs, config.standardize);
+            owned = spec.encode(train);
+            &owned
+        }
+    };
+    // Per-target design bytes beyond shared storage: the whole encoded
+    // matrix on the legacy path, only view bookkeeping on the pooled path
+    // (the pool itself is charged once, in the run's ResourceReport).
+    let design_bytes = match pool {
+        Some(_) => x_all.view_overhead_bytes() as u64,
+        None => (x_all.n_rows() * x_all.n_cols() * std::mem::size_of::<f64>()) as u64,
+    };
 
     match train.column(target) {
         Column::Real(values) => {
             // Train only on rows where the target is present.
             let present: Vec<usize> =
                 (0..train.n_rows()).filter(|&r| !values[r].is_nan()).collect();
-            let x = x_all.select_rows(&present);
+            let x = RowSubset::new(x_all, &present);
             let y: Vec<f64> = present.iter().map(|&r| values[r]).collect();
 
             let (model, fit_cost, error, strength, cv_cost) = match &config.real_model {
@@ -210,7 +236,7 @@ fn fit_predictor(
                 peak_bytes: cv_cost
                     .peak_bytes
                     .max(fit_cost.peak_bytes)
-                    .max(x_all.approx_bytes() as u64),
+                    .max(design_bytes + x.view_overhead_bytes() as u64),
             };
             (
                 FeaturePredictor {
@@ -226,7 +252,7 @@ fn fit_predictor(
             let present: Vec<usize> = (0..train.n_rows())
                 .filter(|&r| codes[r] != frac_dataset::dataset::MISSING_CODE)
                 .collect();
-            let x = x_all.select_rows(&present);
+            let x = RowSubset::new(x_all, &present);
             let y: Vec<u32> = present.iter().map(|&r| codes[r]).collect();
 
             let (model, fit_cost, error, strength, cv_cost) = match &config.cat_model {
@@ -259,7 +285,7 @@ fn fit_predictor(
                 peak_bytes: cv_cost
                     .peak_bytes
                     .max(fit_cost.peak_bytes)
-                    .max(x_all.approx_bytes() as u64),
+                    .max(design_bytes + x.view_overhead_bytes() as u64),
             };
             (
                 FeaturePredictor {
@@ -279,7 +305,7 @@ fn fit_predictor(
 fn run_real<T: frac_learn::RegressorTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> RealPredictor,
-    x: &frac_dataset::DesignMatrix,
+    x: &dyn DesignView,
     y: &[f64],
     config: &FracConfig,
     member_seed: u64,
@@ -288,7 +314,7 @@ fn run_real<T: frac_learn::RegressorTrainer>(
     let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = GaussianErrorModel::fit(&pairs);
     let strength = r2_strength(y, &oof);
-    let trained = trainer.train(x, y);
+    let trained = trainer.train_view(x, y);
     (wrap(trained.model), trained.cost, error, strength, cv_cost)
 }
 
@@ -298,7 +324,7 @@ fn run_real<T: frac_learn::RegressorTrainer>(
 fn run_cat<T: frac_learn::ClassifierTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> CatPredictor,
-    x: &frac_dataset::DesignMatrix,
+    x: &dyn DesignView,
     y: &[u32],
     arity: u32,
     config: &FracConfig,
@@ -309,7 +335,7 @@ fn run_cat<T: frac_learn::ClassifierTrainer>(
     let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = ConfusionErrorModel::fit(&pairs, arity);
     let strength = accuracy_strength(y, &oof);
-    let trained = trainer.train(x, y, arity);
+    let trained = trainer.train_view(x, y, arity);
     (wrap(trained.model), trained.cost, error, strength, cv_cost)
 }
 
@@ -342,11 +368,45 @@ fn accuracy_strength(y: &[u32], pred: &[u32]) -> f64 {
 impl FracModel {
     /// Execute a training plan over `train`.
     ///
-    /// Returns the fitted model plus a [`ResourceReport`] whose flops sum
-    /// over every CV-fold and final training, whose `model_bytes` cover all
-    /// retained predictor/error-model state, and whose `transient_bytes` is
-    /// the worst single-predictor working set.
+    /// Every feature used as an input anywhere in the plan is encoded once
+    /// into a shared [`EncodedPool`]; per-target design matrices are served
+    /// as zero-copy views over it. Returns the fitted model plus a
+    /// [`ResourceReport`] whose flops sum over every CV-fold and final
+    /// training, whose `model_bytes` cover all retained predictor/error-model
+    /// state, whose `pool_bytes` charge the shared pool once, and whose
+    /// `transient_bytes` is the worst single-predictor working set.
     pub fn fit(train: &Dataset, plan: &TrainingPlan, config: &FracConfig) -> (FracModel, ResourceReport) {
+        let mut used = vec![false; train.n_features()];
+        for tp in &plan.targets {
+            for inputs in &tp.input_sets {
+                for &j in inputs {
+                    used[j] = true;
+                }
+            }
+        }
+        let features: Vec<usize> = (0..used.len()).filter(|&j| used[j]).collect();
+        let pool = PoolSpec::fit(train, &features, config.standardize).encode(train);
+        Self::fit_inner(train, plan, config, Some(&pool))
+    }
+
+    /// Legacy fit path: every predictor fits and encodes its own design
+    /// matrix (`O(f² · n)` encode work on a full plan). Kept for regression
+    /// tests and benchmarks against the pooled path; produces bit-identical
+    /// models because both paths share one encoder implementation.
+    pub fn fit_unpooled(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+    ) -> (FracModel, ResourceReport) {
+        Self::fit_inner(train, plan, config, None)
+    }
+
+    fn fit_inner(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        pool: Option<&EncodedPool>,
+    ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
         let results: Vec<(FeatureModel, u64, u64, u64, u64)> = plan
             .targets
@@ -362,7 +422,7 @@ impl FracModel {
                     let member_seed =
                         derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
                     let (fp, strength, cost) =
-                        fit_predictor(train, tp.target, inputs, config, member_seed);
+                        fit_predictor(train, tp.target, inputs, config, member_seed, pool);
                     flops += cost.flops;
                     transient = transient.max(cost.peak_bytes);
                     model_bytes += (fp.model.approx_bytes()
@@ -387,6 +447,7 @@ impl FracModel {
 
         let mut report = ResourceReport {
             dataset_bytes: train.approx_bytes() as u64,
+            pool_bytes: pool.map_or(0, |p| p.approx_bytes() as u64),
             ..ResourceReport::default()
         };
         let mut features = Vec::with_capacity(results.len());
@@ -415,8 +476,22 @@ impl FracModel {
     /// Score a test set, returning per-feature NS contributions.
     ///
     /// `test` must share the training schema. Missing test values contribute
-    /// zero, per the NS definition.
+    /// zero, per the NS definition. The test set is encoded once into a
+    /// shared pool rebuilt from the persisted specs; each predictor reads
+    /// its inputs through a zero-copy view.
     pub fn contributions(&self, test: &Dataset) -> ContributionMatrix {
+        let specs = self.features.iter().flat_map(|fm| fm.predictors.iter().map(|fp| &fp.spec));
+        let pool = PoolSpec::from_specs(test.n_features(), specs).encode(test);
+        self.contributions_inner(test, Some(&pool))
+    }
+
+    /// Legacy scoring path: every predictor re-encodes the test set from its
+    /// own spec. Kept for regression tests against the pooled path.
+    pub fn contributions_unpooled(&self, test: &Dataset) -> ContributionMatrix {
+        self.contributions_inner(test, None)
+    }
+
+    fn contributions_inner(&self, test: &Dataset, pool: Option<&EncodedPool>) -> ContributionMatrix {
         let n_rows = test.n_rows();
         let values: Vec<Vec<f64>> = self
             .features
@@ -424,7 +499,19 @@ impl FracModel {
             .map(|fm| {
                 let mut col = vec![0.0f64; n_rows];
                 for fp in &fm.predictors {
-                    let x = fp.spec.encode(test);
+                    let owned: DesignMatrix;
+                    let pooled: PoolView<'_>;
+                    let x: &dyn DesignView = match pool {
+                        Some(p) => {
+                            pooled = p.view(fp.spec.input_features());
+                            &pooled
+                        }
+                        None => {
+                            owned = fp.spec.encode(test);
+                            &owned
+                        }
+                    };
+                    let mut row_buf = vec![0.0f64; x.n_cols()];
                     match (&fp.model, &fp.error, test.column(fm.target)) {
                         (
                             PredictorModel::Real(model),
@@ -436,7 +523,8 @@ impl FracModel {
                                 if t.is_nan() {
                                     continue;
                                 }
-                                let pred = model.predict(x.row(r));
+                                x.copy_row_into(r, &mut row_buf);
+                                let pred = model.predict(&row_buf);
                                 col[r] += err.surprisal(t, pred) - fm.entropy;
                             }
                         }
@@ -450,7 +538,8 @@ impl FracModel {
                                 if t == frac_dataset::dataset::MISSING_CODE {
                                     continue;
                                 }
-                                let pred = model.predict(x.row(r));
+                                x.copy_row_into(r, &mut row_buf);
+                                let pred = model.predict(&row_buf);
                                 col[r] += err.surprisal(t, pred) - fm.entropy;
                             }
                         }

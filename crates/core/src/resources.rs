@@ -27,19 +27,24 @@ pub struct ResourceReport {
     pub flops: u64,
     /// Bytes of the training data resident during the run.
     pub dataset_bytes: u64,
+    /// Bytes of the shared encoded-feature pool: every used feature is
+    /// encoded once per run and all per-target design matrices are served
+    /// as views over it, so this is charged once — not per target.
+    pub pool_bytes: u64,
     /// Bytes of retained model state (predictors + error models).
     pub model_bytes: u64,
     /// Largest transient working set of any single model training
-    /// (design matrix + solver state).
+    /// (view overhead + solver state).
     pub transient_bytes: u64,
     /// Measured wall-clock time.
     pub wall: Duration,
 }
 
 impl ResourceReport {
-    /// Total peak bytes: data + retained models + worst transient.
+    /// Total peak bytes: data + shared pool + retained models + worst
+    /// transient.
     pub fn peak_bytes(&self) -> u64 {
-        self.dataset_bytes + self.model_bytes + self.transient_bytes
+        self.dataset_bytes + self.pool_bytes + self.model_bytes + self.transient_bytes
     }
 
     /// Merge a report for work executed *after* `other` (sequential
@@ -49,6 +54,9 @@ impl ResourceReport {
         self.models_trained += other.models_trained;
         self.flops += other.flops;
         self.dataset_bytes = self.dataset_bytes.max(other.dataset_bytes);
+        // Sequential runs build their pools one at a time; only the largest
+        // is ever resident.
+        self.pool_bytes = self.pool_bytes.max(other.pool_bytes);
         self.model_bytes += other.model_bytes;
         self.transient_bytes = self.transient_bytes.max(other.transient_bytes);
         self.wall += other.wall;
@@ -80,6 +88,7 @@ mod tests {
             models_trained: models,
             flops,
             dataset_bytes: data,
+            pool_bytes: 10,
             model_bytes: model,
             transient_bytes: transient,
             wall: Duration::from_millis(10),
@@ -87,19 +96,21 @@ mod tests {
     }
 
     #[test]
-    fn peak_is_data_plus_models_plus_transient() {
+    fn peak_is_data_plus_pool_plus_models_plus_transient() {
         let r = report(1, 100, 1000, 500, 200);
-        assert_eq!(r.peak_bytes(), 1700);
+        assert_eq!(r.peak_bytes(), 1710);
     }
 
     #[test]
     fn sequential_merge_semantics() {
         let mut a = report(2, 100, 1000, 500, 200);
-        let b = report(3, 50, 800, 300, 400);
+        let mut b = report(3, 50, 800, 300, 400);
+        b.pool_bytes = 25;
         a.merge_sequential(&b);
         assert_eq!(a.models_trained, 5);
         assert_eq!(a.flops, 150);
         assert_eq!(a.dataset_bytes, 1000); // shared data: max
+        assert_eq!(a.pool_bytes, 25); // one pool resident at a time: max
         assert_eq!(a.model_bytes, 800); // retained: add
         assert_eq!(a.transient_bytes, 400); // transient: max
         assert_eq!(a.wall, Duration::from_millis(20));
@@ -110,7 +121,7 @@ mod tests {
         let full = report(10, 1000, 100, 900, 0);
         let reduced = report(1, 50, 100, 9, 0);
         assert!((reduced.flops_fraction_of(&full) - 0.05).abs() < 1e-12);
-        assert!((reduced.mem_fraction_of(&full) - 109.0 / 1000.0).abs() < 1e-12);
+        assert!((reduced.mem_fraction_of(&full) - 119.0 / 1010.0).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Regression tests: the shared encoded-feature pool must be a pure
+//! performance change. NS scores from the pooled fit/score paths are
+//! bit-identical (`f64::to_bits`) to the legacy owned-matrix paths, on both
+//! paper model families, at any thread count.
+
+use frac_core::{FracConfig, FracModel, TrainingPlan};
+use frac_dataset::Dataset;
+use frac_synth::snp::{CohortGroup, SnpConfig, SnpGenerator, SubpopulationMix};
+use frac_synth::{ExpressionConfig, ExpressionGenerator};
+
+fn expression_surrogate() -> (Dataset, Dataset) {
+    let (data, _) = ExpressionGenerator::new(ExpressionConfig {
+        n_features: 24,
+        n_modules: 4,
+        relevant_fraction: 0.9,
+        anomaly_modules: 2,
+        anomaly_shift: 3.0,
+        noise_sd: 0.5,
+        structure_seed: 77,
+        ..ExpressionConfig::default()
+    })
+    .generate(36, 6, 7);
+    let train = data.select_rows(&(0..30).collect::<Vec<_>>());
+    let test = data.select_rows(&(30..42).collect::<Vec<_>>());
+    (train, test)
+}
+
+fn snp_surrogate() -> (Dataset, Dataset) {
+    let gen = SnpGenerator::new(SnpConfig {
+        n_snps: 30,
+        ld_block_size: 4,
+        ld_rho: 0.6,
+        n_subpops: 2,
+        fst: 0.1,
+        n_disease_loci: 4,
+        disease_effect: 0.2,
+        structure_seed: 11,
+        ..SnpConfig::default()
+    });
+    let groups = [
+        CohortGroup { n: 36, mix: SubpopulationMix::uniform(2), is_case: false },
+        CohortGroup { n: 6, mix: SubpopulationMix::uniform(2), is_case: true },
+    ];
+    let (data, _) = gen.generate(&groups, 13);
+    let train = data.select_rows(&(0..30).collect::<Vec<_>>());
+    let test = data.select_rows(&(30..42).collect::<Vec<_>>());
+    (train, test)
+}
+
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (r, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: row {r} differs ({x:?} vs {y:?})"
+        );
+    }
+}
+
+/// Fit + score through the pooled paths and the legacy owned paths; every
+/// combination must agree bitwise.
+fn check_pooled_matches_unpooled(train: &Dataset, test: &Dataset, config: &FracConfig, what: &str) {
+    let plan = TrainingPlan::full(train.n_features());
+    let (pooled, pooled_report) = FracModel::fit(train, &plan, config);
+    let (unpooled, unpooled_report) = FracModel::fit_unpooled(train, &plan, config);
+
+    let ns_pooled = pooled.score(test);
+    let ns_cross = pooled.contributions_unpooled(test).ns_scores();
+    let ns_unpooled = unpooled.contributions_unpooled(test).ns_scores();
+    assert_bits_eq(&ns_pooled, &ns_cross, &format!("{what}: pooled fit, scoring paths"));
+    assert_bits_eq(&ns_pooled, &ns_unpooled, &format!("{what}: pooled vs legacy end-to-end"));
+
+    // The pool is charged once; the legacy path charges matrices per target.
+    assert!(pooled_report.pool_bytes > 0, "{what}: pooled run must report a pool");
+    assert_eq!(unpooled_report.pool_bytes, 0, "{what}: legacy run has no pool");
+    assert!(
+        pooled_report.transient_bytes <= unpooled_report.transient_bytes,
+        "{what}: pooled transients must not exceed legacy ({} vs {})",
+        pooled_report.transient_bytes,
+        unpooled_report.transient_bytes
+    );
+}
+
+#[test]
+fn expression_ns_scores_bit_identical() {
+    let (train, test) = expression_surrogate();
+    check_pooled_matches_unpooled(&train, &test, &FracConfig::expression(), "expression");
+}
+
+#[test]
+fn snp_ns_scores_bit_identical() {
+    let (train, test) = snp_surrogate();
+    check_pooled_matches_unpooled(&train, &test, &FracConfig::snp(), "snp");
+}
+
+#[test]
+fn pooled_scores_identical_across_thread_counts() {
+    let (train, test) = expression_surrogate();
+    let plan = TrainingPlan::full(train.n_features());
+    let config = FracConfig::expression();
+
+    let run = |threads: usize| -> Vec<f64> {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| {
+                let (model, _) = FracModel::fit(&train, &plan, &config);
+                model.score(&test)
+            })
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_bits_eq(&serial, &parallel, "thread counts 1 vs 4");
+}

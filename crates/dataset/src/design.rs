@@ -67,20 +67,7 @@ impl DesignSpec {
         let mut encoders = Vec::with_capacity(input_features.len());
         let mut n_cols = 0usize;
         for &j in input_features {
-            let enc = match train.schema().kind(j) {
-                FeatureKind::Real => {
-                    let present = train.column(j).present_reals();
-                    let mean = stats::mean(&present).unwrap_or(0.0);
-                    if standardize {
-                        let sd = stats::std_dev(&present).unwrap_or(0.0);
-                        let inv_std = if sd > 1e-12 { 1.0 / sd } else { 0.0 };
-                        FeatureEncoder::Real { mean, inv_std }
-                    } else {
-                        FeatureEncoder::RealRaw { mean }
-                    }
-                }
-                FeatureKind::Categorical { arity } => FeatureEncoder::OneHot { arity },
-            };
+            let enc = FeatureEncoder::fit(train, j, standardize);
             n_cols += enc.width();
             encoders.push(enc);
         }
@@ -170,35 +157,509 @@ impl DesignSpec {
         let mut values = vec![0.0f64; n_rows * self.n_cols];
         let mut col_base = 0usize;
         for (&j, enc) in self.input_features.iter().zip(&self.encoders) {
-            match (data.column(j), enc) {
-                (Column::Real(v), FeatureEncoder::Real { mean, inv_std }) => {
-                    for (r, &x) in v.iter().enumerate() {
-                        let z = if x.is_nan() { 0.0 } else { (x - mean) * inv_std };
-                        values[r * self.n_cols + col_base] = z;
-                    }
-                }
-                (Column::Real(v), FeatureEncoder::RealRaw { mean }) => {
-                    for (r, &x) in v.iter().enumerate() {
-                        let z = if x.is_nan() { *mean } else { x };
-                        values[r * self.n_cols + col_base] = z;
-                    }
-                }
-                (Column::Categorical { arity, codes }, FeatureEncoder::OneHot { arity: a }) => {
-                    assert_eq!(arity, a, "arity mismatch between spec and data");
-                    for (r, &c) in codes.iter().enumerate() {
-                        if c != crate::dataset::MISSING_CODE {
-                            values[r * self.n_cols + col_base + c as usize] = 1.0;
-                        }
-                    }
-                }
-                (col, enc) => panic!(
-                    "feature {j}: column kind {:?} incompatible with encoder {enc:?}",
-                    col.kind()
-                ),
-            }
+            enc.encode_into(j, data, &mut values, self.n_cols, col_base);
             col_base += enc.width();
         }
         DesignMatrix { n_rows, n_cols: self.n_cols, values }
+    }
+}
+
+impl FeatureEncoder {
+    /// Fit the encoder for feature `j` of `train` — the single code path
+    /// shared by [`DesignSpec::fit`] and [`PoolSpec::fit`], so pooled and
+    /// per-target statistics are identical by construction.
+    fn fit(train: &Dataset, j: usize, standardize: bool) -> FeatureEncoder {
+        match train.schema().kind(j) {
+            FeatureKind::Real => {
+                let present = train.column(j).present_reals();
+                let mean = stats::mean(&present).unwrap_or(0.0);
+                if standardize {
+                    let sd = stats::std_dev(&present).unwrap_or(0.0);
+                    let inv_std = if sd > 1e-12 { 1.0 / sd } else { 0.0 };
+                    FeatureEncoder::Real { mean, inv_std }
+                } else {
+                    FeatureEncoder::RealRaw { mean }
+                }
+            }
+            FeatureKind::Categorical { arity } => FeatureEncoder::OneHot { arity },
+        }
+    }
+
+    /// Write feature `j`'s encoded block into row-major `values` of row
+    /// width `stride`, starting at column `col_base`. Shared by owned and
+    /// pooled encodes so the produced bits cannot diverge.
+    fn encode_into(&self, j: usize, data: &Dataset, values: &mut [f64], stride: usize, col_base: usize) {
+        match (data.column(j), self) {
+            (Column::Real(v), FeatureEncoder::Real { mean, inv_std }) => {
+                for (r, &x) in v.iter().enumerate() {
+                    let z = if x.is_nan() { 0.0 } else { (x - mean) * inv_std };
+                    values[r * stride + col_base] = z;
+                }
+            }
+            (Column::Real(v), FeatureEncoder::RealRaw { mean }) => {
+                for (r, &x) in v.iter().enumerate() {
+                    let z = if x.is_nan() { *mean } else { x };
+                    values[r * stride + col_base] = z;
+                }
+            }
+            (Column::Categorical { arity, codes }, FeatureEncoder::OneHot { arity: a }) => {
+                assert_eq!(arity, a, "arity mismatch between spec and data");
+                for (r, &c) in codes.iter().enumerate() {
+                    if c != crate::dataset::MISSING_CODE {
+                        values[r * stride + col_base + c as usize] = 1.0;
+                    }
+                }
+            }
+            (col, enc) => panic!(
+                "feature {j}: column kind {:?} incompatible with encoder {enc:?}",
+                col.kind()
+            ),
+        }
+    }
+}
+
+/// A fitted encoding of *every* pooled feature of a schema, fit once.
+///
+/// Where [`DesignSpec`] answers "how do I encode these inputs for this
+/// target", `PoolSpec` answers it for all targets at once: each feature's
+/// statistics are computed a single time, and any per-target [`DesignSpec`]
+/// is assembled from the pooled encoders by [`PoolSpec::spec_for`] with
+/// bit-identical parameters (same code path fits both).
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// Encoder per schema feature; `None` for features left out of the pool
+    /// (e.g. when rebuilt from a persisted model that only used a subset).
+    encoders: Vec<Option<FeatureEncoder>>,
+    /// `col_offsets[j]` is the first pool column of feature `j`;
+    /// `col_offsets[n_features]` == total pool width. Absent features have
+    /// zero width.
+    col_offsets: Vec<usize>,
+}
+
+impl PoolSpec {
+    /// Fit encoders for `features` of `train` (same statistics code path as
+    /// [`DesignSpec::fit`]). `n_features` is the schema width.
+    pub fn fit(train: &Dataset, features: &[usize], standardize: bool) -> Self {
+        let n_features = train.n_features();
+        let mut encoders: Vec<Option<FeatureEncoder>> = vec![None; n_features];
+        for &j in features {
+            if encoders[j].is_none() {
+                encoders[j] = Some(FeatureEncoder::fit(train, j, standardize));
+            }
+        }
+        PoolSpec::from_encoders(encoders)
+    }
+
+    /// Rebuild a (possibly sparse) pool spec from per-target specs — the
+    /// scoring path after loading a persisted model, where only the stored
+    /// [`DesignSpec`]s survive. Overlapping features must agree; the first
+    /// occurrence wins (they are identical for any one trained model).
+    pub fn from_specs<'a>(n_features: usize, specs: impl IntoIterator<Item = &'a DesignSpec>) -> Self {
+        let mut encoders: Vec<Option<FeatureEncoder>> = vec![None; n_features];
+        for spec in specs {
+            for (&j, enc) in spec.input_features.iter().zip(&spec.encoders) {
+                if encoders[j].is_none() {
+                    encoders[j] = Some(enc.clone());
+                }
+            }
+        }
+        PoolSpec::from_encoders(encoders)
+    }
+
+    fn from_encoders(encoders: Vec<Option<FeatureEncoder>>) -> Self {
+        let mut col_offsets = Vec::with_capacity(encoders.len() + 1);
+        let mut off = 0usize;
+        for enc in &encoders {
+            col_offsets.push(off);
+            off += enc.as_ref().map_or(0, FeatureEncoder::width);
+        }
+        col_offsets.push(off);
+        PoolSpec { encoders, col_offsets }
+    }
+
+    /// Number of schema features the pool spans.
+    #[inline]
+    pub fn n_features(&self) -> usize {
+        self.encoders.len()
+    }
+
+    /// Total encoded pool width.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        *self.col_offsets.last().unwrap()
+    }
+
+    /// True when feature `j` has a fitted encoder in the pool.
+    #[inline]
+    pub fn covers(&self, j: usize) -> bool {
+        self.encoders[j].is_some()
+    }
+
+    /// The per-target [`DesignSpec`] for `inputs`, assembled from pooled
+    /// encoders — identical (parameters and persisted form) to fitting a
+    /// fresh spec on the same training data.
+    ///
+    /// # Panics
+    /// Panics if any input feature is not covered by the pool.
+    pub fn spec_for(&self, inputs: &[usize]) -> DesignSpec {
+        let mut encoders = Vec::with_capacity(inputs.len());
+        let mut n_cols = 0usize;
+        for &j in inputs {
+            let enc = self.encoders[j]
+                .as_ref()
+                .unwrap_or_else(|| panic!("feature {j} not covered by the pool"))
+                .clone();
+            n_cols += enc.width();
+            encoders.push(enc);
+        }
+        DesignSpec { input_features: inputs.to_vec(), encoders, n_cols }
+    }
+
+    /// Encode every covered feature of `data` once, producing the shared
+    /// backing store all per-target views borrow from.
+    pub fn encode(&self, data: &Dataset) -> EncodedPool {
+        let n_rows = data.n_rows();
+        let n_cols = self.n_cols();
+        let mut values = vec![0.0f64; n_rows * n_cols];
+        for (j, enc) in self.encoders.iter().enumerate() {
+            if let Some(enc) = enc {
+                enc.encode_into(j, data, &mut values, n_cols, self.col_offsets[j]);
+            }
+        }
+        EncodedPool { spec: self.clone(), n_rows, n_cols, values }
+    }
+}
+
+/// Every covered feature of a data set, encoded once into one row-major
+/// block. Per-target design matrices are served as [`PoolView`]s that
+/// borrow this storage — encoding work and resident bytes are paid once
+/// per data set instead of once per target feature.
+#[derive(Debug, Clone)]
+pub struct EncodedPool {
+    spec: PoolSpec,
+    n_rows: usize,
+    n_cols: usize,
+    values: Vec<f64>,
+}
+
+impl EncodedPool {
+    /// Number of encoded rows.
+    #[inline]
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Total encoded pool width.
+    #[inline]
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// The spec this pool was encoded with.
+    #[inline]
+    pub fn spec(&self) -> &PoolSpec {
+        &self.spec
+    }
+
+    /// Resident bytes of the shared backing store — charged once per run
+    /// by the resource meter, replacing per-target matrix bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.values.len() * std::mem::size_of::<f64>()
+    }
+
+    /// Zero-copy design view over `inputs` (ascending schema order is the
+    /// convention everywhere in the workspace; the view's column order is
+    /// exactly the owned `DesignSpec::fit(inputs).encode(..)` column order).
+    ///
+    /// # Panics
+    /// Panics if any input is not covered by the pool.
+    pub fn view(&self, inputs: &[usize]) -> PoolView<'_> {
+        let offs = &self.spec.col_offsets;
+        let mut segments: Vec<(usize, usize)> = Vec::new();
+        let mut col_map = Vec::new();
+        for &j in inputs {
+            assert!(self.spec.covers(j), "feature {j} not covered by the pool");
+            let start = offs[j];
+            let width = offs[j + 1] - start;
+            match segments.last_mut() {
+                // Adjacent pool columns merge into one contiguous segment,
+                // so whole-row ops degrade to a single slice in the common
+                // all-features-but-one case.
+                Some((s, w)) if *s + *w == start => *w += width,
+                _ => segments.push((start, width)),
+            }
+            col_map.extend(start..start + width);
+        }
+        PoolView {
+            values: &self.values,
+            stride: self.n_cols,
+            n_rows: self.n_rows,
+            n_cols: col_map.len(),
+            segments,
+            col_map,
+        }
+    }
+}
+
+/// A per-target design matrix served zero-copy from an [`EncodedPool`].
+///
+/// Holds only the segment list and a view-column → pool-column map; all
+/// `f64` storage is borrowed. Row-wise operations walk the segments in
+/// ascending column order, so their floating-point fold order — and hence
+/// every downstream model parameter — is bit-identical to the owned
+/// [`DesignMatrix`] path.
+#[derive(Debug, Clone)]
+pub struct PoolView<'a> {
+    values: &'a [f64],
+    stride: usize,
+    n_rows: usize,
+    n_cols: usize,
+    /// Maximal contiguous pool-column runs `(start, width)`, ascending.
+    segments: Vec<(usize, usize)>,
+    /// View column → pool column.
+    col_map: Vec<usize>,
+}
+
+impl DesignView for PoolView<'_> {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.values[r * self.stride + self.col_map[c]]
+    }
+
+    fn row_dot_acc(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        let base = r * self.stride;
+        let mut acc = init;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            let seg = &self.values[base + start..base + start + width];
+            for (wv, xv) in w[wo..wo + width].iter().zip(seg) {
+                acc += wv * xv;
+            }
+            wo += width;
+        }
+        acc
+    }
+
+    fn row_sq_norm(&self, r: usize) -> f64 {
+        let base = r * self.stride;
+        // Single left-to-right fold across segments: same order as the
+        // owned row's `iter().map(|v| v * v).sum()`.
+        let mut acc = 0.0;
+        for &(start, width) in &self.segments {
+            for xv in &self.values[base + start..base + start + width] {
+                acc += xv * xv;
+            }
+        }
+        acc
+    }
+
+    fn axpy_row(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        let base = r * self.stride;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            let seg = &self.values[base + start..base + start + width];
+            for (wv, xv) in w[wo..wo + width].iter_mut().zip(seg) {
+                *wv += alpha * xv;
+            }
+            wo += width;
+        }
+    }
+
+    fn copy_row_into(&self, r: usize, buf: &mut [f64]) {
+        let base = r * self.stride;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            buf[wo..wo + width].copy_from_slice(&self.values[base + start..base + start + width]);
+            wo += width;
+        }
+    }
+
+    fn col(&self, c: usize) -> ColRef<'_> {
+        ColRef {
+            values: self.values,
+            first: self.col_map[c],
+            stride: self.stride,
+            rows: RowIx::Direct,
+            len: self.n_rows,
+        }
+    }
+
+    fn view_overhead_bytes(&self) -> usize {
+        self.segments.len() * std::mem::size_of::<(usize, usize)>()
+            + self.col_map.len() * std::mem::size_of::<usize>()
+    }
+}
+
+/// Row indirection levels supported by [`ColRef`].
+///
+/// Views compose at most two row subsets on top of backing storage (a
+/// presence filter, then a CV fold), so two explicit levels cover every
+/// call path without allocation.
+#[derive(Debug, Clone, Copy)]
+enum RowIx<'a> {
+    /// View row `i` is storage row `i`.
+    Direct,
+    /// View row `i` is storage row `map[i]`.
+    One(&'a [usize]),
+    /// View row `i` is storage row `inner[outer[i]]`.
+    Two(&'a [usize], &'a [usize]),
+}
+
+/// Borrowed, strided access to one column of a design view — no
+/// per-call allocation, unlike [`DesignMatrix::col`].
+#[derive(Debug, Clone, Copy)]
+pub struct ColRef<'a> {
+    values: &'a [f64],
+    first: usize,
+    stride: usize,
+    rows: RowIx<'a>,
+    len: usize,
+}
+
+impl<'a> ColRef<'a> {
+    /// Number of (view) rows in the column.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the column has no rows.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Value at view row `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        let r = match self.rows {
+            RowIx::Direct => i,
+            RowIx::One(map) => map[i],
+            RowIx::Two(outer, inner) => inner[outer[i]],
+        };
+        self.values[self.first + r * self.stride]
+    }
+
+    /// The column restricted to `rows` (indices into this column's rows).
+    ///
+    /// # Panics
+    /// Panics if the column is already two indirection levels deep — the
+    /// workspace never stacks row subsets deeper than presence + CV fold.
+    fn push_rows(self, rows: &'a [usize]) -> ColRef<'a> {
+        let pushed = match self.rows {
+            RowIx::Direct => RowIx::One(rows),
+            RowIx::One(inner) => RowIx::Two(rows, inner),
+            RowIx::Two(..) => panic!("column row indirection deeper than two levels"),
+        };
+        ColRef { rows: pushed, len: rows.len(), ..self }
+    }
+}
+
+/// Read access to an encoded design matrix, owned or pool-backed.
+///
+/// Every trainer consumes this trait instead of a concrete
+/// [`DesignMatrix`], so per-target problems can be served as zero-copy
+/// views over a shared [`EncodedPool`]. The row-wise operations fold in
+/// **ascending column order** from the given initial value; implementations
+/// must preserve that order exactly, because the SVM solvers' results are
+/// bit-for-bit reproductions of sequential accumulation over rows.
+pub trait DesignView: Sync {
+    /// Number of rows (samples).
+    fn n_rows(&self) -> usize;
+
+    /// Number of columns (encoded inputs).
+    fn n_cols(&self) -> usize;
+
+    /// Entry at (`r`, `c`).
+    fn get(&self, r: usize, c: usize) -> f64;
+
+    /// `init + Σ_j w[j]·x[r][j]`, accumulated left to right.
+    fn row_dot_acc(&self, r: usize, w: &[f64], init: f64) -> f64;
+
+    /// `Σ_j x[r][j]²`, accumulated left to right from zero.
+    fn row_sq_norm(&self, r: usize) -> f64;
+
+    /// `w[j] += alpha · x[r][j]` for every column `j`.
+    fn axpy_row(&self, r: usize, alpha: f64, w: &mut [f64]);
+
+    /// Materialize row `r` into `buf` (`buf.len() == n_cols`).
+    fn copy_row_into(&self, r: usize, buf: &mut [f64]);
+
+    /// Borrowed strided access to column `c`.
+    fn col(&self, c: usize) -> ColRef<'_>;
+
+    /// Dot product of row `r` with `w` (same fold order as the owned path).
+    fn row_dot(&self, r: usize, w: &[f64]) -> f64 {
+        self.row_dot_acc(r, w, 0.0)
+    }
+
+    /// Bytes this view holds beyond the storage it borrows (row-index
+    /// vectors, column maps) — the working-set cost of serving it.
+    fn view_overhead_bytes(&self) -> usize {
+        0
+    }
+}
+
+/// A [`DesignView`] restricted to a row subset, in order, without copying.
+///
+/// Replaces [`DesignMatrix::select_rows`] in the training paths: presence
+/// filtering and k-fold CV both stack one of these on the underlying view.
+#[derive(Debug, Clone, Copy)]
+pub struct RowSubset<'a, D: ?Sized> {
+    inner: &'a D,
+    rows: &'a [usize],
+}
+
+impl<'a, D: DesignView + ?Sized> RowSubset<'a, D> {
+    /// View of `inner` restricted to `rows` (each `< inner.n_rows()`).
+    pub fn new(inner: &'a D, rows: &'a [usize]) -> Self {
+        debug_assert!(rows.iter().all(|&r| r < inner.n_rows()));
+        RowSubset { inner, rows }
+    }
+}
+
+impl<D: DesignView + ?Sized> DesignView for RowSubset<'_, D> {
+    fn n_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn n_cols(&self) -> usize {
+        self.inner.n_cols()
+    }
+
+    fn get(&self, r: usize, c: usize) -> f64 {
+        self.inner.get(self.rows[r], c)
+    }
+
+    fn row_dot_acc(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.inner.row_dot_acc(self.rows[r], w, init)
+    }
+
+    fn row_sq_norm(&self, r: usize) -> f64 {
+        self.inner.row_sq_norm(self.rows[r])
+    }
+
+    fn axpy_row(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        self.inner.axpy_row(self.rows[r], alpha, w);
+    }
+
+    fn copy_row_into(&self, r: usize, buf: &mut [f64]) {
+        self.inner.copy_row_into(self.rows[r], buf);
+    }
+
+    fn col(&self, c: usize) -> ColRef<'_> {
+        self.inner.col(c).push_rows(self.rows)
+    }
+
+    fn view_overhead_bytes(&self) -> usize {
+        self.rows.len() * std::mem::size_of::<usize>()
     }
 }
 
@@ -208,6 +669,53 @@ pub struct DesignMatrix {
     n_rows: usize,
     n_cols: usize,
     values: Vec<f64>,
+}
+
+impl DesignView for DesignMatrix {
+    fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    fn get(&self, r: usize, c: usize) -> f64 {
+        DesignMatrix::get(self, r, c)
+    }
+
+    fn row_dot_acc(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        let mut acc = init;
+        for (wv, xv) in w.iter().zip(self.row(r)) {
+            acc += wv * xv;
+        }
+        acc
+    }
+
+    fn row_sq_norm(&self, r: usize) -> f64 {
+        self.row(r).iter().map(|v| v * v).sum()
+    }
+
+    fn axpy_row(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        for (wv, xv) in w.iter_mut().zip(self.row(r)) {
+            *wv += alpha * xv;
+        }
+    }
+
+    fn copy_row_into(&self, r: usize, buf: &mut [f64]) {
+        buf.copy_from_slice(self.row(r));
+    }
+
+    fn col(&self, c: usize) -> ColRef<'_> {
+        assert!(c < self.n_cols, "column {c} out of range");
+        ColRef {
+            values: &self.values,
+            first: c,
+            stride: self.n_cols,
+            rows: RowIx::Direct,
+            len: self.n_rows,
+        }
+    }
 }
 
 impl DesignMatrix {
@@ -398,5 +906,121 @@ mod tests {
         assert_eq!(m.n_rows(), 4);
         assert_eq!(m.n_cols(), 0);
         assert_eq!(m.row(2), &[] as &[f64]);
+    }
+
+    /// Every view entry must equal the owned matrix entry bit for bit.
+    fn assert_view_matches(view: &dyn DesignView, owned: &DesignMatrix) {
+        assert_eq!(view.n_rows(), owned.n_rows());
+        assert_eq!(view.n_cols(), owned.n_cols());
+        for r in 0..owned.n_rows() {
+            for c in 0..owned.n_cols() {
+                assert_eq!(view.get(r, c).to_bits(), owned.get(r, c).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn pool_view_matches_owned_encode_bitwise() {
+        let d = mixed();
+        for standardize in [true, false] {
+            let pool_spec = PoolSpec::fit(&d, &[0, 1, 2], standardize);
+            let pool = pool_spec.encode(&d);
+            // All-but-one input sets, plus a gap set that skips the middle.
+            for inputs in [vec![1usize, 2], vec![0, 2], vec![0, 1], vec![0, 2]] {
+                let spec = DesignSpec::fit(&d, &inputs, standardize);
+                let owned = spec.encode(&d);
+                let view = pool.view(&inputs);
+                assert_view_matches(&view, &owned);
+                // Row-wise ops fold identically.
+                let w: Vec<f64> = (0..owned.n_cols()).map(|c| 0.3 * c as f64 - 0.7).collect();
+                for r in 0..owned.n_rows() {
+                    let mut acc = 0.25;
+                    for (wv, xv) in w.iter().zip(owned.row(r)) {
+                        acc += wv * xv;
+                    }
+                    assert_eq!(view.row_dot_acc(r, &w, 0.25).to_bits(), acc.to_bits());
+                    let sq: f64 = owned.row(r).iter().map(|v| v * v).sum();
+                    assert_eq!(view.row_sq_norm(r).to_bits(), sq.to_bits());
+                    let mut wa = w.clone();
+                    let mut wb = w.clone();
+                    view.axpy_row(r, 1.5, &mut wa);
+                    for (wv, xv) in wb.iter_mut().zip(owned.row(r)) {
+                        *wv += 1.5 * xv;
+                    }
+                    assert_eq!(wa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                               wb.iter().map(|v| v.to_bits()).collect::<Vec<_>>());
+                    let mut buf = vec![0.0; owned.n_cols()];
+                    view.copy_row_into(r, &mut buf);
+                    assert_eq!(buf, owned.row(r));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_spec_for_agrees_with_fresh_fit() {
+        let d = mixed();
+        let pool_spec = PoolSpec::fit(&d, &[0, 1, 2], true);
+        let assembled = pool_spec.spec_for(&[0, 2]);
+        let fresh = DesignSpec::fit(&d, &[0, 2], true);
+        assert_eq!(assembled.input_features(), fresh.input_features());
+        assert_eq!(assembled.n_cols(), fresh.n_cols());
+        assert_eq!(assembled.encode(&d), fresh.encode(&d));
+        // Persisted form is identical too (format compatibility).
+        let mut wa = crate::textio::TextWriter::new();
+        assembled.write_text(&mut wa);
+        let mut wf = crate::textio::TextWriter::new();
+        fresh.write_text(&mut wf);
+        assert_eq!(wa.finish(), wf.finish());
+    }
+
+    #[test]
+    fn pool_from_specs_rebuilds_sparse_pool() {
+        let d = mixed();
+        let s01 = DesignSpec::fit(&d, &[0, 1], true);
+        let s10 = DesignSpec::fit(&d, &[1, 0], true);
+        let pool_spec = PoolSpec::from_specs(3, [&s01, &s10]);
+        assert!(pool_spec.covers(0));
+        assert!(pool_spec.covers(1));
+        assert!(!pool_spec.covers(2));
+        let pool = pool_spec.encode(&d);
+        assert_eq!(pool.n_cols(), 2);
+        let owned = s01.encode(&d);
+        assert_view_matches(&pool.view(&[0, 1]), &owned);
+    }
+
+    #[test]
+    fn row_subset_views_compose() {
+        let m = DesignMatrix::from_raw(4, 2, vec![0.0, 1.0, 10.0, 11.0, 20.0, 21.0, 30.0, 31.0]);
+        let present = [0usize, 2, 3];
+        let sub = RowSubset::new(&m, &present);
+        assert_eq!(sub.n_rows(), 3);
+        assert_eq!(sub.get(1, 1), 21.0);
+        assert_eq!(DesignView::col(&sub, 0).get(2), 30.0);
+        // Second level: a CV fold over the presence-filtered rows.
+        let fold = [2usize, 0];
+        let sub2 = RowSubset::new(&sub, &fold[..]);
+        assert_eq!(sub2.n_rows(), 2);
+        assert_eq!(sub2.get(0, 0), 30.0);
+        assert_eq!(sub2.get(1, 0), 0.0);
+        let col = DesignView::col(&sub2, 1);
+        assert_eq!(col.len(), 2);
+        assert_eq!(col.get(0), 31.0);
+        assert_eq!(col.get(1), 1.0);
+        let mut buf = [0.0; 2];
+        sub2.copy_row_into(0, &mut buf);
+        assert_eq!(buf, [30.0, 31.0]);
+        assert_eq!(sub2.view_overhead_bytes(), 2 * std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn pool_view_overhead_is_small() {
+        let d = mixed();
+        let pool = PoolSpec::fit(&d, &[0, 1, 2], true).encode(&d);
+        let view = pool.view(&[0, 1]);
+        // Adjacent features merge into one contiguous segment.
+        assert_eq!(view.segments.len(), 1);
+        assert_eq!(pool.view(&[0, 2]).segments.len(), 2);
+        assert!(view.view_overhead_bytes() < pool.approx_bytes());
     }
 }

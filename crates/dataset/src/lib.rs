@@ -38,6 +38,6 @@ pub mod stats;
 pub mod textio;
 
 pub use dataset::{Column, Dataset, Value};
-pub use design::DesignMatrix;
+pub use design::{ColRef, DesignMatrix, DesignView, EncodedPool, PoolSpec, PoolView, RowSubset};
 pub use kde::GaussianKde;
 pub use schema::{Feature, FeatureKind, Schema};

@@ -181,10 +181,8 @@ mod tests {
         let measured = ResourceReport {
             flops: 1_000_000,
             model_bytes: 1_000_000,
-            dataset_bytes: 0,
-            transient_bytes: 0,
             models_trained: 10,
-            wall: std::time::Duration::ZERO,
+            ..ResourceReport::default()
         };
         // 10× features, same samples → 100× flops and bytes.
         let e = extrapolate_full_run(&measured, (100, 50), (1000, 50));

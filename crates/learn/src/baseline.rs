@@ -9,7 +9,7 @@
 use crate::traits::{
     Classifier, ClassifierTrainer, Regressor, RegressorTrainer, Trained, TrainingCost,
 };
-use frac_dataset::{stats, DesignMatrix};
+use frac_dataset::{stats, DesignView};
 
 /// Predicts the training-target mean regardless of input.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -59,7 +59,7 @@ pub struct ConstantRegressorTrainer;
 impl RegressorTrainer for ConstantRegressorTrainer {
     type Model = ConstantRegressor;
 
-    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<ConstantRegressor> {
+    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<ConstantRegressor> {
         assert_eq!(x.n_rows(), y.len());
         Trained {
             model: ConstantRegressor { mean: stats::mean(y).unwrap_or(0.0) },
@@ -119,7 +119,7 @@ pub struct MajorityClassifierTrainer;
 impl ClassifierTrainer for MajorityClassifierTrainer {
     type Model = MajorityClassifier;
 
-    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<MajorityClassifier> {
+    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<MajorityClassifier> {
         assert_eq!(x.n_rows(), y.len());
         let mut counts = vec![0usize; arity as usize];
         for &c in y {
@@ -144,6 +144,7 @@ impl ClassifierTrainer for MajorityClassifierTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
 
     #[test]
     fn constant_regressor_predicts_mean() {

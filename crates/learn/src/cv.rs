@@ -11,17 +11,20 @@
 
 use crate::traits::{ClassifierTrainer, Classifier, Regressor, RegressorTrainer, TrainingCost};
 use frac_dataset::split::k_fold;
-use frac_dataset::DesignMatrix;
+use frac_dataset::{DesignView, RowSubset};
 
 /// Out-of-fold predictions for a regression problem.
 ///
 /// Returns `(predictions, cost)` where `predictions[r]` is the held-out
 /// prediction for row `r`. `cost.flops` sums over folds; `cost.peak_bytes`
 /// is the largest single-fold working set (folds run sequentially, so their
-/// transient memory is not concurrently live).
+/// transient memory is not concurrently live). Each fold trains on a
+/// [`RowSubset`] view of `x` — the only per-fold memory beyond the solver's
+/// own state is the row-index vector and a one-row prediction buffer, not a
+/// copy of the training slice.
 pub fn cv_regression<T: RegressorTrainer>(
     trainer: &T,
-    x: &DesignMatrix,
+    x: &dyn DesignView,
     y: &[f64],
     k: usize,
     seed: u64,
@@ -29,16 +32,18 @@ pub fn cv_regression<T: RegressorTrainer>(
     assert_eq!(x.n_rows(), y.len(), "target length must match rows");
     let n = x.n_rows();
     let mut preds = vec![f64::NAN; n];
+    let mut row_buf = vec![0.0f64; x.n_cols()];
     let mut flops = 0u64;
     let mut peak = 0u64;
     for fold in k_fold(n, k, seed) {
-        let x_train = x.select_rows(&fold.train);
+        let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
-        let trained = trainer.train(&x_train, &y_train);
+        let trained = trainer.train_view(&x_train, &y_train);
         flops += trained.cost.flops;
-        peak = peak.max(trained.cost.peak_bytes + x_train.approx_bytes() as u64);
+        peak = peak.max(trained.cost.peak_bytes + fold_overhead_bytes(&x_train, &row_buf));
         for &r in &fold.holdout {
-            preds[r] = trained.model.predict(x.row(r));
+            x.copy_row_into(r, &mut row_buf);
+            preds[r] = trained.model.predict(&row_buf);
         }
     }
     (preds, TrainingCost { flops, peak_bytes: peak })
@@ -48,7 +53,7 @@ pub fn cv_regression<T: RegressorTrainer>(
 /// [`cv_regression`] for conventions.
 pub fn cv_classification<T: ClassifierTrainer>(
     trainer: &T,
-    x: &DesignMatrix,
+    x: &dyn DesignView,
     y: &[u32],
     arity: u32,
     k: usize,
@@ -57,19 +62,29 @@ pub fn cv_classification<T: ClassifierTrainer>(
     assert_eq!(x.n_rows(), y.len(), "target length must match rows");
     let n = x.n_rows();
     let mut preds = vec![0u32; n];
+    let mut row_buf = vec![0.0f64; x.n_cols()];
     let mut flops = 0u64;
     let mut peak = 0u64;
     for fold in k_fold(n, k, seed) {
-        let x_train = x.select_rows(&fold.train);
+        let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
-        let trained = trainer.train(&x_train, &y_train, arity);
+        let trained = trainer.train_view(&x_train, &y_train, arity);
         flops += trained.cost.flops;
-        peak = peak.max(trained.cost.peak_bytes + x_train.approx_bytes() as u64);
+        peak = peak.max(trained.cost.peak_bytes + fold_overhead_bytes(&x_train, &row_buf));
         for &r in &fold.holdout {
-            preds[r] = trained.model.predict(x.row(r));
+            x.copy_row_into(r, &mut row_buf);
+            preds[r] = trained.model.predict(&row_buf);
         }
     }
     (preds, TrainingCost { flops, peak_bytes: peak })
+}
+
+/// Per-fold working-set bytes beyond the solver's own state: the fold's
+/// row-index view plus the holdout prediction buffer. Before the shared
+/// encoded pool this was a full copy of the fold's training slice
+/// (`rows × cols × 8` bytes); the view reduces it to `rows × 8 + cols × 8`.
+fn fold_overhead_bytes(view: &dyn DesignView, row_buf: &[f64]) -> u64 {
+    (view.view_overhead_bytes() + std::mem::size_of_val(row_buf)) as u64
 }
 
 #[cfg(test)]
@@ -78,6 +93,7 @@ mod tests {
     use crate::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
     use crate::svr::{SvrConfig, SvrTrainer};
     use crate::tree::ClassificationTreeTrainer;
+    use frac_dataset::DesignMatrix;
 
     #[test]
     fn every_row_receives_a_prediction() {
@@ -138,6 +154,23 @@ mod tests {
         // Different seed shuffles folds differently (may coincide rarely, but
         // not for this configuration).
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fold_peak_charges_view_overhead_not_a_copy() {
+        let (n, d) = (40usize, 25usize);
+        let x = DesignMatrix::from_raw(n, d, vec![1.0; n * d]);
+        let y = vec![0.0f64; n];
+        let k = 5;
+        let (_, cost) = cv_regression(&ConstantRegressorTrainer, &x, &y, k, 3);
+        // Largest fold trains on n - n/k rows. The old model charged a full
+        // copy of that slice; the view model charges only row indices plus
+        // the one-row prediction buffer (+ the trainer's own peak).
+        let fold_rows = n - n / k;
+        let copy_bytes = (fold_rows * d * 8) as u64;
+        let view_bytes = (fold_rows * std::mem::size_of::<usize>() + d * 8) as u64;
+        assert!(cost.peak_bytes < copy_bytes, "peak {} still charges a copy", cost.peak_bytes);
+        assert!(cost.peak_bytes >= view_bytes, "peak {} omits view overhead", cost.peak_bytes);
     }
 
     #[test]

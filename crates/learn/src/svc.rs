@@ -12,7 +12,7 @@
 
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
-use frac_dataset::DesignMatrix;
+use frac_dataset::DesignView;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -130,14 +130,12 @@ impl SvcTrainer {
     }
 
     /// Solve one binary (±1) problem, returning (weights, bias, epochs).
-    fn solve_binary(&self, x: &DesignMatrix, labels: &[f64], class_seed: u64) -> (Vec<f64>, f64, u64) {
+    fn solve_binary(&self, x: &dyn DesignView, labels: &[f64], class_seed: u64) -> (Vec<f64>, f64, u64) {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
         let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
-        let q_diag: Vec<f64> = (0..n)
-            .map(|i| x.row(i).iter().map(|v| v * v).sum::<f64>() + bias_sq)
-            .collect();
+        let q_diag: Vec<f64> = (0..n).map(|i| x.row_sq_norm(i) + bias_sq).collect();
 
         let mut alpha = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
@@ -152,12 +150,8 @@ impl SvcTrainer {
 
             for &i in &order {
                 let yi = labels[i];
-                let xi = x.row(i);
-                // G = y_i wᵀx_i − 1
-                let mut g = w_bias * bias_sq;
-                for (wv, xv) in w.iter().zip(xi) {
-                    g += wv * xv;
-                }
+                // G = y_i wᵀx_i − 1 (ascending-column fold, see svr.rs)
+                let mut g = x.row_dot_acc(i, &w, w_bias * bias_sq);
                 g = yi * g - 1.0;
 
                 let a = alpha[i];
@@ -175,9 +169,7 @@ impl SvcTrainer {
                     let delta = (a_new - a) * yi;
                     if delta != 0.0 {
                         alpha[i] = a_new;
-                        for (wv, xv) in w.iter_mut().zip(xi) {
-                            *wv += delta * xv;
-                        }
+                        x.axpy_row(i, delta, &mut w);
                         w_bias += delta * bias_sq;
                     }
                 }
@@ -195,7 +187,7 @@ impl SvcTrainer {
 impl ClassifierTrainer for SvcTrainer {
     type Model = LinearSvc;
 
-    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<LinearSvc> {
+    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<LinearSvc> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let n = x.n_rows();
         let d = x.n_cols();
@@ -229,6 +221,7 @@ impl ClassifierTrainer for SvcTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
 
     fn matrix(rows: &[&[f64]]) -> DesignMatrix {
         let n_cols = rows[0].len();

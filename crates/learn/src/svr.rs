@@ -20,7 +20,7 @@
 
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
-use frac_dataset::DesignMatrix;
+use frac_dataset::DesignView;
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -129,7 +129,7 @@ impl SvrTrainer {
 impl RegressorTrainer for SvrTrainer {
     type Model = LinearSvr;
 
-    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<LinearSvr> {
+    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<LinearSvr> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
@@ -144,9 +144,7 @@ impl RegressorTrainer for SvrTrainer {
 
         let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
         // Q_ii = x_i·x_i (+1 for the bias augmentation).
-        let q_diag: Vec<f64> = (0..n)
-            .map(|i| x.row(i).iter().map(|v| v * v).sum::<f64>() + bias_sq)
-            .collect();
+        let q_diag: Vec<f64> = (0..n).map(|i| x.row_sq_norm(i) + bias_sq).collect();
 
         let mut beta = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
@@ -160,13 +158,10 @@ impl RegressorTrainer for SvrTrainer {
             let mut max_violation = 0.0f64;
 
             for &i in &order {
-                let xi = x.row(i);
                 let h = q_diag[i];
-                // G = wᵀx_i − y_i
-                let mut g = -y[i] + w_bias * bias_sq;
-                for (wv, xv) in w.iter().zip(xi) {
-                    g += wv * xv;
-                }
+                // G = wᵀx_i − y_i (folded in ascending column order — any
+                // view must reproduce the owned accumulation bit for bit).
+                let g = x.row_dot_acc(i, &w, -y[i] + w_bias * bias_sq);
                 let gp = g + cfg.epsilon;
                 let gn = g - cfg.epsilon;
 
@@ -215,9 +210,7 @@ impl RegressorTrainer for SvrTrainer {
                 let delta = beta_new - b;
                 if delta != 0.0 {
                     beta[i] = beta_new;
-                    for (wv, xv) in w.iter_mut().zip(xi) {
-                        *wv += delta * xv;
-                    }
+                    x.axpy_row(i, delta, &mut w);
                     w_bias += delta * bias_sq;
                 }
             }
@@ -241,6 +234,7 @@ impl RegressorTrainer for SvrTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
 
     fn matrix(rows: &[&[f64]]) -> DesignMatrix {
         let n_cols = rows[0].len();

@@ -6,7 +6,7 @@
 //! [`TrainingCost`], the raw material for reproducing the paper's CPU-time
 //! and memory columns.
 
-use frac_dataset::DesignMatrix;
+use frac_dataset::{DesignMatrix, DesignView};
 
 /// Analytic cost of one model-training call.
 ///
@@ -72,24 +72,39 @@ pub trait Classifier: Send + Sync {
     fn approx_bytes(&self) -> usize;
 }
 
-/// Trains regressors from `(design matrix, real targets)` pairs.
+/// Trains regressors from `(design view, real targets)` pairs.
+///
+/// `train_view` is the primary entry point: it accepts any [`DesignView`],
+/// so the caller can hand over a zero-copy slice of a shared
+/// [`frac_dataset::EncodedPool`] (or a [`frac_dataset::RowSubset`] of one)
+/// instead of materializing an owned matrix per target/fold.
 pub trait RegressorTrainer: Send + Sync {
     /// The model type produced.
     type Model: Regressor;
 
-    /// Fit a model. `y.len()` must equal `x.n_rows()`; `y` contains no NaNs
-    /// (the caller drops rows with missing targets).
-    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model>;
+    /// Fit a model from any design view. `y.len()` must equal `x.n_rows()`;
+    /// `y` contains no NaNs (the caller drops rows with missing targets).
+    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<Self::Model>;
+
+    /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
+    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model> {
+        self.train_view(x, y)
+    }
 }
 
-/// Trains classifiers from `(design matrix, class codes, arity)` triples.
+/// Trains classifiers from `(design view, class codes, arity)` triples.
 pub trait ClassifierTrainer: Send + Sync {
     /// The model type produced.
     type Model: Classifier;
 
-    /// Fit a model. `y.len()` must equal `x.n_rows()`; all codes are
-    /// `< arity` (the caller drops rows with missing targets).
-    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<Self::Model>;
+    /// Fit a model from any design view. `y.len()` must equal `x.n_rows()`;
+    /// all codes are `< arity` (the caller drops rows with missing targets).
+    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<Self::Model>;
+
+    /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
+    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<Self::Model> {
+        self.train_view(x, y, arity)
+    }
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use super::splitter::{best_classification_split, SplitScratch};
 use super::{descend, Node, TreeConfig};
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
-use frac_dataset::DesignMatrix;
+use frac_dataset::DesignView;
 
 /// A fitted classification tree predicting class codes.
 #[derive(Debug, Clone)]
@@ -92,7 +92,7 @@ fn majority(labels: impl Iterator<Item = u32>, arity: u32) -> u32 {
 impl ClassifierTrainer for ClassificationTreeTrainer {
     type Model = ClassificationTree;
 
-    fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<ClassificationTree> {
+    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<ClassificationTree> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
@@ -127,8 +127,7 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
             } else {
                 best_classification_split(
                     &samples,
-                    d,
-                    &|s, f| x.get(s, f),
+                    x,
                     &|s| y[s],
                     arity as usize,
                     cfg.min_samples_leaf,
@@ -142,9 +141,10 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
                     nodes[node_idx] = Node::Leaf(majority(samples.iter().map(|&s| y[s]), arity));
                 }
                 Some(c) => {
+                    let split_col = x.col(c.feature);
                     let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
                         .iter()
-                        .partition(|&&s| x.get(s, c.feature) <= c.threshold);
+                        .partition(|&&s| split_col.get(s) <= c.threshold);
                     let left_idx = nodes.len();
                     nodes.push(Node::Leaf(0));
                     let right_idx = nodes.len();
@@ -173,6 +173,7 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
 
     fn matrix(rows: &[&[f64]]) -> DesignMatrix {
         let n_cols = rows[0].len();

@@ -8,7 +8,7 @@
 use super::splitter::{best_regression_split, SplitScratch};
 use super::{descend, Node, TreeConfig};
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
-use frac_dataset::DesignMatrix;
+use frac_dataset::DesignView;
 
 /// A fitted regression tree predicting leaf means.
 #[derive(Debug, Clone)]
@@ -72,7 +72,7 @@ impl RegressionTreeTrainer {
 impl RegressorTrainer for RegressionTreeTrainer {
     type Model = RegressionTree;
 
-    fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<RegressionTree> {
+    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<RegressionTree> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
@@ -105,8 +105,7 @@ impl RegressorTrainer for RegressionTreeTrainer {
             } else {
                 best_regression_split(
                     &samples,
-                    d,
-                    &|s, f| x.get(s, f),
+                    x,
                     &|s| y[s],
                     cfg.min_samples_leaf,
                     cfg.min_gain,
@@ -120,9 +119,10 @@ impl RegressorTrainer for RegressionTreeTrainer {
                     nodes[node_idx] = Node::Leaf(mean);
                 }
                 Some(c) => {
+                    let split_col = x.col(c.feature);
                     let (left_samples, right_samples): (Vec<usize>, Vec<usize>) = samples
                         .iter()
-                        .partition(|&&s| x.get(s, c.feature) <= c.threshold);
+                        .partition(|&&s| split_col.get(s) <= c.threshold);
                     let left_idx = nodes.len();
                     nodes.push(Node::Leaf(0.0));
                     let right_idx = nodes.len();
@@ -151,6 +151,7 @@ impl RegressorTrainer for RegressionTreeTrainer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
 
     fn matrix(rows: &[&[f64]]) -> DesignMatrix {
         let n_cols = rows[0].len();

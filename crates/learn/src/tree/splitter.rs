@@ -3,7 +3,11 @@
 //! For every candidate feature the node's samples are sorted by feature
 //! value and a single left-to-right sweep evaluates every distinct threshold
 //! with O(1) incremental statistics: class counts for classification,
-//! first/second moments for regression.
+//! first/second moments for regression. Feature values are read through the
+//! borrowed [`frac_dataset::ColRef`] column path, so the search runs
+//! allocation-free over owned matrices and pool views alike.
+
+use frac_dataset::DesignView;
 
 /// A chosen split: feature, threshold, and the impurity decrease it buys.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,8 +74,7 @@ impl SplitScratch {
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn best_classification_split(
     samples: &[usize],
-    n_features: usize,
-    feature_value: &dyn Fn(usize, usize) -> f64,
+    x: &dyn DesignView,
     label: &dyn Fn(usize) -> u32,
     arity: usize,
     min_leaf: usize,
@@ -92,11 +95,12 @@ pub(crate) fn best_classification_split(
     }
 
     let mut best: Option<SplitChoice> = None;
-    for f in 0..n_features {
+    for f in 0..x.n_cols() {
+        let col = x.col(f);
         scratch.pairs.clear();
         scratch
             .pairs
-            .extend(samples.iter().map(|&s| (feature_value(s, f), s)));
+            .extend(samples.iter().map(|&s| (col.get(s), s)));
         scratch
             .pairs
             .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -146,8 +150,7 @@ pub(crate) fn best_classification_split(
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn best_regression_split(
     samples: &[usize],
-    n_features: usize,
-    feature_value: &dyn Fn(usize, usize) -> f64,
+    x: &dyn DesignView,
     target: &dyn Fn(usize) -> f64,
     min_leaf: usize,
     min_gain: f64,
@@ -169,11 +172,12 @@ pub(crate) fn best_regression_split(
     }
 
     let mut best: Option<SplitChoice> = None;
-    for f in 0..n_features {
+    for f in 0..x.n_cols() {
+        let col = x.col(f);
         scratch.pairs.clear();
         scratch
             .pairs
-            .extend(samples.iter().map(|&s| (feature_value(s, f), s)));
+            .extend(samples.iter().map(|&s| (col.get(s), s)));
         scratch
             .pairs
             .sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
@@ -214,6 +218,13 @@ pub(crate) fn best_regression_split(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use frac_dataset::DesignMatrix;
+
+    fn matrix(rows: &[&[f64]]) -> DesignMatrix {
+        let n_cols = rows[0].len();
+        let values: Vec<f64> = rows.iter().flat_map(|r| r.iter().copied()).collect();
+        DesignMatrix::from_raw(rows.len(), n_cols, values)
+    }
 
     #[test]
     fn entropy_of_counts() {
@@ -224,14 +235,13 @@ mod tests {
     #[test]
     fn classification_split_finds_obvious_boundary() {
         // Feature 0 separates perfectly at 0.5; feature 1 is noise.
-        let xs = [[0.0, 7.0], [0.2, 3.0], [0.9, 5.0], [1.0, 4.0]];
+        let x = matrix(&[&[0.0, 7.0], &[0.2, 3.0], &[0.9, 5.0], &[1.0, 4.0]]);
         let ys = [0u32, 0, 1, 1];
         let samples: Vec<usize> = (0..4).collect();
         let mut scratch = SplitScratch::new(2);
         let choice = best_classification_split(
             &samples,
-            2,
-            &|s, f| xs[s][f],
+            &x,
             &|s| ys[s],
             2,
             1,
@@ -247,13 +257,12 @@ mod tests {
 
     #[test]
     fn pure_node_returns_none() {
-        let xs = [[0.0], [1.0]];
+        let x = matrix(&[&[0.0], &[1.0]]);
         let ys = [1u32, 1];
         let mut scratch = SplitScratch::new(2);
         assert!(best_classification_split(
             &[0, 1],
-            1,
-            &|s, f| xs[s][f],
+            &x,
             &|s| ys[s],
             2,
             1,
@@ -265,15 +274,14 @@ mod tests {
 
     #[test]
     fn min_leaf_blocks_tiny_children() {
-        let xs = [[0.0], [1.0], [2.0], [3.0]];
+        let x = matrix(&[&[0.0], &[1.0], &[2.0], &[3.0]]);
         let ys = [0u32, 1, 1, 1];
         let mut scratch = SplitScratch::new(2);
         // min_leaf = 2 forbids the perfect 1|3 split; the 2|2 split has less
         // gain but is the only legal one.
         let choice = best_classification_split(
             &[0, 1, 2, 3],
-            1,
-            &|s, f| xs[s][f],
+            &x,
             &|s| ys[s],
             2,
             2,
@@ -286,13 +294,12 @@ mod tests {
 
     #[test]
     fn regression_split_reduces_variance() {
-        let xs = [[0.0], [1.0], [10.0], [11.0]];
+        let x = matrix(&[&[0.0], &[1.0], &[10.0], &[11.0]]);
         let ys = [1.0, 1.1, 5.0, 5.2];
         let mut scratch = SplitScratch::new(0);
         let choice = best_regression_split(
             &[0, 1, 2, 3],
-            1,
-            &|s, f| xs[s][f],
+            &x,
             &|s| ys[s],
             1,
             1e-12,
@@ -306,12 +313,11 @@ mod tests {
 
     #[test]
     fn constant_target_returns_none() {
-        let xs = [[0.0], [1.0], [2.0]];
+        let x = matrix(&[&[0.0], &[1.0], &[2.0]]);
         let mut scratch = SplitScratch::new(0);
         assert!(best_regression_split(
             &[0, 1, 2],
-            1,
-            &|s, f| xs[s][f],
+            &x,
             &|_| 3.0,
             1,
             1e-12,
@@ -323,13 +329,12 @@ mod tests {
     #[test]
     fn tied_feature_values_are_never_thresholds() {
         // All values equal: no distinct threshold exists.
-        let xs = [[1.0], [1.0], [1.0], [1.0]];
+        let x = matrix(&[&[1.0], &[1.0], &[1.0], &[1.0]]);
         let ys = [0u32, 1, 0, 1];
         let mut scratch = SplitScratch::new(2);
         assert!(best_classification_split(
             &[0, 1, 2, 3],
-            1,
-            &|s, f| xs[s][f],
+            &x,
             &|s| ys[s],
             2,
             1,
@@ -337,5 +342,30 @@ mod tests {
             &mut scratch,
         )
         .is_none());
+    }
+
+    #[test]
+    fn split_search_agrees_across_view_kinds() {
+        // The same samples served through a RowSubset view must choose the
+        // identical split as the owned matrix restricted to those rows.
+        let full = matrix(&[
+            &[9.0, 9.0], // excluded
+            &[0.0, 7.0],
+            &[0.2, 3.0],
+            &[9.0, 9.0], // excluded
+            &[0.9, 5.0],
+            &[1.0, 4.0],
+        ]);
+        let keep = [1usize, 2, 4, 5];
+        let owned = full.select_rows(&keep);
+        let view = frac_dataset::RowSubset::new(&full, &keep);
+        let ys = [0u32, 0, 1, 1];
+        let mut s1 = SplitScratch::new(2);
+        let mut s2 = SplitScratch::new(2);
+        let samples: Vec<usize> = (0..4).collect();
+        let a = best_classification_split(&samples, &owned, &|s| ys[s], 2, 1, 1e-12, &mut s1);
+        let b = best_classification_split(&samples, &view, &|s| ys[s], 2, 1, 1e-12, &mut s2);
+        assert_eq!(a, b);
+        assert!(a.is_some());
     }
 }

@@ -367,8 +367,10 @@ mod tests {
             for j in (i + 1)..pts.len() {
                 let orig = dot(&pts[i], &pts[j]);
                 let new = dot(&proj[i], &proj[j]);
-                // Additive error scales with the norms (~√(200/3) ≈ 8).
-                assert!((orig - new).abs() < 8.0, "pair ({i},{j}): {orig} vs {new}");
+                // Additive error scales with the norms: one standard
+                // deviation is ‖x‖‖y‖/√k ≈ (200/3)/√600 ≈ 2.7, and the worst
+                // of 45 pairs lands around 3σ, so bound at ≈4.5σ.
+                assert!((orig - new).abs() < 12.0, "pair ({i},{j}): {orig} vs {new}");
             }
         }
     }

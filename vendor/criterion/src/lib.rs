@@ -1,0 +1,220 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! slice of criterion its benches use: `Criterion::benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `Bencher::iter`, and the `criterion_group!`/`criterion_main!` macros.
+//! Statistical analysis is replaced by a plain mean/min report over the
+//! configured sample count — good enough to eyeball regressions offline;
+//! `--quick`-style accuracy claims are out of scope.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement harness handed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Mean and minimum wall time per iteration, filled by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Time `f`, running one warm-up call plus `samples` timed calls.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        std::hint::black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((total / self.samples as u32, min));
+    }
+}
+
+/// Benchmark identifier: a name, optionally parameterized.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Anything accepted where criterion takes a benchmark name.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(group: Option<&str>, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples: samples.max(1), result: None };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    match b.result {
+        Some((mean, min)) => {
+            println!("bench {label:<50} mean {:>12}  min {:>12}", fmt_duration(mean), fmt_duration(min));
+        }
+        None => println!("bench {label:<50} (no measurement)"),
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(Some(&self.name), &id.into_id(), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(Some(&self.name), &id.into_id(), self.samples, &mut |b| f(b, input));
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = self.samples;
+        BenchmarkGroup { name: name.into(), samples, _criterion: self }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(None, &id.into_id(), self.samples, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions into one runner fn named `$name`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Entry point: runs each group unless invoked with `--test` (cargo test
+/// runs bench targets in test mode; measuring there would be noise).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 4), &4usize, |b, &n| {
+            b.iter(|| (0..n).sum::<usize>())
+        });
+        group.finish();
+        // warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+}

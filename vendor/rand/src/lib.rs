@@ -1,0 +1,289 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! slice of `rand` 0.10 it actually uses: a deterministic seeded generator
+//! (`rngs::StdRng`, xoshiro256++ seeded via SplitMix64), the `Rng` extension
+//! methods `random`/`random_range`, `SeedableRng::seed_from_u64`, and
+//! `SliceRandom::shuffle`. Determinism (same seed → same stream, forever) is
+//! the only contract the workspace relies on; matching upstream `rand`'s
+//! exact stream is explicitly *not* required, since every consumer seeds its
+//! own `StdRng` and all golden values in tests were produced by this
+//! implementation.
+
+/// Core trait: a source of uniformly distributed `u64` words.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types that can be sampled uniformly from an RNG (the `Standard`
+/// distribution in upstream `rand`).
+pub trait StandardSample: Sized {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // Use the high bit: xoshiro's low bits are the weakest.
+        (rng.next_u64() >> 63) != 0
+    }
+}
+
+impl StandardSample for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+/// Integer types usable with [`Rng::random_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+/// Unbiased integer in `0..n` by rejection sampling (n > 0).
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Largest multiple of n that fits in u64: values at or above it would
+    // bias the modulus, so reject and redraw.
+    let zone = u64::MAX - (u64::MAX % n);
+    loop {
+        let v = rng.next_u64();
+        if v < zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as u64) - (lo as u64);
+                lo + uniform_u64(rng, span) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(usize, u64, u32, u16, u8);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                (lo as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i64, i32, i16, i8, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// Ranges accepted by [`Rng::random_range`].
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(rng, self.start, self.end)
+    }
+}
+
+impl SampleRange<usize> for core::ops::RangeInclusive<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        lo + uniform_u64(rng, (hi - lo) as u64 + 1) as usize
+    }
+}
+
+/// Extension methods over any [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Sample a value of type `T` from the standard distribution.
+    fn random<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Sample uniformly from a range.
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators (mirrors `rand::SeedableRng` for the used subset).
+pub trait SeedableRng: Sized {
+    /// Construct from a 64-bit seed (stream is a pure function of the seed).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic RNG: xoshiro256++ with state
+    /// expanded from the `u64` seed by SplitMix64.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xoshiro256++ (Blackman & Vigna, public domain reference).
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+pub mod seq {
+    use super::{RngCore, SampleUniform};
+
+    /// Slice shuffling (mirrors `rand::seq::SliceRandom::shuffle`).
+    pub trait SliceRandom {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            // Fisher–Yates, high-to-low, matching upstream's element order.
+            for i in (1..self.len()).rev() {
+                let j = usize::sample_range(rng, 0, i + 1);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+pub use prelude::{Rng as _, RngCore as _};
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn range_bounds_and_coverage() {
+        let mut r = StdRng::seed_from_u64(2);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            seen[r.random_range(0..7usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut r);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bool_is_roughly_fair() {
+        let mut r = StdRng::seed_from_u64(4);
+        let heads = (0..10_000).filter(|_| r.random::<bool>()).count();
+        assert!((heads as f64 / 10_000.0 - 0.5).abs() < 0.02);
+    }
+}

@@ -1,0 +1,212 @@
+//! Offline, API-compatible subset of `rayon`.
+//!
+//! The build container has no registry access, so the workspace vendors the
+//! slice of rayon it uses: `slice.par_iter().map(f).collect::<Vec<_>>()`
+//! plus `ThreadPoolBuilder::num_threads(n).build().install(f)` to pin the
+//! degree of parallelism in tests. Work is executed on scoped OS threads in
+//! contiguous chunks and results are returned **in input order**, so callers
+//! observe exactly the same output as sequential iteration — parallelism
+//! here changes wall-clock only, never results.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+
+thread_local! {
+    /// Per-thread override installed by [`ThreadPool::install`]; 0 = default.
+    static NUM_THREADS_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads a parallel iterator on this thread will use.
+pub fn current_num_threads() -> usize {
+    let forced = NUM_THREADS_OVERRIDE.with(|c| c.get());
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Order-preserving parallel map over a slice using scoped threads.
+fn par_map_collect<'a, T, R, F>(items: &'a [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    let n_threads = current_num_threads().min(items.len().max(1));
+    if n_threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = items.len().div_ceil(n_threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|c| {
+                let f = &f;
+                scope.spawn(move || c.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        let mut out = Vec::with_capacity(items.len());
+        for h in handles {
+            out.extend(h.join().expect("rayon stub worker panicked"));
+        }
+        out
+    })
+}
+
+/// Borrowed parallel iterator over a slice (the result of `par_iter`).
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F>(self, f: F) -> ParMap<'a, T, F>
+    where
+        F: Fn(&'a T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f, _marker: PhantomData }
+    }
+}
+
+/// A mapped parallel iterator; `collect` runs the fan-out.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+    _marker: PhantomData<&'a T>,
+}
+
+impl<'a, T, F, R> ParMap<'a, T, F>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'a T) -> R + Sync,
+{
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(par_map_collect(self.items, self.f))
+    }
+}
+
+/// Mirrors `rayon::iter::IntoParallelRefIterator` for slice-backed types.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: Sync + 'a;
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (construction never fails
+/// here, the type exists for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Mirrors `rayon::ThreadPoolBuilder` for the subset used in tests.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { num_threads: self.num_threads })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; workers are spawned per
+/// parallel call rather than kept resident.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count governing any parallel
+    /// iterators it executes (on this thread).
+    pub fn install<R, F: FnOnce() -> R>(&self, f: F) -> R {
+        let prev = NUM_THREADS_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let result = f();
+        NUM_THREADS_OVERRIDE.with(|c| c.set(prev));
+        result
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        }
+    }
+}
+
+pub mod prelude {
+    pub use super::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::ThreadPoolBuilder;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = items.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn install_pins_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> = pool.install(|| {
+            assert_eq!(super::current_num_threads(), 1);
+            let items: Vec<usize> = (0..10).collect();
+            items.par_iter().map(|&x| x + 1).collect()
+        });
+        assert_eq!(out, (1..11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let empty: Vec<u8> = vec![];
+        let out: Vec<u8> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x).collect();
+        assert_eq!(out, vec![7]);
+    }
+}
