@@ -1,18 +1,23 @@
 //! Performance snapshot: full-FRaC fit + score on a mid-size surrogate,
 //! comparing the shared-pool path against the legacy per-target encode
-//! path, written to `BENCH_fit.json` so the perf trajectory is tracked
-//! across PRs.
+//! path (`BENCH_fit.json`), and the fast solver path (shrinking + warm
+//! starts + blocked kernels) against the strict reference solver on
+//! solver-bound SVM configurations (`BENCH_solver.json`), so the perf
+//! trajectory is tracked across PRs.
 //!
 //! ```text
 //! cargo run -p frac-bench --release --bin perfsnapshot
 //! ```
 //!
 //! Environment knobs: `FRAC_PERF_FEATURES` (default 400),
-//! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of).
+//! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of),
+//! `FRAC_PERF_SOLVER_FEATURES` (default 160; solver-bound families).
 
-use frac_core::config::RealModel;
-use frac_core::{FracConfig, FracModel, ResourceReport, TrainingPlan};
+use frac_core::config::{CatModel, RealModel};
+use frac_core::{FracConfig, FracModel, ResourceReport, SolverMode, TrainingPlan};
 use frac_dataset::Dataset;
+use frac_learn::solver::stats::{self, SolverStats};
+use frac_learn::{SvcConfig, SvrConfig};
 use frac_synth::snp::CohortGroup;
 use frac_synth::{ExpressionConfig, ExpressionGenerator, SnpConfig, SnpGenerator, SubpopulationMix};
 use std::time::Instant;
@@ -122,6 +127,110 @@ fn family_json(
     )
 }
 
+/// One timed fit+score run with the process-wide solver counters it drove.
+struct SolverSnapshot {
+    fit_s: f64,
+    score_s: f64,
+    flops: u64,
+    stats: SolverStats,
+}
+
+fn solver_timed(
+    train: &Dataset,
+    test: &Dataset,
+    plan: &TrainingPlan,
+    config: &FracConfig,
+) -> SolverSnapshot {
+    stats::reset();
+    let t0 = Instant::now();
+    let (model, report) = FracModel::fit(train, plan, config);
+    let fit_s = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    let ns = model.score(test);
+    let score_s = t1.elapsed().as_secs_f64();
+    assert!(ns.iter().all(|s| s.is_finite()));
+    SolverSnapshot { fit_s, score_s, flops: report.flops, stats: stats::snapshot() }
+}
+
+fn solver_best_of(
+    reps: usize,
+    train: &Dataset,
+    test: &Dataset,
+    plan: &TrainingPlan,
+    config: &FracConfig,
+) -> SolverSnapshot {
+    let mut best: Option<SolverSnapshot> = None;
+    for _ in 0..reps {
+        let s = solver_timed(train, test, plan, config);
+        if best.as_ref().is_none_or(|b| s.fit_s < b.fit_s) {
+            best = Some(s);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn solver_mode_json(s: &SolverSnapshot) -> String {
+    format!(
+        "{{\"fit_wall_s\": {:.6}, \"score_wall_s\": {:.6}, \"flops\": {}, \
+         \"solves\": {}, \"epochs\": {}, \"coordinate_visits\": {}, \
+         \"dense_slots\": {}, \"active_set_occupancy\": {:.4}}}",
+        s.fit_s,
+        s.score_s,
+        s.flops,
+        s.stats.solves,
+        s.stats.epochs,
+        s.stats.visits,
+        s.stats.dense_slots,
+        s.stats.occupancy(),
+    )
+}
+
+/// Time one solver-bound family through the strict reference solver and the
+/// fast path (shrinking + warm-started duals + blocked kernels) and render
+/// its JSON object.
+fn solver_family_json(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    base: &FracConfig,
+    reps: usize,
+) -> String {
+    let plan = TrainingPlan::full(train.n_features());
+    let strict =
+        solver_best_of(reps, train, test, &plan, &(*base).with_solver_mode(SolverMode::Strict));
+    let fast =
+        solver_best_of(reps, train, test, &plan, &(*base).with_solver_mode(SolverMode::Fast));
+    let fit_speedup = strict.fit_s / fast.fit_s;
+    let epoch_ratio = fast.stats.epochs as f64 / strict.stats.epochs as f64;
+    let visit_ratio = fast.stats.visits as f64 / strict.stats.visits as f64;
+    eprintln!(
+        "{name}: fit strict {:.3}s vs fast {:.3}s ({fit_speedup:.2}x); \
+         epochs {} -> {} ({epoch_ratio:.3}); visits {} -> {} ({visit_ratio:.3}); \
+         fast occupancy {:.3}",
+        strict.fit_s,
+        fast.fit_s,
+        strict.stats.epochs,
+        fast.stats.epochs,
+        strict.stats.visits,
+        fast.stats.visits,
+        fast.stats.occupancy(),
+    );
+    format!(
+        "  \"{name}\": {{\n    \
+         \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
+         \"strict\": {},\n    \
+         \"fast\": {},\n    \
+         \"fit_speedup\": {fit_speedup:.3},\n    \
+         \"epoch_ratio\": {epoch_ratio:.4},\n    \
+         \"visit_ratio\": {visit_ratio:.4}\n  }}",
+        train.n_features(),
+        train.n_rows(),
+        test.n_rows(),
+        solver_mode_json(&strict),
+        solver_mode_json(&fast),
+    )
+}
+
 fn main() {
     let n_features = env_usize("FRAC_PERF_FEATURES", 400);
     let n_rows = env_usize("FRAC_PERF_ROWS", 80);
@@ -177,4 +286,73 @@ fn main() {
     let json = format!("{{\n{expr_json},\n{snp_json},\n{encode_json}\n}}\n");
     std::fs::write("BENCH_fit.json", &json).expect("write BENCH_fit.json");
     println!("{json}");
+
+    // Solver-bound families: tight stopping tolerance with a high epoch cap
+    // makes the dual coordinate-descent solves dominate the fit wall, which
+    // is what the fast solver path (shrinking + warm starts + blocked
+    // kernels) targets. Smaller surrogates than the encode bench keep the
+    // strict reference tractable.
+    let n_solver = env_usize("FRAC_PERF_SOLVER_FEATURES", 160);
+    let n_solver_rows = n_rows.min(60);
+
+    eprintln!("solver bench: {n_solver} features x {n_solver_rows} train rows, best of {reps}");
+
+    let (sexpr, _) = ExpressionGenerator::new(ExpressionConfig {
+        n_features: n_solver,
+        n_modules: 8,
+        relevant_fraction: 0.8,
+        anomaly_modules: 2,
+        anomaly_shift: 2.5,
+        noise_sd: 0.6,
+        structure_seed: 43,
+        ..ExpressionConfig::default()
+    })
+    .generate(n_solver_rows, n_solver_rows, 10);
+    let sexpr_train = sexpr.select_rows(&(0..n_solver_rows).collect::<Vec<_>>());
+    let sexpr_test =
+        sexpr.select_rows(&(n_solver_rows..2 * n_solver_rows).collect::<Vec<_>>());
+
+    let (ssnp, _) = SnpGenerator::new(SnpConfig {
+        n_snps: n_solver,
+        n_subpops: 2,
+        fst: 0.1,
+        n_disease_loci: n_solver / 20,
+        disease_effect: 0.2,
+        structure_seed: 43,
+        ..SnpConfig::default()
+    })
+    .generate(
+        &[
+            CohortGroup { n: n_solver_rows, mix: SubpopulationMix::uniform(2), is_case: false },
+            CohortGroup { n: n_solver_rows, mix: SubpopulationMix::uniform(2), is_case: true },
+        ],
+        10,
+    );
+    let ssnp_train = ssnp.select_rows(&(0..n_solver_rows).collect::<Vec<_>>());
+    let ssnp_test = ssnp.select_rows(&(n_solver_rows..2 * n_solver_rows).collect::<Vec<_>>());
+
+    let svr_cfg = FracConfig {
+        real_model: RealModel::Svr(SvrConfig {
+            tolerance: 1e-4,
+            max_epochs: 1000,
+            ..SvrConfig::default()
+        }),
+        ..FracConfig::default()
+    };
+    let svc_cfg = FracConfig {
+        cat_model: CatModel::Svc(SvcConfig {
+            tolerance: 1e-4,
+            max_epochs: 1000,
+            ..SvcConfig::default()
+        }),
+        ..FracConfig::snp()
+    };
+
+    let sexpr_json =
+        solver_family_json("expression_svr", &sexpr_train, &sexpr_test, &svr_cfg, reps);
+    let ssnp_json = solver_family_json("snp_svc", &ssnp_train, &ssnp_test, &svc_cfg, reps);
+
+    let solver_json = format!("{{\n{sexpr_json},\n{ssnp_json}\n}}\n");
+    std::fs::write("BENCH_solver.json", &solver_json).expect("write BENCH_solver.json");
+    println!("{solver_json}");
 }

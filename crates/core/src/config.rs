@@ -1,7 +1,7 @@
 //! FRaC configuration: model families, CV folds, seeds.
 
 use frac_learn::tree::TreeConfig;
-use frac_learn::{SvcConfig, SvrConfig};
+use frac_learn::{SolverMode, SvcConfig, SvrConfig};
 
 /// Which model family learns real-valued target features.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +74,21 @@ impl FracConfig {
     /// Replace the master seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Select the SVM solver path (builder style): [`SolverMode::Fast`]
+    /// (shrinking + warm starts + blocked kernels, the default) or
+    /// [`SolverMode::Strict`] (the reference solver the fast path is
+    /// validated against). A no-op for tree/baseline model families, which
+    /// have a single implementation.
+    pub fn with_solver_mode(mut self, mode: SolverMode) -> Self {
+        if let RealModel::Svr(cfg) = &mut self.real_model {
+            cfg.mode = mode;
+        }
+        if let CatModel::Svc(cfg) = &mut self.cat_model {
+            cfg.mode = mode;
+        }
         self
     }
 }

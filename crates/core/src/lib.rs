@@ -48,8 +48,9 @@ pub mod selector;
 pub mod variants;
 
 pub use config::{CatModel, FracConfig, RealModel};
+pub use frac_learn::SolverMode;
 pub use csax::{characterize, CsaxConfig, GeneSet, SampleCharacterization};
-pub use model::{ContributionMatrix, FracModel};
+pub use model::{ContributionMatrix, DualCache, FracModel};
 pub use plan::{TargetPlan, TrainingPlan};
 pub use resources::ResourceReport;
 pub use selector::FeatureSelector;

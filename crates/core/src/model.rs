@@ -17,10 +17,10 @@ use crate::plan::TrainingPlan;
 use crate::resources::ResourceReport;
 use frac_dataset::design::{DesignSpec, PoolSpec};
 use frac_dataset::entropy::column_entropy;
-use frac_dataset::split::derive_seed;
+use frac_dataset::split::{derive_seed, k_fold, Fold};
 use frac_dataset::{Column, Dataset, DesignMatrix, DesignView, EncodedPool, PoolView, RowSubset};
 use frac_learn::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
-use frac_learn::cv::{cv_classification, cv_regression};
+use frac_learn::cv::{cv_classification_folds, cv_regression_folds};
 use frac_learn::svc::SvcTrainer;
 use frac_learn::svr::SvrTrainer;
 use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
@@ -135,6 +135,16 @@ pub struct FracModel {
     pub(crate) features: Vec<FeatureModel>,
 }
 
+/// Per-target output of the parallel fit loop.
+struct TargetFit {
+    feature: FeatureModel,
+    flops: u64,
+    transient: u64,
+    model_bytes: u64,
+    n_models: u64,
+    duals: Vec<(usize, PredictorDuals)>,
+}
+
 /// Per-feature NS contributions for a scored test set.
 ///
 /// `values[c][r]` is the contribution of target feature `feature_ids[c]` to
@@ -162,7 +172,108 @@ impl ContributionMatrix {
     }
 }
 
-/// Fit a single predictor + error model; returns it with its training cost.
+/// The final-fit dual variables of one SVM predictor, indexed by
+/// present-row position for its target. Trainers without a dual
+/// formulation (trees, baselines) never produce one.
+pub(crate) enum PredictorDuals {
+    /// SVR duals: one `β` per training row.
+    Real(Vec<f64>),
+    /// SVC duals: one `α` vector per one-vs-rest class.
+    Cat(Vec<Vec<f64>>),
+}
+
+impl PredictorDuals {
+    fn approx_bytes(&self) -> usize {
+        match self {
+            PredictorDuals::Real(b) => std::mem::size_of_val(b.as_slice()),
+            PredictorDuals::Cat(a) => {
+                a.iter().map(|v| std::mem::size_of_val(v.as_slice())).sum()
+            }
+        }
+    }
+}
+
+/// Warm-start duals carried across repeated fits of the same targets —
+/// ensemble members and partial-filter replicates re-solve near-identical
+/// problems, so each member's solves seed from the previous member's
+/// solution instead of zero.
+///
+/// Keys are `(target feature id, input-set index)`; duals live in row space
+/// (present rows of the target), so they stay valid even when the member's
+/// *input* set changes (Diverse FRaC) — the solver clamps them into its
+/// feasible box and they only move the starting point, never the fixed
+/// point. Reuse requires the members to share the training dataset and
+/// feature ids; variants that re-index features per member (full filtering)
+/// or re-project the data (JL) must not share a cache.
+#[derive(Default)]
+pub struct DualCache {
+    entries: std::collections::BTreeMap<(usize, usize), PredictorDuals>,
+}
+
+impl DualCache {
+    fn get(&self, target: usize, member: usize) -> Option<&PredictorDuals> {
+        self.entries.get(&(target, member))
+    }
+
+    fn insert(&mut self, target: usize, member: usize, duals: PredictorDuals) {
+        self.entries.insert((target, member), duals);
+    }
+
+    /// Number of cached dual vectors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty (no prior member has run).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Approximate resident bytes of all cached duals.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.values().map(|d| d.approx_bytes()).sum()
+    }
+}
+
+/// Restrict the run-wide fold plan to one target's present rows.
+///
+/// The shared plan partitions global row indices; a target trains only on
+/// rows where it is present, as *positions* into its `RowSubset`. When
+/// nothing is missing the positions coincide with the rows and the plan is
+/// reused as-is. Otherwise each fold is filtered to present rows; in the
+/// pathological case where filtering empties some fold's training side (a
+/// feature missing in almost every row), we fall back to a per-target
+/// k-fold over the present rows so no holdout is ever predicted by an
+/// untrained model.
+fn folds_for_present(
+    shared: &[Fold],
+    present: &[usize],
+    n_rows: usize,
+    k: usize,
+    member_seed: u64,
+) -> Vec<Fold> {
+    if present.len() == n_rows {
+        return shared.to_vec();
+    }
+    let mut pos = vec![usize::MAX; n_rows];
+    for (p, &r) in present.iter().enumerate() {
+        pos[r] = p;
+    }
+    let restrict = |rows: &[usize]| -> Vec<usize> {
+        rows.iter().map(|&r| pos[r]).filter(|&p| p != usize::MAX).collect()
+    };
+    let restricted: Vec<Fold> = shared
+        .iter()
+        .map(|f| Fold { train: restrict(&f.train), holdout: restrict(&f.holdout) })
+        .collect();
+    if restricted.iter().any(|f| f.train.is_empty() && !f.holdout.is_empty()) {
+        return k_fold(present.len(), k, derive_seed(member_seed, 1));
+    }
+    restricted
+}
+
+/// Fit a single predictor + error model; returns it with its training cost
+/// and (for SVM families) the final-fit duals for [`DualCache`] reuse.
 ///
 /// With `pool`, the per-target design matrix is a zero-copy view over the
 /// shared encoded pool and the spec is assembled from pooled encoders
@@ -176,7 +287,9 @@ fn fit_predictor(
     config: &FracConfig,
     member_seed: u64,
     pool: Option<&EncodedPool>,
-) -> (FeaturePredictor, f64, TrainingCost) {
+    shared_folds: &[Fold],
+    init_duals: Option<&PredictorDuals>,
+) -> (FeaturePredictor, f64, TrainingCost, Option<PredictorDuals>) {
     let owned: DesignMatrix;
     let pooled: PoolView<'_>;
     let spec: DesignSpec;
@@ -207,28 +320,44 @@ fn fit_predictor(
                 (0..train.n_rows()).filter(|&r| !values[r].is_nan()).collect();
             let x = RowSubset::new(x_all, &present);
             let y: Vec<f64> = present.iter().map(|&r| values[r]).collect();
+            let folds = folds_for_present(
+                shared_folds,
+                &present,
+                train.n_rows(),
+                config.cv_folds,
+                member_seed,
+            );
+            // A cached dual vector is usable only if it matches this
+            // target's present-row count (same dataset ⇒ always true).
+            let init = match init_duals {
+                Some(PredictorDuals::Real(d)) if d.len() == present.len() => {
+                    Some(d.as_slice())
+                }
+                _ => None,
+            };
 
-            let (model, fit_cost, error, strength, cv_cost) = match &config.real_model {
+            let (model, fit_cost, error, strength, cv_cost, duals) = match &config.real_model
+            {
                 RealModel::Svr(cfg) => {
                     let mut cfg = *cfg;
                     cfg.seed = derive_seed(member_seed, 2);
-                    run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, config, member_seed)
+                    run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, &folds, init)
                 }
                 RealModel::Tree(cfg) => run_real(
                     &RegressionTreeTrainer::new(*cfg),
                     RealPredictor::Tree,
                     &x,
                     &y,
-                    config,
-                    member_seed,
+                    &folds,
+                    init,
                 ),
                 RealModel::Constant => run_real(
                     &ConstantRegressorTrainer,
                     RealPredictor::Constant,
                     &x,
                     &y,
-                    config,
-                    member_seed,
+                    &folds,
+                    init,
                 ),
             };
             let total = TrainingCost {
@@ -246,6 +375,7 @@ fn fit_predictor(
                 },
                 strength,
                 total,
+                duals.map(PredictorDuals::Real),
             )
         }
         Column::Categorical { arity, codes } => {
@@ -254,21 +384,38 @@ fn fit_predictor(
                 .collect();
             let x = RowSubset::new(x_all, &present);
             let y: Vec<u32> = present.iter().map(|&r| codes[r]).collect();
+            let folds = folds_for_present(
+                shared_folds,
+                &present,
+                train.n_rows(),
+                config.cv_folds,
+                member_seed,
+            );
+            let init = match init_duals {
+                Some(PredictorDuals::Cat(d))
+                    if d.len() == *arity as usize
+                        && d.iter().all(|v| v.len() == present.len()) =>
+                {
+                    Some(d.as_slice())
+                }
+                _ => None,
+            };
 
-            let (model, fit_cost, error, strength, cv_cost) = match &config.cat_model {
+            let (model, fit_cost, error, strength, cv_cost, duals) = match &config.cat_model
+            {
                 CatModel::Tree(cfg) => run_cat(
                     &ClassificationTreeTrainer::new(*cfg),
                     CatPredictor::Tree,
                     &x,
                     &y,
                     *arity,
-                    config,
-                    member_seed,
+                    &folds,
+                    init,
                 ),
                 CatModel::Svc(cfg) => {
                     let mut cfg = *cfg;
                     cfg.seed = derive_seed(member_seed, 2);
-                    run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, config, member_seed)
+                    run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, &folds, init)
                 }
                 CatModel::Majority => run_cat(
                     &MajorityClassifierTrainer,
@@ -276,8 +423,8 @@ fn fit_predictor(
                     &x,
                     &y,
                     *arity,
-                    config,
-                    member_seed,
+                    &folds,
+                    init,
                 ),
             };
             let total = TrainingCost {
@@ -295,48 +442,53 @@ fn fit_predictor(
                 },
                 strength,
                 total,
+                duals.map(PredictorDuals::Cat),
             )
         }
     }
 }
 
 /// Cross-validate + final-fit one real-target trainer, wrapping its model
-/// into the closed [`RealPredictor`] enum.
+/// into the closed [`RealPredictor`] enum. Duals thread fold → fold → final
+/// fit (see [`cv_regression_folds`]); the final fit's duals are returned
+/// for cross-member reuse.
+#[allow(clippy::type_complexity)]
 fn run_real<T: frac_learn::RegressorTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> RealPredictor,
     x: &dyn DesignView,
     y: &[f64],
-    config: &FracConfig,
-    member_seed: u64,
-) -> (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost) {
-    let (oof, cv_cost) = cv_regression(trainer, x, y, config.cv_folds, derive_seed(member_seed, 1));
+    folds: &[Fold],
+    init_duals: Option<&[f64]>,
+) -> (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost, Option<Vec<f64>>) {
+    let (oof, cv_cost, cv_duals) = cv_regression_folds(trainer, x, y, folds, init_duals);
     let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = GaussianErrorModel::fit(&pairs);
     let strength = r2_strength(y, &oof);
-    let trained = trainer.train_view(x, y);
-    (wrap(trained.model), trained.cost, error, strength, cv_cost)
+    let (trained, final_duals) = trainer.train_view_warm(x, y, cv_duals.as_deref());
+    (wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals)
 }
 
 /// Cross-validate + final-fit one categorical-target trainer, wrapping its
-/// model into the closed [`CatPredictor`] enum.
-#[allow(clippy::too_many_arguments)]
+/// model into the closed [`CatPredictor`] enum; see [`run_real`].
+#[allow(clippy::type_complexity)]
 fn run_cat<T: frac_learn::ClassifierTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> CatPredictor,
     x: &dyn DesignView,
     y: &[u32],
     arity: u32,
-    config: &FracConfig,
-    member_seed: u64,
-) -> (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost) {
-    let (oof, cv_cost) =
-        cv_classification(trainer, x, y, arity, config.cv_folds, derive_seed(member_seed, 1));
+    folds: &[Fold],
+    init_duals: Option<&[Vec<f64>]>,
+) -> (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost, Option<Vec<Vec<f64>>>)
+{
+    let (oof, cv_cost, cv_duals) =
+        cv_classification_folds(trainer, x, y, arity, folds, init_duals);
     let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = ConfusionErrorModel::fit(&pairs, arity);
     let strength = accuracy_strength(y, &oof);
-    let trained = trainer.train_view(x, y, arity);
-    (wrap(trained.model), trained.cost, error, strength, cv_cost)
+    let (trained, final_duals) = trainer.train_view_warm(x, y, arity, cv_duals.as_deref());
+    (wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals)
 }
 
 /// R²-like strength: 1 − MSE/Var, clamped to `[0, 1]`.
@@ -376,6 +528,29 @@ impl FracModel {
     /// state, whose `pool_bytes` charge the shared pool once, and whose
     /// `transient_bytes` is the worst single-predictor working set.
     pub fn fit(train: &Dataset, plan: &TrainingPlan, config: &FracConfig) -> (FracModel, ResourceReport) {
+        Self::fit_pooled(train, plan, config, None)
+    }
+
+    /// [`FracModel::fit`] with a [`DualCache`] carried across calls:
+    /// repeated fits of the same targets on the same training set (ensemble
+    /// members, partial-filter replicates) warm-start every SVM solve from
+    /// the previous call's duals. The cache is read before the run and
+    /// updated with this run's final duals afterwards.
+    pub fn fit_cached(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        cache: &mut DualCache,
+    ) -> (FracModel, ResourceReport) {
+        Self::fit_pooled(train, plan, config, Some(cache))
+    }
+
+    fn fit_pooled(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        cache: Option<&mut DualCache>,
+    ) -> (FracModel, ResourceReport) {
         let mut used = vec![false; train.n_features()];
         for tp in &plan.targets {
             for inputs in &tp.input_sets {
@@ -386,7 +561,7 @@ impl FracModel {
         }
         let features: Vec<usize> = (0..used.len()).filter(|&j| used[j]).collect();
         let pool = PoolSpec::fit(train, &features, config.standardize).encode(train);
-        Self::fit_inner(train, plan, config, Some(&pool))
+        Self::fit_inner(train, plan, config, Some(&pool), cache)
     }
 
     /// Legacy fit path: every predictor fits and encodes its own design
@@ -398,7 +573,7 @@ impl FracModel {
         plan: &TrainingPlan,
         config: &FracConfig,
     ) -> (FracModel, ResourceReport) {
-        Self::fit_inner(train, plan, config, None)
+        Self::fit_inner(train, plan, config, None, None)
     }
 
     fn fit_inner(
@@ -406,9 +581,16 @@ impl FracModel {
         plan: &TrainingPlan,
         config: &FracConfig,
         pool: Option<&EncodedPool>,
+        cache: Option<&mut DualCache>,
     ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
-        let results: Vec<(FeatureModel, u64, u64, u64, u64)> = plan
+        // One k-fold plan for the whole run: the shuffle is derived once
+        // from the master seed, and each target restricts it to its present
+        // rows instead of re-deriving a per-target partition.
+        let shared_folds =
+            k_fold(train.n_rows(), config.cv_folds, derive_seed(config.seed, 0xF01D));
+        let cache_read: Option<&DualCache> = cache.as_deref();
+        let results: Vec<TargetFit> = plan
             .targets
             .par_iter()
             .map(|tp| {
@@ -418,11 +600,21 @@ impl FracModel {
                 let mut transient = 0u64;
                 let mut model_bytes = 0u64;
                 let mut strength_acc = 0.0f64;
+                let mut duals_out: Vec<(usize, PredictorDuals)> = Vec::new();
                 for (m, inputs) in tp.input_sets.iter().enumerate() {
                     let member_seed =
                         derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
-                    let (fp, strength, cost) =
-                        fit_predictor(train, tp.target, inputs, config, member_seed, pool);
+                    let init = cache_read.and_then(|c| c.get(tp.target, m));
+                    let (fp, strength, cost, duals) = fit_predictor(
+                        train,
+                        tp.target,
+                        inputs,
+                        config,
+                        member_seed,
+                        pool,
+                        &shared_folds,
+                        init,
+                    );
                     flops += cost.flops;
                     transient = transient.max(cost.peak_bytes);
                     model_bytes += (fp.model.approx_bytes()
@@ -431,17 +623,21 @@ impl FracModel {
                         as u64;
                     strength_acc += strength;
                     predictors.push(fp);
+                    if let Some(d) = duals {
+                        duals_out.push((m, d));
+                    }
                 }
                 let n_models =
                     (tp.input_sets.len() * (config.cv_folds.max(1) + 1)) as u64;
                 let strength = strength_acc / tp.input_sets.len().max(1) as f64;
-                (
-                    FeatureModel { target: tp.target, entropy, strength, predictors },
+                TargetFit {
+                    feature: FeatureModel { target: tp.target, entropy, strength, predictors },
                     flops,
                     transient,
                     model_bytes,
                     n_models,
-                )
+                    duals: duals_out,
+                }
             })
             .collect();
 
@@ -451,12 +647,18 @@ impl FracModel {
             ..ResourceReport::default()
         };
         let mut features = Vec::with_capacity(results.len());
-        for (fm, flops, transient, model_bytes, n_models) in results {
-            report.flops += flops;
-            report.transient_bytes = report.transient_bytes.max(transient);
-            report.model_bytes += model_bytes;
-            report.models_trained += n_models;
-            features.push(fm);
+        let mut cache = cache;
+        for tf in results {
+            report.flops += tf.flops;
+            report.transient_bytes = report.transient_bytes.max(tf.transient);
+            report.model_bytes += tf.model_bytes;
+            report.models_trained += tf.n_models;
+            if let Some(cache) = cache.as_deref_mut() {
+                for (m, d) in tf.duals {
+                    cache.insert(tf.feature.target, m, d);
+                }
+            }
+            features.push(tf.feature);
         }
         report.wall = t0.elapsed();
         (FracModel { features }, report)

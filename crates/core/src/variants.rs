@@ -7,7 +7,7 @@
 //! projection, fit a [`FracModel`], score.
 
 use crate::config::FracConfig;
-use crate::model::{ContributionMatrix, FracModel};
+use crate::model::{ContributionMatrix, DualCache, FracModel};
 use crate::plan::TrainingPlan;
 use crate::resources::ResourceReport;
 use crate::selector::FeatureSelector;
@@ -112,6 +112,21 @@ pub fn run_variant(
     variant: &Variant,
     config: &FracConfig,
 ) -> VariantOutcome {
+    run_variant_cached(train, test, variant, config, None)
+}
+
+/// [`run_variant`] with an optional [`DualCache`] threaded through the
+/// variants whose members re-fit the same `(dataset, feature id)` problems
+/// (full, partial filtering, diverse). Feature-re-indexing variants (full
+/// filtering) and data-transforming variants (JL) skip the cache — their
+/// per-member problems are not row/target-aligned across calls.
+fn run_variant_cached(
+    train: &Dataset,
+    test: &Dataset,
+    variant: &Variant,
+    config: &FracConfig,
+    cache: Option<&mut DualCache>,
+) -> VariantOutcome {
     assert_eq!(
         train.schema(),
         test.schema(),
@@ -121,7 +136,7 @@ pub fn run_variant(
     let mut outcome = match variant {
         Variant::Full => {
             let plan = TrainingPlan::full(train.n_features());
-            fit_and_score(train, test, &plan, config, None)
+            fit_and_score(train, test, &plan, config, None, cache)
         }
         Variant::FullFilter { selector, p } => {
             let sel_seed = derive_seed(config.seed, 0x5E1);
@@ -129,7 +144,8 @@ pub fn run_variant(
             let train_sub = train.select_features(&selected);
             let test_sub = test.select_features(&selected);
             let plan = TrainingPlan::full(selected.len());
-            let mut out = fit_and_score(&train_sub, &test_sub, &plan, config, None);
+            // Local target ids remap per selection, so no dual reuse here.
+            let mut out = fit_and_score(&train_sub, &test_sub, &plan, config, None, None);
             out.resources.flops += selector.selection_flops(train);
             // Map contribution/strength ids back into the original space.
             remap_feature_ids(&mut out, &selected);
@@ -140,7 +156,7 @@ pub fn run_variant(
             let sel_seed = derive_seed(config.seed, 0x5E1);
             let selected = selector.select(train, *p, sel_seed);
             let plan = TrainingPlan::partial_filtered(&selected, train.n_features());
-            let mut out = fit_and_score(train, test, &plan, config, None);
+            let mut out = fit_and_score(train, test, &plan, config, None, cache);
             out.resources.flops += selector.selection_flops(train);
             out.selected_features = Some(selected);
             out
@@ -149,7 +165,7 @@ pub fn run_variant(
             let plan_seed = derive_seed(config.seed, 0xD1F);
             let plan =
                 TrainingPlan::diverse(train.n_features(), *p, *models_per_feature, plan_seed);
-            fit_and_score(train, test, &plan, config, None)
+            fit_and_score(train, test, &plan, config, None, cache)
         }
         Variant::Ensemble { base, members } => run_ensemble(train, test, base, *members, config),
         Variant::JlProject { dim, kind } => {
@@ -157,7 +173,7 @@ pub fn run_variant(
             let train_p = jl.project_dataset(train);
             let test_p = jl.project_dataset(test);
             let plan = TrainingPlan::full(*dim);
-            let mut out = fit_and_score(&train_p, &test_p, &plan, config, None);
+            let mut out = fit_and_score(&train_p, &test_p, &plan, config, None, None);
             // Projection cost: (rows × one-hot width × k) multiply-adds.
             let d_onehot = train.schema().one_hot_width() as u64;
             let rows = (train.n_rows() + test.n_rows()) as u64;
@@ -179,8 +195,12 @@ fn fit_and_score(
     plan: &TrainingPlan,
     config: &FracConfig,
     selected: Option<Vec<usize>>,
+    cache: Option<&mut DualCache>,
 ) -> VariantOutcome {
-    let (model, resources) = FracModel::fit(train, plan, config);
+    let (model, resources) = match cache {
+        Some(cache) => FracModel::fit_cached(train, plan, config, cache),
+        None => FracModel::fit(train, plan, config),
+    };
     let contributions = model.contributions(test);
     let ns = contributions.ns_scores();
     VariantOutcome {
@@ -218,13 +238,17 @@ fn run_ensemble(
     let mut strengths: BTreeMap<usize, Vec<f64>> = BTreeMap::new();
     let mut resources = ResourceReport::default();
     let mut selected_union: Vec<usize> = Vec::new();
+    // Ensemble members re-fit the same per-feature problems under different
+    // seeds/input sets; each member's SVM solves warm-start from the
+    // previous member's duals through this cache.
+    let mut dual_cache = DualCache::default();
 
     for m in 0..members {
         let member_cfg = FracConfig {
             seed: derive_seed(config.seed, 0xE45_0000 + m as u64),
             ..*config
         };
-        let out = run_variant(train, test, base, &member_cfg);
+        let out = run_variant_cached(train, test, base, &member_cfg, Some(&mut dual_cache));
         if m == 0 {
             resources = out.resources;
         } else {

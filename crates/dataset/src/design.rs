@@ -481,6 +481,40 @@ impl DesignView for PoolView<'_> {
         }
     }
 
+    fn row_dot_blocked(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        let base = r * self.stride;
+        let mut acc = init;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            let seg = &self.values[base + start..base + start + width];
+            acc = crate::kernels::dot_blocked(seg, &w[wo..wo + width], acc);
+            wo += width;
+        }
+        acc
+    }
+
+    fn row_sq_norm_blocked(&self, r: usize) -> f64 {
+        let base = r * self.stride;
+        let mut acc = 0.0;
+        for &(start, width) in &self.segments {
+            acc = crate::kernels::sq_norm_blocked(
+                &self.values[base + start..base + start + width],
+                acc,
+            );
+        }
+        acc
+    }
+
+    fn axpy_row_blocked(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        let base = r * self.stride;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            let seg = &self.values[base + start..base + start + width];
+            crate::kernels::axpy_blocked(alpha, seg, &mut w[wo..wo + width]);
+            wo += width;
+        }
+    }
+
     fn col(&self, c: usize) -> ColRef<'_> {
         ColRef {
             values: self.values,
@@ -600,6 +634,26 @@ pub trait DesignView: Sync {
         self.row_dot_acc(r, w, 0.0)
     }
 
+    /// Blocked (4-wide unrolled) variant of [`Self::row_dot_acc`] for the
+    /// solver fast path. Not bit-identical to the sequential fold (lane
+    /// grouping differs), but deterministic for a fixed view shape. The
+    /// default falls back to the exact kernel.
+    fn row_dot_blocked(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.row_dot_acc(r, w, init)
+    }
+
+    /// Blocked variant of [`Self::row_sq_norm`]; see
+    /// [`Self::row_dot_blocked`] for the determinism contract.
+    fn row_sq_norm_blocked(&self, r: usize) -> f64 {
+        self.row_sq_norm(r)
+    }
+
+    /// Blocked variant of [`Self::axpy_row`] (bit-identical to the exact
+    /// kernel — axpy has no cross-lane reduction — just faster).
+    fn axpy_row_blocked(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        self.axpy_row(r, alpha, w);
+    }
+
     /// Bytes this view holds beyond the storage it borrows (row-index
     /// vectors, column maps) — the working-set cost of serving it.
     fn view_overhead_bytes(&self) -> usize {
@@ -654,12 +708,24 @@ impl<D: DesignView + ?Sized> DesignView for RowSubset<'_, D> {
         self.inner.copy_row_into(self.rows[r], buf);
     }
 
+    fn row_dot_blocked(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.inner.row_dot_blocked(self.rows[r], w, init)
+    }
+
+    fn row_sq_norm_blocked(&self, r: usize) -> f64 {
+        self.inner.row_sq_norm_blocked(self.rows[r])
+    }
+
+    fn axpy_row_blocked(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        self.inner.axpy_row_blocked(self.rows[r], alpha, w);
+    }
+
     fn col(&self, c: usize) -> ColRef<'_> {
         self.inner.col(c).push_rows(self.rows)
     }
 
     fn view_overhead_bytes(&self) -> usize {
-        self.rows.len() * std::mem::size_of::<usize>()
+        std::mem::size_of_val(self.rows)
     }
 }
 
@@ -704,6 +770,18 @@ impl DesignView for DesignMatrix {
 
     fn copy_row_into(&self, r: usize, buf: &mut [f64]) {
         buf.copy_from_slice(self.row(r));
+    }
+
+    fn row_dot_blocked(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        crate::kernels::dot_blocked(self.row(r), w, init)
+    }
+
+    fn row_sq_norm_blocked(&self, r: usize) -> f64 {
+        crate::kernels::sq_norm_blocked(self.row(r), 0.0)
+    }
+
+    fn axpy_row_blocked(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        crate::kernels::axpy_blocked(alpha, self.row(r), w);
     }
 
     fn col(&self, c: usize) -> ColRef<'_> {

@@ -1,0 +1,141 @@
+//! Blocked inner-loop kernels for the solver fast path.
+//!
+//! The SVM coordinate-descent sweeps spend almost all their time in three
+//! row-wise primitives: `dot`, `axpy`, and squared norm. The reference
+//! implementations fold strictly left to right, which serializes every
+//! addition behind a ~4-cycle FP latency chain. These kernels break that
+//! chain with four independent accumulators (the compiler is then free to
+//! keep them in separate registers / SIMD lanes), turning the sweeps
+//! memory-bandwidth-bound instead of scalar-issue-bound.
+//!
+//! The lane split changes floating-point summation *grouping*, so blocked
+//! results are not bit-identical to the sequential fold — they are used only
+//! by the fast solver path ([`crate::DesignView::row_dot_blocked`] and
+//! friends); the strict reference path keeps the exact sequential kernels.
+//! Within one slice the grouping is a deterministic function of its length,
+//! so fast-path results are still reproducible run to run and across thread
+//! counts.
+
+/// `init + Σ_i x[i]·w[i]` with four independent accumulators.
+///
+/// # Panics
+/// Debug-asserts `x.len() == w.len()`.
+#[inline]
+pub fn dot_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
+    debug_assert_eq!(x.len(), w.len());
+    let mut xc = x.chunks_exact(4);
+    let mut wc = w.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xs, ws) in (&mut xc).zip(&mut wc) {
+        a0 += xs[0] * ws[0];
+        a1 += xs[1] * ws[1];
+        a2 += xs[2] * ws[2];
+        a3 += xs[3] * ws[3];
+    }
+    let mut acc = init + ((a0 + a2) + (a1 + a3));
+    for (xv, wv) in xc.remainder().iter().zip(wc.remainder()) {
+        acc += xv * wv;
+    }
+    acc
+}
+
+/// `w[i] += alpha · x[i]`, 4-wide unrolled.
+///
+/// Unlike the reductions, axpy has no cross-lane dependency, so the result
+/// is bit-identical to the sequential loop — the unroll only removes bounds
+/// checks and exposes independent stores.
+///
+/// # Panics
+/// Debug-asserts `x.len() == w.len()`.
+#[inline]
+pub fn axpy_blocked(alpha: f64, x: &[f64], w: &mut [f64]) {
+    debug_assert_eq!(x.len(), w.len());
+    let mut xc = x.chunks_exact(4);
+    let mut wc = w.chunks_exact_mut(4);
+    for (xs, ws) in (&mut xc).zip(&mut wc) {
+        ws[0] += alpha * xs[0];
+        ws[1] += alpha * xs[1];
+        ws[2] += alpha * xs[2];
+        ws[3] += alpha * xs[3];
+    }
+    for (xv, wv) in xc.remainder().iter().zip(wc.into_remainder()) {
+        *wv += alpha * xv;
+    }
+}
+
+/// `acc + Σ_i x[i]²` with four independent accumulators.
+#[inline]
+pub fn sq_norm_blocked(x: &[f64], acc: f64) -> f64 {
+    let mut xc = x.chunks_exact(4);
+    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for xs in &mut xc {
+        a0 += xs[0] * xs[0];
+        a1 += xs[1] * xs[1];
+        a2 += xs[2] * xs[2];
+        a3 += xs[3] * xs[3];
+    }
+    let mut acc = acc + ((a0 + a2) + (a1 + a3));
+    for xv in xc.remainder() {
+        acc += xv * xv;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vecs(n: usize) -> (Vec<f64>, Vec<f64>) {
+        let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37 - 1.1).sin()).collect();
+        let w: Vec<f64> = (0..n).map(|i| (i as f64 * 0.91 + 0.3).cos()).collect();
+        (x, w)
+    }
+
+    #[test]
+    fn dot_matches_sequential_within_tolerance() {
+        for n in [0, 1, 3, 4, 5, 7, 8, 64, 129] {
+            let (x, w) = vecs(n);
+            let seq: f64 = 0.5 + x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+            let blocked = dot_blocked(&x, &w, 0.5);
+            assert!(
+                (seq - blocked).abs() <= 1e-12 * (1.0 + seq.abs()),
+                "n={n}: {seq} vs {blocked}"
+            );
+        }
+    }
+
+    #[test]
+    fn axpy_is_bit_identical_to_sequential() {
+        for n in [0, 1, 3, 4, 6, 8, 65] {
+            let (x, w0) = vecs(n);
+            let mut a = w0.clone();
+            let mut b = w0.clone();
+            axpy_blocked(1.75, &x, &mut a);
+            for (wv, xv) in b.iter_mut().zip(&x) {
+                *wv += 1.75 * xv;
+            }
+            assert_eq!(
+                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn sq_norm_matches_sequential_within_tolerance() {
+        for n in [0, 1, 2, 4, 9, 31, 128] {
+            let (x, _) = vecs(n);
+            let seq: f64 = x.iter().map(|v| v * v).sum();
+            let blocked = sq_norm_blocked(&x, 0.0);
+            assert!((seq - blocked).abs() <= 1e-12 * (1.0 + seq), "n={n}");
+        }
+    }
+
+    #[test]
+    fn blocked_results_are_deterministic() {
+        let (x, w) = vecs(101);
+        assert_eq!(dot_blocked(&x, &w, 0.0).to_bits(), dot_blocked(&x, &w, 0.0).to_bits());
+        assert_eq!(sq_norm_blocked(&x, 0.0).to_bits(), sq_norm_blocked(&x, 0.0).to_bits());
+    }
+}

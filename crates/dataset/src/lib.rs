@@ -32,6 +32,7 @@ pub mod design;
 pub mod entropy;
 pub mod io;
 pub mod kde;
+pub mod kernels;
 pub mod schema;
 pub mod split;
 pub mod stats;

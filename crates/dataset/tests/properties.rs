@@ -143,7 +143,7 @@ proptest! {
 
     #[test]
     fn missing_values_roundtrip_through_columns(
-        codes in prop::collection::vec(prop_oneof![Just(MISSING_CODE), (0u32..3)], 1..30),
+        codes in prop::collection::vec(prop_oneof![Just(MISSING_CODE), 0u32..3], 1..30),
     ) {
         let col = Column::Categorical { arity: 3, codes: codes.clone() };
         let n_missing = codes.iter().filter(|&&c| c == MISSING_CODE).count();

@@ -10,7 +10,7 @@
 //! accumulated [`TrainingCost`] of all fold models.
 
 use crate::traits::{ClassifierTrainer, Classifier, Regressor, RegressorTrainer, TrainingCost};
-use frac_dataset::split::k_fold;
+use frac_dataset::split::{k_fold, Fold};
 use frac_dataset::{DesignView, RowSubset};
 
 /// Out-of-fold predictions for a regression problem.
@@ -29,24 +29,73 @@ pub fn cv_regression<T: RegressorTrainer>(
     k: usize,
     seed: u64,
 ) -> (Vec<f64>, TrainingCost) {
+    let folds = k_fold(x.n_rows(), k, seed);
+    let (preds, cost, _) = cv_regression_folds(trainer, x, y, &folds, None);
+    (preds, cost)
+}
+
+/// [`cv_regression`] over a caller-supplied fold plan, with warm-started
+/// duals threaded fold to fold.
+///
+/// The fold plan is computed once per FRaC run and shared across targets
+/// (the per-target plan is its restriction to present rows), so the k-fold
+/// shuffle is no longer re-derived per target. Each fold's solve seeds from
+/// `dual_by_row` — the latest dual seen for each row of `x`, initialized
+/// from `init_duals` (e.g. a previous replicate's solution) or zeros — and
+/// scatters its solution back, so fold `j+1` starts from the duals of the
+/// shared rows it has in common with folds `1..=j`. The returned vector is
+/// the final `dual_by_row`, ready to seed the full-data fit; it is `None`
+/// when the trainer has no dual formulation (trees, baselines).
+pub fn cv_regression_folds<T: RegressorTrainer>(
+    trainer: &T,
+    x: &dyn DesignView,
+    y: &[f64],
+    folds: &[Fold],
+    init_duals: Option<&[f64]>,
+) -> (Vec<f64>, TrainingCost, Option<Vec<f64>>) {
     assert_eq!(x.n_rows(), y.len(), "target length must match rows");
     let n = x.n_rows();
     let mut preds = vec![f64::NAN; n];
     let mut row_buf = vec![0.0f64; x.n_cols()];
+    let mut dual_by_row: Vec<f64> = match init_duals {
+        Some(d) => {
+            assert_eq!(d.len(), n, "init dual length must match rows");
+            d.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let mut have_duals = true;
     let mut flops = 0u64;
     let mut peak = 0u64;
-    for fold in k_fold(n, k, seed) {
+    let mut warm_buf: Vec<f64> = Vec::new();
+    for fold in folds {
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
-        let trained = trainer.train_view(&x_train, &y_train);
+        warm_buf.clear();
+        warm_buf.extend(fold.train.iter().map(|&r| dual_by_row[r]));
+        let warm = if have_duals { Some(warm_buf.as_slice()) } else { None };
+        let (trained, duals) = trainer.train_view_warm(&x_train, &y_train, warm);
+        match duals {
+            Some(d) => {
+                for (&r, &b) in fold.train.iter().zip(&d) {
+                    dual_by_row[r] = b;
+                }
+            }
+            None => have_duals = false,
+        }
         flops += trained.cost.flops;
-        peak = peak.max(trained.cost.peak_bytes + fold_overhead_bytes(&x_train, &row_buf));
+        peak = peak.max(
+            trained.cost.peak_bytes
+                + fold_overhead_bytes(&x_train, &row_buf)
+                + 2 * std::mem::size_of_val(dual_by_row.as_slice()) as u64,
+        );
         for &r in &fold.holdout {
             x.copy_row_into(r, &mut row_buf);
             preds[r] = trained.model.predict(&row_buf);
         }
     }
-    (preds, TrainingCost { flops, peak_bytes: peak })
+    let out_duals = have_duals.then_some(dual_by_row);
+    (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
 }
 
 /// Out-of-fold predictions for a classification problem; see
@@ -59,24 +108,74 @@ pub fn cv_classification<T: ClassifierTrainer>(
     k: usize,
     seed: u64,
 ) -> (Vec<u32>, TrainingCost) {
+    let folds = k_fold(x.n_rows(), k, seed);
+    let (preds, cost, _) = cv_classification_folds(trainer, x, y, arity, &folds, None);
+    (preds, cost)
+}
+
+/// [`cv_classification`] over a caller-supplied fold plan with warm-started
+/// duals; see [`cv_regression_folds`] for the threading contract. Duals are
+/// per one-vs-rest class: `duals[k][r]` is row `r`'s latest dual for class
+/// `k`'s binary problem.
+pub fn cv_classification_folds<T: ClassifierTrainer>(
+    trainer: &T,
+    x: &dyn DesignView,
+    y: &[u32],
+    arity: u32,
+    folds: &[Fold],
+    init_duals: Option<&[Vec<f64>]>,
+) -> (Vec<u32>, TrainingCost, Option<Vec<Vec<f64>>>) {
     assert_eq!(x.n_rows(), y.len(), "target length must match rows");
     let n = x.n_rows();
+    let k_classes = arity as usize;
     let mut preds = vec![0u32; n];
     let mut row_buf = vec![0.0f64; x.n_cols()];
+    let mut dual_by_row: Vec<Vec<f64>> = match init_duals {
+        Some(d) => {
+            assert_eq!(d.len(), k_classes, "init duals must have one vector per class");
+            d.to_vec()
+        }
+        None => vec![vec![0.0; n]; k_classes],
+    };
+    let mut have_duals = true;
     let mut flops = 0u64;
     let mut peak = 0u64;
-    for fold in k_fold(n, k, seed) {
+    for fold in folds {
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
-        let trained = trainer.train_view(&x_train, &y_train, arity);
+        let warm_vecs: Vec<Vec<f64>> = if have_duals {
+            dual_by_row
+                .iter()
+                .map(|class_duals| fold.train.iter().map(|&r| class_duals[r]).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let warm = if have_duals { Some(warm_vecs.as_slice()) } else { None };
+        let (trained, duals) = trainer.train_view_warm(&x_train, &y_train, arity, warm);
+        match duals {
+            Some(d) => {
+                for (class_duals, class_out) in dual_by_row.iter_mut().zip(&d) {
+                    for (&r, &a) in fold.train.iter().zip(class_out) {
+                        class_duals[r] = a;
+                    }
+                }
+            }
+            None => have_duals = false,
+        }
         flops += trained.cost.flops;
-        peak = peak.max(trained.cost.peak_bytes + fold_overhead_bytes(&x_train, &row_buf));
+        peak = peak.max(
+            trained.cost.peak_bytes
+                + fold_overhead_bytes(&x_train, &row_buf)
+                + 2 * (k_classes * n * std::mem::size_of::<f64>()) as u64,
+        );
         for &r in &fold.holdout {
             x.copy_row_into(r, &mut row_buf);
             preds[r] = trained.model.predict(&row_buf);
         }
     }
-    (preds, TrainingCost { flops, peak_bytes: peak })
+    let out_duals = have_duals.then_some(dual_by_row);
+    (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
 }
 
 /// Per-fold working-set bytes beyond the solver's own state: the fold's

@@ -33,6 +33,7 @@
 pub mod baseline;
 pub mod cv;
 pub mod error;
+pub mod solver;
 pub mod svc;
 pub mod svr;
 pub mod traits;
@@ -40,6 +41,7 @@ pub mod tree;
 
 pub use baseline::{ConstantRegressor, MajorityClassifier};
 pub use error::{ConfusionErrorModel, GaussianErrorModel};
+pub use solver::SolverMode;
 pub use svc::{LinearSvc, SvcConfig};
 pub use svr::{LinearSvr, SvrConfig};
 pub use traits::{

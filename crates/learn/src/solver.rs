@@ -1,0 +1,118 @@
+//! Solver-path selection and instrumentation for the linear SVM trainers.
+//!
+//! The per-feature SVR/SVC fleet executes thousands of independent dual
+//! coordinate-descent solves per FRaC run, so the workspace keeps **two**
+//! solver paths:
+//!
+//! * [`SolverMode::Fast`] (the default) — liblinear-style active-set
+//!   **shrinking** (bound-pinned coordinates whose projected gradient
+//!   exceeds the previous epoch's worst violation are dropped from the
+//!   sweep, with a full unshrink-and-recheck pass before convergence is
+//!   declared), optional **warm-started duals** via the
+//!   `train_view_warm` entry points, and the blocked
+//!   [`frac_dataset::DesignView::row_dot_blocked`] kernels in the inner
+//!   loop. Iteration order differs from the reference, so results agree
+//!   with it only to solver tolerance — the equivalence tests gate on
+//!   NS-score tolerance and identical anomaly rankings, not bits.
+//! * [`SolverMode::Strict`] — the original solvers, unchanged: full sweeps
+//!   in a seeded random permutation, sequential exact kernels. This is the
+//!   reference the fast path is validated against, and the path to use
+//!   when bit-reproducibility across machines matters more than speed.
+//!
+//! [`stats`] exposes process-wide counters (solves, epochs, coordinate
+//! visits, dense sweep slots) that both paths bump once per solve; the
+//! `perfsnapshot` bench resets and snapshots them to report
+//! epochs-to-converge and active-set occupancy per model family.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which coordinate-descent path [`crate::svr::SvrTrainer`] and
+/// [`crate::svc::SvcTrainer`] use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SolverMode {
+    /// Shrinking + warm starts + blocked kernels (default).
+    #[default]
+    Fast,
+    /// The reference solver: full sweeps, exact sequential kernels.
+    Strict,
+}
+
+/// Process-wide solver instrumentation (see module docs).
+pub mod stats {
+    use super::*;
+
+    static SOLVES: AtomicU64 = AtomicU64::new(0);
+    static EPOCHS: AtomicU64 = AtomicU64::new(0);
+    static VISITS: AtomicU64 = AtomicU64::new(0);
+    static DENSE_SLOTS: AtomicU64 = AtomicU64::new(0);
+
+    /// A snapshot of the solver counters.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct SolverStats {
+        /// Binary subproblems solved (one per SVR fit, one per SVC class).
+        pub solves: u64,
+        /// Coordinate-descent epochs run, summed over solves.
+        pub epochs: u64,
+        /// Coordinates actually visited (gradient evaluated), summed.
+        pub visits: u64,
+        /// Coordinates a dense (non-shrinking) sweep would have visited:
+        /// `Σ epochs · n`. `visits / dense_slots` is the mean active-set
+        /// occupancy — 1.0 for the strict path, < 1 under shrinking.
+        pub dense_slots: u64,
+    }
+
+    impl SolverStats {
+        /// Mean active-set occupancy (`visits / dense_slots`), NaN when no
+        /// sweeps ran.
+        pub fn occupancy(&self) -> f64 {
+            if self.dense_slots == 0 {
+                return f64::NAN;
+            }
+            self.visits as f64 / self.dense_slots as f64
+        }
+    }
+
+    /// Record one completed solve. Called once per binary subproblem, so
+    /// the atomics are far off the inner loop.
+    pub fn record(epochs: u64, visits: u64, dense_slots: u64) {
+        SOLVES.fetch_add(1, Ordering::Relaxed);
+        EPOCHS.fetch_add(epochs, Ordering::Relaxed);
+        VISITS.fetch_add(visits, Ordering::Relaxed);
+        DENSE_SLOTS.fetch_add(dense_slots, Ordering::Relaxed);
+    }
+
+    /// Zero all counters (bench harness, before a timed region).
+    pub fn reset() {
+        SOLVES.store(0, Ordering::Relaxed);
+        EPOCHS.store(0, Ordering::Relaxed);
+        VISITS.store(0, Ordering::Relaxed);
+        DENSE_SLOTS.store(0, Ordering::Relaxed);
+    }
+
+    /// Read the counters.
+    pub fn snapshot() -> SolverStats {
+        SolverStats {
+            solves: SOLVES.load(Ordering::Relaxed),
+            epochs: EPOCHS.load(Ordering::Relaxed),
+            visits: VISITS.load(Ordering::Relaxed),
+            dense_slots: DENSE_SLOTS.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_mode_is_fast() {
+        assert_eq!(SolverMode::default(), SolverMode::Fast);
+    }
+
+    #[test]
+    fn occupancy_ratio() {
+        let s = stats::SolverStats { solves: 1, epochs: 2, visits: 30, dense_slots: 100 };
+        assert!((s.occupancy() - 0.3).abs() < 1e-12);
+        assert!(stats::SolverStats::default().occupancy().is_nan());
+    }
+}

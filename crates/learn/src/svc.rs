@@ -9,7 +9,13 @@
 //! features, and the comparison (tree vs. SVM on SNP data, paper §III-B) is
 //! one of the ablations our bench harness reproduces — so the classifier is
 //! a first-class substrate here.
+//!
+//! Like [`crate::svr`], the trainer has two solver paths selected by
+//! [`SolverMode`]: the strict reference sweep, and a fast path with
+//! liblinear-style active-set shrinking, warm-started per-class duals, and
+//! blocked view kernels (see [`crate::solver`] for the contract).
 
+use crate::solver::{stats, SolverMode};
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
 use frac_dataset::DesignView;
@@ -29,6 +35,8 @@ pub struct SvcConfig {
     pub bias: bool,
     /// Seed for per-epoch coordinate permutations.
     pub seed: u64,
+    /// Solver path: fast (shrinking + warm starts, default) or strict.
+    pub mode: SolverMode,
 }
 
 impl Default for SvcConfig {
@@ -42,6 +50,7 @@ impl Default for SvcConfig {
             tolerance: 0.01,
             bias: true,
             seed: 0x0c1a_55e5,
+            mode: SolverMode::Fast,
         }
     }
 }
@@ -129,8 +138,14 @@ impl SvcTrainer {
         SvcTrainer { config }
     }
 
-    /// Solve one binary (±1) problem, returning (weights, bias, epochs).
-    fn solve_binary(&self, x: &dyn DesignView, labels: &[f64], class_seed: u64) -> (Vec<f64>, f64, u64) {
+    /// Strict reference sweep for one binary (±1) problem: every coordinate
+    /// every epoch, exact sequential kernels, warm start ignored.
+    fn solve_binary_strict(
+        &self,
+        x: &dyn DesignView,
+        labels: &[f64],
+        class_seed: u64,
+    ) -> SvcSolve {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -180,21 +195,167 @@ impl SvcTrainer {
                 break;
             }
         }
-        (w, if cfg.bias { w_bias } else { 0.0 }, epochs_run)
+        let visits = epochs_run * n as u64;
+        SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits, init_rows: 0 }
     }
+
+    /// Fast path for one binary problem: active-set shrinking, optional
+    /// warm-started duals, blocked kernels. Mirrors the SVR fast path; the
+    /// box here is `[0, C]` (hinge loss), so the shrink conditions are the
+    /// one-sided liblinear ones.
+    fn solve_binary_fast(
+        &self,
+        x: &dyn DesignView,
+        labels: &[f64],
+        class_seed: u64,
+        warm: Option<&[f64]>,
+    ) -> SvcSolve {
+        let cfg = &self.config;
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+        let q_diag: Vec<f64> = (0..n).map(|i| x.row_sq_norm_blocked(i) + bias_sq).collect();
+
+        let mut alpha = vec![0.0f64; n];
+        let mut w = vec![0.0f64; d];
+        let mut w_bias = 0.0f64;
+        let mut init_rows = 0u64;
+        if let Some(warm) = warm {
+            debug_assert_eq!(warm.len(), n, "warm-start dual length must match rows");
+            for (i, &wv) in warm.iter().enumerate() {
+                let a = wv.clamp(0.0, cfg.c);
+                if a != 0.0 {
+                    alpha[i] = a;
+                    let scaled = a * labels[i];
+                    x.axpy_row_blocked(i, scaled, &mut w);
+                    w_bias += scaled * bias_sq;
+                    init_rows += 1;
+                }
+            }
+        }
+
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut shrink_thr = f64::INFINITY;
+        let mut epochs = 0u64;
+        let mut visits = 0u64;
+
+        while epochs < cfg.max_epochs as u64 {
+            let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epochs));
+            active.shuffle(&mut rng);
+            let mut max_violation = 0.0f64;
+
+            let mut idx = 0usize;
+            while idx < active.len() {
+                let i = active[idx];
+                let yi = labels[i];
+                let mut g = x.row_dot_blocked(i, &w, w_bias * bias_sq);
+                g = yi * g - 1.0;
+                visits += 1;
+
+                let a = alpha[i];
+                // Shrink: pinned at a box edge with the gradient pointing
+                // firmly out of the feasible interval.
+                let shrink = if a == 0.0 {
+                    g > shrink_thr
+                } else if a >= cfg.c {
+                    g < -shrink_thr
+                } else {
+                    false
+                };
+                if shrink {
+                    active.swap_remove(idx);
+                    continue;
+                }
+
+                let pg = if a == 0.0 {
+                    g.min(0.0)
+                } else if a >= cfg.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                max_violation = max_violation.max(pg.abs());
+
+                if pg.abs() > 1e-14 && q_diag[i] > 0.0 {
+                    let a_new = (a - g / q_diag[i]).clamp(0.0, cfg.c);
+                    let delta = (a_new - a) * yi;
+                    if delta != 0.0 {
+                        alpha[i] = a_new;
+                        x.axpy_row_blocked(i, delta, &mut w);
+                        w_bias += delta * bias_sq;
+                    }
+                }
+                idx += 1;
+            }
+
+            epochs += 1;
+            if max_violation < cfg.tolerance {
+                if active.len() == n {
+                    break;
+                }
+                // Unshrink and recheck before declaring convergence.
+                active = (0..n).collect();
+                shrink_thr = f64::INFINITY;
+            } else {
+                shrink_thr = max_violation;
+            }
+        }
+
+        SvcSolve { w, w_bias, alpha, epochs, visits, init_rows }
+    }
+
+    /// Dispatch one binary problem on the configured [`SolverMode`] and
+    /// record solver stats.
+    fn solve_binary(
+        &self,
+        x: &dyn DesignView,
+        labels: &[f64],
+        class_seed: u64,
+        warm: Option<&[f64]>,
+    ) -> SvcSolve {
+        let out = match self.config.mode {
+            SolverMode::Strict => self.solve_binary_strict(x, labels, class_seed),
+            SolverMode::Fast => self.solve_binary_fast(x, labels, class_seed, warm),
+        };
+        stats::record(out.epochs, out.visits, out.epochs * x.n_rows() as u64);
+        out
+    }
+}
+
+/// The raw output of one binary SVC solve.
+struct SvcSolve {
+    w: Vec<f64>,
+    w_bias: f64,
+    alpha: Vec<f64>,
+    epochs: u64,
+    visits: u64,
+    init_rows: u64,
 }
 
 impl ClassifierTrainer for SvcTrainer {
     type Model = LinearSvc;
 
     fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<LinearSvc> {
+        self.train_view_warm(x, y, arity, None).0
+    }
+
+    fn train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+    ) -> (Trained<LinearSvc>, Option<Vec<Vec<f64>>>) {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+        let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
         let k = arity as usize;
 
         let mut hyperplanes = Vec::with_capacity(k);
-        let mut total_epochs = 0u64;
+        let mut duals = Vec::with_capacity(k);
+        let mut total_visits = 0u64;
+        let mut total_init_rows = 0u64;
         for class in 0..k {
             let labels: Vec<f64> = y
                 .iter()
@@ -202,19 +363,33 @@ impl ClassifierTrainer for SvcTrainer {
                 .collect();
             if n == 0 {
                 hyperplanes.push((vec![0.0; d], 0.0));
+                duals.push(Vec::new());
                 continue;
             }
-            let (w, b, epochs) =
-                self.solve_binary(x, &labels, derive_seed(self.config.seed, class as u64));
-            total_epochs += epochs;
-            hyperplanes.push((w, b));
+            let class_warm = warm.and_then(|w| w.get(class)).map(|v| v.as_slice());
+            let out = self.solve_binary(
+                x,
+                &labels,
+                derive_seed(cfg.seed, class as u64),
+                class_warm,
+            );
+            total_visits += out.visits;
+            total_init_rows += out.init_rows;
+            hyperplanes.push((out.w, if cfg.bias { out.w_bias } else { 0.0 }));
+            duals.push(out.alpha);
         }
 
-        let cost = TrainingCost {
-            flops: total_epochs * (n as u64) * ((d as u64) + 1) * 4,
-            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>()) as u64,
+        // Visit-based accounting (see svr.rs): shrinking's skipped
+        // coordinates are not charged, warm init is ~2 flops per folded cell.
+        let active_set_bytes = match cfg.mode {
+            SolverMode::Fast => n * std::mem::size_of::<usize>(),
+            SolverMode::Strict => 0,
         };
-        Trained { model: LinearSvc { hyperplanes }, cost }
+        let cost = TrainingCost {
+            flops: total_visits * ((d as u64) + 1) * 4 + total_init_rows * ((d as u64) + 1) * 2,
+            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
+        };
+        (Trained { model: LinearSvc { hyperplanes }, cost }, Some(duals))
     }
 }
 

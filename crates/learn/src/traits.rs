@@ -86,6 +86,28 @@ pub trait RegressorTrainer: Send + Sync {
     /// `y` contains no NaNs (the caller drops rows with missing targets).
     fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<Self::Model>;
 
+    /// Fit with an optional warm-start dual vector, returning the final
+    /// duals alongside the model.
+    ///
+    /// Contract: `warm`, when given, has `x.n_rows()` entries — one dual per
+    /// **row of this view, in view order** — and may come from *any* prior
+    /// solve (other fold, other replicate, other hyperparameters); the
+    /// trainer clamps it into its own feasible box, so any real vector is a
+    /// legal start and can only change where the solver starts, never what
+    /// fixed point it converges to. The returned duals follow the same
+    /// row-order convention. Trainers without a dual formulation keep this
+    /// default: ignore the warm start, return `None`, and callers degrade
+    /// gracefully to cold starts.
+    fn train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+    ) -> (Trained<Self::Model>, Option<Vec<f64>>) {
+        let _ = warm;
+        (self.train_view(x, y), None)
+    }
+
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
     fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model> {
         self.train_view(x, y)
@@ -100,6 +122,24 @@ pub trait ClassifierTrainer: Send + Sync {
     /// Fit a model from any design view. `y.len()` must equal `x.n_rows()`;
     /// all codes are `< arity` (the caller drops rows with missing targets).
     fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<Self::Model>;
+
+    /// Fit with optional warm-start duals, returning the final duals.
+    ///
+    /// Same contract as [`RegressorTrainer::train_view_warm`], except the
+    /// duals are **per one-vs-rest class**: `warm[k][i]` seeds class `k`'s
+    /// dual for row `i` (in view order). A `warm` slice shorter than the
+    /// number of classes cold-starts the missing classes. The default
+    /// ignores warm starts and returns `None`.
+    fn train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+    ) -> (Trained<Self::Model>, Option<Vec<Vec<f64>>>) {
+        let _ = warm;
+        (self.train_view(x, y, arity), None)
+    }
 
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
     fn train(&self, x: &DesignMatrix, y: &[u32], arity: u32) -> Trained<Self::Model> {

@@ -39,7 +39,7 @@ fn svr_roundtrip_is_prediction_exact() {
     let x = matrix(30, 7, 1);
     let y: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
     let t = SvrTrainer::default().train(&x, &y);
-    let back = roundtrip(&t.model, LinearSvr::write_text, |r| LinearSvr::parse_text(r));
+    let back = roundtrip(&t.model, LinearSvr::write_text, LinearSvr::parse_text);
     for r in 0..30 {
         assert_eq!(
             t.model.predict(x.row(r)).to_bits(),
@@ -54,7 +54,7 @@ fn svc_roundtrip_is_prediction_exact() {
     let x = matrix(40, 5, 2);
     let y: Vec<u32> = (0..40).map(|i| (i % 3) as u32).collect();
     let t = SvcTrainer::default().train(&x, &y, 3);
-    let back = roundtrip(&t.model, LinearSvc::write_text, |r| LinearSvc::parse_text(r));
+    let back = roundtrip(&t.model, LinearSvc::write_text, LinearSvc::parse_text);
     assert_eq!(back.n_classes(), 3);
     for r in 0..40 {
         assert_eq!(t.model.predict(x.row(r)), back.predict(x.row(r)));
@@ -82,7 +82,7 @@ fn tree_roundtrips_preserve_structure() {
 
     let rt = RegressionTreeTrainer::default().train(&x, &yr);
     let rt_back =
-        roundtrip(&rt.model, RegressionTree::write_text, |r| RegressionTree::parse_text(r));
+        roundtrip(&rt.model, RegressionTree::write_text, RegressionTree::parse_text);
     for r in 0..60 {
         assert_eq!(ct.model.predict(x.row(r)), ct_back.predict(x.row(r)));
         assert_eq!(
@@ -118,12 +118,12 @@ fn baseline_roundtrips() {
     let x = matrix(10, 1, 5);
     let cr = ConstantRegressorTrainer.train(&x, &[1.0; 10]).model;
     let cr_back =
-        roundtrip(&cr, ConstantRegressor::write_text, |r| ConstantRegressor::parse_text(r));
+        roundtrip(&cr, ConstantRegressor::write_text, ConstantRegressor::parse_text);
     assert_eq!(cr.mean(), cr_back.mean());
 
     let mc = MajorityClassifierTrainer.train(&x, &[2; 10], 3).model;
     let mc_back =
-        roundtrip(&mc, MajorityClassifier::write_text, |r| MajorityClassifier::parse_text(r));
+        roundtrip(&mc, MajorityClassifier::write_text, MajorityClassifier::parse_text);
     assert_eq!(mc.class(), mc_back.class());
 }
 

@@ -1,0 +1,9 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: release build, full test suite, lint-clean
+# workspace. CI and pre-merge checks run exactly this script.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings

@@ -536,7 +536,7 @@ mod tests {
 
         #[test]
         fn vec_and_oneof_compose(
-            v in prop::collection::vec(prop_oneof![2 => Just(1u32), 1 => (5u32..8)], 1..20),
+            v in prop::collection::vec(prop_oneof![2 => Just(1u32), 1 => 5u32..8], 1..20),
         ) {
             prop_assert!(!v.is_empty() && v.len() < 20);
             prop_assert!(v.iter().all(|&x| x == 1 || (5..8).contains(&x)));
