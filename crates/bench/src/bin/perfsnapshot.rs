@@ -97,6 +97,7 @@ fn family_json(
         pooled.fit_s, legacy.fit_s, pooled.score_s, legacy.score_s,
         encode_bytes_legacy, encode_bytes_pooled
     );
+    eprintln!("{name}: health {}", pooled.report.health.summary());
     format!(
         "  \"{name}\": {{\n    \
          \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
@@ -106,6 +107,7 @@ fn family_json(
          \"peak_bytes\": {}, \"pool_bytes\": {}, \"transient_bytes\": {}}},\n    \
          \"encode_bytes_legacy\": {encode_bytes_legacy},\n    \
          \"encode_bytes_pooled\": {encode_bytes_pooled},\n    \
+         \"health\": \"{}\",\n    \
          \"fit_speedup\": {:.3},\n    \"score_speedup\": {:.3}\n  }}",
         train.n_features(),
         train.n_rows(),
@@ -122,6 +124,7 @@ fn family_json(
         legacy.report.peak_bytes(),
         legacy.report.pool_bytes,
         legacy.report.transient_bytes,
+        pooled.report.health.summary(),
         fit_speedup,
         score_speedup,
     )

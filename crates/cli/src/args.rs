@@ -272,7 +272,14 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("generate requires --dataset and --out".into());
             }
             if !seed_given {
-                seed = frac_synth::registry::spec(&dataset).default_seed;
+                seed = frac_synth::registry::lookup(&dataset)
+                    .ok_or_else(|| {
+                        format!(
+                            "unknown dataset `{dataset}`; valid names: {:?}",
+                            frac_synth::registry::PAPER_DATASETS
+                        )
+                    })?
+                    .default_seed;
             }
             Ok(Command::Generate { dataset, out, seed })
         }
@@ -354,6 +361,15 @@ mod tests {
     fn unknown_flags_and_subcommands_rejected() {
         assert!(parse(&argv("score --train a --test b --bogus 1")).is_err());
         assert!(parse(&argv("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn generate_with_unknown_dataset_is_an_error_not_a_panic() {
+        let err = parse(&argv("generate --dataset nope --out /tmp/x")).unwrap_err();
+        assert!(err.contains("unknown dataset `nope`"), "{err}");
+        assert!(err.contains("breast.basal"), "should list valid names: {err}");
+        // An explicit seed defers the name check to the generate command.
+        assert!(parse(&argv("generate --dataset nope --out /tmp/x --seed 1")).is_ok());
     }
 
     #[test]

@@ -5,9 +5,39 @@ use frac_core::{run_variant, FeatureSelector, FracConfig, FracModel, TrainingPla
 use frac_dataset::io::{read_tsv, write_tsv};
 use frac_eval::auc::auc_from_scores;
 use frac_projection::JlMatrixKind;
-use frac_synth::registry::{make_dataset, spec};
+use frac_synth::registry::{lookup, make_dataset, PAPER_DATASETS};
 
 type Error = Box<dyn std::error::Error>;
+
+/// Read a TSV, prefixing any error with the offending path so the user
+/// knows which of several input files failed.
+fn read_tsv_at(path: &std::path::Path) -> Result<frac_dataset::Dataset, Error> {
+    read_tsv(path).map_err(|e| format!("{}: {e}", path.display()).into())
+}
+
+/// Parse a labels file: one 0/1 token per test row, strictly validated.
+fn read_labels(path: &std::path::Path, n_rows: usize) -> Result<Vec<bool>, Error> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let labels: Vec<bool> = text
+        .split_whitespace()
+        .map(|t| match t {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(format!("{}: bad label `{other}` (expected 0/1)", path.display())),
+        })
+        .collect::<Result<_, _>>()?;
+    if labels.len() != n_rows {
+        return Err(format!(
+            "{}: {} labels for {} test rows",
+            path.display(),
+            labels.len(),
+            n_rows
+        )
+        .into());
+    }
+    Ok(labels)
+}
 
 /// Execute a parsed command.
 pub fn run(cmd: Command) -> Result<(), Error> {
@@ -43,7 +73,7 @@ fn variant_from(args: &ScoreArgs) -> Result<Variant, Error> {
 }
 
 fn train(args: TrainArgs) -> Result<(), Error> {
-    let train = read_tsv(&args.train)?;
+    let train = read_tsv_at(&args.train)?;
     let config = if args.snp {
         FracConfig::snp().with_seed(args.seed)
     } else {
@@ -81,18 +111,26 @@ fn train(args: TrainArgs) -> Result<(), Error> {
         model.n_targets(),
         report.flops as f64 / 1e9
     );
+    eprintln!("health: {}", report.health.summary());
     Ok(())
 }
 
 /// Score with a previously saved model.
 fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Error> {
-    let test = read_tsv(&args.test)?;
-    let model = FracModel::load(path)?;
+    let test = read_tsv_at(&args.test)?;
+    let model = FracModel::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!(
         "loaded model with {} feature models; scoring {} samples…",
         model.n_targets(),
         test.n_rows()
     );
+    if model.n_targets() < model.planned_targets() {
+        eprintln!(
+            "note: model carries {}/{} planned targets; NS is renormalized over survivors",
+            model.n_targets(),
+            model.planned_targets()
+        );
+    }
     let contributions = model.contributions(&test);
     let ns = contributions.ns_scores();
     println!("sample\tns_score");
@@ -100,14 +138,8 @@ fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Erro
         println!("{r}\t{v:.6}");
     }
     if let Some(lpath) = &args.labels {
-        let text = std::fs::read_to_string(lpath)?;
-        let labels: Vec<bool> = text
-            .split_whitespace()
-            .map(|t| t == "1")
-            .collect();
-        if labels.len() == ns.len() {
-            eprintln!("AUC = {:.4}", auc_from_scores(&ns, &labels));
-        }
+        let labels = read_labels(lpath, ns.len())?;
+        eprintln!("AUC = {:.4}", auc_from_scores(&ns, &labels));
     }
     Ok(())
 }
@@ -116,8 +148,8 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
     if let Some(path) = args.model.clone() {
         return score_with_model(&args, &path);
     }
-    let train = read_tsv(&args.train)?;
-    let test = read_tsv(&args.test)?;
+    let train = read_tsv_at(&args.train)?;
+    let test = read_tsv_at(&args.test)?;
     if train.schema() != test.schema() {
         return Err("train and test schemas differ".into());
     }
@@ -148,7 +180,7 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
                 .zip(&out.contributions.values)
                 .map(|(&f, col)| (f, col[r]))
                 .collect();
-            contribs.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+            contribs.sort_by(|a, b| b.1.total_cmp(&a.1));
             let tops: Vec<String> = contribs
                 .iter()
                 .take(args.top_features)
@@ -159,23 +191,7 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
     }
 
     if let Some(path) = &args.labels {
-        let text = std::fs::read_to_string(path)?;
-        let labels: Vec<bool> = text
-            .split_whitespace()
-            .map(|t| match t {
-                "0" => Ok(false),
-                "1" => Ok(true),
-                other => Err(format!("bad label `{other}` (expected 0/1)")),
-            })
-            .collect::<Result<_, _>>()?;
-        if labels.len() != out.ns.len() {
-            return Err(format!(
-                "{} labels for {} test rows",
-                labels.len(),
-                out.ns.len()
-            )
-            .into());
-        }
+        let labels = read_labels(path, out.ns.len())?;
         eprintln!("AUC = {:.4}", auc_from_scores(&out.ns, &labels));
     }
 
@@ -186,11 +202,12 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
         out.resources.peak_bytes() as f64 / (1024.0 * 1024.0),
         out.resources.wall
     );
+    eprintln!("health: {}", out.resources.health.summary());
     Ok(())
 }
 
 fn entropy(path: &std::path::Path, top: usize) -> Result<(), Error> {
-    let data = read_tsv(path)?;
+    let data = read_tsv_at(path)?;
     let entropies = frac_dataset::entropy::feature_entropies(&data);
     let order = frac_dataset::entropy::rank_by_entropy(&data);
     println!("rank\tfeature\tkind\tentropy_nats");
@@ -202,8 +219,11 @@ fn entropy(path: &std::path::Path, top: usize) -> Result<(), Error> {
 }
 
 fn generate(name: &str, out: &std::path::Path, seed: u64) -> Result<(), Error> {
-    let s = spec(name); // panics with a clear message on unknown names
-    std::fs::create_dir_all(out)?;
+    let s = lookup(name).ok_or_else(|| {
+        format!("unknown dataset `{name}`; valid names: {PAPER_DATASETS:?}")
+    })?;
+    std::fs::create_dir_all(out)
+        .map_err(|e| format!("{}: {e}", out.display()))?;
     let ld = make_dataset(name, seed);
 
     // Paper protocol: train = ⅔ of normals; test = rest + anomalies.
@@ -316,6 +336,45 @@ mod tests {
             ..TrainArgs::default()
         })
         .is_err());
+    }
+
+    #[test]
+    fn generate_rejects_unknown_dataset() {
+        let dir = std::env::temp_dir().join("frac-cli-test-unknown");
+        let err = generate("not.a.dataset", &dir, 1).unwrap_err();
+        assert!(err.to_string().contains("unknown dataset"), "{err}");
+    }
+
+    #[test]
+    fn missing_input_file_error_names_the_path() {
+        let err = read_tsv_at(std::path::Path::new("/nonexistent/q.tsv")).unwrap_err();
+        assert!(err.to_string().contains("/nonexistent/q.tsv"), "{err}");
+    }
+
+    #[test]
+    fn label_mismatch_is_an_error_even_with_a_saved_model() {
+        let dir = std::env::temp_dir().join("frac-cli-test-labellen");
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let model_path = dir.join("model.frac");
+        train(TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: model_path.clone(),
+            variant: "filter".into(),
+            p: 0.04,
+            ..TrainArgs::default()
+        })
+        .unwrap();
+        let short = dir.join("short.labels.txt");
+        std::fs::write(&short, "1\n0\n").unwrap();
+        let err = score(ScoreArgs {
+            model: Some(model_path),
+            test: dir.join("breast.basal.test.tsv"),
+            labels: Some(short),
+            ..ScoreArgs::default()
+        })
+        .unwrap_err();
+        assert!(err.to_string().contains("labels for"), "{err}");
     }
 
     #[test]

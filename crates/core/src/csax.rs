@@ -209,7 +209,7 @@ pub fn characterize(
     (0..n_test)
         .map(|r| {
             let ns_runs: Vec<f64> = all_ns.iter().map(|ns| ns[r]).collect();
-            let anomaly_score = median(&ns_runs).unwrap();
+            let anomaly_score = median(&ns_runs).unwrap_or(0.0);
 
             // Support: per bootstrap, which sets land in the top decile?
             let top_k = (n_sets as f64 * 0.1).ceil() as usize;
@@ -229,7 +229,7 @@ pub fn characterize(
                     let runs: Vec<f64> = all_es.iter().map(|es_b| es_b[r][s]).collect();
                     SetEnrichment {
                         set: s,
-                        median_es: median(&runs).unwrap(),
+                        median_es: median(&runs).unwrap_or(0.0),
                         support: top_counts[s] as f64 / config.bootstraps as f64,
                     }
                 })

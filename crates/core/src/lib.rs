@@ -37,9 +37,15 @@
 //! seeds, so results are bit-identical at any thread count.
 
 #![warn(missing_docs)]
+// Fault isolation is a core guarantee of this crate: library code must
+// degrade per target, never panic on an Option/Result shortcut. Test code
+// is exempt — asserting via unwrap is exactly what tests are for.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod config;
 pub mod csax;
+pub mod fault;
+pub mod health;
 pub mod model;
 pub mod persist;
 pub mod plan;
@@ -50,6 +56,8 @@ pub mod variants;
 pub use config::{CatModel, FracConfig, RealModel};
 pub use frac_learn::SolverMode;
 pub use csax::{characterize, CsaxConfig, GeneSet, SampleCharacterization};
+pub use fault::FaultPlan;
+pub use health::{FallbackKind, RunHealth, TargetHealth, TargetOutcome};
 pub use model::{ContributionMatrix, DualCache, FracModel};
 pub use plan::{TargetPlan, TrainingPlan};
 pub use resources::ResourceReport;

@@ -11,12 +11,23 @@
 //! Per-feature work runs under rayon with seeds derived from
 //! `(config.seed, target, member)`, so results are identical at any thread
 //! count.
+//!
+//! The fit loop is **fault-isolated**: the training set is screened and
+//! sanitized by [`frac_dataset::quarantine`] before anything reaches a
+//! solver, each member fit runs behind `catch_unwind` with a fallback
+//! ladder (configured model → strict solver → baseline predictor → drop),
+//! and every degradation is recorded in the run's
+//! [`RunHealth`](crate::health::RunHealth). On a clean dataset none of this
+//! machinery fires and the fitted model is bit-identical to the plain path.
 
 use crate::config::{CatModel, FracConfig, RealModel};
+use crate::fault::{FaultPlan, INJECTED_PANIC};
+use crate::health::{FallbackKind, RunHealth, TargetHealth, TargetOutcome};
 use crate::plan::TrainingPlan;
 use crate::resources::ResourceReport;
 use frac_dataset::design::{DesignSpec, PoolSpec};
 use frac_dataset::entropy::column_entropy;
+use frac_dataset::quarantine::{self, QuarantineReason, ScreenReport};
 use frac_dataset::split::{derive_seed, k_fold, Fold};
 use frac_dataset::{Column, Dataset, DesignMatrix, DesignView, EncodedPool, PoolView, RowSubset};
 use frac_learn::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
@@ -26,9 +37,10 @@ use frac_learn::svr::SvrTrainer;
 use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
 use frac_learn::{
     Classifier, ClassificationTree, ConfusionErrorModel, ConstantRegressor, GaussianErrorModel,
-    LinearSvc, LinearSvr, MajorityClassifier, RegressionTree, Regressor, TrainingCost,
+    LinearSvc, LinearSvr, MajorityClassifier, RegressionTree, Regressor, TrainError, TrainingCost,
 };
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
 /// A fitted real-target predictor: a closed enum (rather than a trait
@@ -133,11 +145,17 @@ pub(crate) struct FeatureModel {
 /// A complete fitted FRaC model.
 pub struct FracModel {
     pub(crate) features: Vec<FeatureModel>,
+    /// Targets the training plan asked for; when some were dropped, NS
+    /// scores are renormalized by `planned / survived` so score magnitudes
+    /// stay comparable across degraded and healthy runs.
+    pub(crate) planned_targets: usize,
 }
 
-/// Per-target output of the parallel fit loop.
+/// Per-target output of the parallel fit loop. `feature` is `None` when the
+/// target was dropped (quarantined all-missing, or every member fit failed).
 struct TargetFit {
-    feature: FeatureModel,
+    feature: Option<FeatureModel>,
+    health: Vec<TargetHealth>,
     flops: u64,
     transient: u64,
     model_bytes: u64,
@@ -157,15 +175,28 @@ pub struct ContributionMatrix {
     pub values: Vec<Vec<f64>>,
     /// Number of scored rows.
     pub n_rows: usize,
+    /// NS renormalization factor: `planned / survived` targets when the
+    /// fitted model dropped targets, exactly `1.0` otherwise. Applied by
+    /// [`ContributionMatrix::ns_scores`], never to per-feature values.
+    pub renorm: f64,
 }
 
 impl ContributionMatrix {
-    /// NS score per row: the sum of all feature contributions.
+    /// NS score per row: the sum of all feature contributions, scaled by
+    /// [`ContributionMatrix::renorm`] when targets were dropped (the sum
+    /// over fewer surviving targets is stretched back to the planned
+    /// magnitude). A factor of exactly `1.0` applies no arithmetic, keeping
+    /// the healthy path bit-identical.
     pub fn ns_scores(&self) -> Vec<f64> {
         let mut ns = vec![0.0f64; self.n_rows];
         for col in &self.values {
             for (acc, v) in ns.iter_mut().zip(col) {
                 *acc += v;
+            }
+        }
+        if self.renorm != 1.0 {
+            for v in &mut ns {
+                *v *= self.renorm;
             }
         }
         ns
@@ -272,8 +303,15 @@ fn folds_for_present(
     restricted
 }
 
+/// One successfully fitted ensemble member: the predictor with its
+/// cross-validated strength, training cost, and (for SVM families) the
+/// final-fit duals for [`DualCache`] reuse.
+type MemberFit = (FeaturePredictor, f64, TrainingCost, Option<PredictorDuals>);
+
 /// Fit a single predictor + error model; returns it with its training cost
 /// and (for SVM families) the final-fit duals for [`DualCache`] reuse.
+/// Degenerate problems and non-converged (non-finite) solves come back as
+/// [`TrainError`] instead of panicking or poisoning the model.
 ///
 /// With `pool`, the per-target design matrix is a zero-copy view over the
 /// shared encoded pool and the spec is assembled from pooled encoders
@@ -289,7 +327,7 @@ fn fit_predictor(
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init_duals: Option<&PredictorDuals>,
-) -> (FeaturePredictor, f64, TrainingCost, Option<PredictorDuals>) {
+) -> Result<MemberFit, TrainError> {
     let owned: DesignMatrix;
     let pooled: PoolView<'_>;
     let spec: DesignSpec;
@@ -336,30 +374,30 @@ fn fit_predictor(
                 _ => None,
             };
 
-            let (model, fit_cost, error, strength, cv_cost, duals) = match &config.real_model
-            {
-                RealModel::Svr(cfg) => {
-                    let mut cfg = *cfg;
-                    cfg.seed = derive_seed(member_seed, 2);
-                    run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, &folds, init)
-                }
-                RealModel::Tree(cfg) => run_real(
-                    &RegressionTreeTrainer::new(*cfg),
-                    RealPredictor::Tree,
-                    &x,
-                    &y,
-                    &folds,
-                    init,
-                ),
-                RealModel::Constant => run_real(
-                    &ConstantRegressorTrainer,
-                    RealPredictor::Constant,
-                    &x,
-                    &y,
-                    &folds,
-                    init,
-                ),
-            };
+            let (model, fit_cost, error, strength, cv_cost, duals) =
+                (match &config.real_model {
+                    RealModel::Svr(cfg) => {
+                        let mut cfg = *cfg;
+                        cfg.seed = derive_seed(member_seed, 2);
+                        run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, &folds, init)
+                    }
+                    RealModel::Tree(cfg) => run_real(
+                        &RegressionTreeTrainer::new(*cfg),
+                        RealPredictor::Tree,
+                        &x,
+                        &y,
+                        &folds,
+                        init,
+                    ),
+                    RealModel::Constant => run_real(
+                        &ConstantRegressorTrainer,
+                        RealPredictor::Constant,
+                        &x,
+                        &y,
+                        &folds,
+                        init,
+                    ),
+                })?;
             let total = TrainingCost {
                 flops: cv_cost.flops + fit_cost.flops,
                 peak_bytes: cv_cost
@@ -367,7 +405,7 @@ fn fit_predictor(
                     .max(fit_cost.peak_bytes)
                     .max(design_bytes + x.view_overhead_bytes() as u64),
             };
-            (
+            Ok((
                 FeaturePredictor {
                     spec,
                     model: PredictorModel::Real(model),
@@ -376,7 +414,7 @@ fn fit_predictor(
                 strength,
                 total,
                 duals.map(PredictorDuals::Real),
-            )
+            ))
         }
         Column::Categorical { arity, codes } => {
             let present: Vec<usize> = (0..train.n_rows())
@@ -401,32 +439,32 @@ fn fit_predictor(
                 _ => None,
             };
 
-            let (model, fit_cost, error, strength, cv_cost, duals) = match &config.cat_model
-            {
-                CatModel::Tree(cfg) => run_cat(
-                    &ClassificationTreeTrainer::new(*cfg),
-                    CatPredictor::Tree,
-                    &x,
-                    &y,
-                    *arity,
-                    &folds,
-                    init,
-                ),
-                CatModel::Svc(cfg) => {
-                    let mut cfg = *cfg;
-                    cfg.seed = derive_seed(member_seed, 2);
-                    run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, &folds, init)
-                }
-                CatModel::Majority => run_cat(
-                    &MajorityClassifierTrainer,
-                    CatPredictor::Majority,
-                    &x,
-                    &y,
-                    *arity,
-                    &folds,
-                    init,
-                ),
-            };
+            let (model, fit_cost, error, strength, cv_cost, duals) =
+                (match &config.cat_model {
+                    CatModel::Tree(cfg) => run_cat(
+                        &ClassificationTreeTrainer::new(*cfg),
+                        CatPredictor::Tree,
+                        &x,
+                        &y,
+                        *arity,
+                        &folds,
+                        init,
+                    ),
+                    CatModel::Svc(cfg) => {
+                        let mut cfg = *cfg;
+                        cfg.seed = derive_seed(member_seed, 2);
+                        run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, &folds, init)
+                    }
+                    CatModel::Majority => run_cat(
+                        &MajorityClassifierTrainer,
+                        CatPredictor::Majority,
+                        &x,
+                        &y,
+                        *arity,
+                        &folds,
+                        init,
+                    ),
+                })?;
             let total = TrainingCost {
                 flops: cv_cost.flops + fit_cost.flops,
                 peak_bytes: cv_cost
@@ -434,7 +472,7 @@ fn fit_predictor(
                     .max(fit_cost.peak_bytes)
                     .max(design_bytes + x.view_overhead_bytes() as u64),
             };
-            (
+            Ok((
                 FeaturePredictor {
                     spec,
                     model: PredictorModel::Cat(model),
@@ -443,7 +481,7 @@ fn fit_predictor(
                 strength,
                 total,
                 duals.map(PredictorDuals::Cat),
-            )
+            ))
         }
     }
 }
@@ -460,13 +498,16 @@ fn run_real<T: frac_learn::RegressorTrainer>(
     y: &[f64],
     folds: &[Fold],
     init_duals: Option<&[f64]>,
-) -> (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost, Option<Vec<f64>>) {
+) -> Result<
+    (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost, Option<Vec<f64>>),
+    TrainError,
+> {
     let (oof, cv_cost, cv_duals) = cv_regression_folds(trainer, x, y, folds, init_duals);
     let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = GaussianErrorModel::fit(&pairs);
     let strength = r2_strength(y, &oof);
-    let (trained, final_duals) = trainer.train_view_warm(x, y, cv_duals.as_deref());
-    (wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals)
+    let (trained, final_duals) = trainer.try_train_view_warm(x, y, cv_duals.as_deref())?;
+    Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
 /// Cross-validate + final-fit one categorical-target trainer, wrapping its
@@ -480,15 +521,17 @@ fn run_cat<T: frac_learn::ClassifierTrainer>(
     arity: u32,
     folds: &[Fold],
     init_duals: Option<&[Vec<f64>]>,
-) -> (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost, Option<Vec<Vec<f64>>>)
-{
+) -> Result<
+    (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost, Option<Vec<Vec<f64>>>),
+    TrainError,
+> {
     let (oof, cv_cost, cv_duals) =
         cv_classification_folds(trainer, x, y, arity, folds, init_duals);
     let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = ConfusionErrorModel::fit(&pairs, arity);
     let strength = accuracy_strength(y, &oof);
-    let (trained, final_duals) = trainer.train_view_warm(x, y, arity, cv_duals.as_deref());
-    (wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals)
+    let (trained, final_duals) = trainer.try_train_view_warm(x, y, arity, cv_duals.as_deref())?;
+    Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
 /// R²-like strength: 1 − MSE/Var, clamped to `[0, 1]`.
@@ -504,7 +547,7 @@ fn r2_strength(y: &[f64], pred: &[f64]) -> f64 {
     let mse: f64 = y
         .iter()
         .zip(pred)
-        .map(|(t, p)| if p.is_nan() { (t - mean) * (t - mean) } else { (t - p) * (t - p) })
+        .map(|(t, p)| if !p.is_finite() { (t - mean) * (t - mean) } else { (t - p) * (t - p) })
         .sum();
     (1.0 - mse / var).clamp(0.0, 1.0)
 }
@@ -515,6 +558,166 @@ fn accuracy_strength(y: &[u32], pred: &[u32]) -> f64 {
         return 0.0;
     }
     y.iter().zip(pred).filter(|(t, p)| t == p).count() as f64 / y.len() as f64
+}
+
+/// Injected failure mode for one member fit, resolved from a [`FaultPlan`].
+#[derive(Clone, Copy)]
+enum MemberFault {
+    None,
+    Diverge,
+    Panic,
+}
+
+/// How one guarded fit attempt failed.
+enum AttemptFailure {
+    Train(TrainError),
+    Panic(String),
+}
+
+impl std::fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AttemptFailure::Train(e) => write!(f, "{e}"),
+            AttemptFailure::Panic(msg) => write!(f, "panicked: {msg}"),
+        }
+    }
+}
+
+/// Best-effort string form of a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One guarded fit attempt: panics unwind only to here, and injected panics
+/// fire *inside* the guard so they take the exact path a real trainer panic
+/// would.
+#[allow(clippy::too_many_arguments)]
+fn guarded_attempt(
+    inject_panic: bool,
+    train: &Dataset,
+    target: usize,
+    inputs: &[usize],
+    config: &FracConfig,
+    member_seed: u64,
+    pool: Option<&EncodedPool>,
+    shared_folds: &[Fold],
+    init: Option<&PredictorDuals>,
+) -> Result<MemberFit, AttemptFailure> {
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        if inject_panic {
+            panic!("{}", INJECTED_PANIC);
+        }
+        fit_predictor(train, target, inputs, config, member_seed, pool, shared_folds, init)
+    }));
+    match outcome {
+        Ok(Ok(fit)) => Ok(fit),
+        Ok(Err(e)) => Err(AttemptFailure::Train(e)),
+        Err(payload) => Err(AttemptFailure::Panic(panic_message(payload))),
+    }
+}
+
+/// Whether an attempt ran the full CV + final training (for model-count
+/// accounting): successes did, and so did non-converged solves — they burn
+/// the training budget before their output is rejected as non-finite.
+fn attempt_ran_training(result: &Result<MemberFit, AttemptFailure>) -> bool {
+    matches!(
+        result,
+        Ok(_) | Err(AttemptFailure::Train(TrainError::NonConvergence { .. }))
+    )
+}
+
+/// Fit one ensemble member behind the fallback ladder:
+/// configured model → strict solver (retryable failures only) → baseline
+/// predictor → member dropped. Fallbacks are recorded in `events`; `Err`
+/// carries the final failure when even the baseline cannot fit. Also
+/// returns how many attempts actually ran training.
+#[allow(clippy::too_many_arguments)]
+fn fit_member(
+    train: &Dataset,
+    target: usize,
+    member: usize,
+    inputs: &[usize],
+    config: &FracConfig,
+    member_seed: u64,
+    pool: Option<&EncodedPool>,
+    shared_folds: &[Fold],
+    init: Option<&PredictorDuals>,
+    fault: MemberFault,
+    events: &mut Vec<TargetHealth>,
+) -> (Result<MemberFit, String>, u64) {
+    let mut attempts_trained = 0u64;
+    let first = match fault {
+        MemberFault::Panic => guarded_attempt(
+            true, train, target, inputs, config, member_seed, pool, shared_folds, init,
+        ),
+        MemberFault::Diverge => {
+            Err(AttemptFailure::Train(TrainError::NonConvergence { epochs: 0 }))
+        }
+        MemberFault::None => guarded_attempt(
+            false, train, target, inputs, config, member_seed, pool, shared_folds, init,
+        ),
+    };
+    if !matches!(fault, MemberFault::Diverge) && attempt_ran_training(&first) {
+        attempts_trained += 1;
+    }
+    let failure = match first {
+        Ok(fit) => return (Ok(fit), attempts_trained),
+        Err(f) => f,
+    };
+
+    // A non-converged fast solve gets one shot on the strict reference
+    // solver before we give up on the configured model family.
+    if matches!(&failure, AttemptFailure::Train(e) if e.is_retryable()) {
+        let strict = config.with_solver_mode(frac_learn::SolverMode::Strict);
+        let retry = guarded_attempt(
+            false, train, target, inputs, &strict, member_seed, pool, shared_folds, init,
+        );
+        if attempt_ran_training(&retry) {
+            attempts_trained += 1;
+        }
+        if let Ok(fit) = retry {
+            events.push(TargetHealth {
+                target,
+                outcome: TargetOutcome::Degraded {
+                    member,
+                    fallback: FallbackKind::StrictSolver,
+                    detail: failure.to_string(),
+                },
+            });
+            return (Ok(fit), attempts_trained);
+        }
+    }
+
+    // Last rung: the baseline predictor (constant mean / majority class)
+    // keeps the target alive with an honest, if weak, error model.
+    let baseline =
+        FracConfig { real_model: RealModel::Constant, cat_model: CatModel::Majority, ..*config };
+    let rescue = guarded_attempt(
+        false, train, target, inputs, &baseline, member_seed, pool, shared_folds, None,
+    );
+    if attempt_ran_training(&rescue) {
+        attempts_trained += 1;
+    }
+    match rescue {
+        Ok(fit) => {
+            events.push(TargetHealth {
+                target,
+                outcome: TargetOutcome::Degraded {
+                    member,
+                    fallback: FallbackKind::Baseline,
+                    detail: failure.to_string(),
+                },
+            });
+            (Ok(fit), attempts_trained)
+        }
+        Err(last) => (Err(format!("{failure}; baseline also failed: {last}")), attempts_trained),
+    }
 }
 
 impl FracModel {
@@ -528,7 +731,7 @@ impl FracModel {
     /// state, whose `pool_bytes` charge the shared pool once, and whose
     /// `transient_bytes` is the worst single-predictor working set.
     pub fn fit(train: &Dataset, plan: &TrainingPlan, config: &FracConfig) -> (FracModel, ResourceReport) {
-        Self::fit_pooled(train, plan, config, None)
+        Self::fit_pooled(train, plan, config, None, None)
     }
 
     /// [`FracModel::fit`] with a [`DualCache`] carried across calls:
@@ -542,7 +745,21 @@ impl FracModel {
         config: &FracConfig,
         cache: &mut DualCache,
     ) -> (FracModel, ResourceReport) {
-        Self::fit_pooled(train, plan, config, Some(cache))
+        Self::fit_pooled(train, plan, config, Some(cache), None)
+    }
+
+    /// [`FracModel::fit`] under a deterministic [`FaultPlan`]: forced
+    /// non-convergence and forced panics fire at the plan's targets, so the
+    /// fault-injection suite can exercise the fallback ladder end to end.
+    /// (Cell poisoning is applied by the caller via [`FaultPlan::poison`]
+    /// before fitting.) An empty plan is exactly [`FracModel::fit`].
+    pub fn fit_with_faults(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        faults: &FaultPlan,
+    ) -> (FracModel, ResourceReport) {
+        Self::fit_pooled(train, plan, config, None, Some(faults))
     }
 
     fn fit_pooled(
@@ -550,7 +767,14 @@ impl FracModel {
         plan: &TrainingPlan,
         config: &FracConfig,
         cache: Option<&mut DualCache>,
+        faults: Option<&FaultPlan>,
     ) -> (FracModel, ResourceReport) {
+        // Screen before anything reaches an encoder or solver; when the
+        // data carries no ±Inf poison, `sanitize` returns `None` and the
+        // original dataset flows through untouched (bit-identical path).
+        let screen = quarantine::screen(train);
+        let sanitized = if screen.needs_sanitize() { quarantine::sanitize(train) } else { None };
+        let train = sanitized.as_ref().unwrap_or(train);
         let mut used = vec![false; train.n_features()];
         for tp in &plan.targets {
             for inputs in &tp.input_sets {
@@ -561,7 +785,7 @@ impl FracModel {
         }
         let features: Vec<usize> = (0..used.len()).filter(|&j| used[j]).collect();
         let pool = PoolSpec::fit(train, &features, config.standardize).encode(train);
-        Self::fit_inner(train, plan, config, Some(&pool), cache)
+        Self::fit_inner(train, plan, config, Some(&pool), cache, &screen, faults)
     }
 
     /// Legacy fit path: every predictor fits and encodes its own design
@@ -573,15 +797,21 @@ impl FracModel {
         plan: &TrainingPlan,
         config: &FracConfig,
     ) -> (FracModel, ResourceReport) {
-        Self::fit_inner(train, plan, config, None, None)
+        let screen = quarantine::screen(train);
+        let sanitized = if screen.needs_sanitize() { quarantine::sanitize(train) } else { None };
+        let train = sanitized.as_ref().unwrap_or(train);
+        Self::fit_inner(train, plan, config, None, None, &screen, None)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn fit_inner(
         train: &Dataset,
         plan: &TrainingPlan,
         config: &FracConfig,
         pool: Option<&EncodedPool>,
         cache: Option<&mut DualCache>,
+        screen: &ScreenReport,
+        faults: Option<&FaultPlan>,
     ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
         // One k-fold plan for the whole run: the shuffle is derived once
@@ -594,44 +824,133 @@ impl FracModel {
             .targets
             .par_iter()
             .map(|tp| {
+                let mut health: Vec<TargetHealth> = Vec::new();
+                // Quarantine verdicts first: an all-missing target is
+                // dropped before any entropy or solver work; a degenerate
+                // (constant / single-class) target skips the solver and
+                // takes the baseline predictor; a sanitized target trains
+                // normally on what remains.
+                let mut effective = *config;
+                match screen.reason_for(tp.target) {
+                    Some(QuarantineReason::AllMissing) => {
+                        health.push(TargetHealth {
+                            target: tp.target,
+                            outcome: TargetOutcome::Dropped {
+                                reason: QuarantineReason::AllMissing.to_string(),
+                            },
+                        });
+                        return TargetFit {
+                            feature: None,
+                            health,
+                            flops: 0,
+                            transient: 0,
+                            model_bytes: 0,
+                            n_models: 0,
+                            duals: Vec::new(),
+                        };
+                    }
+                    Some(reason) if reason.degrades_target() => {
+                        health.push(TargetHealth {
+                            target: tp.target,
+                            outcome: TargetOutcome::Quarantined { reason },
+                        });
+                        effective = FracConfig {
+                            real_model: RealModel::Constant,
+                            cat_model: CatModel::Majority,
+                            ..*config
+                        };
+                    }
+                    Some(QuarantineReason::NonFinite { cells }) => {
+                        health.push(TargetHealth {
+                            target: tp.target,
+                            outcome: TargetOutcome::Sanitized { cells },
+                        });
+                    }
+                    _ => {}
+                }
+                let config = &effective;
                 let entropy = column_entropy(train.column(tp.target));
                 let mut predictors = Vec::with_capacity(tp.input_sets.len());
                 let mut flops = 0u64;
                 let mut transient = 0u64;
                 let mut model_bytes = 0u64;
+                let mut n_models = 0u64;
                 let mut strength_acc = 0.0f64;
                 let mut duals_out: Vec<(usize, PredictorDuals)> = Vec::new();
                 for (m, inputs) in tp.input_sets.iter().enumerate() {
                     let member_seed =
                         derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
                     let init = cache_read.and_then(|c| c.get(tp.target, m));
-                    let (fp, strength, cost, duals) = fit_predictor(
+                    let fault = match faults {
+                        Some(f) if f.forces_panic(tp.target) => MemberFault::Panic,
+                        Some(f) if f.forces_diverge(tp.target) => MemberFault::Diverge,
+                        _ => MemberFault::None,
+                    };
+                    let (fit, attempts) = fit_member(
                         train,
                         tp.target,
+                        m,
                         inputs,
                         config,
                         member_seed,
                         pool,
                         &shared_folds,
                         init,
+                        fault,
+                        &mut health,
                     );
-                    flops += cost.flops;
-                    transient = transient.max(cost.peak_bytes);
-                    model_bytes += (fp.model.approx_bytes()
-                        + fp.error.approx_bytes()
-                        + std::mem::size_of_val(fp.spec.input_features()))
-                        as u64;
-                    strength_acc += strength;
-                    predictors.push(fp);
-                    if let Some(d) = duals {
-                        duals_out.push((m, d));
+                    n_models += attempts * (config.cv_folds.max(1) + 1) as u64;
+                    match fit {
+                        Ok((fp, strength, cost, duals)) => {
+                            flops += cost.flops;
+                            transient = transient.max(cost.peak_bytes);
+                            model_bytes += (fp.model.approx_bytes()
+                                + fp.error.approx_bytes()
+                                + std::mem::size_of_val(fp.spec.input_features()))
+                                as u64;
+                            strength_acc += strength;
+                            predictors.push(fp);
+                            if let Some(d) = duals {
+                                duals_out.push((m, d));
+                            }
+                        }
+                        Err(detail) => {
+                            health.push(TargetHealth {
+                                target: tp.target,
+                                outcome: TargetOutcome::MemberDropped { member: m, detail },
+                            });
+                        }
                     }
                 }
-                let n_models =
-                    (tp.input_sets.len() * (config.cv_folds.max(1) + 1)) as u64;
-                let strength = strength_acc / tp.input_sets.len().max(1) as f64;
+                if predictors.is_empty() && !tp.input_sets.is_empty() {
+                    health.push(TargetHealth {
+                        target: tp.target,
+                        outcome: TargetOutcome::Dropped {
+                            reason: format!(
+                                "all {} ensemble member fit(s) failed",
+                                tp.input_sets.len()
+                            ),
+                        },
+                    });
+                    return TargetFit {
+                        feature: None,
+                        health,
+                        flops,
+                        transient,
+                        model_bytes,
+                        n_models,
+                        duals: Vec::new(),
+                    };
+                }
+                let strength = strength_acc / predictors.len().max(1) as f64;
                 TargetFit {
-                    feature: FeatureModel { target: tp.target, entropy, strength, predictors },
+                    feature: Some(FeatureModel {
+                        target: tp.target,
+                        entropy,
+                        strength,
+                        predictors,
+                    }),
+                    health,
                     flops,
                     transient,
                     model_bytes,
@@ -646,6 +965,12 @@ impl FracModel {
             pool_bytes: pool.map_or(0, |p| p.approx_bytes() as u64),
             ..ResourceReport::default()
         };
+        let mut health = RunHealth {
+            targets_planned: plan.targets.len(),
+            targets_survived: 0,
+            sanitized_cells: screen.n_nonfinite_cells,
+            events: Vec::new(),
+        };
         let mut features = Vec::with_capacity(results.len());
         let mut cache = cache;
         for tf in results {
@@ -653,20 +978,49 @@ impl FracModel {
             report.transient_bytes = report.transient_bytes.max(tf.transient);
             report.model_bytes += tf.model_bytes;
             report.models_trained += tf.n_models;
-            if let Some(cache) = cache.as_deref_mut() {
-                for (m, d) in tf.duals {
-                    cache.insert(tf.feature.target, m, d);
+            health.events.extend(tf.health);
+            if let Some(feature) = tf.feature {
+                if let Some(cache) = cache.as_deref_mut() {
+                    for (m, d) in tf.duals {
+                        cache.insert(feature.target, m, d);
+                    }
                 }
+                health.targets_survived += 1;
+                features.push(feature);
             }
-            features.push(tf.feature);
         }
+        report.health = health;
         report.wall = t0.elapsed();
-        (FracModel { features }, report)
+        (FracModel { features, planned_targets: plan.targets.len() }, report)
     }
 
-    /// Number of target features with fitted models.
+    /// Number of target features with fitted models (survivors).
     pub fn n_targets(&self) -> usize {
         self.features.len()
+    }
+
+    /// Targets the training plan asked for, including dropped ones.
+    pub fn planned_targets(&self) -> usize {
+        self.planned_targets
+    }
+
+    /// NS renormalization factor `planned / survived`, exactly `1.0` when
+    /// every planned target survived (or when nothing survived — an empty
+    /// sum cannot be rescaled into meaning).
+    pub fn ns_renorm_factor(&self) -> f64 {
+        let survived = self.features.len();
+        if survived > 0 && survived < self.planned_targets {
+            self.planned_targets as f64 / survived as f64
+        } else {
+            1.0
+        }
+    }
+
+    /// Cross-validated strength of one target's model, `0.0` when the
+    /// target has no fitted model — a quarantined or dropped target must
+    /// answer harmlessly, not panic a strengths lookup.
+    pub fn strength_for(&self, target: usize) -> f64 {
+        self.features.iter().find(|f| f.target == target).map_or(0.0, |f| f.strength)
     }
 
     /// `(target feature, cross-validated predictive strength)` pairs, the
@@ -682,6 +1036,10 @@ impl FracModel {
     /// shared pool rebuilt from the persisted specs; each predictor reads
     /// its inputs through a zero-copy view.
     pub fn contributions(&self, test: &Dataset) -> ContributionMatrix {
+        // Poisoned (±Inf) test cells become missing — they contribute zero
+        // surprisal instead of a non-finite NS; clean data is untouched.
+        let sanitized = quarantine::sanitize(test);
+        let test = sanitized.as_ref().unwrap_or(test);
         let specs = self.features.iter().flat_map(|fm| fm.predictors.iter().map(|fp| &fp.spec));
         let pool = PoolSpec::from_specs(test.n_features(), specs).encode(test);
         self.contributions_inner(test, Some(&pool))
@@ -690,6 +1048,8 @@ impl FracModel {
     /// Legacy scoring path: every predictor re-encodes the test set from its
     /// own spec. Kept for regression tests against the pooled path.
     pub fn contributions_unpooled(&self, test: &Dataset) -> ContributionMatrix {
+        let sanitized = quarantine::sanitize(test);
+        let test = sanitized.as_ref().unwrap_or(test);
         self.contributions_inner(test, None)
     }
 
@@ -757,6 +1117,7 @@ impl FracModel {
             feature_ids: self.features.iter().map(|f| f.target).collect(),
             values,
             n_rows,
+            renorm: self.ns_renorm_factor(),
         }
     }
 
@@ -921,10 +1282,11 @@ mod tests {
             .build();
         let plan = TrainingPlan::full(3);
         let (model, _) = FracModel::fit(&train, &plan, &FracConfig::default());
-        let strengths = model.feature_strengths();
-        let get = |t: usize| strengths.iter().find(|&&(f, _)| f == t).unwrap().1;
+        let get = |t: usize| model.strength_for(t);
         assert!(get(0) > 0.8, "a is perfectly predictable: {}", get(0));
         assert!(get(2) < 0.5, "c is noise: {}", get(2));
+        // A target with no fitted model answers 0.0 instead of panicking.
+        assert_eq!(model.strength_for(99), 0.0);
     }
 
     #[test]

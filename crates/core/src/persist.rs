@@ -16,14 +16,18 @@ use frac_dataset::design::DesignSpec;
 use frac_dataset::textio::{TextError, TextReader, TextWriter};
 
 /// Format version tag; bump on breaking layout changes.
+/// Version 2 added the `planned` line (targets the training plan asked
+/// for, including ones dropped by fault isolation); version 1 files are
+/// still read, with `planned` defaulting to the surviving feature count.
 const MAGIC: &str = "fracmodel";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 impl FracModel {
     /// Serialize the model to the text format.
     pub fn to_text(&self) -> String {
         let mut w = TextWriter::new();
         w.line(MAGIC, [VERSION]);
+        w.line("planned", [self.planned_targets]);
         w.line("features", [self.features.len()]);
         for fm in &self.features {
             w.line("feature", [fm.target]);
@@ -79,9 +83,11 @@ impl FracModel {
     pub fn from_text(text: &str) -> Result<FracModel, TextError> {
         let mut r = TextReader::new(text);
         let version: u32 = r.parse_one(MAGIC)?;
-        if version != VERSION {
-            return Err(format!("unsupported fracmodel version {version}"));
+        if !(1..=VERSION).contains(&version) {
+            return Err(format!("unsupported fracmodel version {version}").into());
         }
+        let planned: Option<usize> =
+            if version >= 2 { Some(r.parse_one("planned")?) } else { None };
         let n_features: usize = r.parse_one("features")?;
         let mut features = Vec::with_capacity(n_features);
         for _ in 0..n_features {
@@ -148,7 +154,8 @@ impl FracModel {
             features.push(FeatureModel { target, entropy, strength, predictors });
         }
         r.expect("end")?;
-        Ok(FracModel { features })
+        let planned_targets = planned.unwrap_or(features.len());
+        Ok(FracModel { features, planned_targets })
     }
 
     /// Save to a file.
@@ -158,7 +165,8 @@ impl FracModel {
 
     /// Load from a file.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<FracModel, TextError> {
-        let text = std::fs::read_to_string(path).map_err(|e| format!("I/O error: {e}"))?;
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TextError::from(format!("I/O error: {e}")))?;
         FracModel::from_text(&text)
     }
 }

@@ -16,10 +16,11 @@
 //! Wall time is also measured and reported; at full scale the analytic and
 //! measured ratios converge, and our benches print both.
 
+use crate::health::RunHealth;
 use std::time::Duration;
 
 /// Resource usage of one FRaC run (training + scoring).
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ResourceReport {
     /// Number of predictor trainings performed (CV folds included).
     pub models_trained: u64,
@@ -38,6 +39,9 @@ pub struct ResourceReport {
     pub transient_bytes: u64,
     /// Measured wall-clock time.
     pub wall: Duration,
+    /// Per-target degradation accounting: quarantines, fallbacks, drops.
+    /// Clean runs carry an empty (but fully counted) report.
+    pub health: RunHealth,
 }
 
 impl ResourceReport {
@@ -60,6 +64,7 @@ impl ResourceReport {
         self.model_bytes += other.model_bytes;
         self.transient_bytes = self.transient_bytes.max(other.transient_bytes);
         self.wall += other.wall;
+        self.health.merge_sequential(&other.health);
     }
 
     /// Fraction of another (baseline) report's flops — the paper's "Time %".
@@ -92,6 +97,7 @@ mod tests {
             model_bytes: model,
             transient_bytes: transient,
             wall: Duration::from_millis(10),
+            ..ResourceReport::default()
         }
     }
 

@@ -282,7 +282,10 @@ fn run_ensemble(
         feature_ids.push(fid);
         values.push(combined);
     }
-    let contributions = ContributionMatrix { feature_ids, values, n_rows };
+    // The median combines per-feature columns across members; any target a
+    // member dropped simply contributes no column, so no renorm is applied
+    // at the ensemble level.
+    let contributions = ContributionMatrix { feature_ids, values, n_rows, renorm: 1.0 };
     let ns = contributions.ns_scores();
     let feature_strengths = strengths
         .into_iter()

@@ -120,7 +120,8 @@ impl DesignSpec {
             return Err(format!(
                 "designspec declares {n} inputs but lists {}",
                 input_features.len()
-            ));
+            )
+            .into());
         }
         let mut encoders = Vec::with_capacity(n);
         let mut n_cols = 0usize;
@@ -286,7 +287,7 @@ impl PoolSpec {
     /// Total encoded pool width.
     #[inline]
     pub fn n_cols(&self) -> usize {
-        *self.col_offsets.last().unwrap()
+        self.col_offsets.last().copied().unwrap_or(0)
     }
 
     /// True when feature `j` has a fitted encoder in the pool.

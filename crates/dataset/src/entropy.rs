@@ -95,7 +95,7 @@ pub fn rank_by_entropy(data: &Dataset) -> Vec<usize> {
     idx.sort_by(|&a, &b| {
         let (ea, eb) = (ent[a], ent[b]);
         match (ea.is_finite(), eb.is_finite()) {
-            (true, true) => eb.partial_cmp(&ea).unwrap().then(a.cmp(&b)),
+            (true, true) => eb.total_cmp(&ea).then(a.cmp(&b)),
             (true, false) => std::cmp::Ordering::Less,
             (false, true) => std::cmp::Ordering::Greater,
             (false, false) => a.cmp(&b),

@@ -67,6 +67,16 @@ impl From<io::Error> for ParseError {
     }
 }
 
+impl From<crate::textio::TextError> for ParseError {
+    fn from(e: crate::textio::TextError) -> Self {
+        ParseError::Cell {
+            line: e.line,
+            column: e.column.unwrap_or(0),
+            message: e.message,
+        }
+    }
+}
+
 fn parse_kind(s: &str) -> Result<FeatureKind, String> {
     if s == "real" {
         Ok(FeatureKind::Real)

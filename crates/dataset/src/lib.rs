@@ -20,6 +20,9 @@
 //! * [`split`] — deterministic shuffles, train/test splits and k-fold
 //!   partitions implementing the paper's replicate protocol.
 //! * [`io`] — a simple TSV interchange format with a typed header.
+//! * [`quarantine`] — degenerate-input screening (NaN/Inf cells,
+//!   zero-variance columns, single-class categoricals, all-missing targets)
+//!   and cell sanitization, run before anything reaches a solver.
 //! * [`stats`] — small numeric helpers shared across the workspace.
 //!
 //! Everything stochastic takes an explicit seed; nothing here depends on
@@ -33,6 +36,7 @@ pub mod entropy;
 pub mod io;
 pub mod kde;
 pub mod kernels;
+pub mod quarantine;
 pub mod schema;
 pub mod split;
 pub mod stats;
@@ -41,4 +45,5 @@ pub mod textio;
 pub use dataset::{Column, Dataset, Value};
 pub use design::{ColRef, DesignMatrix, DesignView, EncodedPool, PoolSpec, PoolView, RowSubset};
 pub use kde::GaussianKde;
+pub use quarantine::{FeatureScreen, QuarantineReason, ScreenReport};
 pub use schema::{Feature, FeatureKind, Schema};

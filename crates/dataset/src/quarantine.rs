@@ -1,0 +1,291 @@
+//! Ingestion quarantine: degenerate-input screening before training.
+//!
+//! Precision-medicine matrices (GEO-style expression/SNP panels) routinely
+//! carry poisoned cells — `Inf` from upstream log-transforms of zero,
+//! constant probes, single-genotype SNP columns, columns that are entirely
+//! missing. Each of those breaks a per-feature training problem in a
+//! different way, and FRaC's fleet of per-feature models must degrade per
+//! target rather than die. This module is the first line of that defence:
+//! [`screen`] classifies every feature *before* it reaches a solver, and
+//! [`sanitize`] rewrites poisoned cells to missing so downstream encoders
+//! only ever see finite numbers.
+//!
+//! The screening verdicts map onto the fit pipeline's fallback ladder:
+//!
+//! * [`QuarantineReason::AllMissing`] — nothing to fit or score; the target
+//!   is dropped and NS scores are renormalized over the survivors.
+//! * [`QuarantineReason::ZeroVariance`] / [`QuarantineReason::SingleClass`]
+//!   — a solver would only reproduce the constant; the baseline predictor
+//!   is substituted without burning solver time.
+//! * [`QuarantineReason::NonFinite`] — the cells are rewritten to missing
+//!   (missing values contribute zero surprisal, exactly the paper's NS
+//!   semantics) and the target trains normally on what remains.
+//!
+//! NaN in a real column already *means* missing ([`crate::dataset::Column`]),
+//! so only `±Inf` counts as poison here.
+
+use crate::dataset::{Column, Dataset, MISSING_CODE};
+
+/// Why a feature was flagged by [`screen`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// Every entry is missing: nothing to fit or score. Strongest verdict —
+    /// the target must be dropped.
+    AllMissing,
+    /// A real column whose present (finite) values are all identical; a
+    /// trained model could only echo the constant, so the baseline
+    /// predictor is substituted.
+    ZeroVariance,
+    /// A categorical column whose present codes are all one class; the
+    /// majority baseline is substituted.
+    SingleClass {
+        /// The single observed class code.
+        class: u32,
+    },
+    /// The column carries `±Inf` cells but is otherwise usable; the cells
+    /// are sanitized to missing and the target trains normally.
+    NonFinite {
+        /// Number of poisoned cells.
+        cells: usize,
+    },
+}
+
+impl QuarantineReason {
+    /// Whether this verdict removes the feature from the solver entirely
+    /// (drop or baseline substitution) rather than merely cleaning cells.
+    pub fn degrades_target(&self) -> bool {
+        !matches!(self, QuarantineReason::NonFinite { .. })
+    }
+}
+
+impl std::fmt::Display for QuarantineReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuarantineReason::AllMissing => write!(f, "all values missing"),
+            QuarantineReason::ZeroVariance => write!(f, "zero variance"),
+            QuarantineReason::SingleClass { class } => {
+                write!(f, "single observed class {class}")
+            }
+            QuarantineReason::NonFinite { cells } => {
+                write!(f, "{cells} non-finite cell(s)")
+            }
+        }
+    }
+}
+
+/// One flagged feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FeatureScreen {
+    /// Feature index in the dataset's schema.
+    pub feature: usize,
+    /// The (strongest applicable) verdict.
+    pub reason: QuarantineReason,
+}
+
+/// Outcome of screening a whole dataset.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScreenReport {
+    /// Flagged features, in schema order, one entry per flagged feature
+    /// carrying its strongest verdict
+    /// (AllMissing > ZeroVariance/SingleClass > NonFinite).
+    pub flagged: Vec<FeatureScreen>,
+    /// Total `±Inf` cells across the dataset — non-zero means [`sanitize`]
+    /// will rewrite cells, independent of per-feature verdicts.
+    pub n_nonfinite_cells: usize,
+}
+
+impl ScreenReport {
+    /// No feature flagged and no poisoned cell: the dataset can be used
+    /// as-is, bit for bit.
+    pub fn is_clean(&self) -> bool {
+        self.flagged.is_empty() && self.n_nonfinite_cells == 0
+    }
+
+    /// The verdict for a feature, if it was flagged.
+    pub fn reason_for(&self, feature: usize) -> Option<QuarantineReason> {
+        self.flagged
+            .iter()
+            .find(|s| s.feature == feature)
+            .map(|s| s.reason)
+    }
+
+    /// Whether [`sanitize`] would copy the dataset.
+    pub fn needs_sanitize(&self) -> bool {
+        self.n_nonfinite_cells > 0
+    }
+}
+
+/// Classify every feature of `data` before it reaches a solver.
+///
+/// Screening judges each column *as if already sanitized*: `±Inf` cells are
+/// treated as missing when deciding all-missing / zero-variance, so the
+/// verdict matches what training will actually see.
+pub fn screen(data: &Dataset) -> ScreenReport {
+    let mut report = ScreenReport::default();
+    for j in 0..data.n_features() {
+        let (reason, poisoned) = screen_column(data.column(j));
+        report.n_nonfinite_cells += poisoned;
+        if let Some(reason) = reason {
+            report.flagged.push(FeatureScreen { feature: j, reason });
+        }
+    }
+    report
+}
+
+/// Strongest verdict for one column plus its poisoned-cell count.
+fn screen_column(col: &Column) -> (Option<QuarantineReason>, usize) {
+    match col {
+        Column::Real(values) => {
+            let poisoned = values.iter().filter(|v| v.is_infinite()).count();
+            let mut present = values.iter().filter(|v| v.is_finite());
+            let reason = match present.next() {
+                None => Some(QuarantineReason::AllMissing),
+                Some(first) => {
+                    if present.all(|v| v == first) {
+                        Some(QuarantineReason::ZeroVariance)
+                    } else if poisoned > 0 {
+                        Some(QuarantineReason::NonFinite { cells: poisoned })
+                    } else {
+                        None
+                    }
+                }
+            };
+            (reason, poisoned)
+        }
+        Column::Categorical { codes, .. } => {
+            let mut present = codes.iter().filter(|&&c| c != MISSING_CODE);
+            let reason = match present.next() {
+                None => Some(QuarantineReason::AllMissing),
+                Some(&first) => {
+                    if present.all(|&c| c == first) {
+                        Some(QuarantineReason::SingleClass { class: first })
+                    } else {
+                        None
+                    }
+                }
+            };
+            (reason, 0)
+        }
+    }
+}
+
+/// Rewrite `±Inf` cells to missing (NaN), returning `None` when the dataset
+/// is already free of them — the caller keeps the original, untouched, so
+/// the clean path stays zero-copy and bit-identical.
+pub fn sanitize(data: &Dataset) -> Option<Dataset> {
+    let dirty = (0..data.n_features()).any(|j| match data.column(j) {
+        Column::Real(v) => v.iter().any(|x| x.is_infinite()),
+        Column::Categorical { .. } => false,
+    });
+    if !dirty {
+        return None;
+    }
+    let columns = (0..data.n_features())
+        .map(|j| match data.column(j) {
+            Column::Real(v) => Column::Real(
+                v.iter()
+                    .map(|&x| if x.is_infinite() { f64::NAN } else { x })
+                    .collect(),
+            ),
+            cat => cat.clone(),
+        })
+        .collect();
+    Some(Dataset::new(data.schema().clone(), columns))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn poisoned() -> Dataset {
+        DatasetBuilder::new()
+            .real("ok", vec![1.0, 2.0, 3.0, 4.0])
+            .real("inf", vec![1.0, f64::INFINITY, 3.0, f64::NEG_INFINITY])
+            .real("const", vec![7.0, 7.0, f64::NAN, 7.0])
+            .real("gone", vec![f64::NAN; 4])
+            .categorical("snp", 3, vec![0, 1, 2, 0])
+            .categorical("mono", 3, vec![2, 2, MISSING_CODE, 2])
+            .categorical("empty", 2, vec![MISSING_CODE; 4])
+            .build()
+    }
+
+    #[test]
+    fn clean_dataset_screens_clean() {
+        let d = DatasetBuilder::new()
+            .real("a", vec![1.0, 2.0, f64::NAN])
+            .categorical("b", 2, vec![0, 1, MISSING_CODE])
+            .build();
+        let r = screen(&d);
+        assert!(r.is_clean());
+        assert!(!r.needs_sanitize());
+        assert!(sanitize(&d).is_none());
+    }
+
+    #[test]
+    fn screen_flags_each_degeneracy() {
+        let r = screen(&poisoned());
+        assert_eq!(r.reason_for(0), None);
+        assert_eq!(r.reason_for(1), Some(QuarantineReason::NonFinite { cells: 2 }));
+        assert_eq!(r.reason_for(2), Some(QuarantineReason::ZeroVariance));
+        assert_eq!(r.reason_for(3), Some(QuarantineReason::AllMissing));
+        assert_eq!(r.reason_for(4), None);
+        assert_eq!(r.reason_for(5), Some(QuarantineReason::SingleClass { class: 2 }));
+        assert_eq!(r.reason_for(6), Some(QuarantineReason::AllMissing));
+        assert_eq!(r.n_nonfinite_cells, 2);
+        assert!(r.needs_sanitize());
+    }
+
+    #[test]
+    fn all_missing_beats_other_verdicts() {
+        // A column of only Inf is all-missing once sanitized, not non-finite.
+        let d = DatasetBuilder::new()
+            .real("x", vec![f64::INFINITY, f64::NEG_INFINITY])
+            .build();
+        let r = screen(&d);
+        assert_eq!(r.reason_for(0), Some(QuarantineReason::AllMissing));
+        assert_eq!(r.n_nonfinite_cells, 2);
+    }
+
+    #[test]
+    fn zero_variance_with_poison_still_counts_cells() {
+        let d = DatasetBuilder::new()
+            .real("x", vec![5.0, f64::INFINITY, 5.0])
+            .build();
+        let r = screen(&d);
+        assert_eq!(r.reason_for(0), Some(QuarantineReason::ZeroVariance));
+        assert_eq!(r.n_nonfinite_cells, 1);
+        assert!(r.needs_sanitize());
+    }
+
+    #[test]
+    fn sanitize_rewrites_inf_to_missing_only() {
+        let d = poisoned();
+        let s = sanitize(&d).expect("poisoned dataset must be copied");
+        assert_eq!(s.n_rows(), d.n_rows());
+        let col = s.column(1).as_real().unwrap();
+        assert_eq!(col[0], 1.0);
+        assert!(col[1].is_nan());
+        assert_eq!(col[2], 3.0);
+        assert!(col[3].is_nan());
+        // Untouched columns are value-identical.
+        assert_eq!(s.column(0), d.column(0));
+        assert_eq!(s.column(4), d.column(4));
+        // Re-screening the sanitized copy finds no poison left.
+        assert_eq!(screen(&s).n_nonfinite_cells, 0);
+    }
+
+    #[test]
+    fn degrades_target_distinguishes_verdicts() {
+        assert!(QuarantineReason::AllMissing.degrades_target());
+        assert!(QuarantineReason::ZeroVariance.degrades_target());
+        assert!(QuarantineReason::SingleClass { class: 0 }.degrades_target());
+        assert!(!QuarantineReason::NonFinite { cells: 3 }.degrades_target());
+    }
+
+    #[test]
+    fn display_is_actionable() {
+        assert_eq!(QuarantineReason::AllMissing.to_string(), "all values missing");
+        assert!(QuarantineReason::NonFinite { cells: 2 }.to_string().contains("2"));
+    }
+}

@@ -63,8 +63,57 @@ pub struct TextReader<'a> {
     line_no: usize,
 }
 
-/// Parse error: line number + message.
-pub type TextError = String;
+/// Structured parse error: what went wrong and where.
+///
+/// `line` is 1-based (0 when the failure is not tied to a specific line,
+/// e.g. a semantic check after parsing); `column` is the 0-based field index
+/// within the line, when known. Producers that only have a message can use
+/// the `From<String>` / `From<&str>` shims.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TextError {
+    /// 1-based line number; 0 when unknown.
+    pub line: usize,
+    /// 0-based field index within the line, when known.
+    pub column: Option<usize>,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl TextError {
+    /// Error anchored to a line.
+    pub fn at(line: usize, message: impl Into<String>) -> Self {
+        TextError { line, column: None, message: message.into() }
+    }
+
+    /// Error anchored to a field within a line.
+    pub fn at_field(line: usize, column: usize, message: impl Into<String>) -> Self {
+        TextError { line, column: Some(column), message: message.into() }
+    }
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match (self.line, self.column) {
+            (0, _) => write!(f, "{}", self.message),
+            (line, None) => write!(f, "line {line}: {}", self.message),
+            (line, Some(col)) => write!(f, "line {line}, field {col}: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<String> for TextError {
+    fn from(message: String) -> Self {
+        TextError { line: 0, column: None, message }
+    }
+}
+
+impl From<&str> for TextError {
+    fn from(message: &str) -> Self {
+        TextError { line: 0, column: None, message: message.to_string() }
+    }
+}
 
 impl<'a> TextReader<'a> {
     /// Read from a text buffer.
@@ -77,7 +126,7 @@ impl<'a> TextReader<'a> {
         loop {
             self.line_no += 1;
             match self.lines.next() {
-                None => return Err(format!("line {}: unexpected end of input", self.line_no)),
+                None => return Err(TextError::at(self.line_no, "unexpected end of input")),
                 Some(l) if l.trim().is_empty() => continue,
                 Some(l) => return Ok(l.split_whitespace().collect()),
             }
@@ -88,10 +137,12 @@ impl<'a> TextReader<'a> {
     pub fn expect(&mut self, tag: &str) -> Result<Vec<&'a str>, TextError> {
         let fields = self.next_fields()?;
         if fields.first() != Some(&tag) {
-            return Err(format!(
-                "line {}: expected tag `{tag}`, found `{}`",
+            return Err(TextError::at(
                 self.line_no,
-                fields.first().unwrap_or(&"")
+                format!(
+                    "expected tag `{tag}`, found `{}`",
+                    fields.first().unwrap_or(&"")
+                ),
             ));
         }
         Ok(fields[1..].to_vec())
@@ -99,12 +150,15 @@ impl<'a> TextReader<'a> {
 
     /// Consume a `tag`-line and parse all fields as `T`.
     pub fn parse_all<T: std::str::FromStr>(&mut self, tag: &str) -> Result<Vec<T>, TextError> {
-        let line_no = self.line_no + 1;
-        self.expect(tag)?
+        let fields = self.expect(tag)?;
+        let line_no = self.line_no;
+        fields
             .into_iter()
-            .map(|f| {
-                f.parse::<T>()
-                    .map_err(|_| format!("line {line_no}: bad field `{f}` for `{tag}`"))
+            .enumerate()
+            .map(|(i, f)| {
+                f.parse::<T>().map_err(|_| {
+                    TextError::at_field(line_no, i, format!("bad field `{f}` for `{tag}`"))
+                })
             })
             .collect()
     }
@@ -112,14 +166,14 @@ impl<'a> TextReader<'a> {
     /// Consume a `tag`-line that must carry exactly one field, parsed as `T`.
     pub fn parse_one<T: std::str::FromStr>(&mut self, tag: &str) -> Result<T, TextError> {
         let v: Vec<T> = self.parse_all(tag)?;
-        if v.len() != 1 {
-            return Err(format!(
-                "line {}: tag `{tag}` expects exactly one field, found {}",
+        let found = v.len();
+        match v.into_iter().next() {
+            Some(one) if found == 1 => Ok(one),
+            _ => Err(TextError::at(
                 self.line_no,
-                v.len()
-            ));
+                format!("tag `{tag}` expects exactly one field, found {found}"),
+            )),
         }
-        Ok(v.into_iter().next().unwrap())
     }
 
     /// Peek whether the next non-empty line starts with `tag` (does not
@@ -171,19 +225,31 @@ mod tests {
         let mut r = TextReader::new("alpha 1\nbeta 2\n");
         assert!(r.expect("alpha").is_ok());
         let err = r.expect("gamma").unwrap_err();
-        assert!(err.contains("line 2"), "{err}");
-        assert!(err.contains("gamma"), "{err}");
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"), "{err}");
+        assert!(err.to_string().contains("gamma"), "{err}");
     }
 
     #[test]
     fn eof_and_bad_fields_error() {
         let mut r = TextReader::new("x 1\n");
         assert!(r.parse_all::<i32>("x").is_ok());
-        assert!(r.expect("y").unwrap_err().contains("end of input"));
+        assert!(r.expect("y").unwrap_err().to_string().contains("end of input"));
         let mut r = TextReader::new("x one two\n");
-        assert!(r.parse_all::<i32>("x").unwrap_err().contains("bad field"));
+        let err = r.parse_all::<i32>("x").unwrap_err();
+        assert!(err.to_string().contains("bad field"), "{err}");
+        assert_eq!((err.line, err.column), (1, Some(0)));
         let mut r = TextReader::new("x 1 2\n");
-        assert!(r.parse_one::<i32>("x").unwrap_err().contains("exactly one"));
+        let err = r.parse_one::<i32>("x").unwrap_err();
+        assert!(err.to_string().contains("exactly one"), "{err}");
+    }
+
+    #[test]
+    fn message_only_errors_display_bare() {
+        let e: TextError = "semantic problem".into();
+        assert_eq!(e.to_string(), "semantic problem");
+        let e = TextError::at_field(3, 1, "bad cell");
+        assert_eq!(e.to_string(), "line 3, field 1: bad cell");
     }
 
     #[test]

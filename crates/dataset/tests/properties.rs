@@ -4,6 +4,7 @@
 use frac_dataset::dataset::{Column, Dataset, DatasetBuilder, MISSING_CODE};
 use frac_dataset::design::DesignSpec;
 use frac_dataset::entropy::{categorical_entropy, categorical_probs};
+use frac_dataset::io::{from_tsv, to_tsv};
 use frac_dataset::kde::GaussianKde;
 use frac_dataset::stats;
 use proptest::prelude::*;
@@ -139,6 +140,51 @@ proptest! {
         if d > 1e-300 {
             prop_assert!((kde.log_density(probe) - d.ln()).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn from_tsv_never_panics_on_byte_soup(
+        raw in prop::collection::vec(0u32..256, 0..400),
+    ) {
+        // Arbitrary input must parse or report an error — never panic.
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let text = String::from_utf8_lossy(&bytes);
+        let _ = from_tsv(&text);
+    }
+
+    #[test]
+    fn from_tsv_never_panics_on_structured_garbage(
+        picks in prop::collection::vec(0usize..16, 0..240),
+    ) {
+        // Near-miss inputs (plausible header fragments, mangled bodies)
+        // exercise the parser's deeper paths; they too must fail closed.
+        const PIECES: [&str; 16] = [
+            "a:real", "b:cat3", ":cat", "x:", "cat99", "\t", "\n", "?",
+            "1.5", "-3", "nan", "inf", "2", "real", ":", " ",
+        ];
+        let text: String = picks.iter().map(|&i| PIECES[i]).collect();
+        let _ = from_tsv(&text);
+    }
+
+    #[test]
+    fn tsv_roundtrip_with_missing_cells(
+        reals in prop::collection::vec(
+            prop_oneof![Just(f64::NAN), -1e6f64..1e6], 1..30),
+        codes in prop::collection::vec(
+            prop_oneof![Just(MISSING_CODE), 0u32..4], 1..30),
+    ) {
+        let n = reals.len().min(codes.len());
+        let d = DatasetBuilder::new()
+            .real("expr", reals[..n].to_vec())
+            .categorical("snp", 4, codes[..n].to_vec())
+            .build();
+        let back = from_tsv(&to_tsv(&d)).unwrap();
+        prop_assert_eq!(back.n_rows(), n);
+        let (orig, round) = (d.column(0).as_real().unwrap(), back.column(0).as_real().unwrap());
+        for (a, b) in orig.iter().zip(round) {
+            prop_assert!(a.to_bits() == b.to_bits() || (a.is_nan() && b.is_nan()));
+        }
+        prop_assert_eq!(d.column(1), back.column(1));
     }
 
     #[test]

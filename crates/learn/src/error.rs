@@ -28,18 +28,19 @@ impl GaussianErrorModel {
     /// (zero-residual) fits on tiny training sets.
     pub const MIN_SIGMA: f64 = 1e-6;
 
-    /// Fit from (true, predicted) pairs. Pairs with NaN on either side are
-    /// ignored. With no usable pairs, falls back to a standard normal.
+    /// Fit from (true, predicted) pairs. Pairs with a non-finite value on
+    /// either side are ignored. With no usable pairs, falls back to a
+    /// standard normal.
     pub fn fit(pairs: &[(f64, f64)]) -> Self {
         let residuals: Vec<f64> = pairs
             .iter()
-            .filter(|(t, p)| !t.is_nan() && !p.is_nan())
+            .filter(|(t, p)| t.is_finite() && p.is_finite())
             .map(|(t, p)| t - p)
             .collect();
         if residuals.is_empty() {
             return GaussianErrorModel { mu: 0.0, sigma: 1.0 };
         }
-        let mu = stats::mean(&residuals).unwrap();
+        let mu = stats::mean(&residuals).unwrap_or(0.0);
         let sigma = stats::std_dev(&residuals).unwrap_or(0.0);
         GaussianErrorModel { mu, sigma: sigma.max(Self::MIN_SIGMA) }
     }
@@ -183,7 +184,8 @@ impl ConfusionErrorModel {
                 "conf_counts expects {} entries, found {}",
                 (arity as usize).pow(2),
                 counts.len()
-            ));
+            )
+            .into());
         }
         Ok(ConfusionErrorModel { arity, counts, alpha })
     }

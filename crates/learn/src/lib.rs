@@ -29,10 +29,15 @@
 //! analytically.
 
 #![warn(missing_docs)]
+// Trainers feed the fault-isolated fit fleet in frac-core: library code
+// must surface failures as `TrainError`, never panic on an Option/Result
+// shortcut. Test code is exempt.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
 pub mod cv;
 pub mod error;
+pub mod fault;
 pub mod solver;
 pub mod svc;
 pub mod svr;
@@ -41,6 +46,7 @@ pub mod tree;
 
 pub use baseline::{ConstantRegressor, MajorityClassifier};
 pub use error::{ConfusionErrorModel, GaussianErrorModel};
+pub use fault::TrainError;
 pub use solver::SolverMode;
 pub use svc::{LinearSvc, SvcConfig};
 pub use svr::{LinearSvr, SvrConfig};

@@ -15,6 +15,7 @@
 //! liblinear-style active-set shrinking, warm-started per-class duals, and
 //! blocked view kernels (see [`crate::solver`] for the contract).
 
+use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
@@ -390,6 +391,30 @@ impl ClassifierTrainer for SvcTrainer {
             peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
         };
         (Trained { model: LinearSvc { hyperplanes }, cost }, Some(duals))
+    }
+
+    /// Same one-vs-rest solve as the infallible path (bit-identical on
+    /// success), but validates the problem up front and rejects diverged
+    /// binary solves — any NaN/Inf hyperplane — as
+    /// [`TrainError::NonConvergence`].
+    fn try_train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+    ) -> Result<(Trained<LinearSvc>, Option<Vec<Vec<f64>>>), TrainError> {
+        fault::check_classification_problem(x, y)?;
+        let (trained, duals) = self.train_view_warm(x, y, arity, warm);
+        let diverged = trained.model.hyperplanes.iter().any(|(w, b)| {
+            !fault::all_finite(w) || !b.is_finite()
+        });
+        if diverged {
+            return Err(TrainError::NonConvergence {
+                epochs: self.config.max_epochs as u64,
+            });
+        }
+        Ok((trained, duals))
     }
 }
 

@@ -24,6 +24,7 @@
 //! and warm-started duals through [`RegressorTrainer::train_view_warm`] —
 //! on top of the blocked view kernels.
 
+use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
@@ -423,6 +424,25 @@ impl RegressorTrainer for SvrTrainer {
     ) -> (Trained<LinearSvr>, Option<Vec<f64>>) {
         let (trained, beta) = self.solve(x, y, warm);
         (trained, Some(beta))
+    }
+
+    /// Same solve as the infallible path (bit-identical on success), but
+    /// validates the problem up front and rejects diverged solves — NaN/Inf
+    /// weights after the epoch budget — as [`TrainError::NonConvergence`].
+    fn try_train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+    ) -> Result<(Trained<LinearSvr>, Option<Vec<f64>>), TrainError> {
+        fault::check_regression_problem(x, y)?;
+        let (trained, beta) = self.solve(x, y, warm);
+        if !fault::all_finite(trained.model.weights()) || !trained.model.bias().is_finite() {
+            return Err(TrainError::NonConvergence {
+                epochs: self.config.max_epochs as u64,
+            });
+        }
+        Ok((trained, Some(beta)))
     }
 }
 

@@ -6,6 +6,7 @@
 //! [`TrainingCost`], the raw material for reproducing the paper's CPU-time
 //! and memory columns.
 
+use crate::fault::{self, TrainError};
 use frac_dataset::{DesignMatrix, DesignView};
 
 /// Analytic cost of one model-training call.
@@ -108,6 +109,26 @@ pub trait RegressorTrainer: Send + Sync {
         (self.train_view(x, y), None)
     }
 
+    /// Fallible variant of [`Self::train_view_warm`]: validates the problem
+    /// (shape, allocation size, finite targets) and the fitted model instead
+    /// of panicking or returning a poisoned fit.
+    ///
+    /// The default performs the shared input validation and then delegates
+    /// to the infallible path — exactly the same arithmetic, so a clean
+    /// problem produces a bit-identical model. Trainers with a failure mode
+    /// of their own (the SVM solvers can diverge) override this to also
+    /// inspect their output.
+    #[allow(clippy::type_complexity)]
+    fn try_train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+    ) -> Result<(Trained<Self::Model>, Option<Vec<f64>>), TrainError> {
+        fault::check_regression_problem(x, y)?;
+        Ok(self.train_view_warm(x, y, warm))
+    }
+
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
     fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model> {
         self.train_view(x, y)
@@ -139,6 +160,22 @@ pub trait ClassifierTrainer: Send + Sync {
     ) -> (Trained<Self::Model>, Option<Vec<Vec<f64>>>) {
         let _ = warm;
         (self.train_view(x, y, arity), None)
+    }
+
+    /// Fallible variant of [`Self::train_view_warm`]; see
+    /// [`RegressorTrainer::try_train_view_warm`] for the contract. The
+    /// default validates shape/allocation and delegates to the infallible
+    /// path bit-for-bit.
+    #[allow(clippy::type_complexity)]
+    fn try_train_view_warm(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+    ) -> Result<(Trained<Self::Model>, Option<Vec<Vec<f64>>>), TrainError> {
+        fault::check_classification_problem(x, y)?;
+        Ok(self.train_view_warm(x, y, arity, warm))
     }
 
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).

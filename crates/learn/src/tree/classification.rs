@@ -43,7 +43,7 @@ impl ClassificationTree {
         let nodes = super::parse_nodes(r, |s| {
             let c: u32 = s.parse().map_err(|_| format!("bad class `{s}`"))?;
             if c >= arity {
-                return Err(format!("leaf class {c} out of range for arity {arity}"));
+                return Err(format!("leaf class {c} out of range for arity {arity}").into());
             }
             Ok(c)
         })?;

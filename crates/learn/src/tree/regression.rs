@@ -39,7 +39,7 @@ impl RegressionTree {
     ) -> Result<Self, frac_dataset::textio::TextError> {
         r.expect("rtree")?;
         let nodes = super::parse_nodes(r, |s| {
-            s.parse::<f64>().map_err(|_| format!("bad leaf value `{s}`"))
+            s.parse::<f64>().map_err(|_| format!("bad leaf value `{s}`").into())
         })?;
         Ok(RegressionTree { nodes })
     }

@@ -1,7 +1,7 @@
 //! Round-trip tests of every model type's text serialization: a fitted and
 //! a reloaded model must agree *exactly* on all predictions.
 
-use frac_dataset::textio::{TextReader, TextWriter};
+use frac_dataset::textio::{TextError, TextReader, TextWriter};
 use frac_dataset::DesignMatrix;
 use frac_learn::baseline::{
     ConstantRegressor, ConstantRegressorTrainer, MajorityClassifier, MajorityClassifierTrainer,
@@ -26,7 +26,7 @@ fn matrix(n: usize, d: usize, seed: u64) -> DesignMatrix {
     DesignMatrix::from_raw(n, d, (0..n * d).map(|_| next()).collect())
 }
 
-fn roundtrip<T>(model: &T, write: impl Fn(&T, &mut TextWriter), parse: impl Fn(&mut TextReader) -> Result<T, String>) -> T {
+fn roundtrip<T>(model: &T, write: impl Fn(&T, &mut TextWriter), parse: impl Fn(&mut TextReader) -> Result<T, TextError>) -> T {
     let mut w = TextWriter::new();
     write(model, &mut w);
     let text = w.finish();

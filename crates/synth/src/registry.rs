@@ -302,6 +302,14 @@ pub fn spec(name: &str) -> DatasetSpec {
     }
 }
 
+/// Non-panicking lookup of a named paper data set — `None` for unknown
+/// names. Front ends (the CLI) should use this and report the error
+/// themselves; [`spec`] stays panicking for internal callers that pass
+/// names from [`PAPER_DATASETS`].
+pub fn lookup(name: &str) -> Option<DatasetSpec> {
+    PAPER_DATASETS.contains(&name).then(|| spec(name))
+}
+
 /// All specs in Table I order.
 pub fn all_specs() -> Vec<DatasetSpec> {
     PAPER_DATASETS.iter().map(|n| spec(n)).collect()

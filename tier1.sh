@@ -7,3 +7,9 @@ cd "$(dirname "$0")"
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+# frac-core and frac-learn deny unwrap/expect in non-test code via
+# crate-root cfg_attr (flags passed here would leak into dependency
+# builds); this run enforces those lints.
+cargo clippy -p frac-core -p frac-learn --lib
+# Fault-isolation guarantee: fit + score must survive injected faults.
+cargo test -q -p frac-core --test fault_injection
