@@ -234,6 +234,71 @@ fn solver_family_json(
     )
 }
 
+/// Time one family through the plain fit and the journaled fit (fresh
+/// journal each rep — no resume) and render its JSON object with the wall
+/// overhead the write-ahead checkpointing costs.
+fn journal_family_json(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    config: &FracConfig,
+    reps: usize,
+) -> String {
+    let plan = TrainingPlan::full(train.n_features());
+    let plain = best_of(reps, || timed(train, test, &plan, config, true));
+    let journal_path =
+        std::env::temp_dir().join(format!("frac-perf-journal-{name}.frj"));
+    let journaled = best_of(reps, || {
+        let _ = std::fs::remove_file(&journal_path);
+        let t0 = Instant::now();
+        let fit = FracModel::fit_journaled(
+            train,
+            &plan,
+            config,
+            &frac_core::RunBudget::unlimited(),
+            &journal_path,
+        )
+        .expect("journaled fit");
+        assert_eq!(fit.resumed, 0, "bench must measure a fresh run");
+        assert!(!fit.journal_broken);
+        let fit_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let ns = fit.model.score(test);
+        let score_s = t1.elapsed().as_secs_f64();
+        assert!(ns.iter().all(|s| s.is_finite()));
+        Snapshot { fit_s, score_s, report: fit.report }
+    });
+    let journal_bytes = std::fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&journal_path);
+    let overhead = journaled.fit_s / plain.fit_s - 1.0;
+    eprintln!(
+        "{name}: fit plain {:.3}s vs journaled {:.3}s ({:+.2}% overhead); \
+         journal {} bytes for {} targets",
+        plain.fit_s,
+        journaled.fit_s,
+        overhead * 100.0,
+        journal_bytes,
+        plan.n_targets(),
+    );
+    format!(
+        "  \"{name}\": {{\n    \
+         \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
+         \"plain\": {{\"fit_wall_s\": {:.6}, \"score_wall_s\": {:.6}}},\n    \
+         \"journaled\": {{\"fit_wall_s\": {:.6}, \"score_wall_s\": {:.6}}},\n    \
+         \"journal_bytes\": {journal_bytes},\n    \
+         \"records\": {},\n    \
+         \"fit_overhead_fraction\": {overhead:.4}\n  }}",
+        train.n_features(),
+        train.n_rows(),
+        test.n_rows(),
+        plain.fit_s,
+        plain.score_s,
+        journaled.fit_s,
+        journaled.score_s,
+        plan.n_targets(),
+    )
+}
+
 fn main() {
     let n_features = env_usize("FRAC_PERF_FEATURES", 400);
     let n_rows = env_usize("FRAC_PERF_ROWS", 80);
@@ -358,4 +423,21 @@ fn main() {
     let solver_json = format!("{{\n{sexpr_json},\n{ssnp_json}\n}}\n");
     std::fs::write("BENCH_solver.json", &solver_json).expect("write BENCH_solver.json");
     println!("{solver_json}");
+
+    // Journal overhead: the same fit with every completed target appended
+    // (checksummed + fsynced) to the write-ahead journal. The checkpoint
+    // write is one frame per *target*, so its cost amortizes over the
+    // target's whole ensemble fit; the budget is < 3% wall overhead.
+    let expr_journal = journal_family_json(
+        "expression",
+        &expr_train,
+        &expr_test,
+        &FracConfig::expression(),
+        reps,
+    );
+    let snp_journal =
+        journal_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+    let journal_json = format!("{{\n{expr_journal},\n{snp_journal}\n}}\n");
+    std::fs::write("BENCH_journal.json", &journal_json).expect("write BENCH_journal.json");
+    println!("{journal_json}");
 }

@@ -1,6 +1,7 @@
 //! Hand-rolled argument parsing (no CLI dependency).
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Full usage text.
 pub const USAGE: &str = "\
@@ -13,6 +14,18 @@ USAGE:
         --p FLOAT          keep fraction for filtering variants (default 0.05)
         --snp              use decision trees everywhere (SNP data)
         --seed N           master seed (default 42)
+        --journal FILE     write-ahead journal: each finished target is
+                           checkpointed so a killed run can be resumed
+        --deadline DUR     wall-clock budget (e.g. 500ms, 2s, 5m); targets
+                           still unfitted at the deadline degrade to
+                           baseline predictors and the run exits cleanly
+
+  frac resume --train FILE --out FILE --journal FILE [OPTIONS]
+      Continue a journaled `train` run that was killed or hit its
+      deadline. Takes the same OPTIONS as train; data, variant, and seed
+      must match the original run (the journal header is verified).
+      Already-completed targets are loaded from the journal, the rest are
+      fitted, and the result is bit-identical to an uninterrupted run.
 
   frac score --train FILE --test FILE [OPTIONS]
   frac score --model FILE --test FILE [OPTIONS]
@@ -44,6 +57,8 @@ USAGE:
 pub enum Command {
     /// `frac train`
     Train(TrainArgs),
+    /// `frac resume` — continue a journaled train run.
+    Resume(TrainArgs),
     /// `frac score`
     Score(ScoreArgs),
     /// `frac entropy`
@@ -81,6 +96,10 @@ pub struct TrainArgs {
     pub snp: bool,
     /// Master seed.
     pub seed: u64,
+    /// Write-ahead journal path (checkpoint every finished target).
+    pub journal: Option<PathBuf>,
+    /// Wall-clock budget for the whole fit.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for TrainArgs {
@@ -92,6 +111,8 @@ impl Default for TrainArgs {
             p: 0.05,
             snp: false,
             seed: 42,
+            journal: None,
+            deadline: None,
         }
     }
 }
@@ -141,41 +162,76 @@ fn take_value<'a>(
         .ok_or_else(|| format!("{flag} requires a value"))
 }
 
+/// Parse a human duration: `500ms`, `2s`, `5m`, or a bare number of
+/// seconds. Fractions are fine (`1.5s`, `0.25m`).
+pub fn parse_duration(s: &str) -> Result<Duration, String> {
+    let (number, scale) = if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e-3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix('m') {
+        (n, 60.0)
+    } else {
+        (s, 1.0)
+    };
+    let value: f64 = number
+        .parse()
+        .map_err(|_| format!("bad duration `{s}` (expected e.g. 500ms, 2s, 5m)"))?;
+    if !(value.is_finite() && value > 0.0) {
+        return Err(format!("duration `{s}` must be positive and finite"));
+    }
+    Ok(Duration::from_secs_f64(value * scale))
+}
+
+/// Parse the shared flag set of `train` and `resume`.
+fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
+    let mut a = TrainArgs::default();
+    let mut i = 1;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--train" => a.train = take_value(argv, &mut i, "--train")?.into(),
+            "--out" => a.out = take_value(argv, &mut i, "--out")?.into(),
+            "--variant" => a.variant = take_value(argv, &mut i, "--variant")?.into(),
+            "--p" => {
+                a.p = take_value(argv, &mut i, "--p")?
+                    .parse()
+                    .map_err(|_| "--p expects a float".to_string())?
+            }
+            "--snp" => a.snp = true,
+            "--seed" => {
+                a.seed = take_value(argv, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?
+            }
+            "--journal" => a.journal = Some(take_value(argv, &mut i, "--journal")?.into()),
+            "--deadline" => {
+                a.deadline = Some(parse_duration(take_value(argv, &mut i, "--deadline")?)?)
+            }
+            other => return Err(format!("unknown flag `{other}` for {sub}")),
+        }
+        i += 1;
+    }
+    if a.train.as_os_str().is_empty() || a.out.as_os_str().is_empty() {
+        return Err(format!("{sub} requires --train and --out"));
+    }
+    if !(a.p > 0.0 && a.p <= 1.0) {
+        return Err("--p must be in (0, 1]".into());
+    }
+    Ok(a)
+}
+
 /// Parse an argv (without the program name).
 pub fn parse(argv: &[String]) -> Result<Command, String> {
     let sub = argv.first().map(String::as_str).unwrap_or("help");
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
-        "train" => {
-            let mut a = TrainArgs::default();
-            let mut i = 1;
-            while i < argv.len() {
-                match argv[i].as_str() {
-                    "--train" => a.train = take_value(argv, &mut i, "--train")?.into(),
-                    "--out" => a.out = take_value(argv, &mut i, "--out")?.into(),
-                    "--variant" => a.variant = take_value(argv, &mut i, "--variant")?.into(),
-                    "--p" => {
-                        a.p = take_value(argv, &mut i, "--p")?
-                            .parse()
-                            .map_err(|_| "--p expects a float".to_string())?
-                    }
-                    "--snp" => a.snp = true,
-                    "--seed" => {
-                        a.seed = take_value(argv, &mut i, "--seed")?
-                            .parse()
-                            .map_err(|_| "--seed expects an integer".to_string())?
-                    }
-                    other => return Err(format!("unknown flag `{other}` for train")),
-                }
-                i += 1;
+        "train" => Ok(Command::Train(parse_train_args(argv, "train")?)),
+        "resume" => {
+            let a = parse_train_args(argv, "resume")?;
+            if a.journal.is_none() {
+                return Err("resume requires --journal".into());
             }
-            if a.train.as_os_str().is_empty() || a.out.as_os_str().is_empty() {
-                return Err("train requires --train and --out".into());
-            }
-            if !(a.p > 0.0 && a.p <= 1.0) {
-                return Err("--p must be in (0, 1]".into());
-            }
-            Ok(Command::Train(a))
+            Ok(Command::Resume(a))
         }
         "score" => {
             let mut a = ScoreArgs::default();
@@ -375,5 +431,44 @@ mod tests {
     #[test]
     fn empty_argv_is_help() {
         assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parses_durations() {
+        assert_eq!(parse_duration("500ms").unwrap(), Duration::from_millis(500));
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("5m").unwrap(), Duration::from_secs(300));
+        assert_eq!(parse_duration("7").unwrap(), Duration::from_secs(7));
+        assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert!(parse_duration("abc").is_err());
+        assert!(parse_duration("-2s").is_err());
+        assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("").is_err());
+    }
+
+    #[test]
+    fn parses_train_journal_and_deadline() {
+        let cmd = parse(&argv(
+            "train --train a.tsv --out m.frac --journal j.frj --deadline 2s",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.journal, Some(PathBuf::from("j.frj")));
+                assert_eq!(a.deadline, Some(Duration::from_secs(2)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn resume_requires_a_journal() {
+        assert!(parse(&argv("resume --train a.tsv --out m.frac")).is_err());
+        let cmd =
+            parse(&argv("resume --train a.tsv --out m.frac --journal j.frj")).unwrap();
+        match cmd {
+            Command::Resume(a) => assert_eq!(a.journal, Some(PathBuf::from("j.frj"))),
+            _ => panic!(),
+        }
     }
 }

@@ -1,7 +1,9 @@
 //! Command implementations.
 
 use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
-use frac_core::{run_variant, FeatureSelector, FracConfig, FracModel, TrainingPlan, Variant};
+use frac_core::{
+    run_variant, FeatureSelector, FracConfig, FracModel, RunBudget, TrainingPlan, Variant,
+};
 use frac_dataset::io::{read_tsv, write_tsv};
 use frac_eval::auc::auc_from_scores;
 use frac_projection::JlMatrixKind;
@@ -46,7 +48,8 @@ pub fn run(cmd: Command) -> Result<(), Error> {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Train(args) => train(args),
+        Command::Train(args) => train(args, false),
+        Command::Resume(args) => train(args, true),
         Command::Score(args) => score(args),
         Command::Entropy { data, top } => entropy(&data, top),
         Command::Generate { dataset, out, seed } => generate(&dataset, &out, seed),
@@ -72,7 +75,7 @@ fn variant_from(args: &ScoreArgs) -> Result<Variant, Error> {
     })
 }
 
-fn train(args: TrainArgs) -> Result<(), Error> {
+fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
     let train = read_tsv_at(&args.train)?;
     let config = if args.snp {
         FracConfig::snp().with_seed(args.seed)
@@ -96,14 +99,49 @@ fn train(args: TrainArgs) -> Result<(), Error> {
             .into())
         }
     };
+    let budget = match args.deadline {
+        Some(d) => RunBudget::with_deadline(d),
+        None => RunBudget::unlimited(),
+    };
     eprintln!(
-        "fitting {} on {} samples × {} features ({} targets)…",
+        "{} {} on {} samples × {} features ({} targets{})…",
+        if resuming { "resuming" } else { "fitting" },
         args.variant,
         train.n_rows(),
         train.n_features(),
-        plan.n_targets()
+        plan.n_targets(),
+        match args.deadline {
+            Some(d) => format!(", deadline {d:?}"),
+            None => String::new(),
+        }
     );
-    let (model, report) = FracModel::fit(&train, &plan, &config);
+    let (model, report) = match &args.journal {
+        Some(jpath) => {
+            let fit = if resuming {
+                FracModel::resume(&train, &plan, &config, &budget, jpath)
+            } else {
+                FracModel::fit_journaled(&train, &plan, &config, &budget, jpath)
+            }
+            .map_err(|e| format!("{}: {e}", jpath.display()))?;
+            if fit.resumed > 0 {
+                eprintln!(
+                    "journal {}: {} of {} targets restored, fitting the rest",
+                    jpath.display(),
+                    fit.resumed,
+                    plan.n_targets()
+                );
+            }
+            if fit.journal_broken {
+                eprintln!(
+                    "warning: journal {} stopped accepting appends mid-run; \
+                     the model is complete but a crash would lose checkpoints",
+                    jpath.display()
+                );
+            }
+            (fit.model, fit.report)
+        }
+        None => FracModel::fit_budgeted(&train, &plan, &config, &budget),
+    };
     model.save(&args.out)?;
     eprintln!(
         "saved {} ({} feature models, {:.3} Gflop training)",
@@ -112,6 +150,13 @@ fn train(args: TrainArgs) -> Result<(), Error> {
         report.flops as f64 / 1e9
     );
     eprintln!("health: {}", report.health.summary());
+    if args.deadline.is_some() && !report.health.is_clean() {
+        eprintln!(
+            "deadline run: every planned target is accounted (fitted, \
+             baseline-substituted, or dropped); rerun with --journal and \
+             `frac resume` to finish the remainder properly"
+        );
+    }
     Ok(())
 }
 
@@ -120,16 +165,13 @@ fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Erro
     let test = read_tsv_at(&args.test)?;
     let model = FracModel::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
     eprintln!(
-        "loaded model with {} feature models; scoring {} samples…",
+        "loaded model: {}/{} planned targets survived; scoring {} samples…",
         model.n_targets(),
+        model.planned_targets(),
         test.n_rows()
     );
     if model.n_targets() < model.planned_targets() {
-        eprintln!(
-            "note: model carries {}/{} planned targets; NS is renormalized over survivors",
-            model.n_targets(),
-            model.planned_targets()
-        );
+        eprintln!("note: NS is renormalized over the surviving targets");
     }
     let contributions = model.contributions(&test);
     let ns = contributions.ns_scores();
@@ -312,7 +354,7 @@ mod tests {
             variant: "filter".into(),
             p: 0.04,
             ..TrainArgs::default()
-        })
+        }, false)
         .unwrap();
         assert!(model_path.exists());
         let args = ScoreArgs {
@@ -329,13 +371,61 @@ mod tests {
         let dir = std::env::temp_dir().join("frac-cli-test-model2");
         std::fs::create_dir_all(&dir).unwrap();
         generate("breast.basal", &dir, 5).unwrap();
-        assert!(train(TrainArgs {
+        assert!(train(
+            TrainArgs {
+                train: dir.join("breast.basal.train.tsv"),
+                out: dir.join("m.frac"),
+                variant: "jl".into(),
+                ..TrainArgs::default()
+            },
+            false
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn journaled_train_then_resume_and_deadline_run() {
+        let dir = std::env::temp_dir().join("frac-cli-test-journal");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let base = TrainArgs {
             train: dir.join("breast.basal.train.tsv"),
             out: dir.join("m.frac"),
-            variant: "jl".into(),
+            variant: "filter".into(),
+            p: 0.04,
+            journal: Some(dir.join("run.frj")),
             ..TrainArgs::default()
-        })
-        .is_err());
+        };
+        // Journaled train from scratch, then resume of the complete journal:
+        // every target restores, nothing refits, same saved model.
+        train(base.clone(), false).unwrap();
+        let first = std::fs::read_to_string(dir.join("m.frac")).unwrap();
+        train(TrainArgs { out: dir.join("m2.frac"), ..base.clone() }, true).unwrap();
+        let second = std::fs::read_to_string(dir.join("m2.frac")).unwrap();
+        assert_eq!(first, second);
+        // Resuming under a different seed must refuse the journal.
+        let err = train(TrainArgs { seed: 7, ..base.clone() }, true).unwrap_err();
+        assert!(err.to_string().contains("journal"), "{err}");
+        // A resume without any journal on disk is an error, not a fresh run.
+        let err = train(
+            TrainArgs { journal: Some(dir.join("absent.frj")), ..base.clone() },
+            true,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no journal"), "{err}");
+        // An (easily met) deadline run still exits cleanly and saves.
+        train(
+            TrainArgs {
+                journal: None,
+                deadline: Some(std::time::Duration::from_secs(600)),
+                out: dir.join("m3.frac"),
+                ..base
+            },
+            false,
+        )
+        .unwrap();
+        assert!(dir.join("m3.frac").exists());
     }
 
     #[test]
@@ -363,7 +453,7 @@ mod tests {
             variant: "filter".into(),
             p: 0.04,
             ..TrainArgs::default()
-        })
+        }, false)
         .unwrap();
         let short = dir.join("short.labels.txt");
         std::fs::write(&short, "1\n0\n").unwrap();

@@ -77,6 +77,17 @@ impl FracConfig {
         self
     }
 
+    /// Content fingerprint of the full configuration, used by the run
+    /// journal to refuse resuming under a different config. Hashes the
+    /// `Debug` rendering — every field (model families and their
+    /// hyperparameters, folds, seed) feeds the hash, and floats render
+    /// bit-exactly, so two configs collide only if they are behaviourally
+    /// identical. Not a stable cross-release format: a journal is a
+    /// crash-recovery artifact, not an archive.
+    pub fn content_hash(&self) -> u64 {
+        frac_dataset::crc::fnv64(format!("{self:?}").as_bytes())
+    }
+
     /// Select the SVM solver path (builder style): [`SolverMode::Fast`]
     /// (shrinking + warm starts + blocked kernels, the default) or
     /// [`SolverMode::Strict`] (the reference solver the fast path is

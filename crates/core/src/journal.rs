@@ -1,0 +1,910 @@
+//! Write-ahead run journal: crash-safe checkpointing of per-target fits.
+//!
+//! A full FRaC training run fits one model per feature and can take hours;
+//! a crash (OOM kill, node preemption, power loss) should cost at most the
+//! target that was in flight, not the whole run. The journal makes that
+//! true: as each target finishes, its fitted model, health events, and cost
+//! counters are appended to the journal file as one framed, checksummed,
+//! fsynced record. On resume the journal is scanned, any torn trailing
+//! record is truncated away (never fatal — a kill mid-`write` is the
+//! expected case), the completed targets are reloaded, and training
+//! continues with only the remaining ones.
+//!
+//! # File format
+//!
+//! A header, then zero or more records:
+//!
+//! ```text
+//! fracjournal 1
+//! config <hex u64>            FNV-1a of the FracConfig (Debug rendering)
+//! dataset <hex u64>           Dataset::fingerprint() of the training set
+//! plan <hex u64>              TrainingPlan::content_hash()
+//! planned <n>                 number of targets the plan asked for
+//! endheader
+//! rec <body_len> <crc32 hex>
+//! <body_len bytes of record body>
+//! rec ...
+//! ```
+//!
+//! Each record body is itself line-oriented text:
+//!
+//! ```text
+//! target <t>
+//! status fitted|dropped
+//! flops <u64>
+//! transient <u64>
+//! model_bytes <u64>
+//! n_models <u64>
+//! events <k>
+//! ev sanitized <cells>
+//! ev quarantined allmissing|zerovariance|singleclass <class>|nonfinite <cells>
+//! ev degraded <member> strict|baseline <detail…>
+//! ev memberdropped <member> <detail…>
+//! ev dropped <reason…>
+//! feature <t>                 (persist feature section, only when fitted)
+//! …
+//! ```
+//!
+//! The feature section is byte-identical to the one in the persisted model
+//! format ([`crate::persist`]), so a model assembled from journal records
+//! round-trips bit-exactly. SVM warm-start duals are *not* journaled — they
+//! only affect solve trajectories, never (in strict mode) results.
+//!
+//! # Integrity rules
+//!
+//! * A valid header whose hashes differ from the current run's is an
+//!   **error** ([`JournalError::Mismatch`]) — resuming someone else's run
+//!   silently would corrupt results.
+//! * A torn header (file killed mid-header-write) makes the journal
+//!   **fresh**: it is truncated and rewritten. A file whose first line is
+//!   not the journal magic is an error, never truncated — it is probably
+//!   not ours.
+//! * The first record whose frame, checksum, or body fails to validate
+//!   ends the valid region; the file is truncated there and appends
+//!   continue from that offset.
+
+use crate::health::{FallbackKind, TargetHealth, TargetOutcome};
+use crate::model::FeatureModel;
+use crate::persist::{parse_feature, write_feature};
+use frac_dataset::crc::crc32;
+use frac_dataset::textio::{TextReader, TextWriter};
+use frac_dataset::QuarantineReason;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+/// How long the fit's journal writer thread lets written records sit
+/// before forcing them to disk. Bounds both the flush rate (at most one
+/// `fdatasync` per interval, keeping journal overhead off the solvers) and
+/// the window of completed targets a crash can lose.
+const SYNC_INTERVAL: std::time::Duration = std::time::Duration::from_millis(50);
+
+const JOURNAL_MAGIC: &str = "fracjournal";
+const JOURNAL_VERSION: u32 = 1;
+
+/// Compatibility header of a run journal: a resumed run must match every
+/// fingerprint or the journal's records are meaningless for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalHeader {
+    /// [`crate::config::FracConfig::content_hash`] of the run's config.
+    pub config_hash: u64,
+    /// [`frac_dataset::Dataset::fingerprint`] of the (unsanitized) training set.
+    pub dataset_fingerprint: u64,
+    /// [`crate::plan::TrainingPlan::content_hash`] of the training plan.
+    pub plan_hash: u64,
+    /// Number of targets the plan asked for.
+    pub planned: usize,
+}
+
+/// What went wrong opening, scanning, or appending to a journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but is not a readable journal (wrong magic, or a
+    /// checksum-valid record whose body does not parse — a format bug or
+    /// version skew, never a torn write).
+    Corrupt(String),
+    /// The journal belongs to a different run (config, dataset, or plan
+    /// fingerprint differs).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for JournalError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal I/O error: {e}"),
+            JournalError::Corrupt(m) => write!(f, "journal corrupt: {m}"),
+            JournalError::Mismatch(m) => write!(f, "journal mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+/// One completed target, as recorded in (or reloaded from) the journal.
+///
+/// `feature` is `None` for a target that completed by being *dropped*
+/// (quarantined all-missing or every member failed) — that outcome is
+/// final and must also survive a resume, or the run would pointlessly
+/// re-attempt a hopeless target.
+pub struct TargetRecord {
+    /// Target feature index.
+    pub target: usize,
+    pub(crate) feature: Option<FeatureModel>,
+    pub(crate) health: Vec<TargetOutcome>,
+    pub(crate) flops: u64,
+    pub(crate) transient: u64,
+    pub(crate) model_bytes: u64,
+    pub(crate) n_models: u64,
+}
+
+impl TargetRecord {
+    fn as_parts(&self) -> RecordParts<'_> {
+        RecordParts {
+            target: self.target,
+            feature: self.feature.as_ref(),
+            outcomes: self.health.iter().collect(),
+            flops: self.flops,
+            transient: self.transient,
+            model_bytes: self.model_bytes,
+            n_models: self.n_models,
+        }
+    }
+}
+
+/// Borrowed form of a journal record, for appending straight out of the
+/// fit loop without cloning the fitted model.
+pub(crate) struct RecordParts<'a> {
+    pub(crate) target: usize,
+    pub(crate) feature: Option<&'a FeatureModel>,
+    pub(crate) outcomes: Vec<&'a TargetOutcome>,
+    pub(crate) flops: u64,
+    pub(crate) transient: u64,
+    pub(crate) model_bytes: u64,
+    pub(crate) n_models: u64,
+}
+
+/// Read-only scan result: what a journal file currently holds, plus the
+/// byte geometry the crash tests truncate at.
+pub struct JournalScan {
+    /// The parsed header, `None` when the file is empty or its header is
+    /// torn (in both cases a fresh header will be written on open).
+    pub header: Option<JournalHeader>,
+    /// Byte offset just past the header.
+    pub header_end: u64,
+    /// Byte offset just past each valid record, in file order.
+    pub record_ends: Vec<u64>,
+    /// Length of the valid prefix (header + intact records); any bytes
+    /// beyond this are a torn tail.
+    pub valid_len: u64,
+    /// The reloaded records themselves.
+    pub records: Vec<TargetRecord>,
+}
+
+/// An open, appendable run journal.
+///
+/// `append` is safe to call from rayon worker closures: writes are
+/// serialized through an internal mutex and each record is fsynced before
+/// `append` returns, so a completed target is durable the moment its
+/// record is on disk. The parallel fit loop instead hands serialized
+/// record bodies to a dedicated writer thread ([`RunJournal::write_loop`])
+/// that frames, checksums, and writes them as they arrive but flushes at
+/// most once per [`SYNC_INTERVAL`] (plus once at shutdown, before the fit
+/// returns) — keeping disk latency off the solver threads entirely. A
+/// failed append marks the journal broken (checked via
+/// [`RunJournal::is_broken`]); the fit itself continues — losing
+/// checkpoint durability degrades resume, never the run's results.
+pub struct RunJournal {
+    file: Mutex<std::fs::File>,
+    path: PathBuf,
+    broken: AtomicBool,
+}
+
+impl RunJournal {
+    /// Create a fresh journal at `path` (truncating any existing file),
+    /// write and fsync the header.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<RunJournal, JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = std::fs::File::create(&path)?;
+        file.write_all(header_text(header).as_bytes())?;
+        file.sync_data()?;
+        sync_parent_dir(&path);
+        Ok(Self::from_file(file, path))
+    }
+
+    fn from_file(file: std::fs::File, path: PathBuf) -> RunJournal {
+        RunJournal {
+            file: Mutex::new(file),
+            path,
+            broken: AtomicBool::new(false),
+        }
+    }
+
+    /// Open `path` for a run described by `expected`: scan it, truncate any
+    /// torn tail, and return the journal (positioned for append) together
+    /// with the records already completed.
+    ///
+    /// A missing or empty file — or one whose header write was itself torn
+    /// — becomes a fresh journal. A valid header that does not match
+    /// `expected` is a [`JournalError::Mismatch`].
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        expected: &JournalHeader,
+    ) -> Result<(RunJournal, Vec<TargetRecord>), JournalError> {
+        let path = path.as_ref().to_path_buf();
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(e.into()),
+        };
+        if bytes.is_empty() {
+            return Ok((Self::create(&path, expected)?, Vec::new()));
+        }
+        let scan = scan_bytes(&bytes)?;
+        let header = match scan.header {
+            None => {
+                // Torn header: the only thing ever written was a partial
+                // header, so nothing of value is lost by starting over.
+                return Ok((Self::create(&path, expected)?, Vec::new()));
+            }
+            Some(h) => h,
+        };
+        if header != *expected {
+            return Err(JournalError::Mismatch(mismatch_detail(&header, expected)));
+        }
+        if (scan.valid_len as usize) < bytes.len() {
+            // Torn tail from a mid-append kill: drop it so the next append
+            // starts at a record boundary.
+            let f = std::fs::OpenOptions::new().write(true).open(&path)?;
+            f.set_len(scan.valid_len)?;
+            f.sync_data()?;
+        }
+        let file = std::fs::OpenOptions::new().append(true).open(&path)?;
+        Ok((Self::from_file(file, path), scan.records))
+    }
+
+    /// Scan a journal file without opening it for writing — the crash
+    /// tests' view of record geometry, and the CLI's way to inspect a
+    /// journal. Does not modify the file.
+    pub fn scan(path: impl AsRef<Path>) -> Result<JournalScan, JournalError> {
+        let bytes = std::fs::read(path.as_ref())?;
+        if bytes.is_empty() {
+            return Ok(JournalScan {
+                header: None,
+                header_end: 0,
+                record_ends: Vec::new(),
+                valid_len: 0,
+                records: Vec::new(),
+            });
+        }
+        scan_bytes(&bytes)
+    }
+
+    /// Append one completed-target record: frame, checksum, write, fsync.
+    /// On failure the journal is marked broken and the error returned; the
+    /// caller may keep fitting (resume will simply refit this target).
+    pub fn append(&self, rec: &TargetRecord) -> Result<(), JournalError> {
+        self.append_parts(&rec.as_parts())
+    }
+
+    /// [`RunJournal::append`] over borrowed parts — the fit loop's form,
+    /// which avoids cloning a freshly fitted feature model just to log it.
+    pub(crate) fn append_parts(&self, rec: &RecordParts<'_>) -> Result<(), JournalError> {
+        self.append_bodies(std::iter::once(record_body(rec)))
+    }
+
+    /// Frame, checksum, and write a batch of pre-serialized record bodies,
+    /// then fsync once. On failure the journal is marked broken and the
+    /// error returned; the caller may keep fitting (resume will simply
+    /// refit the unlogged targets).
+    fn append_bodies(&self, bodies: impl Iterator<Item = String>) -> Result<(), JournalError> {
+        self.write_bodies(bodies)?;
+        self.sync()
+    }
+
+    /// Frame, checksum, and write record bodies without flushing. Marks
+    /// the journal broken on failure.
+    fn write_bodies(&self, bodies: impl Iterator<Item = String>) -> Result<(), JournalError> {
+        let result = (|| -> Result<(), JournalError> {
+            let mut file = match self.file.lock() {
+                Ok(f) => f,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            for body in bodies {
+                let mut buf = format!("rec {} {:08x}\n", body.len(), crc32(body.as_bytes()));
+                buf.push_str(&body);
+                file.write_all(buf.as_bytes())?;
+            }
+            Ok(())
+        })();
+        if result.is_err() {
+            self.broken.store(true, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Flush written records to disk. Marks the journal broken on failure.
+    fn sync(&self) -> Result<(), JournalError> {
+        let result = (|| -> Result<(), JournalError> {
+            let file = match self.file.lock() {
+                Ok(f) => f,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            file.sync_data()?;
+            Ok(())
+        })();
+        if result.is_err() {
+            self.broken.store(true, Ordering::Relaxed);
+        }
+        result
+    }
+
+    /// Writer-thread loop for the parallel fit: drain serialized record
+    /// bodies from `rx`, write them as they arrive, and `fdatasync` at
+    /// most once per [`SYNC_INTERVAL`] plus once at shutdown — even on a
+    /// filesystem where each flush forces a journal commit, a fleet of
+    /// finishing targets costs a bounded number of flushes rather than one
+    /// per target. Returns when every sender is dropped and the channel is
+    /// drained; the fit joins this thread before returning, so every
+    /// record handed over is durable once the fit completes. A mid-run
+    /// crash can lose at most the last `SYNC_INTERVAL` of completed
+    /// targets (plus an in-flight torn tail), which resume simply refits.
+    /// Errors mark the journal broken and the loop keeps draining
+    /// (discarding) so senders never block on a dead disk.
+    pub(crate) fn write_loop(&self, rx: std::sync::mpsc::Receiver<String>) {
+        use std::sync::mpsc::RecvTimeoutError;
+        // `None` = everything written is synced; `Some(t)` = unsynced
+        // records on disk, flush due at `t`.
+        let mut sync_due: Option<std::time::Instant> = None;
+        loop {
+            let first = match sync_due {
+                None => match rx.recv() {
+                    Ok(b) => Some(b),
+                    Err(_) => break,
+                },
+                Some(due) => {
+                    let wait = due.saturating_duration_since(std::time::Instant::now());
+                    match rx.recv_timeout(wait) {
+                        Ok(b) => Some(b),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            };
+            if let Some(first) = first {
+                let batch =
+                    std::iter::once(first).chain(std::iter::from_fn(|| rx.try_recv().ok()));
+                if self.is_broken() {
+                    batch.for_each(drop);
+                } else if self.write_bodies(batch).is_ok() && sync_due.is_none() {
+                    sync_due = Some(std::time::Instant::now() + SYNC_INTERVAL);
+                }
+            }
+            if let Some(due) = sync_due {
+                if self.is_broken() {
+                    sync_due = None;
+                } else if std::time::Instant::now() >= due {
+                    let _ = self.sync();
+                    sync_due = None;
+                }
+            }
+        }
+        if sync_due.is_some() && !self.is_broken() {
+            let _ = self.sync();
+        }
+    }
+
+    /// Whether any append has failed since the journal was opened.
+    pub fn is_broken(&self) -> bool {
+        self.broken.load(Ordering::Relaxed)
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Best-effort fsync of a path's parent directory, so a freshly created
+/// journal survives power loss of the directory entry itself.
+fn sync_parent_dir(path: &Path) {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
+        }
+    }
+}
+
+fn header_text(h: &JournalHeader) -> String {
+    format!(
+        "{JOURNAL_MAGIC} {JOURNAL_VERSION}\nconfig {:016x}\ndataset {:016x}\nplan {:016x}\nplanned {}\nendheader\n",
+        h.config_hash, h.dataset_fingerprint, h.plan_hash, h.planned
+    )
+}
+
+fn mismatch_detail(found: &JournalHeader, expected: &JournalHeader) -> String {
+    let mut parts = Vec::new();
+    if found.config_hash != expected.config_hash {
+        parts.push("config");
+    }
+    if found.dataset_fingerprint != expected.dataset_fingerprint {
+        parts.push("dataset");
+    }
+    if found.plan_hash != expected.plan_hash {
+        parts.push("training plan");
+    }
+    if found.planned != expected.planned {
+        parts.push("planned target count");
+    }
+    format!(
+        "journal was written by a different run ({} changed); \
+         delete it or point --journal elsewhere to start fresh",
+        parts.join(", ")
+    )
+}
+
+/// Read one `\n`-terminated line starting at `pos`. `None` when no full
+/// line is available (torn write) or the line is not UTF-8.
+fn read_line(bytes: &[u8], pos: usize) -> Option<(&str, usize)> {
+    let rest = bytes.get(pos..)?;
+    let nl = rest.iter().position(|&b| b == b'\n')?;
+    let line = std::str::from_utf8(&rest[..nl]).ok()?;
+    Some((line, pos + nl + 1))
+}
+
+fn parse_hex_field(line: &str, tag: &str) -> Option<u64> {
+    let rest = line.strip_prefix(tag)?.strip_prefix(' ')?;
+    u64::from_str_radix(rest.trim(), 16).ok()
+}
+
+/// Parse the header region. `Ok(None)` means torn-but-ours (start fresh);
+/// `Err` means the file is not a journal at all.
+fn parse_header(bytes: &[u8]) -> Result<Option<(JournalHeader, usize)>, JournalError> {
+    let Some((first, mut pos)) = read_line(bytes, 0) else {
+        // No complete first line. If what's there is a prefix of our magic
+        // line it is a torn header; anything else is not our file.
+        let prefix = format!("{JOURNAL_MAGIC} {JOURNAL_VERSION}");
+        return if prefix.as_bytes().starts_with(bytes) {
+            Ok(None)
+        } else {
+            Err(JournalError::Corrupt("not a fracjournal file".into()))
+        };
+    };
+    let mut fields = first.split_whitespace();
+    if fields.next() != Some(JOURNAL_MAGIC) {
+        return Err(JournalError::Corrupt("not a fracjournal file".into()));
+    }
+    match fields.next().and_then(|v| v.parse::<u32>().ok()) {
+        Some(v) if v <= JOURNAL_VERSION => {}
+        Some(v) => {
+            return Err(JournalError::Corrupt(format!("unsupported journal version {v}")));
+        }
+        None => return Ok(None),
+    }
+    let mut take_hex = |tag: &str| -> Result<Option<u64>, JournalError> {
+        match read_line(bytes, pos) {
+            None => Ok(None),
+            Some((line, next)) => match parse_hex_field(line, tag) {
+                Some(v) => {
+                    pos = next;
+                    Ok(Some(v))
+                }
+                None => Ok(None),
+            },
+        }
+    };
+    let Some(config_hash) = take_hex("config")? else { return Ok(None) };
+    let Some(dataset_fingerprint) = take_hex("dataset")? else { return Ok(None) };
+    let Some(plan_hash) = take_hex("plan")? else { return Ok(None) };
+    let planned = match read_line(bytes, pos) {
+        Some((line, next)) => match line
+            .strip_prefix("planned ")
+            .and_then(|v| v.trim().parse::<usize>().ok())
+        {
+            Some(v) => {
+                pos = next;
+                v
+            }
+            None => return Ok(None),
+        },
+        None => return Ok(None),
+    };
+    match read_line(bytes, pos) {
+        Some(("endheader", next)) => Ok(Some((
+            JournalHeader { config_hash, dataset_fingerprint, plan_hash, planned },
+            next,
+        ))),
+        _ => Ok(None),
+    }
+}
+
+fn scan_bytes(bytes: &[u8]) -> Result<JournalScan, JournalError> {
+    let Some((header, header_end)) = parse_header(bytes)? else {
+        return Ok(JournalScan {
+            header: None,
+            header_end: 0,
+            record_ends: Vec::new(),
+            valid_len: 0,
+            records: Vec::new(),
+        });
+    };
+    let mut pos = header_end;
+    let mut record_ends = Vec::new();
+    let mut records = Vec::new();
+    while pos < bytes.len() {
+        let Some((line, body_start)) = read_line(bytes, pos) else { break };
+        let mut fields = line.split_whitespace();
+        if fields.next() != Some("rec") {
+            break;
+        }
+        let (Some(len), Some(crc)) = (
+            fields.next().and_then(|v| v.parse::<usize>().ok()),
+            fields.next().and_then(|v| u32::from_str_radix(v, 16).ok()),
+        ) else {
+            break;
+        };
+        let Some(body) = bytes.get(body_start..body_start + len) else { break };
+        if crc32(body) != crc {
+            break;
+        }
+        // The frame checksum passed, so these are exactly the bytes a
+        // writer committed: a parse failure here is format skew, not a
+        // torn write, and silently truncating would discard good work.
+        let text = std::str::from_utf8(body)
+            .map_err(|_| JournalError::Corrupt("record body is not UTF-8".into()))?;
+        let rec = parse_record_body(text)?;
+        records.push(rec);
+        pos = body_start + len;
+        record_ends.push(pos as u64);
+    }
+    Ok(JournalScan {
+        header: Some(header),
+        header_end: header_end as u64,
+        record_ends,
+        valid_len: pos as u64,
+        records,
+    })
+}
+
+/// Newlines inside free-text diagnostics would break the line framing.
+fn one_line(s: &str) -> String {
+    s.replace(['\n', '\r'], " ")
+}
+
+fn write_event(w: &mut TextWriter, outcome: &TargetOutcome) {
+    match outcome {
+        TargetOutcome::Sanitized { cells } => w.line("ev", ["sanitized".into(), cells.to_string()]),
+        TargetOutcome::Quarantined { reason } => match reason {
+            QuarantineReason::AllMissing => w.line("ev", ["quarantined", "allmissing"]),
+            QuarantineReason::ZeroVariance => w.line("ev", ["quarantined", "zerovariance"]),
+            QuarantineReason::SingleClass { class } => {
+                w.line("ev", ["quarantined".into(), "singleclass".into(), class.to_string()])
+            }
+            QuarantineReason::NonFinite { cells } => {
+                w.line("ev", ["quarantined".into(), "nonfinite".into(), cells.to_string()])
+            }
+        },
+        TargetOutcome::Degraded { member, fallback, detail } => {
+            let rung = match fallback {
+                FallbackKind::StrictSolver => "strict",
+                FallbackKind::Baseline => "baseline",
+            };
+            w.line(
+                "ev",
+                ["degraded".into(), member.to_string(), rung.into(), one_line(detail)],
+            )
+        }
+        TargetOutcome::MemberDropped { member, detail } => w.line(
+            "ev",
+            ["memberdropped".into(), member.to_string(), one_line(detail)],
+        ),
+        TargetOutcome::Dropped { reason } => {
+            w.line("ev", ["dropped".into(), one_line(reason)])
+        }
+    }
+}
+
+fn parse_event(fields: &[&str]) -> Result<TargetOutcome, JournalError> {
+    let bad = || JournalError::Corrupt(format!("bad event line: ev {}", fields.join(" ")));
+    match fields.first().copied() {
+        Some("sanitized") => {
+            let cells = fields.get(1).and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            Ok(TargetOutcome::Sanitized { cells })
+        }
+        Some("quarantined") => {
+            let reason = match fields.get(1).copied() {
+                Some("allmissing") => QuarantineReason::AllMissing,
+                Some("zerovariance") => QuarantineReason::ZeroVariance,
+                Some("singleclass") => QuarantineReason::SingleClass {
+                    class: fields.get(2).and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+                },
+                Some("nonfinite") => QuarantineReason::NonFinite {
+                    cells: fields.get(2).and_then(|v| v.parse().ok()).ok_or_else(bad)?,
+                },
+                _ => return Err(bad()),
+            };
+            Ok(TargetOutcome::Quarantined { reason })
+        }
+        Some("degraded") => {
+            let member = fields.get(1).and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            let fallback = match fields.get(2).copied() {
+                Some("strict") => FallbackKind::StrictSolver,
+                Some("baseline") => FallbackKind::Baseline,
+                _ => return Err(bad()),
+            };
+            Ok(TargetOutcome::Degraded {
+                member,
+                fallback,
+                detail: fields[3..].join(" "),
+            })
+        }
+        Some("memberdropped") => {
+            let member = fields.get(1).and_then(|v| v.parse().ok()).ok_or_else(bad)?;
+            Ok(TargetOutcome::MemberDropped { member, detail: fields[2..].join(" ") })
+        }
+        Some("dropped") => Ok(TargetOutcome::Dropped { reason: fields[1..].join(" ") }),
+        _ => Err(bad()),
+    }
+}
+
+pub(crate) fn record_body(rec: &RecordParts<'_>) -> String {
+    let mut w = TextWriter::new();
+    w.line("target", [rec.target]);
+    w.line("status", [if rec.feature.is_some() { "fitted" } else { "dropped" }]);
+    w.line("flops", [rec.flops]);
+    w.line("transient", [rec.transient]);
+    w.line("model_bytes", [rec.model_bytes]);
+    w.line("n_models", [rec.n_models]);
+    w.line("events", [rec.outcomes.len()]);
+    for outcome in &rec.outcomes {
+        write_event(&mut w, outcome);
+    }
+    if let Some(fm) = rec.feature {
+        write_feature(&mut w, fm);
+    }
+    w.finish()
+}
+
+fn parse_record_body(text: &str) -> Result<TargetRecord, JournalError> {
+    let corrupt = |e: frac_dataset::textio::TextError| JournalError::Corrupt(e.to_string());
+    let mut r = TextReader::new(text);
+    let target: usize = r.parse_one("target").map_err(corrupt)?;
+    let status = r.expect("status").map_err(corrupt)?;
+    let fitted = match status.first().copied() {
+        Some("fitted") => true,
+        Some("dropped") => false,
+        other => {
+            return Err(JournalError::Corrupt(format!(
+                "bad record status `{}`",
+                other.unwrap_or("")
+            )))
+        }
+    };
+    let flops: u64 = r.parse_one("flops").map_err(corrupt)?;
+    let transient: u64 = r.parse_one("transient").map_err(corrupt)?;
+    let model_bytes: u64 = r.parse_one("model_bytes").map_err(corrupt)?;
+    let n_models: u64 = r.parse_one("n_models").map_err(corrupt)?;
+    let n_events: usize = r.parse_one("events").map_err(corrupt)?;
+    let mut health = Vec::with_capacity(n_events);
+    for _ in 0..n_events {
+        let fields = r.expect("ev").map_err(corrupt)?;
+        health.push(parse_event(&fields)?);
+    }
+    let feature = if fitted {
+        let fm = parse_feature(&mut r).map_err(corrupt)?;
+        if fm.target != target {
+            return Err(JournalError::Corrupt(format!(
+                "record for target {target} carries a model for target {}",
+                fm.target
+            )));
+        }
+        Some(fm)
+    } else {
+        None
+    };
+    Ok(TargetRecord { target, feature, health, flops, transient, model_bytes, n_models })
+}
+
+/// Reconstruct the [`TargetHealth`] events of a record (each event's target
+/// is the record's target — the fit loop never emits cross-target events).
+pub(crate) fn record_health(rec: &TargetRecord) -> Vec<TargetHealth> {
+    rec.health
+        .iter()
+        .map(|outcome| TargetHealth { target: rec.target, outcome: outcome.clone() })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> JournalHeader {
+        JournalHeader {
+            config_hash: 0xAB,
+            dataset_fingerprint: 0xCD,
+            plan_hash: 0xEF,
+            planned: 3,
+        }
+    }
+
+    fn dropped_record(target: usize) -> TargetRecord {
+        TargetRecord {
+            target,
+            feature: None,
+            health: vec![TargetOutcome::Dropped { reason: "all values missing".into() }],
+            flops: 7,
+            transient: 11,
+            model_bytes: 0,
+            n_models: 0,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("frac-journal-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn create_append_scan_roundtrip() {
+        let path = tmp_path("roundtrip.fjr");
+        std::fs::remove_file(&path).ok();
+        let j = RunJournal::create(&path, &header()).unwrap();
+        j.append(&dropped_record(0)).unwrap();
+        j.append(&dropped_record(2)).unwrap();
+        assert!(!j.is_broken());
+        drop(j);
+
+        let scan = RunJournal::scan(&path).unwrap();
+        assert_eq!(scan.header, Some(header()));
+        assert_eq!(scan.records.len(), 2);
+        assert_eq!(scan.record_ends.len(), 2);
+        assert_eq!(scan.records[0].target, 0);
+        assert_eq!(scan.records[1].target, 2);
+        assert_eq!(scan.records[0].flops, 7);
+        assert_eq!(
+            scan.valid_len,
+            std::fs::metadata(&path).unwrap().len(),
+            "clean file is valid to the end"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_on_open() {
+        let path = tmp_path("torn.fjr");
+        std::fs::remove_file(&path).ok();
+        let j = RunJournal::create(&path, &header()).unwrap();
+        j.append(&dropped_record(0)).unwrap();
+        drop(j);
+        let intact = std::fs::metadata(&path).unwrap().len();
+        // Simulate a kill mid-append: half a record frame.
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"rec 999 0123ab").unwrap();
+        drop(f);
+
+        let (j, records) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(records.len(), 1);
+        drop(j);
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), intact);
+    }
+
+    #[test]
+    fn header_mismatch_is_an_error_not_a_truncation() {
+        let path = tmp_path("mismatch.fjr");
+        std::fs::remove_file(&path).ok();
+        let j = RunJournal::create(&path, &header()).unwrap();
+        j.append(&dropped_record(1)).unwrap();
+        drop(j);
+        let other = JournalHeader { config_hash: 0x99, ..header() };
+        match RunJournal::open_or_create(&path, &other) {
+            Err(JournalError::Mismatch(m)) => assert!(m.contains("config"), "{m}"),
+            other => panic!("expected mismatch, got {:?}", other.err()),
+        }
+        // The file was not harmed.
+        assert_eq!(RunJournal::scan(&path).unwrap().records.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn torn_header_starts_fresh_but_foreign_file_errors() {
+        let path = tmp_path("tornheader.fjr");
+        std::fs::write(&path, "fracjournal 1\nconfig 00000000000000ab\n").unwrap();
+        let (j, records) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert!(records.is_empty());
+        drop(j);
+        assert_eq!(RunJournal::scan(&path).unwrap().header, Some(header()));
+
+        let foreign = tmp_path("foreign.txt");
+        std::fs::write(&foreign, "definitely not a journal\n").unwrap();
+        assert!(matches!(
+            RunJournal::open_or_create(&foreign, &header()),
+            Err(JournalError::Corrupt(_))
+        ));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&foreign).ok();
+    }
+
+    #[test]
+    fn record_body_roundtrips_every_event_kind() {
+        let rec = TargetRecord {
+            target: 5,
+            feature: None,
+            health: vec![
+                TargetOutcome::Sanitized { cells: 3 },
+                TargetOutcome::Quarantined { reason: QuarantineReason::ZeroVariance },
+                TargetOutcome::Quarantined {
+                    reason: QuarantineReason::SingleClass { class: 2 },
+                },
+                TargetOutcome::Quarantined {
+                    reason: QuarantineReason::NonFinite { cells: 9 },
+                },
+                TargetOutcome::Degraded {
+                    member: 1,
+                    fallback: FallbackKind::StrictSolver,
+                    detail: "solver did not converge after 60 epochs".into(),
+                },
+                TargetOutcome::Degraded {
+                    member: 0,
+                    fallback: FallbackKind::Baseline,
+                    detail: "panicked: multi\nline payload".into(),
+                },
+                TargetOutcome::MemberDropped { member: 2, detail: "baseline also failed".into() },
+                TargetOutcome::Dropped { reason: "all 3 ensemble member fit(s) failed".into() },
+            ],
+            flops: 1,
+            transient: 2,
+            model_bytes: 3,
+            n_models: 4,
+        };
+        let body = record_body(&rec.as_parts());
+        let back = parse_record_body(&body).unwrap();
+        assert_eq!(back.target, 5);
+        assert_eq!(back.health.len(), rec.health.len());
+        // The multi-line detail is flattened, everything else survives.
+        match &back.health[5] {
+            TargetOutcome::Degraded { detail, .. } => {
+                assert_eq!(detail, "panicked: multi line payload")
+            }
+            other => panic!("wrong event kind: {other:?}"),
+        }
+        assert_eq!(back.health[..5], rec.health[..5]);
+        assert_eq!(back.health[6..], rec.health[6..]);
+        assert_eq!(
+            (back.flops, back.transient, back.model_bytes, back.n_models),
+            (1, 2, 3, 4)
+        );
+    }
+
+    #[test]
+    fn bit_flip_in_record_invalidates_only_the_tail() {
+        let path = tmp_path("bitflip.fjr");
+        std::fs::remove_file(&path).ok();
+        let j = RunJournal::create(&path, &header()).unwrap();
+        j.append(&dropped_record(0)).unwrap();
+        j.append(&dropped_record(1)).unwrap();
+        drop(j);
+        let scan = RunJournal::scan(&path).unwrap();
+        let second_start = scan.record_ends[0] as usize;
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Corrupt a byte inside the *second* record's body.
+        let target = second_start + 30;
+        bytes[target] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let rescan = RunJournal::scan(&path).unwrap();
+        assert_eq!(rescan.records.len(), 1, "first record must survive");
+        assert_eq!(rescan.valid_len, scan.record_ends[0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

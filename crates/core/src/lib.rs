@@ -46,6 +46,7 @@ pub mod config;
 pub mod csax;
 pub mod fault;
 pub mod health;
+pub mod journal;
 pub mod model;
 pub mod persist;
 pub mod plan;
@@ -54,11 +55,12 @@ pub mod selector;
 pub mod variants;
 
 pub use config::{CatModel, FracConfig, RealModel};
-pub use frac_learn::SolverMode;
+pub use frac_learn::{CancelHandle, RunBudget, SolverMode, TargetBudget};
 pub use csax::{characterize, CsaxConfig, GeneSet, SampleCharacterization};
 pub use fault::FaultPlan;
 pub use health::{FallbackKind, RunHealth, TargetHealth, TargetOutcome};
-pub use model::{ContributionMatrix, DualCache, FracModel};
+pub use journal::{JournalError, JournalHeader, JournalScan, RunJournal, TargetRecord};
+pub use model::{ContributionMatrix, DualCache, FracModel, JournaledFit};
 pub use plan::{TargetPlan, TrainingPlan};
 pub use resources::ResourceReport;
 pub use selector::FeatureSelector;

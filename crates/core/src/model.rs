@@ -23,7 +23,8 @@
 use crate::config::{CatModel, FracConfig, RealModel};
 use crate::fault::{FaultPlan, INJECTED_PANIC};
 use crate::health::{FallbackKind, RunHealth, TargetHealth, TargetOutcome};
-use crate::plan::TrainingPlan;
+use crate::journal::{self, JournalError, JournalHeader, RunJournal, TargetRecord};
+use crate::plan::{TargetPlan, TrainingPlan};
 use crate::resources::ResourceReport;
 use frac_dataset::design::{DesignSpec, PoolSpec};
 use frac_dataset::entropy::column_entropy;
@@ -31,13 +32,17 @@ use frac_dataset::quarantine::{self, QuarantineReason, ScreenReport};
 use frac_dataset::split::{derive_seed, k_fold, Fold};
 use frac_dataset::{Column, Dataset, DesignMatrix, DesignView, EncodedPool, PoolView, RowSubset};
 use frac_learn::baseline::{ConstantRegressorTrainer, MajorityClassifierTrainer};
-use frac_learn::cv::{cv_classification_folds, cv_regression_folds};
+use frac_learn::cv::{
+    cv_classification_folds, cv_classification_folds_budgeted, cv_regression_folds,
+    cv_regression_folds_budgeted,
+};
 use frac_learn::svc::SvcTrainer;
 use frac_learn::svr::SvrTrainer;
 use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
 use frac_learn::{
     Classifier, ClassificationTree, ConfusionErrorModel, ConstantRegressor, GaussianErrorModel,
-    LinearSvc, LinearSvr, MajorityClassifier, RegressionTree, Regressor, TrainError, TrainingCost,
+    LinearSvc, LinearSvr, MajorityClassifier, RegressionTree, Regressor, RunBudget, TargetBudget,
+    TrainError, TrainingCost,
 };
 use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -161,6 +166,11 @@ struct TargetFit {
     model_bytes: u64,
     n_models: u64,
     duals: Vec<(usize, PredictorDuals)>,
+    /// Whether any fit attempt for this target tripped the run's
+    /// wall-clock budget. A budget-degraded result is honest (baseline
+    /// substituted, recorded in health) but *provisional*: it is never
+    /// journaled, so a later resume with more time refits it properly.
+    deadline_hit: bool,
 }
 
 /// Per-feature NS contributions for a scored test set.
@@ -327,6 +337,7 @@ fn fit_predictor(
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init_duals: Option<&PredictorDuals>,
+    budget: &TargetBudget,
 ) -> Result<MemberFit, TrainError> {
     let owned: DesignMatrix;
     let pooled: PoolView<'_>;
@@ -379,7 +390,15 @@ fn fit_predictor(
                     RealModel::Svr(cfg) => {
                         let mut cfg = *cfg;
                         cfg.seed = derive_seed(member_seed, 2);
-                        run_real(&SvrTrainer::new(cfg), RealPredictor::Svr, &x, &y, &folds, init)
+                        run_real(
+                            &SvrTrainer::new(cfg),
+                            RealPredictor::Svr,
+                            &x,
+                            &y,
+                            &folds,
+                            init,
+                            budget,
+                        )
                     }
                     RealModel::Tree(cfg) => run_real(
                         &RegressionTreeTrainer::new(*cfg),
@@ -388,6 +407,7 @@ fn fit_predictor(
                         &y,
                         &folds,
                         init,
+                        budget,
                     ),
                     RealModel::Constant => run_real(
                         &ConstantRegressorTrainer,
@@ -396,6 +416,7 @@ fn fit_predictor(
                         &y,
                         &folds,
                         init,
+                        budget,
                     ),
                 })?;
             let total = TrainingCost {
@@ -449,11 +470,21 @@ fn fit_predictor(
                         *arity,
                         &folds,
                         init,
+                        budget,
                     ),
                     CatModel::Svc(cfg) => {
                         let mut cfg = *cfg;
                         cfg.seed = derive_seed(member_seed, 2);
-                        run_cat(&SvcTrainer::new(cfg), CatPredictor::Svc, &x, &y, *arity, &folds, init)
+                        run_cat(
+                            &SvcTrainer::new(cfg),
+                            CatPredictor::Svc,
+                            &x,
+                            &y,
+                            *arity,
+                            &folds,
+                            init,
+                            budget,
+                        )
                     }
                     CatModel::Majority => run_cat(
                         &MajorityClassifierTrainer,
@@ -463,6 +494,7 @@ fn fit_predictor(
                         *arity,
                         &folds,
                         init,
+                        budget,
                     ),
                 })?;
             let total = TrainingCost {
@@ -491,6 +523,7 @@ fn fit_predictor(
 /// fit (see [`cv_regression_folds`]); the final fit's duals are returned
 /// for cross-member reuse.
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn run_real<T: frac_learn::RegressorTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> RealPredictor,
@@ -498,21 +531,34 @@ fn run_real<T: frac_learn::RegressorTrainer>(
     y: &[f64],
     folds: &[Fold],
     init_duals: Option<&[f64]>,
+    budget: &TargetBudget,
 ) -> Result<
     (RealPredictor, TrainingCost, GaussianErrorModel, f64, TrainingCost, Option<Vec<f64>>),
     TrainError,
 > {
-    let (oof, cv_cost, cv_duals) = cv_regression_folds(trainer, x, y, folds, init_duals);
+    // The unlimited path keeps the original infallible CV (which tolerates
+    // a diverged fold) and stays bit-identical; only a limited budget pays
+    // for the fallible, cancellable variants.
+    let (oof, cv_cost, cv_duals) = if budget.is_limited() {
+        cv_regression_folds_budgeted(trainer, x, y, folds, init_duals, budget)?
+    } else {
+        cv_regression_folds(trainer, x, y, folds, init_duals)
+    };
     let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = GaussianErrorModel::fit(&pairs);
     let strength = r2_strength(y, &oof);
-    let (trained, final_duals) = trainer.try_train_view_warm(x, y, cv_duals.as_deref())?;
+    let (trained, final_duals) = if budget.is_limited() {
+        trainer.try_train_view_budgeted(x, y, cv_duals.as_deref(), budget)?
+    } else {
+        trainer.try_train_view_warm(x, y, cv_duals.as_deref())?
+    };
     Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
 /// Cross-validate + final-fit one categorical-target trainer, wrapping its
 /// model into the closed [`CatPredictor`] enum; see [`run_real`].
 #[allow(clippy::type_complexity)]
+#[allow(clippy::too_many_arguments)]
 fn run_cat<T: frac_learn::ClassifierTrainer>(
     trainer: &T,
     wrap: impl Fn(T::Model) -> CatPredictor,
@@ -521,16 +567,24 @@ fn run_cat<T: frac_learn::ClassifierTrainer>(
     arity: u32,
     folds: &[Fold],
     init_duals: Option<&[Vec<f64>]>,
+    budget: &TargetBudget,
 ) -> Result<
     (CatPredictor, TrainingCost, ConfusionErrorModel, f64, TrainingCost, Option<Vec<Vec<f64>>>),
     TrainError,
 > {
-    let (oof, cv_cost, cv_duals) =
-        cv_classification_folds(trainer, x, y, arity, folds, init_duals);
+    let (oof, cv_cost, cv_duals) = if budget.is_limited() {
+        cv_classification_folds_budgeted(trainer, x, y, arity, folds, init_duals, budget)?
+    } else {
+        cv_classification_folds(trainer, x, y, arity, folds, init_duals)
+    };
     let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = ConfusionErrorModel::fit(&pairs, arity);
     let strength = accuracy_strength(y, &oof);
-    let (trained, final_duals) = trainer.try_train_view_warm(x, y, arity, cv_duals.as_deref())?;
+    let (trained, final_duals) = if budget.is_limited() {
+        trainer.try_train_view_budgeted(x, y, arity, cv_duals.as_deref(), budget)?
+    } else {
+        trainer.try_train_view_warm(x, y, arity, cv_duals.as_deref())?
+    };
     Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
@@ -608,18 +662,27 @@ fn guarded_attempt(
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init: Option<&PredictorDuals>,
+    budget: &TargetBudget,
 ) -> Result<MemberFit, AttemptFailure> {
     let outcome = catch_unwind(AssertUnwindSafe(|| {
         if inject_panic {
             panic!("{}", INJECTED_PANIC);
         }
-        fit_predictor(train, target, inputs, config, member_seed, pool, shared_folds, init)
+        fit_predictor(
+            train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
+        )
     }));
     match outcome {
         Ok(Ok(fit)) => Ok(fit),
         Ok(Err(e)) => Err(AttemptFailure::Train(e)),
         Err(payload) => Err(AttemptFailure::Panic(panic_message(payload))),
     }
+}
+
+/// Whether a failed attempt was cut short by the run's wall-clock budget
+/// (as opposed to a numerical or data problem).
+fn is_deadline(f: &AttemptFailure) -> bool {
+    matches!(f, AttemptFailure::Train(TrainError::DeadlineExceeded))
 }
 
 /// Whether an attempt ran the full CV + final training (for model-count
@@ -636,7 +699,11 @@ fn attempt_ran_training(result: &Result<MemberFit, AttemptFailure>) -> bool {
 /// configured model → strict solver (retryable failures only) → baseline
 /// predictor → member dropped. Fallbacks are recorded in `events`; `Err`
 /// carries the final failure when even the baseline cannot fit. Also
-/// returns how many attempts actually ran training.
+/// returns how many attempts actually ran training, and whether any
+/// attempt was cut short by the wall-clock budget (the baseline rescue
+/// rung always runs unbudgeted — substituting a constant/majority model is
+/// cheaper than checking the clock, and it is exactly what a run out of
+/// time needs to finish accounting for every target).
 #[allow(clippy::too_many_arguments)]
 fn fit_member(
     train: &Dataset,
@@ -648,49 +715,57 @@ fn fit_member(
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init: Option<&PredictorDuals>,
+    budget: &TargetBudget,
     fault: MemberFault,
     events: &mut Vec<TargetHealth>,
-) -> (Result<MemberFit, String>, u64) {
+) -> (Result<MemberFit, String>, u64, bool) {
     let mut attempts_trained = 0u64;
+    let mut deadline_hit = false;
     let first = match fault {
         MemberFault::Panic => guarded_attempt(
-            true, train, target, inputs, config, member_seed, pool, shared_folds, init,
+            true, train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
         ),
         MemberFault::Diverge => {
             Err(AttemptFailure::Train(TrainError::NonConvergence { epochs: 0 }))
         }
         MemberFault::None => guarded_attempt(
-            false, train, target, inputs, config, member_seed, pool, shared_folds, init,
+            false, train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
         ),
     };
     if !matches!(fault, MemberFault::Diverge) && attempt_ran_training(&first) {
         attempts_trained += 1;
     }
     let failure = match first {
-        Ok(fit) => return (Ok(fit), attempts_trained),
+        Ok(fit) => return (Ok(fit), attempts_trained, false),
         Err(f) => f,
     };
+    deadline_hit |= is_deadline(&failure);
 
     // A non-converged fast solve gets one shot on the strict reference
-    // solver before we give up on the configured model family.
+    // solver before we give up on the configured model family. A deadline
+    // failure is not retryable — retrying on a slower solver with no time
+    // left would only burn more of it.
     if matches!(&failure, AttemptFailure::Train(e) if e.is_retryable()) {
         let strict = config.with_solver_mode(frac_learn::SolverMode::Strict);
         let retry = guarded_attempt(
-            false, train, target, inputs, &strict, member_seed, pool, shared_folds, init,
+            false, train, target, inputs, &strict, member_seed, pool, shared_folds, init, budget,
         );
         if attempt_ran_training(&retry) {
             attempts_trained += 1;
         }
-        if let Ok(fit) = retry {
-            events.push(TargetHealth {
-                target,
-                outcome: TargetOutcome::Degraded {
-                    member,
-                    fallback: FallbackKind::StrictSolver,
-                    detail: failure.to_string(),
-                },
-            });
-            return (Ok(fit), attempts_trained);
+        match retry {
+            Ok(fit) => {
+                events.push(TargetHealth {
+                    target,
+                    outcome: TargetOutcome::Degraded {
+                        member,
+                        fallback: FallbackKind::StrictSolver,
+                        detail: failure.to_string(),
+                    },
+                });
+                return (Ok(fit), attempts_trained, deadline_hit);
+            }
+            Err(f) => deadline_hit |= is_deadline(&f),
         }
     }
 
@@ -699,7 +774,16 @@ fn fit_member(
     let baseline =
         FracConfig { real_model: RealModel::Constant, cat_model: CatModel::Majority, ..*config };
     let rescue = guarded_attempt(
-        false, train, target, inputs, &baseline, member_seed, pool, shared_folds, None,
+        false,
+        train,
+        target,
+        inputs,
+        &baseline,
+        member_seed,
+        pool,
+        shared_folds,
+        None,
+        &TargetBudget::unlimited(),
     );
     if attempt_ran_training(&rescue) {
         attempts_trained += 1;
@@ -714,10 +798,197 @@ fn fit_member(
                     detail: failure.to_string(),
                 },
             });
-            (Ok(fit), attempts_trained)
+            (Ok(fit), attempts_trained, deadline_hit)
         }
-        Err(last) => (Err(format!("{failure}; baseline also failed: {last}")), attempts_trained),
+        Err(last) => {
+            deadline_hit |= is_deadline(&last);
+            (
+                Err(format!("{failure}; baseline also failed: {last}")),
+                attempts_trained,
+                deadline_hit,
+            )
+        }
     }
+}
+
+/// Fit everything for one target of the plan: quarantine verdicts, then
+/// every ensemble member behind the fallback ladder, under the target's
+/// slice of the run budget.
+#[allow(clippy::too_many_arguments)]
+fn fit_one_target(
+    train: &Dataset,
+    tp: &TargetPlan,
+    config: &FracConfig,
+    pool: Option<&EncodedPool>,
+    cache_read: Option<&DualCache>,
+    screen: &ScreenReport,
+    faults: Option<&FaultPlan>,
+    shared_folds: &[Fold],
+    budget: &RunBudget,
+) -> TargetFit {
+    let tbudget = budget.start_target();
+    let mut health: Vec<TargetHealth> = Vec::new();
+    // Quarantine verdicts first: an all-missing target is dropped before
+    // any entropy or solver work; a degenerate (constant / single-class)
+    // target skips the solver and takes the baseline predictor; a
+    // sanitized target trains normally on what remains.
+    let mut effective = *config;
+    match screen.reason_for(tp.target) {
+        Some(QuarantineReason::AllMissing) => {
+            health.push(TargetHealth {
+                target: tp.target,
+                outcome: TargetOutcome::Dropped {
+                    reason: QuarantineReason::AllMissing.to_string(),
+                },
+            });
+            return TargetFit {
+                feature: None,
+                health,
+                flops: 0,
+                transient: 0,
+                model_bytes: 0,
+                n_models: 0,
+                duals: Vec::new(),
+                deadline_hit: false,
+            };
+        }
+        Some(reason) if reason.degrades_target() => {
+            health.push(TargetHealth {
+                target: tp.target,
+                outcome: TargetOutcome::Quarantined { reason },
+            });
+            effective = FracConfig {
+                real_model: RealModel::Constant,
+                cat_model: CatModel::Majority,
+                ..*config
+            };
+        }
+        Some(QuarantineReason::NonFinite { cells }) => {
+            health.push(TargetHealth {
+                target: tp.target,
+                outcome: TargetOutcome::Sanitized { cells },
+            });
+        }
+        _ => {}
+    }
+    let config = &effective;
+    let entropy = column_entropy(train.column(tp.target));
+    let mut predictors = Vec::with_capacity(tp.input_sets.len());
+    let mut flops = 0u64;
+    let mut transient = 0u64;
+    let mut model_bytes = 0u64;
+    let mut n_models = 0u64;
+    let mut strength_acc = 0.0f64;
+    let mut deadline_hit = false;
+    let mut duals_out: Vec<(usize, PredictorDuals)> = Vec::new();
+    for (m, inputs) in tp.input_sets.iter().enumerate() {
+        let member_seed = derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
+        let init = cache_read.and_then(|c| c.get(tp.target, m));
+        let fault = match faults {
+            Some(f) if f.forces_panic(tp.target) => MemberFault::Panic,
+            Some(f) if f.forces_diverge(tp.target) => MemberFault::Diverge,
+            _ => MemberFault::None,
+        };
+        let (fit, attempts, member_deadline) = fit_member(
+            train,
+            tp.target,
+            m,
+            inputs,
+            config,
+            member_seed,
+            pool,
+            shared_folds,
+            init,
+            &tbudget,
+            fault,
+            &mut health,
+        );
+        deadline_hit |= member_deadline;
+        n_models += attempts * (config.cv_folds.max(1) + 1) as u64;
+        match fit {
+            Ok((fp, strength, cost, duals)) => {
+                flops += cost.flops;
+                transient = transient.max(cost.peak_bytes);
+                model_bytes += (fp.model.approx_bytes()
+                    + fp.error.approx_bytes()
+                    + std::mem::size_of_val(fp.spec.input_features()))
+                    as u64;
+                strength_acc += strength;
+                predictors.push(fp);
+                if let Some(d) = duals {
+                    duals_out.push((m, d));
+                }
+            }
+            Err(detail) => {
+                health.push(TargetHealth {
+                    target: tp.target,
+                    outcome: TargetOutcome::MemberDropped { member: m, detail },
+                });
+            }
+        }
+    }
+    if predictors.is_empty() && !tp.input_sets.is_empty() {
+        health.push(TargetHealth {
+            target: tp.target,
+            outcome: TargetOutcome::Dropped {
+                reason: format!("all {} ensemble member fit(s) failed", tp.input_sets.len()),
+            },
+        });
+        return TargetFit {
+            feature: None,
+            health,
+            flops,
+            transient,
+            model_bytes,
+            n_models,
+            duals: Vec::new(),
+            deadline_hit,
+        };
+    }
+    let strength = strength_acc / predictors.len().max(1) as f64;
+    TargetFit {
+        feature: Some(FeatureModel { target: tp.target, entropy, strength, predictors }),
+        health,
+        flops,
+        transient,
+        model_bytes,
+        n_models,
+        duals: duals_out,
+        deadline_hit,
+    }
+}
+
+/// Rehydrate a journaled record into the fit loop's per-target slot.
+/// Reloaded targets carry no warm-start duals (not journaled) and were by
+/// construction not deadline-degraded (those are never journaled).
+fn record_to_fit(rec: TargetRecord) -> TargetFit {
+    let health = journal::record_health(&rec);
+    TargetFit {
+        feature: rec.feature,
+        health,
+        flops: rec.flops,
+        transient: rec.transient,
+        model_bytes: rec.model_bytes,
+        n_models: rec.n_models,
+        duals: Vec::new(),
+        deadline_hit: false,
+    }
+}
+
+/// Outcome of a journaled (crash-safe) fit: the model and report, plus how
+/// much of the run was recovered from the journal instead of refitted.
+pub struct JournaledFit {
+    /// The fitted model, identical to an uninterrupted run's.
+    pub model: FracModel,
+    /// Resource and health accounting over the *whole* run — journaled
+    /// targets contribute the counters recorded when they originally
+    /// fitted, so flops/model bytes are cumulative across crashes.
+    pub report: ResourceReport,
+    /// Targets reloaded from the journal rather than refitted.
+    pub resumed: usize,
+    /// Whether any journal append failed mid-run (the model is still
+    /// complete; only checkpoint durability was lost).
+    pub journal_broken: bool,
 }
 
 impl FracModel {
@@ -731,7 +1002,7 @@ impl FracModel {
     /// state, whose `pool_bytes` charge the shared pool once, and whose
     /// `transient_bytes` is the worst single-predictor working set.
     pub fn fit(train: &Dataset, plan: &TrainingPlan, config: &FracConfig) -> (FracModel, ResourceReport) {
-        Self::fit_pooled(train, plan, config, None, None)
+        Self::fit_pooled(train, plan, config, None, None, &RunBudget::unlimited(), None, Vec::new())
     }
 
     /// [`FracModel::fit`] with a [`DualCache`] carried across calls:
@@ -745,7 +1016,7 @@ impl FracModel {
         config: &FracConfig,
         cache: &mut DualCache,
     ) -> (FracModel, ResourceReport) {
-        Self::fit_pooled(train, plan, config, Some(cache), None)
+        Self::fit_pooled(train, plan, config, Some(cache), None, &RunBudget::unlimited(), None, Vec::new())
     }
 
     /// [`FracModel::fit`] under a deterministic [`FaultPlan`]: forced
@@ -759,15 +1030,107 @@ impl FracModel {
         config: &FracConfig,
         faults: &FaultPlan,
     ) -> (FracModel, ResourceReport) {
-        Self::fit_pooled(train, plan, config, None, Some(faults))
+        Self::fit_pooled(train, plan, config, None, Some(faults), &RunBudget::unlimited(), None, Vec::new())
     }
 
+    /// [`FracModel::fit`] under a wall-clock / cancellation [`RunBudget`].
+    ///
+    /// Solvers and tree growers poll the budget cooperatively (once per
+    /// coordinate-descent epoch / every few node expansions). When a
+    /// target's slice of the budget expires mid-fit, the attempt fails
+    /// with [`TrainError::DeadlineExceeded`] and the fallback ladder
+    /// substitutes the (unbudgeted, effectively free) baseline predictor,
+    /// recording a `Degraded` health event — so the run still returns a
+    /// scored model that accounts for every planned target, within one
+    /// budget-check interval of the deadline. With
+    /// [`RunBudget::unlimited`] this is exactly [`FracModel::fit`],
+    /// bit for bit.
+    pub fn fit_budgeted(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        budget: &RunBudget,
+    ) -> (FracModel, ResourceReport) {
+        Self::fit_pooled(train, plan, config, None, None, budget, None, Vec::new())
+    }
+
+    /// Crash-safe fit: like [`FracModel::fit_budgeted`], but every
+    /// completed target is appended to a write-ahead journal at
+    /// `journal_path` (created if absent, resumed if present) before the
+    /// run moves on. If the process dies at *any* byte of the run, calling
+    /// this again with the same data, plan, and config reloads the
+    /// completed targets and fits only the rest — and the assembled model
+    /// is bit-identical (in [`frac_learn::SolverMode::Strict`] mode) to an
+    /// uninterrupted run, because per-target results depend only on
+    /// `(data, config)`, never on schedule or solve history.
+    ///
+    /// Budget-degraded targets are deliberately *not* journaled, so a
+    /// resume with more time refits them properly.
+    ///
+    /// Errors only on journal problems the caller must decide about: a
+    /// journal written by a different run ([`JournalError::Mismatch`]), a
+    /// file that is not a journal, or I/O failure opening it. Append
+    /// failures mid-run do not abort the fit; they surface as
+    /// [`JournaledFit::journal_broken`].
+    pub fn fit_journaled(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        budget: &RunBudget,
+        journal_path: impl AsRef<std::path::Path>,
+    ) -> Result<JournaledFit, JournalError> {
+        let header = JournalHeader {
+            config_hash: config.content_hash(),
+            dataset_fingerprint: train.fingerprint(),
+            plan_hash: plan.content_hash(),
+            planned: plan.targets.len(),
+        };
+        let (journal, records) = RunJournal::open_or_create(journal_path, &header)?;
+        let resumed = records.len();
+        let (model, report) = Self::fit_pooled(
+            train,
+            plan,
+            config,
+            None,
+            None,
+            budget,
+            Some(&journal),
+            records,
+        );
+        Ok(JournaledFit { model, report, resumed, journal_broken: journal.is_broken() })
+    }
+
+    /// Resume a crashed journaled run. Identical to
+    /// [`FracModel::fit_journaled`] except that a *missing* journal is an
+    /// error — resuming implies there is something to resume; silently
+    /// starting a fresh multi-hour run from a typo'd path is not helpful.
+    pub fn resume(
+        train: &Dataset,
+        plan: &TrainingPlan,
+        config: &FracConfig,
+        budget: &RunBudget,
+        journal_path: impl AsRef<std::path::Path>,
+    ) -> Result<JournaledFit, JournalError> {
+        let path = journal_path.as_ref();
+        if !path.exists() {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::NotFound,
+                format!("no journal at {} to resume from", path.display()),
+            )));
+        }
+        Self::fit_journaled(train, plan, config, budget, path)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn fit_pooled(
         train: &Dataset,
         plan: &TrainingPlan,
         config: &FracConfig,
         cache: Option<&mut DualCache>,
         faults: Option<&FaultPlan>,
+        budget: &RunBudget,
+        journal: Option<&RunJournal>,
+        preloaded: Vec<TargetRecord>,
     ) -> (FracModel, ResourceReport) {
         // Screen before anything reaches an encoder or solver; when the
         // data carries no ±Inf poison, `sanitize` returns `None` and the
@@ -785,7 +1148,18 @@ impl FracModel {
         }
         let features: Vec<usize> = (0..used.len()).filter(|&j| used[j]).collect();
         let pool = PoolSpec::fit(train, &features, config.standardize).encode(train);
-        Self::fit_inner(train, plan, config, Some(&pool), cache, &screen, faults)
+        Self::fit_inner(
+            train,
+            plan,
+            config,
+            Some(&pool),
+            cache,
+            &screen,
+            faults,
+            budget,
+            journal,
+            preloaded,
+        )
     }
 
     /// Legacy fit path: every predictor fits and encodes its own design
@@ -800,7 +1174,18 @@ impl FracModel {
         let screen = quarantine::screen(train);
         let sanitized = if screen.needs_sanitize() { quarantine::sanitize(train) } else { None };
         let train = sanitized.as_ref().unwrap_or(train);
-        Self::fit_inner(train, plan, config, None, None, &screen, None)
+        Self::fit_inner(
+            train,
+            plan,
+            config,
+            None,
+            None,
+            &screen,
+            None,
+            &RunBudget::unlimited(),
+            None,
+            Vec::new(),
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -812,6 +1197,9 @@ impl FracModel {
         cache: Option<&mut DualCache>,
         screen: &ScreenReport,
         faults: Option<&FaultPlan>,
+        budget: &RunBudget,
+        journal: Option<&RunJournal>,
+        preloaded: Vec<TargetRecord>,
     ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
         // One k-fold plan for the whole run: the shuffle is derived once
@@ -820,145 +1208,80 @@ impl FracModel {
         let shared_folds =
             k_fold(train.n_rows(), config.cv_folds, derive_seed(config.seed, 0xF01D));
         let cache_read: Option<&DualCache> = cache.as_deref();
-        let results: Vec<TargetFit> = plan
-            .targets
-            .par_iter()
-            .map(|tp| {
-                let mut health: Vec<TargetHealth> = Vec::new();
-                // Quarantine verdicts first: an all-missing target is
-                // dropped before any entropy or solver work; a degenerate
-                // (constant / single-class) target skips the solver and
-                // takes the baseline predictor; a sanitized target trains
-                // normally on what remains.
-                let mut effective = *config;
-                match screen.reason_for(tp.target) {
-                    Some(QuarantineReason::AllMissing) => {
-                        health.push(TargetHealth {
-                            target: tp.target,
-                            outcome: TargetOutcome::Dropped {
-                                reason: QuarantineReason::AllMissing.to_string(),
-                            },
-                        });
-                        return TargetFit {
-                            feature: None,
-                            health,
-                            flops: 0,
-                            transient: 0,
-                            model_bytes: 0,
-                            n_models: 0,
-                            duals: Vec::new(),
-                        };
-                    }
-                    Some(reason) if reason.degrades_target() => {
-                        health.push(TargetHealth {
-                            target: tp.target,
-                            outcome: TargetOutcome::Quarantined { reason },
-                        });
-                        effective = FracConfig {
-                            real_model: RealModel::Constant,
-                            cat_model: CatModel::Majority,
-                            ..*config
-                        };
-                    }
-                    Some(QuarantineReason::NonFinite { cells }) => {
-                        health.push(TargetHealth {
-                            target: tp.target,
-                            outcome: TargetOutcome::Sanitized { cells },
-                        });
-                    }
-                    _ => {}
+
+        // Slot per planned target, in plan order. Journal records fill
+        // their slots up front (first record wins on a duplicate); the
+        // parallel loop fits only the empty ones. Because per-member seeds
+        // derive from (config.seed, target, member), a model assembled
+        // from a mix of reloaded and freshly fitted targets is
+        // bit-identical to one fitted in a single uninterrupted run.
+        let mut slots: Vec<Option<TargetFit>> = Vec::new();
+        slots.resize_with(plan.targets.len(), || None);
+        if !preloaded.is_empty() {
+            let mut by_target = std::collections::BTreeMap::new();
+            for rec in preloaded {
+                by_target.entry(rec.target).or_insert(rec);
+            }
+            for (i, tp) in plan.targets.iter().enumerate() {
+                if let Some(rec) = by_target.remove(&tp.target) {
+                    slots[i] = Some(record_to_fit(rec));
                 }
-                let config = &effective;
-                let entropy = column_entropy(train.column(tp.target));
-                let mut predictors = Vec::with_capacity(tp.input_sets.len());
-                let mut flops = 0u64;
-                let mut transient = 0u64;
-                let mut model_bytes = 0u64;
-                let mut n_models = 0u64;
-                let mut strength_acc = 0.0f64;
-                let mut duals_out: Vec<(usize, PredictorDuals)> = Vec::new();
-                for (m, inputs) in tp.input_sets.iter().enumerate() {
-                    let member_seed =
-                        derive_seed(config.seed, (tp.target as u64) << 20 | m as u64);
-                    let init = cache_read.and_then(|c| c.get(tp.target, m));
-                    let fault = match faults {
-                        Some(f) if f.forces_panic(tp.target) => MemberFault::Panic,
-                        Some(f) if f.forces_diverge(tp.target) => MemberFault::Diverge,
-                        _ => MemberFault::None,
-                    };
-                    let (fit, attempts) = fit_member(
-                        train,
-                        tp.target,
-                        m,
-                        inputs,
-                        config,
-                        member_seed,
-                        pool,
-                        &shared_folds,
-                        init,
-                        fault,
-                        &mut health,
-                    );
-                    n_models += attempts * (config.cv_folds.max(1) + 1) as u64;
-                    match fit {
-                        Ok((fp, strength, cost, duals)) => {
-                            flops += cost.flops;
-                            transient = transient.max(cost.peak_bytes);
-                            model_bytes += (fp.model.approx_bytes()
-                                + fp.error.approx_bytes()
-                                + std::mem::size_of_val(fp.spec.input_features()))
-                                as u64;
-                            strength_acc += strength;
-                            predictors.push(fp);
-                            if let Some(d) = duals {
-                                duals_out.push((m, d));
-                            }
-                        }
-                        Err(detail) => {
-                            health.push(TargetHealth {
-                                target: tp.target,
-                                outcome: TargetOutcome::MemberDropped { member: m, detail },
-                            });
-                        }
-                    }
-                }
-                if predictors.is_empty() && !tp.input_sets.is_empty() {
-                    health.push(TargetHealth {
+            }
+        }
+        let todo: Vec<usize> =
+            (0..plan.targets.len()).filter(|&i| slots[i].is_none()).collect();
+        let fit_index = |i: usize, tx: Option<&std::sync::mpsc::Sender<String>>| {
+            let tp = &plan.targets[i];
+            let tf = fit_one_target(
+                train,
+                tp,
+                config,
+                pool,
+                cache_read,
+                screen,
+                faults,
+                &shared_folds,
+                budget,
+            );
+            if let Some(tx) = tx {
+                if !tf.deadline_hit {
+                    // Serialize here (cheap), but leave framing, checksum,
+                    // write, and fsync to the journal's writer thread so
+                    // disk latency never stalls a solver thread. A send to
+                    // a finished writer only happens if the writer died,
+                    // which already marked the journal broken.
+                    let _ = tx.send(journal::record_body(&journal::RecordParts {
                         target: tp.target,
-                        outcome: TargetOutcome::Dropped {
-                            reason: format!(
-                                "all {} ensemble member fit(s) failed",
-                                tp.input_sets.len()
-                            ),
-                        },
-                    });
-                    return TargetFit {
-                        feature: None,
-                        health,
-                        flops,
-                        transient,
-                        model_bytes,
-                        n_models,
-                        duals: Vec::new(),
-                    };
+                        feature: tf.feature.as_ref(),
+                        outcomes: tf.health.iter().map(|e| &e.outcome).collect(),
+                        flops: tf.flops,
+                        transient: tf.transient,
+                        model_bytes: tf.model_bytes,
+                        n_models: tf.n_models,
+                    }));
                 }
-                let strength = strength_acc / predictors.len().max(1) as f64;
-                TargetFit {
-                    feature: Some(FeatureModel {
-                        target: tp.target,
-                        entropy,
-                        strength,
-                        predictors,
-                    }),
-                    health,
-                    flops,
-                    transient,
-                    model_bytes,
-                    n_models,
-                    duals: duals_out,
-                }
-            })
-            .collect();
+            }
+            (i, tf)
+        };
+        let fitted: Vec<(usize, TargetFit)> = match journal {
+            None => todo.par_iter().map(|&i| fit_index(i, None)).collect(),
+            Some(j) => std::thread::scope(|s| {
+                let (tx, rx) = std::sync::mpsc::channel::<String>();
+                let writer = s.spawn(move || j.write_loop(rx));
+                let fitted =
+                    todo.par_iter().map(|&i| fit_index(i, Some(&tx))).collect();
+                // Joining the writer before returning makes every record
+                // handed over above durable by the time the fit completes;
+                // a crash before this point loses only the in-flight tail,
+                // which resume treats as any other torn record.
+                drop(tx);
+                let _ = writer.join();
+                fitted
+            }),
+        };
+        for (i, tf) in fitted {
+            slots[i] = Some(tf);
+        }
 
         let mut report = ResourceReport {
             dataset_bytes: train.approx_bytes() as u64,
@@ -971,9 +1294,9 @@ impl FracModel {
             sanitized_cells: screen.n_nonfinite_cells,
             events: Vec::new(),
         };
-        let mut features = Vec::with_capacity(results.len());
+        let mut features = Vec::with_capacity(slots.len());
         let mut cache = cache;
-        for tf in results {
+        for tf in slots.into_iter().flatten() {
             report.flops += tf.flops;
             report.transient_bytes = report.transient_bytes.max(tf.transient);
             report.model_bytes += tf.model_bytes;

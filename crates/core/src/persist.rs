@@ -12,155 +12,244 @@ use crate::model::{
     CatPredictor, ErrorModel, FeatureModel, FeaturePredictor, FracModel, PredictorModel,
     RealPredictor,
 };
+use frac_dataset::crc::crc32;
 use frac_dataset::design::DesignSpec;
 use frac_dataset::textio::{TextError, TextReader, TextWriter};
 
 /// Format version tag; bump on breaking layout changes.
 /// Version 2 added the `planned` line (targets the training plan asked
-/// for, including ones dropped by fault isolation); version 1 files are
-/// still read, with `planned` defaulting to the surviving feature count.
+/// for, including ones dropped by fault isolation); version 3 added the
+/// `crc` trailer (CRC-32 of everything through the `end` line, verified on
+/// load). Version 1/2 files are still read — v1 defaults `planned` to the
+/// surviving feature count, and both load without a checksum.
 const MAGIC: &str = "fracmodel";
-const VERSION: u32 = 2;
+const VERSION: u32 = 3;
+
+/// Serialize one per-target feature section (the unit shared by the model
+/// file and the run journal's per-target records).
+pub(crate) fn write_feature(w: &mut TextWriter, fm: &FeatureModel) {
+    w.line("feature", [fm.target]);
+    w.floats("entropy", &[fm.entropy]);
+    w.floats("strength", &[fm.strength]);
+    w.line("predictors", [fm.predictors.len()]);
+    for fp in &fm.predictors {
+        fp.spec.write_text(w);
+        match (&fp.model, &fp.error) {
+            (PredictorModel::Real(m), ErrorModel::Gaussian(e)) => {
+                match m {
+                    RealPredictor::Svr(svr) => {
+                        w.tag("model_svr");
+                        svr.write_text(w);
+                    }
+                    RealPredictor::Tree(t) => {
+                        w.tag("model_rtree");
+                        t.write_text(w);
+                    }
+                    RealPredictor::Constant(c) => {
+                        w.tag("model_const");
+                        c.write_text(w);
+                    }
+                }
+                e.write_text(w);
+            }
+            (PredictorModel::Cat(m), ErrorModel::Confusion(e)) => {
+                match m {
+                    CatPredictor::Tree(t) => {
+                        w.tag("model_ctree");
+                        t.write_text(w);
+                    }
+                    CatPredictor::Svc(svc) => {
+                        w.tag("model_svc");
+                        svc.write_text(w);
+                    }
+                    CatPredictor::Majority(mc) => {
+                        w.tag("model_majority");
+                        mc.write_text(w);
+                    }
+                }
+                e.write_text(w);
+            }
+            _ => unreachable!("model/error kinds are constructed consistently"),
+        }
+    }
+}
+
+/// Parse one feature section previously produced by [`write_feature`].
+pub(crate) fn parse_feature(r: &mut TextReader<'_>) -> Result<FeatureModel, TextError> {
+    let target: usize = r.parse_one("feature")?;
+    parse_feature_body(r, target)
+}
+
+/// Parse the remainder of a feature section once its `feature <target>`
+/// line has been consumed (the caller may need the target early, e.g. for
+/// duplicate detection).
+fn parse_feature_body(r: &mut TextReader<'_>, target: usize) -> Result<FeatureModel, TextError> {
+    let entropy: f64 = r.parse_one("entropy")?;
+    let strength: f64 = r.parse_one("strength")?;
+    let n_predictors: usize = r.parse_one("predictors")?;
+    let mut predictors = Vec::with_capacity(n_predictors);
+    for _ in 0..n_predictors {
+        let spec = DesignSpec::parse_text(r)?;
+        let (model, error) = if r.peek_is("model_svr") {
+            r.expect("model_svr")?;
+            let m = frac_learn::LinearSvr::parse_text(r)?;
+            let e = frac_learn::GaussianErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Real(RealPredictor::Svr(m)),
+                ErrorModel::Gaussian(e),
+            )
+        } else if r.peek_is("model_rtree") {
+            r.expect("model_rtree")?;
+            let m = frac_learn::RegressionTree::parse_text(r)?;
+            let e = frac_learn::GaussianErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Real(RealPredictor::Tree(m)),
+                ErrorModel::Gaussian(e),
+            )
+        } else if r.peek_is("model_const") {
+            r.expect("model_const")?;
+            let m = frac_learn::ConstantRegressor::parse_text(r)?;
+            let e = frac_learn::GaussianErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Real(RealPredictor::Constant(m)),
+                ErrorModel::Gaussian(e),
+            )
+        } else if r.peek_is("model_ctree") {
+            r.expect("model_ctree")?;
+            let m = frac_learn::ClassificationTree::parse_text(r)?;
+            let e = frac_learn::ConfusionErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Cat(CatPredictor::Tree(m)),
+                ErrorModel::Confusion(e),
+            )
+        } else if r.peek_is("model_svc") {
+            r.expect("model_svc")?;
+            let m = frac_learn::LinearSvc::parse_text(r)?;
+            let e = frac_learn::ConfusionErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Cat(CatPredictor::Svc(m)),
+                ErrorModel::Confusion(e),
+            )
+        } else if r.peek_is("model_majority") {
+            r.expect("model_majority")?;
+            let m = frac_learn::MajorityClassifier::parse_text(r)?;
+            let e = frac_learn::ConfusionErrorModel::parse_text(r)?;
+            (
+                PredictorModel::Cat(CatPredictor::Majority(m)),
+                ErrorModel::Confusion(e),
+            )
+        } else {
+            return Err("unknown model tag".into());
+        };
+        predictors.push(FeaturePredictor { spec, model, error });
+    }
+    Ok(FeatureModel { target, entropy, strength, predictors })
+}
+
+/// Split a v3+ file into (body through `end` line, trailer) and verify the
+/// trailer's CRC-32 against the body bytes. Safe to split at the *last*
+/// `end` line: `end` is a reserved tag that appears exactly once in a model
+/// body.
+fn verify_crc_trailer(text: &str) -> Result<(), TextError> {
+    let body_len = match text.rfind("\nend\n") {
+        Some(idx) => idx + "\nend\n".len(),
+        None => return Err("v3 model file is missing its `end` line".into()),
+    };
+    let (body, trailer) = text.split_at(body_len);
+    let mut r = TextReader::new(trailer);
+    let stored_hex: String = r.parse_one("crc")?;
+    let stored = u32::from_str_radix(&stored_hex, 16)
+        .map_err(|_| TextError::from(format!("bad crc field `{stored_hex}`")))?;
+    let computed = crc32(body.as_bytes());
+    if stored != computed {
+        return Err(format!(
+            "model file checksum mismatch: stored {stored:08x}, computed {computed:08x} \
+             (file is corrupt or was truncated)"
+        )
+        .into());
+    }
+    Ok(())
+}
 
 impl FracModel {
-    /// Serialize the model to the text format.
+    /// Serialize the model to the text format (v3: checksummed trailer).
     pub fn to_text(&self) -> String {
         let mut w = TextWriter::new();
         w.line(MAGIC, [VERSION]);
         w.line("planned", [self.planned_targets]);
         w.line("features", [self.features.len()]);
         for fm in &self.features {
-            w.line("feature", [fm.target]);
-            w.floats("entropy", &[fm.entropy]);
-            w.floats("strength", &[fm.strength]);
-            w.line("predictors", [fm.predictors.len()]);
-            for fp in &fm.predictors {
-                fp.spec.write_text(&mut w);
-                match (&fp.model, &fp.error) {
-                    (PredictorModel::Real(m), ErrorModel::Gaussian(e)) => {
-                        match m {
-                            RealPredictor::Svr(svr) => {
-                                w.tag("model_svr");
-                                svr.write_text(&mut w);
-                            }
-                            RealPredictor::Tree(t) => {
-                                w.tag("model_rtree");
-                                t.write_text(&mut w);
-                            }
-                            RealPredictor::Constant(c) => {
-                                w.tag("model_const");
-                                c.write_text(&mut w);
-                            }
-                        }
-                        e.write_text(&mut w);
-                    }
-                    (PredictorModel::Cat(m), ErrorModel::Confusion(e)) => {
-                        match m {
-                            CatPredictor::Tree(t) => {
-                                w.tag("model_ctree");
-                                t.write_text(&mut w);
-                            }
-                            CatPredictor::Svc(svc) => {
-                                w.tag("model_svc");
-                                svc.write_text(&mut w);
-                            }
-                            CatPredictor::Majority(mc) => {
-                                w.tag("model_majority");
-                                mc.write_text(&mut w);
-                            }
-                        }
-                        e.write_text(&mut w);
-                    }
-                    _ => unreachable!("model/error kinds are constructed consistently"),
-                }
-            }
+            write_feature(&mut w, fm);
         }
         w.tag("end");
-        w.finish()
+        let body = w.finish();
+        let checksum = crc32(body.as_bytes());
+        format!("{body}crc {checksum:08x}\n")
     }
 
     /// Parse a model previously produced by [`FracModel::to_text`].
+    ///
+    /// Rejects duplicate per-target sections (a well-formed writer never
+    /// emits them; accepting the last one silently would mask a corrupted
+    /// or maliciously spliced file) and, for v3 files, verifies the CRC-32
+    /// trailer before trusting any parsed value.
     pub fn from_text(text: &str) -> Result<FracModel, TextError> {
         let mut r = TextReader::new(text);
         let version: u32 = r.parse_one(MAGIC)?;
         if !(1..=VERSION).contains(&version) {
             return Err(format!("unsupported fracmodel version {version}").into());
         }
+        if version >= 3 {
+            verify_crc_trailer(text)?;
+        }
         let planned: Option<usize> =
             if version >= 2 { Some(r.parse_one("planned")?) } else { None };
         let n_features: usize = r.parse_one("features")?;
         let mut features = Vec::with_capacity(n_features);
+        let mut seen = std::collections::BTreeSet::new();
         for _ in 0..n_features {
             let target: usize = r.parse_one("feature")?;
-            let entropy: f64 = r.parse_one("entropy")?;
-            let strength: f64 = r.parse_one("strength")?;
-            let n_predictors: usize = r.parse_one("predictors")?;
-            let mut predictors = Vec::with_capacity(n_predictors);
-            for _ in 0..n_predictors {
-                let spec = DesignSpec::parse_text(&mut r)?;
-                let (model, error) = if r.peek_is("model_svr") {
-                    r.expect("model_svr")?;
-                    let m = frac_learn::LinearSvr::parse_text(&mut r)?;
-                    let e = frac_learn::GaussianErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Real(RealPredictor::Svr(m)),
-                        ErrorModel::Gaussian(e),
-                    )
-                } else if r.peek_is("model_rtree") {
-                    r.expect("model_rtree")?;
-                    let m = frac_learn::RegressionTree::parse_text(&mut r)?;
-                    let e = frac_learn::GaussianErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Real(RealPredictor::Tree(m)),
-                        ErrorModel::Gaussian(e),
-                    )
-                } else if r.peek_is("model_const") {
-                    r.expect("model_const")?;
-                    let m = frac_learn::ConstantRegressor::parse_text(&mut r)?;
-                    let e = frac_learn::GaussianErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Real(RealPredictor::Constant(m)),
-                        ErrorModel::Gaussian(e),
-                    )
-                } else if r.peek_is("model_ctree") {
-                    r.expect("model_ctree")?;
-                    let m = frac_learn::ClassificationTree::parse_text(&mut r)?;
-                    let e = frac_learn::ConfusionErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Cat(CatPredictor::Tree(m)),
-                        ErrorModel::Confusion(e),
-                    )
-                } else if r.peek_is("model_svc") {
-                    r.expect("model_svc")?;
-                    let m = frac_learn::LinearSvc::parse_text(&mut r)?;
-                    let e = frac_learn::ConfusionErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Cat(CatPredictor::Svc(m)),
-                        ErrorModel::Confusion(e),
-                    )
-                } else if r.peek_is("model_majority") {
-                    r.expect("model_majority")?;
-                    let m = frac_learn::MajorityClassifier::parse_text(&mut r)?;
-                    let e = frac_learn::ConfusionErrorModel::parse_text(&mut r)?;
-                    (
-                        PredictorModel::Cat(CatPredictor::Majority(m)),
-                        ErrorModel::Confusion(e),
-                    )
-                } else {
-                    return Err("unknown model tag".into());
-                };
-                predictors.push(FeaturePredictor { spec, model, error });
+            let line = r.line();
+            if !seen.insert(target) {
+                return Err(TextError::at(
+                    line,
+                    format!("duplicate section for target feature {target}"),
+                ));
             }
-            features.push(FeatureModel { target, entropy, strength, predictors });
+            features.push(parse_feature_body(&mut r, target)?);
         }
         r.expect("end")?;
         let planned_targets = planned.unwrap_or(features.len());
         Ok(FracModel { features, planned_targets })
     }
 
-    /// Save to a file.
+    /// Save to a file, atomically and durably: the model is written to
+    /// `<path>.tmp`, fsynced, then renamed over `path`, so a crash at any
+    /// instant leaves either the old file or the complete new one — never a
+    /// torn mix. The parent directory is fsynced best-effort so the rename
+    /// itself survives power loss.
     pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
-        std::fs::write(path, self.to_text())
+        use std::io::Write as _;
+        let path = path.as_ref();
+        let tmp = {
+            let mut os = path.as_os_str().to_os_string();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(self.to_text().as_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Ok(dir) = std::fs::File::open(parent) {
+                    let _ = dir.sync_all();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Load from a file.
@@ -260,5 +349,103 @@ mod tests {
         let text = model.to_text();
         let truncated = &text[..text.len() / 2];
         assert!(FracModel::from_text(truncated).is_err());
+    }
+
+    fn parse_err(text: &str) -> frac_dataset::textio::TextError {
+        match FracModel::from_text(text) {
+            Err(e) => e,
+            Ok(_) => panic!("expected parse error"),
+        }
+    }
+
+    fn small_model() -> FracModel {
+        let train = DatasetBuilder::new()
+            .real("x", (0..10).map(|i| i as f64).collect())
+            .real("y", (0..10).map(|i| i as f64 * 1.5 + 0.25).collect())
+            .build();
+        let (model, _) =
+            FracModel::fit(&train, &TrainingPlan::full(2), &FracConfig::default());
+        model
+    }
+
+    #[test]
+    fn v3_crc_trailer_catches_corruption() {
+        let model = small_model();
+        let text = model.to_text();
+        assert!(text.contains("\ncrc "), "v3 files carry a crc trailer: {text}");
+        assert!(FracModel::from_text(&text).is_ok());
+
+        // Flip one digit somewhere in the body: checksum must catch it even
+        // though the file still parses structurally.
+        let pos = text.find("entropy ").expect("entropy line") + "entropy ".len() + 1;
+        let mut corrupted = text.clone().into_bytes();
+        corrupted[pos] = if corrupted[pos] == b'1' { b'2' } else { b'1' };
+        let corrupted = String::from_utf8(corrupted).unwrap();
+        let err = parse_err(&corrupted);
+        assert!(err.to_string().contains("checksum mismatch"), "{err}");
+
+        // A missing trailer on a v3 file is also rejected.
+        let body_end = text.rfind("\nend\n").unwrap() + "\nend\n".len();
+        let err = parse_err(&text[..body_end]);
+        assert!(err.to_string().contains("end of input"), "{err}");
+    }
+
+    #[test]
+    fn v1_and_v2_files_still_load() {
+        let model = small_model();
+        let text = model.to_text();
+        let body_end = text.rfind("\nend\n").unwrap() + "\nend\n".len();
+        // Reconstruct a v2 file: old version line, no crc trailer.
+        let v2 = text[..body_end].replacen("fracmodel 3", "fracmodel 2", 1);
+        let back = FracModel::from_text(&v2).unwrap();
+        assert_eq!(back.planned_targets, model.planned_targets);
+        // And a v1 file: no `planned` line either.
+        let planned_line = format!("planned {}\n", model.planned_targets);
+        let v1 = v2
+            .replacen("fracmodel 2", "fracmodel 1", 1)
+            .replacen(&planned_line, "", 1);
+        let back = FracModel::from_text(&v1).unwrap();
+        assert_eq!(back.features.len(), model.features.len());
+    }
+
+    #[test]
+    fn duplicate_target_sections_are_rejected_with_location() {
+        let model = small_model();
+        let text = model.to_text();
+        // Duplicate the first feature section verbatim and fix up the count;
+        // recompute the trailer so the error comes from the duplicate check,
+        // not the checksum.
+        let start = text.find("\nfeature ").expect("feature section") + 1;
+        let end = start
+            + text[start..].find("\nfeature ").map(|i| i + 1).unwrap_or_else(|| {
+                text[start..].rfind("\nend\n").expect("end tag") + 1
+            });
+        let section = &text[start..end];
+        let n = model.features.len();
+        let doubled = text
+            .replacen(&format!("features {n}"), &format!("features {}", n + 1), 1)
+            .replacen(section, &format!("{section}{section}"), 1);
+        let body_end = doubled.rfind("\nend\n").unwrap() + "\nend\n".len();
+        let body = &doubled[..body_end];
+        let fixed = format!("{body}crc {:08x}\n", frac_dataset::crc::crc32(body.as_bytes()));
+        let err = parse_err(&fixed);
+        let msg = err.to_string();
+        assert!(msg.contains("duplicate section for target feature"), "{msg}");
+        assert!(err.line > 0, "duplicate error should carry a line number: {msg}");
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let model = small_model();
+        let dir = std::env::temp_dir().join("frac-persist-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.frac");
+        // Overwrite an existing (stale) file to exercise the rename path.
+        std::fs::write(&path, "stale").unwrap();
+        model.save(&path).unwrap();
+        assert!(!dir.join("model.frac.tmp").exists(), "tmp file must be renamed away");
+        let back = FracModel::load(&path).unwrap();
+        assert_eq!(back.planned_targets, model.planned_targets);
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -107,6 +107,24 @@ impl TrainingPlan {
         TrainingPlan { targets }
     }
 
+    /// Content fingerprint of the plan (targets and their input sets),
+    /// used by the run journal to refuse resuming a different plan.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = frac_dataset::crc::Fnv64::new();
+        h.write_u64(self.targets.len() as u64);
+        for tp in &self.targets {
+            h.write_u64(tp.target as u64);
+            h.write_u64(tp.input_sets.len() as u64);
+            for set in &tp.input_sets {
+                h.write_u64(set.len() as u64);
+                for &j in set {
+                    h.write_u64(j as u64);
+                }
+            }
+        }
+        h.finish()
+    }
+
     /// Total number of predictors the plan will train (before CV
     /// multiplication).
     pub fn n_predictors(&self) -> usize {

@@ -1,0 +1,145 @@
+//! Checksums for durable on-disk artifacts: CRC-32 (IEEE) and FNV-1a 64.
+//!
+//! The run journal and the v3 model text format must detect torn or
+//! corrupted writes — a process killed mid-`write` leaves a prefix of the
+//! intended bytes, and resumable runs must distinguish "valid record" from
+//! "trailing garbage". CRC-32 (the IEEE/zlib polynomial, reflected form)
+//! guards individual records and files; FNV-1a 64 provides cheap content
+//! fingerprints for header compatibility checks (config hash, dataset
+//! fingerprint). Both are implemented here from the published algorithms so
+//! no external dependency is needed, and both are stable across platforms
+//! and releases — they are part of the on-disk format.
+
+/// The reflected IEEE CRC-32 polynomial (as used by zlib, PNG, gzip).
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+/// Byte-indexed CRC-32 lookup table, built once at first use.
+fn crc32_table() -> &'static [u32; 256] {
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut table = [0u32; 256];
+        for (i, entry) in table.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 { (c >> 1) ^ CRC32_POLY } else { c >> 1 };
+            }
+            *entry = c;
+        }
+        table
+    })
+}
+
+/// CRC-32 (IEEE) of `bytes`: standard init `0xFFFF_FFFF`, final inversion.
+/// Matches zlib's `crc32(0, bytes)`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let table = crc32_table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = (c >> 8) ^ table[((c ^ b as u32) & 0xFF) as usize];
+    }
+    !c
+}
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher for content fingerprints.
+///
+/// Not cryptographic — it detects accidental mismatch (resuming a journal
+/// against a different dataset or config), not adversarial collision.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Fold `bytes` into the running hash.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold a `u64` in little-endian byte order.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Fold an `f64` by its IEEE-754 bit pattern (bit-exact, NaN-stable).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot FNV-1a 64 of a byte slice.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vectors() {
+        // Published IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn fnv64_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn crc_detects_single_bit_flip() {
+        let mut data = b"fracjournal record payload".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x01;
+        assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn incremental_fnv_matches_oneshot() {
+        let mut h = Fnv64::new();
+        h.write(b"foo");
+        h.write(b"bar");
+        assert_eq!(h.finish(), fnv64(b"foobar"));
+    }
+
+    #[test]
+    fn f64_hashing_is_bit_exact() {
+        let mut a = Fnv64::new();
+        a.write_f64(0.1 + 0.2);
+        let mut b = Fnv64::new();
+        b.write_f64(0.3);
+        // 0.1 + 0.2 != 0.3 in IEEE-754; the fingerprint must see that.
+        assert_ne!(a.finish(), b.finish());
+    }
+}

@@ -5,6 +5,7 @@
 //! storage makes those per-feature scans contiguous. Row-major design matrices
 //! for model training are materialized on demand by [`crate::design`].
 
+use crate::crc::Fnv64;
 use crate::schema::{Feature, FeatureKind, Schema};
 use std::fmt;
 
@@ -365,6 +366,35 @@ impl Dataset {
     pub fn n_missing(&self) -> usize {
         self.columns.iter().map(Column::n_missing).sum()
     }
+
+    /// Content fingerprint (FNV-1a 64) over the schema and every cell's bit
+    /// pattern. Two datasets share a fingerprint iff they are bit-identical
+    /// (names, kinds, arities, row order, and NaN payloads all included), so
+    /// the run journal can refuse to resume against different data.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(self.n_rows as u64);
+        h.write_u64(self.columns.len() as u64);
+        for (feature, col) in self.schema.iter().zip(&self.columns) {
+            h.write(feature.name.as_bytes());
+            h.write(&[0]); // name terminator: "ab"+"c" must differ from "a"+"bc"
+            match col {
+                Column::Real(v) => {
+                    h.write_u64(0);
+                    for &x in v {
+                        h.write_f64(x);
+                    }
+                }
+                Column::Categorical { arity, codes } => {
+                    h.write_u64(1 + *arity as u64);
+                    for &c in codes {
+                        h.write(&c.to_le_bytes());
+                    }
+                }
+            }
+        }
+        h.finish()
+    }
 }
 
 /// Builder for assembling datasets feature-by-feature.
@@ -502,5 +532,26 @@ mod tests {
     fn present_reals_skips_nan() {
         let d = mixed();
         assert_eq!(d.column(0).present_reals(), vec![1.0, 2.0, 4.0]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_content_sensitive() {
+        let d = mixed();
+        assert_eq!(d.fingerprint(), mixed().fingerprint());
+        // A single changed cell changes the fingerprint.
+        let mut other = DatasetBuilder::new()
+            .real("expr", vec![1.0, 2.0, f64::NAN, 4.5])
+            .categorical("snp", 3, vec![0, 1, 2, MISSING_CODE])
+            .build();
+        assert_ne!(d.fingerprint(), other.fingerprint());
+        // Row order matters.
+        other = d.select_rows(&[3, 2, 1, 0]);
+        assert_ne!(d.fingerprint(), other.fingerprint());
+        // A renamed feature matters.
+        let renamed = DatasetBuilder::new()
+            .real("expr2", vec![1.0, 2.0, f64::NAN, 4.0])
+            .categorical("snp", 3, vec![0, 1, 2, MISSING_CODE])
+            .build();
+        assert_ne!(d.fingerprint(), renamed.fingerprint());
     }
 }

@@ -23,6 +23,8 @@
 //! * [`quarantine`] — degenerate-input screening (NaN/Inf cells,
 //!   zero-variance columns, single-class categoricals, all-missing targets)
 //!   and cell sanitization, run before anything reaches a solver.
+//! * [`crc`] — CRC-32 / FNV-1a checksums for durable on-disk artifacts
+//!   (model files, run journals) and content fingerprints.
 //! * [`stats`] — small numeric helpers shared across the workspace.
 //!
 //! Everything stochastic takes an explicit seed; nothing here depends on
@@ -30,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod crc;
 pub mod dataset;
 pub mod design;
 pub mod entropy;

@@ -176,6 +176,13 @@ impl<'a> TextReader<'a> {
         }
     }
 
+    /// 1-based line number of the last line consumed (0 before any read).
+    /// Lets callers anchor semantic errors — e.g. a duplicate section — to
+    /// the line that introduced them.
+    pub fn line(&self) -> usize {
+        self.line_no
+    }
+
     /// Peek whether the next non-empty line starts with `tag` (does not
     /// consume).
     pub fn peek_is(&self, tag: &str) -> bool {

@@ -1,0 +1,193 @@
+//! Cooperative cancellation and wall-clock budgets for training runs.
+//!
+//! A FRaC run fits hundreds of per-target models; a single pathological
+//! solve must not hold the whole fleet past its wall-clock budget, and an
+//! operator must be able to cancel a run without killing the process. Both
+//! needs are served by one cooperative mechanism: a [`RunBudget`] is created
+//! at the run's entry point, a per-target [`TargetBudget`] is derived as each
+//! target starts, and the solver inner loops call [`TargetBudget::check`]
+//! every few passes. A tripped budget surfaces as
+//! [`TrainError::DeadlineExceeded`] — non-retryable, so the per-target
+//! fallback ladder skips the strict retry and substitutes the baseline
+//! predictor, keeping partial runs scoreable.
+//!
+//! The unlimited budget is the common case and is free: every field is
+//! `None`, so [`TargetBudget::check`] performs no clock read and no atomic
+//! load, and the clean fast path stays bit-identical to a build without
+//! budgets at all.
+
+use crate::fault::TrainError;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Wall-clock and cancellation budget for one whole run.
+///
+/// Combines an absolute run deadline, an optional per-target timeout, and an
+/// optional external cancel flag. Cloning is cheap; the cancel flag is
+/// shared.
+#[derive(Debug, Clone, Default)]
+pub struct RunBudget {
+    deadline: Option<Instant>,
+    per_target: Option<Duration>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl RunBudget {
+    /// A budget that never trips. [`TargetBudget::check`] on a target derived
+    /// from it is a no-op (no clock read, no atomic load).
+    pub fn unlimited() -> Self {
+        RunBudget::default()
+    }
+
+    /// Budget bounded by a run deadline `dur` from now.
+    pub fn with_deadline(dur: Duration) -> Self {
+        RunBudget {
+            deadline: Some(Instant::now() + dur),
+            ..RunBudget::default()
+        }
+    }
+
+    /// Add a per-target timeout: each target's budget trips `dur` after that
+    /// target starts, even if the run deadline is further out.
+    pub fn per_target(mut self, dur: Duration) -> Self {
+        self.per_target = Some(dur);
+        self
+    }
+
+    /// Attach a cancel flag, returning the handle that trips it. Any number
+    /// of targets derived from this budget observe the same flag.
+    pub fn cancellable(mut self) -> (Self, CancelHandle) {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.cancel = Some(Arc::clone(&flag));
+        (self, CancelHandle { flag })
+    }
+
+    /// Whether this budget can ever trip (false for [`Self::unlimited`]).
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.per_target.is_some() || self.cancel.is_some()
+    }
+
+    /// Derive the budget for one target starting now: the tighter of the run
+    /// deadline and `now + per_target`, plus the shared cancel flag.
+    pub fn start_target(&self) -> TargetBudget {
+        let local = self.per_target.map(|d| Instant::now() + d);
+        let deadline = match (self.deadline, local) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        TargetBudget { deadline, cancel: self.cancel.clone() }
+    }
+}
+
+/// Budget for one target's fit, derived by [`RunBudget::start_target`].
+///
+/// Solver loops hold one of these and call [`Self::check`] every few epochs;
+/// the CV driver and tree growers do the same.
+#[derive(Debug, Clone, Default)]
+pub struct TargetBudget {
+    deadline: Option<Instant>,
+    cancel: Option<Arc<AtomicBool>>,
+}
+
+impl TargetBudget {
+    /// A target budget that never trips; `check` is a no-op.
+    pub fn unlimited() -> Self {
+        TargetBudget::default()
+    }
+
+    /// Return `Err(TrainError::DeadlineExceeded)` if the run was cancelled
+    /// or the deadline has passed; `Ok(())` otherwise. On an unlimited
+    /// budget this reads no clock and no atomic.
+    #[inline]
+    pub fn check(&self) -> Result<(), TrainError> {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return Err(TrainError::DeadlineExceeded);
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if Instant::now() >= deadline {
+                return Err(TrainError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this budget can ever trip.
+    pub fn is_limited(&self) -> bool {
+        self.deadline.is_some() || self.cancel.is_some()
+    }
+}
+
+/// Handle that cancels a run from another thread (or a signal handler).
+#[derive(Debug, Clone)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// Trip the cancel flag; every in-flight [`TargetBudget::check`] on the
+    /// associated run starts failing with [`TrainError::DeadlineExceeded`].
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether the flag has been tripped.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let b = RunBudget::unlimited();
+        assert!(!b.is_limited());
+        let t = b.start_target();
+        assert!(!t.is_limited());
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn expired_deadline_trips() {
+        let b = RunBudget::with_deadline(Duration::from_secs(0));
+        let t = b.start_target();
+        assert_eq!(t.check(), Err(TrainError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn generous_deadline_passes() {
+        let b = RunBudget::with_deadline(Duration::from_secs(3600));
+        assert!(b.start_target().check().is_ok());
+    }
+
+    #[test]
+    fn per_target_tightens_run_deadline() {
+        let b = RunBudget::with_deadline(Duration::from_secs(3600))
+            .per_target(Duration::from_secs(0));
+        let t = b.start_target();
+        assert_eq!(t.check(), Err(TrainError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn cancel_handle_trips_all_targets() {
+        let (b, handle) = RunBudget::unlimited().cancellable();
+        let t1 = b.start_target();
+        let t2 = b.start_target();
+        assert!(t1.check().is_ok());
+        assert!(!handle.is_cancelled());
+        handle.cancel();
+        assert!(handle.is_cancelled());
+        assert_eq!(t1.check(), Err(TrainError::DeadlineExceeded));
+        assert_eq!(t2.check(), Err(TrainError::DeadlineExceeded));
+    }
+
+    #[test]
+    fn deadline_error_is_not_retryable() {
+        assert!(!TrainError::DeadlineExceeded.is_retryable());
+    }
+}

@@ -9,6 +9,8 @@
 //! the prediction made by the fold model that did *not* see it, plus the
 //! accumulated [`TrainingCost`] of all fold models.
 
+use crate::budget::TargetBudget;
+use crate::fault::TrainError;
 use crate::traits::{ClassifierTrainer, Classifier, Regressor, RegressorTrainer, TrainingCost};
 use frac_dataset::split::{k_fold, Fold};
 use frac_dataset::{DesignView, RowSubset};
@@ -98,6 +100,68 @@ pub fn cv_regression_folds<T: RegressorTrainer>(
     (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
 }
 
+/// Budget-aware [`cv_regression_folds`]: each fold trains through
+/// [`RegressorTrainer::try_train_view_budgeted`], so a tripped budget
+/// surfaces as [`TrainError::DeadlineExceeded`] between (or inside) fold
+/// solves instead of running the remaining folds. Unlike the infallible
+/// path, a fold that fails validation or diverges also aborts the CV — the
+/// caller's fallback ladder handles it. With an unlimited budget and clean
+/// folds the predictions, cost, and duals are bit-identical to
+/// [`cv_regression_folds`].
+#[allow(clippy::type_complexity)]
+pub fn cv_regression_folds_budgeted<T: RegressorTrainer>(
+    trainer: &T,
+    x: &dyn DesignView,
+    y: &[f64],
+    folds: &[Fold],
+    init_duals: Option<&[f64]>,
+    budget: &TargetBudget,
+) -> Result<(Vec<f64>, TrainingCost, Option<Vec<f64>>), TrainError> {
+    assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+    let n = x.n_rows();
+    let mut preds = vec![f64::NAN; n];
+    let mut row_buf = vec![0.0f64; x.n_cols()];
+    let mut dual_by_row: Vec<f64> = match init_duals {
+        Some(d) => {
+            assert_eq!(d.len(), n, "init dual length must match rows");
+            d.to_vec()
+        }
+        None => vec![0.0; n],
+    };
+    let mut have_duals = true;
+    let mut flops = 0u64;
+    let mut peak = 0u64;
+    let mut warm_buf: Vec<f64> = Vec::new();
+    for fold in folds {
+        let x_train = RowSubset::new(x, &fold.train);
+        let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
+        warm_buf.clear();
+        warm_buf.extend(fold.train.iter().map(|&r| dual_by_row[r]));
+        let warm = if have_duals { Some(warm_buf.as_slice()) } else { None };
+        let (trained, duals) = trainer.try_train_view_budgeted(&x_train, &y_train, warm, budget)?;
+        match duals {
+            Some(d) => {
+                for (&r, &b) in fold.train.iter().zip(&d) {
+                    dual_by_row[r] = b;
+                }
+            }
+            None => have_duals = false,
+        }
+        flops += trained.cost.flops;
+        peak = peak.max(
+            trained.cost.peak_bytes
+                + fold_overhead_bytes(&x_train, &row_buf)
+                + 2 * std::mem::size_of_val(dual_by_row.as_slice()) as u64,
+        );
+        for &r in &fold.holdout {
+            x.copy_row_into(r, &mut row_buf);
+            preds[r] = trained.model.predict(&row_buf);
+        }
+    }
+    let out_duals = have_duals.then_some(dual_by_row);
+    Ok((preds, TrainingCost { flops, peak_bytes: peak }, out_duals))
+}
+
 /// Out-of-fold predictions for a classification problem; see
 /// [`cv_regression`] for conventions.
 pub fn cv_classification<T: ClassifierTrainer>(
@@ -176,6 +240,72 @@ pub fn cv_classification_folds<T: ClassifierTrainer>(
     }
     let out_duals = have_duals.then_some(dual_by_row);
     (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
+}
+
+/// Budget-aware [`cv_classification_folds`]; see
+/// [`cv_regression_folds_budgeted`] for the contract.
+#[allow(clippy::type_complexity)]
+pub fn cv_classification_folds_budgeted<T: ClassifierTrainer>(
+    trainer: &T,
+    x: &dyn DesignView,
+    y: &[u32],
+    arity: u32,
+    folds: &[Fold],
+    init_duals: Option<&[Vec<f64>]>,
+    budget: &TargetBudget,
+) -> Result<(Vec<u32>, TrainingCost, Option<Vec<Vec<f64>>>), TrainError> {
+    assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+    let n = x.n_rows();
+    let k_classes = arity as usize;
+    let mut preds = vec![0u32; n];
+    let mut row_buf = vec![0.0f64; x.n_cols()];
+    let mut dual_by_row: Vec<Vec<f64>> = match init_duals {
+        Some(d) => {
+            assert_eq!(d.len(), k_classes, "init duals must have one vector per class");
+            d.to_vec()
+        }
+        None => vec![vec![0.0; n]; k_classes],
+    };
+    let mut have_duals = true;
+    let mut flops = 0u64;
+    let mut peak = 0u64;
+    for fold in folds {
+        let x_train = RowSubset::new(x, &fold.train);
+        let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
+        let warm_vecs: Vec<Vec<f64>> = if have_duals {
+            dual_by_row
+                .iter()
+                .map(|class_duals| fold.train.iter().map(|&r| class_duals[r]).collect())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let warm = if have_duals { Some(warm_vecs.as_slice()) } else { None };
+        let (trained, duals) =
+            trainer.try_train_view_budgeted(&x_train, &y_train, arity, warm, budget)?;
+        match duals {
+            Some(d) => {
+                for (class_duals, class_out) in dual_by_row.iter_mut().zip(&d) {
+                    for (&r, &a) in fold.train.iter().zip(class_out) {
+                        class_duals[r] = a;
+                    }
+                }
+            }
+            None => have_duals = false,
+        }
+        flops += trained.cost.flops;
+        peak = peak.max(
+            trained.cost.peak_bytes
+                + fold_overhead_bytes(&x_train, &row_buf)
+                + 2 * (k_classes * n * std::mem::size_of::<f64>()) as u64,
+        );
+        for &r in &fold.holdout {
+            x.copy_row_into(r, &mut row_buf);
+            preds[r] = trained.model.predict(&row_buf);
+        }
+    }
+    let out_duals = have_duals.then_some(dual_by_row);
+    Ok((preds, TrainingCost { flops, peak_bytes: peak }, out_duals))
 }
 
 /// Per-fold working-set bytes beyond the solver's own state: the fold's
@@ -270,6 +400,43 @@ mod tests {
         let view_bytes = (fold_rows * std::mem::size_of::<usize>() + d * 8) as u64;
         assert!(cost.peak_bytes < copy_bytes, "peak {} still charges a copy", cost.peak_bytes);
         assert!(cost.peak_bytes >= view_bytes, "peak {} omits view overhead", cost.peak_bytes);
+    }
+
+    #[test]
+    fn budgeted_cv_matches_plain_and_trips_when_expired() {
+        use crate::budget::RunBudget;
+        let n = 20;
+        let x = DesignMatrix::from_raw(n, 1, (0..n).map(|i| i as f64 * 0.1).collect());
+        let y: Vec<f64> = (0..n).map(|i| 2.0 * (i as f64 * 0.1)).collect();
+        let folds = k_fold(n, 4, 11);
+        let t = SvrTrainer::default();
+        let (a, ca, da) = cv_regression_folds(&t, &x, &y, &folds, None);
+        let (b, cb, db) =
+            cv_regression_folds_budgeted(&t, &x, &y, &folds, None, &TargetBudget::unlimited())
+                .unwrap();
+        let bits = |v: &[f64]| v.iter().map(|p| p.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a), bits(&b));
+        assert_eq!(ca, cb);
+        assert_eq!(da, db);
+
+        let expired = RunBudget::with_deadline(std::time::Duration::from_secs(0)).start_target();
+        assert!(matches!(
+            cv_regression_folds_budgeted(&t, &x, &y, &folds, None, &expired),
+            Err(TrainError::DeadlineExceeded)
+        ));
+        let yc: Vec<u32> = (0..n).map(|i| (i % 2) as u32).collect();
+        assert!(matches!(
+            cv_classification_folds_budgeted(
+                &ClassificationTreeTrainer::default(),
+                &x,
+                &yc,
+                2,
+                &folds,
+                None,
+                &expired
+            ),
+            Err(TrainError::DeadlineExceeded)
+        ));
     }
 
     #[test]

@@ -39,7 +39,17 @@ pub enum TrainError {
         /// Requested columns.
         cols: usize,
     },
+    /// The run's wall-clock budget expired or the run was cancelled (see
+    /// [`crate::budget::TargetBudget::check`]). Not retryable: a strict
+    /// re-solve would only burn more of the budget that is already gone,
+    /// so the fallback ladder jumps straight to the baseline predictor.
+    DeadlineExceeded,
 }
+
+/// Stable marker substring of [`TrainError::DeadlineExceeded`]'s `Display`
+/// output; health accounting matches on it to count deadline-degraded
+/// targets without re-parsing event details structurally.
+pub const DEADLINE_MARKER: &str = "wall-clock budget exceeded";
 
 impl std::fmt::Display for TrainError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -55,6 +65,9 @@ impl std::fmt::Display for TrainError {
             }
             TrainError::AllocOverflow { rows, cols } => {
                 write!(f, "allocation overflow for {rows}×{cols} problem")
+            }
+            TrainError::DeadlineExceeded => {
+                write!(f, "{DEADLINE_MARKER} (run cancelled or deadline passed)")
             }
         }
     }
@@ -144,8 +157,10 @@ mod tests {
     fn retryability_and_display() {
         assert!(TrainError::NonConvergence { epochs: 9 }.is_retryable());
         assert!(!TrainError::NonFiniteData { what: "x" }.is_retryable());
+        assert!(!TrainError::DeadlineExceeded.is_retryable());
         let msg = TrainError::AllocOverflow { rows: 1, cols: 2 }.to_string();
         assert!(msg.contains("1×2"), "{msg}");
+        assert!(TrainError::DeadlineExceeded.to_string().contains(DEADLINE_MARKER));
     }
 
     #[test]

@@ -23,6 +23,8 @@
 //!   without leaking training data.
 //! * [`baseline`] — constant-mean / majority-class predictors used when a
 //!   feature subset is empty and as sanity baselines.
+//! * [`budget`] — cooperative wall-clock/cancellation budgets polled inside
+//!   the solver loops, so a stuck target degrades instead of hanging a run.
 //!
 //! Every trainer returns the fitted model together with a [`TrainingCost`]
 //! so the evaluation harness can reproduce the paper's time/memory columns
@@ -35,6 +37,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod baseline;
+pub mod budget;
 pub mod cv;
 pub mod error;
 pub mod fault;
@@ -45,6 +48,7 @@ pub mod traits;
 pub mod tree;
 
 pub use baseline::{ConstantRegressor, MajorityClassifier};
+pub use budget::{CancelHandle, RunBudget, TargetBudget};
 pub use error::{ConfusionErrorModel, GaussianErrorModel};
 pub use fault::TrainError;
 pub use solver::SolverMode;

@@ -15,6 +15,7 @@
 //! liblinear-style active-set shrinking, warm-started per-class duals, and
 //! blocked view kernels (see [`crate::solver`] for the contract).
 
+use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
@@ -146,7 +147,8 @@ impl SvcTrainer {
         x: &dyn DesignView,
         labels: &[f64],
         class_seed: u64,
-    ) -> SvcSolve {
+        budget: &TargetBudget,
+    ) -> Result<SvcSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -160,6 +162,7 @@ impl SvcTrainer {
         let mut epochs_run = 0u64;
 
         for epoch in 0..cfg.max_epochs {
+            budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epoch as u64));
             order.shuffle(&mut rng);
             let mut max_violation = 0.0f64;
@@ -197,7 +200,7 @@ impl SvcTrainer {
             }
         }
         let visits = epochs_run * n as u64;
-        SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits, init_rows: 0 }
+        Ok(SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits, init_rows: 0 })
     }
 
     /// Fast path for one binary problem: active-set shrinking, optional
@@ -210,7 +213,8 @@ impl SvcTrainer {
         labels: &[f64],
         class_seed: u64,
         warm: Option<&[f64]>,
-    ) -> SvcSolve {
+        budget: &TargetBudget,
+    ) -> Result<SvcSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -241,6 +245,7 @@ impl SvcTrainer {
         let mut visits = 0u64;
 
         while epochs < cfg.max_epochs as u64 {
+            budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epochs));
             active.shuffle(&mut rng);
             let mut max_violation = 0.0f64;
@@ -302,24 +307,85 @@ impl SvcTrainer {
             }
         }
 
-        SvcSolve { w, w_bias, alpha, epochs, visits, init_rows }
+        Ok(SvcSolve { w, w_bias, alpha, epochs, visits, init_rows })
     }
 
     /// Dispatch one binary problem on the configured [`SolverMode`] and
-    /// record solver stats.
+    /// record solver stats. Fails only when `budget` trips (the budget is
+    /// polled once per coordinate-descent epoch).
     fn solve_binary(
         &self,
         x: &dyn DesignView,
         labels: &[f64],
         class_seed: u64,
         warm: Option<&[f64]>,
-    ) -> SvcSolve {
+        budget: &TargetBudget,
+    ) -> Result<SvcSolve, TrainError> {
         let out = match self.config.mode {
-            SolverMode::Strict => self.solve_binary_strict(x, labels, class_seed),
-            SolverMode::Fast => self.solve_binary_fast(x, labels, class_seed, warm),
+            SolverMode::Strict => self.solve_binary_strict(x, labels, class_seed, budget)?,
+            SolverMode::Fast => self.solve_binary_fast(x, labels, class_seed, warm, budget)?,
         };
         stats::record(out.epochs, out.visits, out.epochs * x.n_rows() as u64);
-        out
+        Ok(out)
+    }
+
+    /// One-vs-rest solve over all classes with cooperative budget polling.
+    /// With an unlimited budget this is the arithmetic of
+    /// [`ClassifierTrainer::train_view_warm`], bit for bit.
+    #[allow(clippy::type_complexity)]
+    fn train_warm_impl(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<LinearSvc>, Vec<Vec<f64>>), TrainError> {
+        assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+        let cfg = &self.config;
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let k = arity as usize;
+
+        let mut hyperplanes = Vec::with_capacity(k);
+        let mut duals = Vec::with_capacity(k);
+        let mut total_visits = 0u64;
+        let mut total_init_rows = 0u64;
+        for class in 0..k {
+            let labels: Vec<f64> = y
+                .iter()
+                .map(|&c| if c as usize == class { 1.0 } else { -1.0 })
+                .collect();
+            if n == 0 {
+                hyperplanes.push((vec![0.0; d], 0.0));
+                duals.push(Vec::new());
+                continue;
+            }
+            let class_warm = warm.and_then(|w| w.get(class)).map(|v| v.as_slice());
+            let out = self.solve_binary(
+                x,
+                &labels,
+                derive_seed(cfg.seed, class as u64),
+                class_warm,
+                budget,
+            )?;
+            total_visits += out.visits;
+            total_init_rows += out.init_rows;
+            hyperplanes.push((out.w, if cfg.bias { out.w_bias } else { 0.0 }));
+            duals.push(out.alpha);
+        }
+
+        // Visit-based accounting (see svr.rs): shrinking's skipped
+        // coordinates are not charged, warm init is ~2 flops per folded cell.
+        let active_set_bytes = match cfg.mode {
+            SolverMode::Fast => n * std::mem::size_of::<usize>(),
+            SolverMode::Strict => 0,
+        };
+        let cost = TrainingCost {
+            flops: total_visits * ((d as u64) + 1) * 4 + total_init_rows * ((d as u64) + 1) * 2,
+            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
+        };
+        Ok((Trained { model: LinearSvc { hyperplanes }, cost }, duals))
     }
 }
 
@@ -347,50 +413,10 @@ impl ClassifierTrainer for SvcTrainer {
         arity: u32,
         warm: Option<&[Vec<f64>]>,
     ) -> (Trained<LinearSvc>, Option<Vec<Vec<f64>>>) {
-        assert_eq!(x.n_rows(), y.len(), "target length must match rows");
-        let cfg = &self.config;
-        let n = x.n_rows();
-        let d = x.n_cols();
-        let k = arity as usize;
-
-        let mut hyperplanes = Vec::with_capacity(k);
-        let mut duals = Vec::with_capacity(k);
-        let mut total_visits = 0u64;
-        let mut total_init_rows = 0u64;
-        for class in 0..k {
-            let labels: Vec<f64> = y
-                .iter()
-                .map(|&c| if c as usize == class { 1.0 } else { -1.0 })
-                .collect();
-            if n == 0 {
-                hyperplanes.push((vec![0.0; d], 0.0));
-                duals.push(Vec::new());
-                continue;
-            }
-            let class_warm = warm.and_then(|w| w.get(class)).map(|v| v.as_slice());
-            let out = self.solve_binary(
-                x,
-                &labels,
-                derive_seed(cfg.seed, class as u64),
-                class_warm,
-            );
-            total_visits += out.visits;
-            total_init_rows += out.init_rows;
-            hyperplanes.push((out.w, if cfg.bias { out.w_bias } else { 0.0 }));
-            duals.push(out.alpha);
+        match self.train_warm_impl(x, y, arity, warm, &TargetBudget::unlimited()) {
+            Ok((trained, duals)) => (trained, Some(duals)),
+            Err(_) => unreachable!("unlimited budget cannot trip"),
         }
-
-        // Visit-based accounting (see svr.rs): shrinking's skipped
-        // coordinates are not charged, warm init is ~2 flops per folded cell.
-        let active_set_bytes = match cfg.mode {
-            SolverMode::Fast => n * std::mem::size_of::<usize>(),
-            SolverMode::Strict => 0,
-        };
-        let cost = TrainingCost {
-            flops: total_visits * ((d as u64) + 1) * 4 + total_init_rows * ((d as u64) + 1) * 2,
-            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
-        };
-        (Trained { model: LinearSvc { hyperplanes }, cost }, Some(duals))
     }
 
     /// Same one-vs-rest solve as the infallible path (bit-identical on
@@ -415,6 +441,31 @@ impl ClassifierTrainer for SvcTrainer {
             });
         }
         Ok((trained, duals))
+    }
+
+    /// Budget-polling one-vs-rest solve: same arithmetic as the other
+    /// paths, with the budget checked once per epoch of every binary
+    /// sub-problem.
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<LinearSvc>, Option<Vec<Vec<f64>>>), TrainError> {
+        fault::check_classification_problem(x, y)?;
+        budget.check()?;
+        let (trained, duals) = self.train_warm_impl(x, y, arity, warm, budget)?;
+        let diverged = trained.model.hyperplanes.iter().any(|(w, b)| {
+            !fault::all_finite(w) || !b.is_finite()
+        });
+        if diverged {
+            return Err(TrainError::NonConvergence {
+                epochs: self.config.max_epochs as u64,
+            });
+        }
+        Ok((trained, Some(duals)))
     }
 }
 
@@ -517,6 +568,28 @@ mod tests {
             m.hyperplanes[1].0.iter().map(|w| w * w).sum::<f64>().sqrt()
         };
         assert!(norm(&small.model) <= norm(&large.model) + 1e-9);
+    }
+
+    #[test]
+    fn budgeted_path_matches_warm_path_and_trips_when_expired() {
+        use crate::budget::RunBudget;
+        let x = matrix(&[&[-1.0], &[-0.5], &[0.5], &[1.0]]);
+        let y = vec![0, 0, 1, 1];
+        let t = SvcTrainer::default();
+        let (a, da) = t
+            .try_train_view_budgeted(&x, &y, 2, None, &TargetBudget::unlimited())
+            .unwrap();
+        let (b, db) = t.try_train_view_warm(&x, &y, 2, None).unwrap();
+        for k in 0..2 {
+            assert_eq!(a.model.hyperplanes[k], b.model.hyperplanes[k]);
+        }
+        assert_eq!(da, db);
+
+        let expired = RunBudget::with_deadline(std::time::Duration::from_secs(0)).start_target();
+        assert_eq!(
+            t.try_train_view_budgeted(&x, &y, 2, None, &expired).unwrap_err(),
+            TrainError::DeadlineExceeded
+        );
     }
 
     #[test]

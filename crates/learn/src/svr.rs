@@ -24,6 +24,7 @@
 //! and warm-started duals through [`RegressorTrainer::train_view_warm`] —
 //! on top of the blocked view kernels.
 
+use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
@@ -152,7 +153,14 @@ impl SvrTrainer {
     /// The strict reference sweep: every coordinate every epoch, exact
     /// sequential kernels. Ignores warm starts by design — this path's
     /// results depend only on (data, config), never on solve history.
-    fn solve_strict(&self, x: &dyn DesignView, y: &[f64]) -> SvrSolve {
+    /// The budget is polled once per epoch (the cooperative cancellation
+    /// granularity of the ISSUE's "checked every N passes").
+    fn solve_strict(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        budget: &TargetBudget,
+    ) -> Result<SvrSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -167,6 +175,7 @@ impl SvrTrainer {
         let mut epochs_run = 0u64;
 
         for epoch in 0..cfg.max_epochs {
+            budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, epoch as u64));
             order.shuffle(&mut rng);
             let mut max_violation = 0.0f64;
@@ -220,7 +229,7 @@ impl SvrTrainer {
         }
 
         let visits = epochs_run * n as u64;
-        SvrSolve { w, w_bias, beta, epochs: epochs_run, visits, init_rows: 0 }
+        Ok(SvrSolve { w, w_bias, beta, epochs: epochs_run, visits, init_rows: 0 })
     }
 
     /// The fast path: active-set shrinking (liblinear §4), warm-started
@@ -229,7 +238,13 @@ impl SvrTrainer {
     /// the sweep; once the active set converges, one full
     /// unshrink-and-recheck pass runs with shrinking disabled before
     /// convergence is declared.
-    fn solve_fast(&self, x: &dyn DesignView, y: &[f64], warm: Option<&[f64]>) -> SvrSolve {
+    fn solve_fast(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<SvrSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -261,6 +276,7 @@ impl SvrTrainer {
         let mut visits = 0u64;
 
         while epochs < cfg.max_epochs as u64 {
+            budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, epochs));
             active.shuffle(&mut rng);
             let mut max_violation = 0.0f64;
@@ -333,30 +349,37 @@ impl SvrTrainer {
             }
         }
 
-        SvrSolve { w, w_bias, beta, epochs, visits, init_rows }
+        Ok(SvrSolve { w, w_bias, beta, epochs, visits, init_rows })
     }
 
     /// Dispatch on the configured [`SolverMode`], record solver stats, and
-    /// price the work actually done.
-    fn solve(&self, x: &dyn DesignView, y: &[f64], warm: Option<&[f64]>) -> (Trained<LinearSvr>, Vec<f64>) {
+    /// price the work actually done. Returns [`TrainError::DeadlineExceeded`]
+    /// only when `budget` trips; with an unlimited budget it never fails.
+    fn solve_impl(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<LinearSvr>, Vec<f64>), TrainError> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
 
         if n == 0 {
-            return (
+            return Ok((
                 Trained {
                     model: LinearSvr { weights: vec![0.0; d], bias: 0.0 },
                     cost: TrainingCost::default(),
                 },
                 Vec::new(),
-            );
+            ));
         }
 
         let out = match cfg.mode {
-            SolverMode::Strict => self.solve_strict(x, y),
-            SolverMode::Fast => self.solve_fast(x, y, warm),
+            SolverMode::Strict => self.solve_strict(x, y, budget)?,
+            SolverMode::Fast => self.solve_fast(x, y, warm, budget)?,
         };
         stats::record(out.epochs, out.visits, out.epochs * n as u64);
 
@@ -373,7 +396,7 @@ impl SvrTrainer {
             flops: out.visits * ((d as u64) + 1) * 4 + out.init_rows * ((d as u64) + 1) * 2,
             peak_bytes: ((n + d + n) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
         };
-        (
+        Ok((
             Trained {
                 model: LinearSvr {
                     weights: out.w,
@@ -382,7 +405,21 @@ impl SvrTrainer {
                 cost,
             },
             out.beta,
-        )
+        ))
+    }
+
+    /// Infallible solve: identical arithmetic under an unlimited budget,
+    /// which can never trip.
+    fn solve(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+    ) -> (Trained<LinearSvr>, Vec<f64>) {
+        match self.solve_impl(x, y, warm, &TargetBudget::unlimited()) {
+            Ok(out) => out,
+            Err(_) => unreachable!("unlimited budget cannot trip"),
+        }
     }
 }
 
@@ -437,6 +474,25 @@ impl RegressorTrainer for SvrTrainer {
     ) -> Result<(Trained<LinearSvr>, Option<Vec<f64>>), TrainError> {
         fault::check_regression_problem(x, y)?;
         let (trained, beta) = self.solve(x, y, warm);
+        if !fault::all_finite(trained.model.weights()) || !trained.model.bias().is_finite() {
+            return Err(TrainError::NonConvergence {
+                epochs: self.config.max_epochs as u64,
+            });
+        }
+        Ok((trained, Some(beta)))
+    }
+
+    /// Budget-polling solve: same arithmetic as the other paths, with the
+    /// budget checked once per coordinate-descent epoch.
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<LinearSvr>, Option<Vec<f64>>), TrainError> {
+        fault::check_regression_problem(x, y)?;
+        let (trained, beta) = self.solve_impl(x, y, warm, budget)?;
         if !fault::all_finite(trained.model.weights()) || !trained.model.bias().is_finite() {
             return Err(TrainError::NonConvergence {
                 epochs: self.config.max_epochs as u64,
@@ -564,6 +620,28 @@ mod tests {
         let b = SvrTrainer::new(cfg).train(&big, &[0.0, 1.0]);
         assert!(b.cost.flops > a.cost.flops);
         assert!(b.cost.peak_bytes > a.cost.peak_bytes);
+    }
+
+    #[test]
+    fn budgeted_path_matches_warm_path_and_trips_when_expired() {
+        use crate::budget::RunBudget;
+        use crate::traits::RegressorTrainer;
+        let x = matrix(&[&[0.1, 0.2], &[0.5, -0.3], &[-0.7, 0.9], &[0.2, 0.2]]);
+        let y = vec![1.0, -0.5, 0.3, 0.9];
+        let t = SvrTrainer::default();
+        let (a, da) = t
+            .try_train_view_budgeted(&x, &y, None, &TargetBudget::unlimited())
+            .unwrap();
+        let (b, db) = t.try_train_view_warm(&x, &y, None).unwrap();
+        assert_eq!(a.model.weights(), b.model.weights());
+        assert_eq!(a.model.bias(), b.model.bias());
+        assert_eq!(da, db);
+
+        let expired = RunBudget::with_deadline(std::time::Duration::from_secs(0)).start_target();
+        assert_eq!(
+            t.try_train_view_budgeted(&x, &y, None, &expired).unwrap_err(),
+            TrainError::DeadlineExceeded
+        );
     }
 
     #[test]

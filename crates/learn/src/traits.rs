@@ -6,6 +6,7 @@
 //! [`TrainingCost`], the raw material for reproducing the paper's CPU-time
 //! and memory columns.
 
+use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
 use frac_dataset::{DesignMatrix, DesignView};
 
@@ -129,6 +130,25 @@ pub trait RegressorTrainer: Send + Sync {
         Ok(self.train_view_warm(x, y, warm))
     }
 
+    /// Budget-aware variant of [`Self::try_train_view_warm`]: the trainer
+    /// checks `budget` cooperatively inside its inner loop and returns
+    /// [`TrainError::DeadlineExceeded`] once it trips. The default checks
+    /// the budget once up front and delegates — correct for trainers whose
+    /// fits are short; long-running solvers override to poll every few
+    /// epochs. With an unlimited budget the result is bit-identical to
+    /// [`Self::try_train_view_warm`].
+    #[allow(clippy::type_complexity)]
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<Self::Model>, Option<Vec<f64>>), TrainError> {
+        budget.check()?;
+        self.try_train_view_warm(x, y, warm)
+    }
+
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).
     fn train(&self, x: &DesignMatrix, y: &[f64]) -> Trained<Self::Model> {
         self.train_view(x, y)
@@ -176,6 +196,21 @@ pub trait ClassifierTrainer: Send + Sync {
     ) -> Result<(Trained<Self::Model>, Option<Vec<Vec<f64>>>), TrainError> {
         fault::check_classification_problem(x, y)?;
         Ok(self.train_view_warm(x, y, arity, warm))
+    }
+
+    /// Budget-aware variant of [`Self::try_train_view_warm`]; see
+    /// [`RegressorTrainer::try_train_view_budgeted`] for the contract.
+    #[allow(clippy::type_complexity)]
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        warm: Option<&[Vec<f64>]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<Self::Model>, Option<Vec<Vec<f64>>>), TrainError> {
+        budget.check()?;
+        self.try_train_view_warm(x, y, arity, warm)
     }
 
     /// Fit from an owned matrix (convenience wrapper over [`Self::train_view`]).

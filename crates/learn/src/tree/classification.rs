@@ -1,7 +1,9 @@
 //! Entropy-minimizing classification trees (the paper's SNP model).
 
 use super::splitter::{best_classification_split, SplitScratch};
-use super::{descend, Node, TreeConfig};
+use super::{descend, Node, TreeConfig, BUDGET_CHECK_NODES};
+use crate::budget::TargetBudget;
+use crate::fault::{self, TrainError};
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::DesignView;
 
@@ -73,26 +75,17 @@ impl ClassificationTreeTrainer {
     pub fn new(config: TreeConfig) -> Self {
         ClassificationTreeTrainer { config }
     }
-}
 
-fn majority(labels: impl Iterator<Item = u32>, arity: u32) -> u32 {
-    let mut counts = vec![0usize; arity as usize];
-    for l in labels {
-        counts[l as usize] += 1;
-    }
-    // Lowest code wins ties, deterministically.
-    counts
-        .iter()
-        .enumerate()
-        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
-        .map(|(c, _)| c as u32)
-        .unwrap_or(0)
-}
-
-impl ClassifierTrainer for ClassificationTreeTrainer {
-    type Model = ClassificationTree;
-
-    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<ClassificationTree> {
+    /// Greedy top-down growth with cooperative budget polling every
+    /// [`BUDGET_CHECK_NODES`] node expansions; see
+    /// [`super::regression::RegressionTreeTrainer`] for the contract.
+    fn grow(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        budget: &TargetBudget,
+    ) -> Result<Trained<ClassificationTree>, TrainError> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
@@ -103,10 +96,10 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
 
         if n == 0 {
             nodes.push(Node::Leaf(0));
-            return Trained {
+            return Ok(Trained {
                 model: ClassificationTree { nodes, arity },
                 cost: TrainingCost::default(),
-            };
+            });
         }
 
         let mut scratch = SplitScratch::new(arity as usize);
@@ -114,8 +107,13 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
         let root_samples: Vec<usize> = (0..n).collect();
         nodes.push(Node::Leaf(0)); // placeholder, patched below
         let mut stack = vec![(0usize, root_samples, 0usize)];
+        let mut expansions = 0usize;
 
         while let Some((node_idx, samples, depth)) = stack.pop() {
+            if expansions.is_multiple_of(BUDGET_CHECK_NODES) {
+                budget.check()?;
+            }
+            expansions += 1;
             let m = samples.len();
             // Split search cost: d features × (sort m log m + sweep m).
             flops += (d as u64)
@@ -163,10 +161,49 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
 
         let peak_bytes = (n * (std::mem::size_of::<usize>() + 16)
             + nodes.len() * std::mem::size_of::<Node<u32>>()) as u64;
-        Trained {
+        Ok(Trained {
             model: ClassificationTree { nodes, arity },
             cost: TrainingCost { flops, peak_bytes },
+        })
+    }
+}
+
+fn majority(labels: impl Iterator<Item = u32>, arity: u32) -> u32 {
+    let mut counts = vec![0usize; arity as usize];
+    for l in labels {
+        counts[l as usize] += 1;
+    }
+    // Lowest code wins ties, deterministically.
+    counts
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+        .map(|(c, _)| c as u32)
+        .unwrap_or(0)
+}
+
+impl ClassifierTrainer for ClassificationTreeTrainer {
+    type Model = ClassificationTree;
+
+    fn train_view(&self, x: &dyn DesignView, y: &[u32], arity: u32) -> Trained<ClassificationTree> {
+        match self.grow(x, y, arity, &TargetBudget::unlimited()) {
+            Ok(trained) => trained,
+            Err(_) => unreachable!("unlimited budget cannot trip"),
         }
+    }
+
+    /// Budget-polling growth: same arithmetic as the infallible path, with
+    /// the budget checked every [`BUDGET_CHECK_NODES`] node expansions.
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[u32],
+        arity: u32,
+        _warm: Option<&[Vec<f64>]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<ClassificationTree>, Option<Vec<Vec<f64>>>), TrainError> {
+        fault::check_classification_problem(x, y)?;
+        Ok((self.grow(x, y, arity, budget)?, None))
     }
 }
 

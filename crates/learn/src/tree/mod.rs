@@ -21,6 +21,12 @@ mod splitter;
 pub use classification::{ClassificationTree, ClassificationTreeTrainer};
 pub use regression::{RegressionTree, RegressionTreeTrainer};
 
+/// How many node expansions a tree grower performs between cooperative
+/// budget checks. Each expansion is a full split search (O(d·m·log m)), so
+/// 32 expansions keep the cancellation latency small relative to one solver
+/// epoch while making the clock read negligible.
+pub(crate) const BUDGET_CHECK_NODES: usize = 32;
+
 /// Hyperparameters shared by both tree flavours.
 #[derive(Debug, Clone, Copy)]
 pub struct TreeConfig {

@@ -6,7 +6,9 @@
 //! space") — for real targets that means regression trees.
 
 use super::splitter::{best_regression_split, SplitScratch};
-use super::{descend, Node, TreeConfig};
+use super::{descend, Node, TreeConfig, BUDGET_CHECK_NODES};
+use crate::budget::TargetBudget;
+use crate::fault::{self, TrainError};
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::DesignView;
 
@@ -67,12 +69,17 @@ impl RegressionTreeTrainer {
     pub fn new(config: TreeConfig) -> Self {
         RegressionTreeTrainer { config }
     }
-}
 
-impl RegressorTrainer for RegressionTreeTrainer {
-    type Model = RegressionTree;
-
-    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<RegressionTree> {
+    /// Greedy top-down growth with cooperative budget polling every
+    /// [`BUDGET_CHECK_NODES`] node expansions. With an unlimited budget the
+    /// result is the arithmetic of [`RegressorTrainer::train_view`], bit for
+    /// bit.
+    fn grow(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        budget: &TargetBudget,
+    ) -> Result<Trained<RegressionTree>, TrainError> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
         let cfg = &self.config;
         let n = x.n_rows();
@@ -83,18 +90,23 @@ impl RegressorTrainer for RegressionTreeTrainer {
 
         if n == 0 {
             nodes.push(Node::Leaf(0.0));
-            return Trained {
+            return Ok(Trained {
                 model: RegressionTree { nodes },
                 cost: TrainingCost::default(),
-            };
+            });
         }
 
         let mut scratch = SplitScratch::new(0);
         let root_samples: Vec<usize> = (0..n).collect();
         nodes.push(Node::Leaf(0.0));
         let mut stack = vec![(0usize, root_samples, 0usize)];
+        let mut expansions = 0usize;
 
         while let Some((node_idx, samples, depth)) = stack.pop() {
+            if expansions.is_multiple_of(BUDGET_CHECK_NODES) {
+                budget.check()?;
+            }
+            expansions += 1;
             let m = samples.len();
             flops += (d as u64)
                 * (m as u64)
@@ -141,10 +153,34 @@ impl RegressorTrainer for RegressionTreeTrainer {
 
         let peak_bytes = (n * (std::mem::size_of::<usize>() + 16)
             + nodes.len() * std::mem::size_of::<Node<f64>>()) as u64;
-        Trained {
+        Ok(Trained {
             model: RegressionTree { nodes },
             cost: TrainingCost { flops, peak_bytes },
+        })
+    }
+}
+
+impl RegressorTrainer for RegressionTreeTrainer {
+    type Model = RegressionTree;
+
+    fn train_view(&self, x: &dyn DesignView, y: &[f64]) -> Trained<RegressionTree> {
+        match self.grow(x, y, &TargetBudget::unlimited()) {
+            Ok(trained) => trained,
+            Err(_) => unreachable!("unlimited budget cannot trip"),
         }
+    }
+
+    /// Budget-polling growth: same arithmetic as the infallible path, with
+    /// the budget checked every [`BUDGET_CHECK_NODES`] node expansions.
+    fn try_train_view_budgeted(
+        &self,
+        x: &dyn DesignView,
+        y: &[f64],
+        _warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<(Trained<RegressionTree>, Option<Vec<f64>>), TrainError> {
+        fault::check_regression_problem(x, y)?;
+        Ok((self.grow(x, y, budget)?, None))
     }
 }
 

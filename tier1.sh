@@ -13,3 +13,20 @@ cargo clippy --workspace -- -D warnings
 cargo clippy -p frac-core -p frac-learn --lib
 # Fault-isolation guarantee: fit + score must survive injected faults.
 cargo test -q -p frac-core --test fault_injection
+# Crash-safety guarantee: resume after a kill at any journal byte must be
+# bitwise identical to an uninterrupted run.
+cargo test -q -p frac-core --test crash_resume
+
+# Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
+# within the budget plus slack, save a scored model, and print a health
+# summary that accounts for every planned target.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./target/release/frac generate --dataset autism --out "$smoke_dir"
+timeout 60 ./target/release/frac train \
+  --train "$smoke_dir/autism.train.tsv" \
+  --out "$smoke_dir/autism.frac" \
+  --snp --deadline 2s --journal "$smoke_dir/autism.frj" \
+  2> "$smoke_dir/train.log"
+test -f "$smoke_dir/autism.frac"
+grep -q "health: " "$smoke_dir/train.log"
