@@ -19,6 +19,10 @@ USAGE:
         --deadline DUR     wall-clock budget (e.g. 500ms, 2s, 5m); targets
                            still unfitted at the deadline degrade to
                            baseline predictors and the run exits cleanly
+        --telemetry FILE   record a span-level trace of the fit (where
+                           each target's time went) and write it here:
+                           self-describing TSV, or JSON if FILE ends in
+                           .json; inspect with `frac inspect-telemetry`
 
   frac resume --train FILE --out FILE --journal FILE [OPTIONS]
       Continue a journaled `train` run that was killed or hit its
@@ -44,6 +48,10 @@ USAGE:
   frac entropy --data FILE [--top K]
       Rank features by estimated entropy (the entropy filter's criterion).
 
+  frac inspect-telemetry --file FILE [--top K]
+      Summarize a telemetry trace written by `train --telemetry`: per-stage
+      time table, counters, and the K slowest targets (default 10).
+
   frac generate --dataset NAME --out DIR [--seed N]
       Write a paper-surrogate data set as train/test TSVs.
       NAME ∈ {breast.basal, biomarkers, ethnic, bild, smokers2,
@@ -66,6 +74,13 @@ pub enum Command {
         /// Input data file.
         data: PathBuf,
         /// How many features to print.
+        top: usize,
+    },
+    /// `frac inspect-telemetry` — summarize a `--telemetry` trace file.
+    InspectTelemetry {
+        /// Telemetry TSV written by `train --telemetry`.
+        file: PathBuf,
+        /// How many slowest targets to print.
         top: usize,
     },
     /// `frac generate`
@@ -100,6 +115,8 @@ pub struct TrainArgs {
     pub journal: Option<PathBuf>,
     /// Wall-clock budget for the whole fit.
     pub deadline: Option<Duration>,
+    /// Telemetry trace output path (TSV, or JSON for a `.json` extension).
+    pub telemetry: Option<PathBuf>,
 }
 
 impl Default for TrainArgs {
@@ -113,6 +130,7 @@ impl Default for TrainArgs {
             seed: 42,
             journal: None,
             deadline: None,
+            telemetry: None,
         }
     }
 }
@@ -206,6 +224,9 @@ fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
             "--journal" => a.journal = Some(take_value(argv, &mut i, "--journal")?.into()),
             "--deadline" => {
                 a.deadline = Some(parse_duration(take_value(argv, &mut i, "--deadline")?)?)
+            }
+            "--telemetry" => {
+                a.telemetry = Some(take_value(argv, &mut i, "--telemetry")?.into())
             }
             other => return Err(format!("unknown flag `{other}` for {sub}")),
         }
@@ -303,6 +324,29 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
                 return Err("entropy requires --data".into());
             }
             Ok(Command::Entropy { data, top })
+        }
+        "inspect-telemetry" => {
+            let mut file = PathBuf::new();
+            let mut top = 10usize;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--file" => file = take_value(argv, &mut i, "--file")?.into(),
+                    "--top" => {
+                        top = take_value(argv, &mut i, "--top")?
+                            .parse()
+                            .map_err(|_| "--top expects an integer".to_string())?
+                    }
+                    other => {
+                        return Err(format!("unknown flag `{other}` for inspect-telemetry"))
+                    }
+                }
+                i += 1;
+            }
+            if file.as_os_str().is_empty() {
+                return Err("inspect-telemetry requires --file".into());
+            }
+            Ok(Command::InspectTelemetry { file, top })
         }
         "generate" => {
             let mut dataset = String::new();
@@ -459,6 +503,35 @@ mod tests {
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_train_telemetry_flag() {
+        let cmd = parse(&argv(
+            "train --train a.tsv --out m.frac --telemetry t.tsv --deadline 2s",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.telemetry, Some(PathBuf::from("t.tsv")));
+                assert_eq!(a.deadline, Some(Duration::from_secs(2)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_inspect_telemetry() {
+        assert_eq!(
+            parse(&argv("inspect-telemetry --file t.tsv --top 3")).unwrap(),
+            Command::InspectTelemetry { file: "t.tsv".into(), top: 3 }
+        );
+        // Default top-k and the required-file error.
+        assert_eq!(
+            parse(&argv("inspect-telemetry --file t.tsv")).unwrap(),
+            Command::InspectTelemetry { file: "t.tsv".into(), top: 10 }
+        );
+        assert!(parse(&argv("inspect-telemetry")).is_err());
     }
 
     #[test]

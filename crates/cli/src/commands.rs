@@ -1,6 +1,7 @@
 //! Command implementations.
 
 use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
+use frac_core::telemetry::{Counter, TelemetryReport, TelemetrySession};
 use frac_core::{
     run_variant, FeatureSelector, FracConfig, FracModel, RunBudget, TrainingPlan, Variant,
 };
@@ -52,6 +53,7 @@ pub fn run(cmd: Command) -> Result<(), Error> {
         Command::Resume(args) => train(args, true),
         Command::Score(args) => score(args),
         Command::Entropy { data, top } => entropy(&data, top),
+        Command::InspectTelemetry { file, top } => inspect_telemetry(&file, top),
         Command::Generate { dataset, out, seed } => generate(&dataset, &out, seed),
     }
 }
@@ -115,7 +117,11 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
             None => String::new(),
         }
     );
-    let (model, report) = match &args.journal {
+    // Start tracing before any fit work so the encode/quarantine spans are
+    // captured too. `start()` only refuses if another session is live in
+    // this process, which the single-run CLI never does.
+    let session = if args.telemetry.is_some() { TelemetrySession::start() } else { None };
+    let (model, mut report) = match &args.journal {
         Some(jpath) => {
             let fit = if resuming {
                 FracModel::resume(&train, &plan, &config, &budget, jpath)
@@ -142,6 +148,33 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
         }
         None => FracModel::fit_budgeted(&train, &plan, &config, &budget),
     };
+    if let Some(tpath) = &args.telemetry {
+        match session {
+            Some(s) => {
+                let mut trace = s.finish();
+                trace.notes.push(("health".into(), report.health.summary()));
+                let text = if tpath.extension().is_some_and(|e| e == "json") {
+                    trace.to_json()
+                } else {
+                    trace.write_tsv()
+                };
+                std::fs::write(tpath, text).map_err(|e| format!("{}: {e}", tpath.display()))?;
+                eprintln!(
+                    "telemetry: {} spans across {} stages → {} \
+                     (summarize with `frac inspect-telemetry --file {}`)",
+                    trace.spans.len(),
+                    trace.stage_totals().len(),
+                    tpath.display(),
+                    tpath.display()
+                );
+                report.telemetry = Some(trace);
+            }
+            None => eprintln!(
+                "warning: --telemetry ignored: another telemetry session \
+                 is already active in this process"
+            ),
+        }
+    }
     model.save(&args.out)?;
     eprintln!(
         "saved {} ({} feature models, {:.3} Gflop training)",
@@ -245,6 +278,50 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
         out.resources.wall
     );
     eprintln!("health: {}", out.resources.health.summary());
+    Ok(())
+}
+
+/// Summarize a telemetry trace written by `train --telemetry`: per-stage
+/// time table with wall-clock shares, counters, the solver-stats delta,
+/// and the slowest targets.
+fn inspect_telemetry(path: &std::path::Path, top: usize) -> Result<(), Error> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let report =
+        TelemetryReport::parse_tsv(&text).map_err(|e| format!("{}: {e}", path.display()))?;
+    println!("wall\t{:.3}s", report.wall_ns as f64 / 1e9);
+    for (k, v) in &report.notes {
+        println!("note\t{k}\t{v}");
+    }
+    println!();
+    println!("stage\tspans\ttotal_ms\tmax_ms\tpct_wall");
+    let wall = report.wall_ns.max(1) as f64;
+    for t in report.stage_totals() {
+        println!(
+            "{}\t{}\t{:.3}\t{:.3}\t{:.1}",
+            t.stage,
+            t.count,
+            t.total_ns as f64 / 1e6,
+            t.max_ns as f64 / 1e6,
+            100.0 * t.total_ns as f64 / wall
+        );
+    }
+    println!();
+    println!("counter\tvalue");
+    for c in Counter::ALL {
+        println!("{}\t{}", c.as_str(), report.counter(c));
+    }
+    println!(
+        "solver\tsolves={} epochs={} visits={} dense_slots={}",
+        report.solver.solves, report.solver.epochs, report.solver.visits, report.solver.dense_slots
+    );
+    let slow = report.slowest_targets(top);
+    if !slow.is_empty() {
+        println!();
+        println!("target\ttotal_ms\t(top {} slowest)", slow.len());
+        for (t, ns) in slow {
+            println!("{t}\t{:.3}", ns as f64 / 1e6);
+        }
+    }
     Ok(())
 }
 
@@ -426,6 +503,40 @@ mod tests {
         )
         .unwrap();
         assert!(dir.join("m3.frac").exists());
+    }
+
+    #[test]
+    fn train_with_telemetry_writes_an_inspectable_trace() {
+        let dir = std::env::temp_dir().join("frac-cli-test-telemetry");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let base = TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: dir.join("m.frac"),
+            variant: "filter".into(),
+            p: 0.04,
+            ..TrainArgs::default()
+        };
+        let tpath = dir.join("trace.tsv");
+        train(TrainArgs { telemetry: Some(tpath.clone()), ..base.clone() }, false).unwrap();
+        let report =
+            TelemetryReport::parse_tsv(&std::fs::read_to_string(&tpath).unwrap()).unwrap();
+        assert!(!report.spans.is_empty());
+        assert!(report.wall_ns > 0);
+        assert!(report.notes.iter().any(|(k, _)| k == "health"));
+        inspect_telemetry(&tpath, 3).unwrap();
+        // A `.json` extension switches the output format.
+        let jpath = dir.join("trace.json");
+        train(
+            TrainArgs { telemetry: Some(jpath.clone()), out: dir.join("m2.frac"), ..base },
+            false,
+        )
+        .unwrap();
+        assert!(std::fs::read_to_string(&jpath).unwrap().trim_start().starts_with('{'));
+        // Inspecting something that is not a trace names the file.
+        let err = inspect_telemetry(&jpath, 3).unwrap_err();
+        assert!(err.to_string().contains("trace.json"), "{err}");
     }
 
     #[test]

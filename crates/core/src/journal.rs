@@ -195,9 +195,9 @@ pub struct JournalScan {
 /// serialized through an internal mutex and each record is fsynced before
 /// `append` returns, so a completed target is durable the moment its
 /// record is on disk. The parallel fit loop instead hands serialized
-/// record bodies to a dedicated writer thread ([`RunJournal::write_loop`])
+/// record bodies to a dedicated writer thread (`RunJournal::write_loop`)
 /// that frames, checksums, and writes them as they arrive but flushes at
-/// most once per [`SYNC_INTERVAL`] (plus once at shutdown, before the fit
+/// most once per `SYNC_INTERVAL` (plus once at shutdown, before the fit
 /// returns) — keeping disk latency off the solver threads entirely. A
 /// failed append marks the journal broken (checked via
 /// [`RunJournal::is_broken`]); the fit itself continues — losing

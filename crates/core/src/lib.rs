@@ -36,7 +36,7 @@
 //! memory columns. Per-feature training is rayon-parallel with per-feature
 //! seeds, so results are bit-identical at any thread count.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Fault isolation is a core guarantee of this crate: library code must
 // degrade per target, never panic on an Option/Result shortcut. Test code
 // is exempt — asserting via unwrap is exactly what tests are for.
@@ -55,6 +55,7 @@ pub mod selector;
 pub mod variants;
 
 pub use config::{CatModel, FracConfig, RealModel};
+pub use frac_learn::telemetry;
 pub use frac_learn::{CancelHandle, RunBudget, SolverMode, TargetBudget};
 pub use csax::{characterize, CsaxConfig, GeneSet, SampleCharacterization};
 pub use fault::FaultPlan;

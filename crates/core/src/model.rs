@@ -17,7 +17,7 @@
 //! solver, each member fit runs behind `catch_unwind` with a fallback
 //! ladder (configured model → strict solver → baseline predictor → drop),
 //! and every degradation is recorded in the run's
-//! [`RunHealth`](crate::health::RunHealth). On a clean dataset none of this
+//! [`RunHealth`]. On a clean dataset none of this
 //! machinery fires and the fitted model is bit-identical to the plain path.
 
 use crate::config::{CatModel, FracConfig, RealModel};
@@ -38,6 +38,7 @@ use frac_learn::cv::{
 };
 use frac_learn::svc::SvcTrainer;
 use frac_learn::svr::SvrTrainer;
+use frac_learn::telemetry;
 use frac_learn::tree::{ClassificationTreeTrainer, RegressionTreeTrainer};
 use frac_learn::{
     Classifier, ClassificationTree, ConfusionErrorModel, ConstantRegressor, GaussianErrorModel,
@@ -544,9 +545,12 @@ fn run_real<T: frac_learn::RegressorTrainer>(
     } else {
         cv_regression_folds(trainer, x, y, folds, init_duals)
     };
+    let error_span = telemetry::span(telemetry::Stage::ErrorModel);
     let pairs: Vec<(f64, f64)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = GaussianErrorModel::fit(&pairs);
     let strength = r2_strength(y, &oof);
+    drop(error_span);
+    let _final_span = telemetry::span(telemetry::Stage::FinalTrain);
     let (trained, final_duals) = if budget.is_limited() {
         trainer.try_train_view_budgeted(x, y, cv_duals.as_deref(), budget)?
     } else {
@@ -577,9 +581,12 @@ fn run_cat<T: frac_learn::ClassifierTrainer>(
     } else {
         cv_classification_folds(trainer, x, y, arity, folds, init_duals)
     };
+    let error_span = telemetry::span(telemetry::Stage::ErrorModel);
     let pairs: Vec<(u32, u32)> = y.iter().copied().zip(oof.iter().copied()).collect();
     let error = ConfusionErrorModel::fit(&pairs, arity);
     let strength = accuracy_strength(y, &oof);
+    drop(error_span);
+    let _final_span = telemetry::span(telemetry::Stage::FinalTrain);
     let (trained, final_duals) = if budget.is_limited() {
         trainer.try_train_view_budgeted(x, y, arity, cv_duals.as_deref(), budget)?
     } else {
@@ -827,6 +834,7 @@ fn fit_one_target(
     budget: &RunBudget,
 ) -> TargetFit {
     let tbudget = budget.start_target();
+    let _target_guard = telemetry::target_guard(tp.target);
     let mut health: Vec<TargetHealth> = Vec::new();
     // Quarantine verdicts first: an all-missing target is dropped before
     // any entropy or solver work; a degenerate (constant / single-class)
@@ -872,7 +880,9 @@ fn fit_one_target(
         _ => {}
     }
     let config = &effective;
+    let entropy_span = telemetry::span(telemetry::Stage::Entropy);
     let entropy = column_entropy(train.column(tp.target));
+    drop(entropy_span);
     let mut predictors = Vec::with_capacity(tp.input_sets.len());
     let mut flops = 0u64;
     let mut transient = 0u64;
@@ -1135,9 +1145,11 @@ impl FracModel {
         // Screen before anything reaches an encoder or solver; when the
         // data carries no ±Inf poison, `sanitize` returns `None` and the
         // original dataset flows through untouched (bit-identical path).
+        let quarantine_span = telemetry::span(telemetry::Stage::Quarantine);
         let screen = quarantine::screen(train);
         let sanitized = if screen.needs_sanitize() { quarantine::sanitize(train) } else { None };
         let train = sanitized.as_ref().unwrap_or(train);
+        drop(quarantine_span);
         let mut used = vec![false; train.n_features()];
         for tp in &plan.targets {
             for inputs in &tp.input_sets {
@@ -1147,7 +1159,10 @@ impl FracModel {
             }
         }
         let features: Vec<usize> = (0..used.len()).filter(|&j| used[j]).collect();
+        let encode_span = telemetry::span(telemetry::Stage::Encode);
         let pool = PoolSpec::fit(train, &features, config.standardize).encode(train);
+        telemetry::counter_add(telemetry::Counter::EncodedCells, pool.n_cells() as u64);
+        drop(encode_span);
         Self::fit_inner(
             train,
             plan,
@@ -1250,7 +1265,9 @@ impl FracModel {
                     // disk latency never stalls a solver thread. A send to
                     // a finished writer only happens if the writer died,
                     // which already marked the journal broken.
-                    let _ = tx.send(journal::record_body(&journal::RecordParts {
+                    let _append_target = telemetry::target_guard(tp.target);
+                    let _append_span = telemetry::span(telemetry::Stage::JournalAppend);
+                    let body = journal::record_body(&journal::RecordParts {
                         target: tp.target,
                         feature: tf.feature.as_ref(),
                         outcomes: tf.health.iter().map(|e| &e.outcome).collect(),
@@ -1258,7 +1275,12 @@ impl FracModel {
                         transient: tf.transient,
                         model_bytes: tf.model_bytes,
                         n_models: tf.n_models,
-                    }));
+                    });
+                    telemetry::counter_add(
+                        telemetry::Counter::JournalBytes,
+                        body.len() as u64,
+                    );
+                    let _ = tx.send(body);
                 }
             }
             (i, tf)
@@ -1382,6 +1404,8 @@ impl FracModel {
             .features
             .par_iter()
             .map(|fm| {
+                let _target_guard = telemetry::target_guard(fm.target);
+                let _score_span = telemetry::span(telemetry::Stage::Score);
                 let mut col = vec![0.0f64; n_rows];
                 for fp in &fm.predictors {
                     let owned: DesignMatrix;

@@ -17,6 +17,7 @@
 //! measured ratios converge, and our benches print both.
 
 use crate::health::RunHealth;
+use frac_learn::telemetry::TelemetryReport;
 use std::time::Duration;
 
 /// Resource usage of one FRaC run (training + scoring).
@@ -42,6 +43,11 @@ pub struct ResourceReport {
     /// Per-target degradation accounting: quarantines, fallbacks, drops.
     /// Clean runs carry an empty (but fully counted) report.
     pub health: RunHealth,
+    /// Span-level trace of the run when a
+    /// [`TelemetrySession`](frac_learn::telemetry::TelemetrySession) was
+    /// active around it (the CLI's `--telemetry` flag attaches it here);
+    /// `None` otherwise.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ResourceReport {
@@ -65,6 +71,11 @@ impl ResourceReport {
         self.transient_bytes = self.transient_bytes.max(other.transient_bytes);
         self.wall += other.wall;
         self.health.merge_sequential(&other.health);
+        // A telemetry session traces one run; a merged report keeps the
+        // first run's trace (if any) rather than inventing a combined one.
+        if self.telemetry.is_none() {
+            self.telemetry = other.telemetry.clone();
+        }
     }
 
     /// Fraction of another (baseline) report's flops — the paper's "Time %".

@@ -368,6 +368,13 @@ impl EncodedPool {
         self.values.len() * std::mem::size_of::<f64>()
     }
 
+    /// Number of encoded cells (`n_rows × n_cols`) — the unit the
+    /// telemetry layer counts encode work in.
+    #[inline]
+    pub fn n_cells(&self) -> usize {
+        self.values.len()
+    }
+
     /// Zero-copy design view over `inputs` (ascending schema order is the
     /// convention everywhere in the workspace; the view's column order is
     /// exactly the owned `DesignSpec::fit(inputs).encode(..)` column order).

@@ -11,6 +11,7 @@
 
 use crate::budget::TargetBudget;
 use crate::fault::TrainError;
+use crate::telemetry;
 use crate::traits::{ClassifierTrainer, Classifier, Regressor, RegressorTrainer, TrainingCost};
 use frac_dataset::split::{k_fold, Fold};
 use frac_dataset::{DesignView, RowSubset};
@@ -71,6 +72,7 @@ pub fn cv_regression_folds<T: RegressorTrainer>(
     let mut peak = 0u64;
     let mut warm_buf: Vec<f64> = Vec::new();
     for fold in folds {
+        let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
         warm_buf.clear();
@@ -95,6 +97,9 @@ pub fn cv_regression_folds<T: RegressorTrainer>(
             x.copy_row_into(r, &mut row_buf);
             preds[r] = trained.model.predict(&row_buf);
         }
+    }
+    if have_duals {
+        flops += warm_init_flops(init_duals.map_or(0, count_nonzero), x.n_cols());
     }
     let out_duals = have_duals.then_some(dual_by_row);
     (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
@@ -133,6 +138,7 @@ pub fn cv_regression_folds_budgeted<T: RegressorTrainer>(
     let mut peak = 0u64;
     let mut warm_buf: Vec<f64> = Vec::new();
     for fold in folds {
+        let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
         warm_buf.clear();
@@ -157,6 +163,9 @@ pub fn cv_regression_folds_budgeted<T: RegressorTrainer>(
             x.copy_row_into(r, &mut row_buf);
             preds[r] = trained.model.predict(&row_buf);
         }
+    }
+    if have_duals {
+        flops += warm_init_flops(init_duals.map_or(0, count_nonzero), x.n_cols());
     }
     let out_duals = have_duals.then_some(dual_by_row);
     Ok((preds, TrainingCost { flops, peak_bytes: peak }, out_duals))
@@ -205,6 +214,7 @@ pub fn cv_classification_folds<T: ClassifierTrainer>(
     let mut flops = 0u64;
     let mut peak = 0u64;
     for fold in folds {
+        let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
         let warm_vecs: Vec<Vec<f64>> = if have_duals {
@@ -238,6 +248,10 @@ pub fn cv_classification_folds<T: ClassifierTrainer>(
             preds[r] = trained.model.predict(&row_buf);
         }
     }
+    if have_duals {
+        let nz = init_duals.map_or(0, |d| d.iter().map(|v| count_nonzero(v)).sum());
+        flops += warm_init_flops(nz, x.n_cols());
+    }
     let out_duals = have_duals.then_some(dual_by_row);
     (preds, TrainingCost { flops, peak_bytes: peak }, out_duals)
 }
@@ -270,6 +284,7 @@ pub fn cv_classification_folds_budgeted<T: ClassifierTrainer>(
     let mut flops = 0u64;
     let mut peak = 0u64;
     for fold in folds {
+        let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
         let warm_vecs: Vec<Vec<f64>> = if have_duals {
@@ -304,8 +319,26 @@ pub fn cv_classification_folds_budgeted<T: ClassifierTrainer>(
             preds[r] = trained.model.predict(&row_buf);
         }
     }
+    if have_duals {
+        let nz = init_duals.map_or(0, |d| d.iter().map(|v| count_nonzero(v)).sum());
+        flops += warm_init_flops(nz, x.n_cols());
+    }
     let out_duals = have_duals.then_some(dual_by_row);
     Ok((preds, TrainingCost { flops, peak_bytes: peak }, out_duals))
+}
+
+/// One-time price of folding a caller-supplied warm dual vector into the
+/// solver state: ~2 flops per augmented column per nonzero row. Charged
+/// here — once per dual vector handed in — not inside each solve, because
+/// the same cached duals (e.g. one `fit_cached` entry shared across
+/// ensemble members) seed every fold and the final full-data fit, and a
+/// per-solve charge would count that single fold-in many times over.
+fn warm_init_flops(nonzero_rows: u64, n_cols: usize) -> u64 {
+    nonzero_rows * ((n_cols as u64) + 1) * 2
+}
+
+fn count_nonzero(duals: &[f64]) -> u64 {
+    duals.iter().filter(|&&b| b != 0.0).count() as u64
 }
 
 /// Per-fold working-set bytes beyond the solver's own state: the fold's
@@ -437,6 +470,33 @@ mod tests {
             ),
             Err(TrainError::DeadlineExceeded)
         ));
+    }
+
+    #[test]
+    fn warm_init_flops_charged_once_per_dual_vector() {
+        // Regression test: a warm dual vector handed to the CV driver used
+        // to be re-charged inside every fold solve (and again by the final
+        // full-data fit), so `fit_cached` reusing one cache entry across
+        // ensemble members inflated `TrainingCost.flops`. The fold-in must
+        // now be priced exactly once per supplied vector.
+        let n = 12;
+        let x = DesignMatrix::from_raw(n, 1, (0..n).map(|i| i as f64 * 0.1).collect());
+        let y: Vec<f64> = (0..n).map(|i| 2.0 * (i as f64 * 0.1)).collect();
+        let folds = k_fold(n, 3, 5);
+        // One epoch, and epoch 1 never shrinks (the threshold starts at
+        // infinity), so per-fold visits are identical with or without warm
+        // duals — any flops difference is the init charge alone.
+        let t = SvrTrainer::new(SvrConfig { max_epochs: 1, ..SvrConfig::default() });
+        let (_, cold, _) = cv_regression_folds(&t, &x, &y, &folds, None);
+        let init: Vec<f64> = (0..n).map(|i| if i % 2 == 0 { 0.5 } else { 0.0 }).collect();
+        let (_, warm, _) = cv_regression_folds(&t, &x, &y, &folds, Some(&init));
+        let nonzero = init.iter().filter(|&&b| b != 0.0).count() as u64;
+        let one_charge = nonzero * ((x.n_cols() as u64) + 1) * 2;
+        assert_eq!(
+            warm.flops,
+            cold.flops + one_charge,
+            "warm-init fold-in must be charged exactly once, not per fold"
+        );
     }
 
     #[test]

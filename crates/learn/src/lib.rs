@@ -25,12 +25,16 @@
 //!   feature subset is empty and as sanity baselines.
 //! * [`budget`] — cooperative wall-clock/cancellation budgets polled inside
 //!   the solver loops, so a stuck target degrades instead of hanging a run.
+//! * [`telemetry`] — hierarchical span tracing and counters for run
+//!   forensics: where each target's fit spent its time, drained into a
+//!   [`telemetry::TelemetryReport`] (compile out with the `telemetry-off`
+//!   feature).
 //!
 //! Every trainer returns the fitted model together with a [`TrainingCost`]
 //! so the evaluation harness can reproduce the paper's time/memory columns
 //! analytically.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Trainers feed the fault-isolated fit fleet in frac-core: library code
 // must surface failures as `TrainError`, never panic on an Option/Result
 // shortcut. Test code is exempt.
@@ -44,6 +48,7 @@ pub mod fault;
 pub mod solver;
 pub mod svc;
 pub mod svr;
+pub mod telemetry;
 pub mod traits;
 pub mod tree;
 
@@ -54,6 +59,7 @@ pub use fault::TrainError;
 pub use solver::SolverMode;
 pub use svc::{LinearSvc, SvcConfig};
 pub use svr::{LinearSvr, SvrConfig};
+pub use telemetry::{TelemetryReport, TelemetrySession};
 pub use traits::{
     Classifier, ClassifierTrainer, Regressor, RegressorTrainer, Trained, TrainingCost,
 };

@@ -18,6 +18,7 @@
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
+use crate::telemetry;
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
 use frac_dataset::DesignView;
@@ -200,7 +201,7 @@ impl SvcTrainer {
             }
         }
         let visits = epochs_run * n as u64;
-        Ok(SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits, init_rows: 0 })
+        Ok(SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits })
     }
 
     /// Fast path for one binary problem: active-set shrinking, optional
@@ -224,7 +225,6 @@ impl SvcTrainer {
         let mut alpha = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
         let mut w_bias = 0.0f64;
-        let mut init_rows = 0u64;
         if let Some(warm) = warm {
             debug_assert_eq!(warm.len(), n, "warm-start dual length must match rows");
             for (i, &wv) in warm.iter().enumerate() {
@@ -234,7 +234,6 @@ impl SvcTrainer {
                     let scaled = a * labels[i];
                     x.axpy_row_blocked(i, scaled, &mut w);
                     w_bias += scaled * bias_sq;
-                    init_rows += 1;
                 }
             }
         }
@@ -307,7 +306,7 @@ impl SvcTrainer {
             }
         }
 
-        Ok(SvcSolve { w, w_bias, alpha, epochs, visits, init_rows })
+        Ok(SvcSolve { w, w_bias, alpha, epochs, visits })
     }
 
     /// Dispatch one binary problem on the configured [`SolverMode`] and
@@ -321,11 +320,15 @@ impl SvcTrainer {
         warm: Option<&[f64]>,
         budget: &TargetBudget,
     ) -> Result<SvcSolve, TrainError> {
+        let span = telemetry::span(telemetry::Stage::Solve);
         let out = match self.config.mode {
             SolverMode::Strict => self.solve_binary_strict(x, labels, class_seed, budget)?,
             SolverMode::Fast => self.solve_binary_fast(x, labels, class_seed, warm, budget)?,
         };
+        drop(span);
         stats::record(out.epochs, out.visits, out.epochs * x.n_rows() as u64);
+        telemetry::counter_add(telemetry::Counter::SolverEpochs, out.epochs);
+        telemetry::counter_add(telemetry::Counter::SolverVisits, out.visits);
         Ok(out)
     }
 
@@ -350,7 +353,6 @@ impl SvcTrainer {
         let mut hyperplanes = Vec::with_capacity(k);
         let mut duals = Vec::with_capacity(k);
         let mut total_visits = 0u64;
-        let mut total_init_rows = 0u64;
         for class in 0..k {
             let labels: Vec<f64> = y
                 .iter()
@@ -370,19 +372,19 @@ impl SvcTrainer {
                 budget,
             )?;
             total_visits += out.visits;
-            total_init_rows += out.init_rows;
             hyperplanes.push((out.w, if cfg.bias { out.w_bias } else { 0.0 }));
             duals.push(out.alpha);
         }
 
         // Visit-based accounting (see svr.rs): shrinking's skipped
-        // coordinates are not charged, warm init is ~2 flops per folded cell.
+        // coordinates are not charged; warm-init fold-in is priced by the
+        // CV driver once per dual vector, never per solve.
         let active_set_bytes = match cfg.mode {
             SolverMode::Fast => n * std::mem::size_of::<usize>(),
             SolverMode::Strict => 0,
         };
         let cost = TrainingCost {
-            flops: total_visits * ((d as u64) + 1) * 4 + total_init_rows * ((d as u64) + 1) * 2,
+            flops: total_visits * ((d as u64) + 1) * 4,
             peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
         };
         Ok((Trained { model: LinearSvc { hyperplanes }, cost }, duals))
@@ -396,7 +398,6 @@ struct SvcSolve {
     alpha: Vec<f64>,
     epochs: u64,
     visits: u64,
-    init_rows: u64,
 }
 
 impl ClassifierTrainer for SvcTrainer {

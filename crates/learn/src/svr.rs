@@ -27,6 +27,7 @@
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
 use crate::solver::{stats, SolverMode};
+use crate::telemetry;
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
 use frac_dataset::DesignView;
@@ -140,8 +141,6 @@ struct SvrSolve {
     /// Coordinates whose gradient was evaluated (= dense `epochs · n` on the
     /// strict path; less under shrinking).
     visits: u64,
-    /// Rows folded into `w` by warm-start initialization.
-    init_rows: u64,
 }
 
 impl SvrTrainer {
@@ -229,7 +228,7 @@ impl SvrTrainer {
         }
 
         let visits = epochs_run * n as u64;
-        Ok(SvrSolve { w, w_bias, beta, epochs: epochs_run, visits, init_rows: 0 })
+        Ok(SvrSolve { w, w_bias, beta, epochs: epochs_run, visits })
     }
 
     /// The fast path: active-set shrinking (liblinear §4), warm-started
@@ -254,7 +253,6 @@ impl SvrTrainer {
         let mut beta = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
         let mut w_bias = 0.0f64;
-        let mut init_rows = 0u64;
         if let Some(warm) = warm {
             debug_assert_eq!(warm.len(), n, "warm-start dual length must match rows");
             for (i, &wv) in warm.iter().enumerate() {
@@ -265,7 +263,6 @@ impl SvrTrainer {
                     beta[i] = b;
                     x.axpy_row_blocked(i, b, &mut w);
                     w_bias += b * bias_sq;
-                    init_rows += 1;
                 }
             }
         }
@@ -349,7 +346,7 @@ impl SvrTrainer {
             }
         }
 
-        Ok(SvrSolve { w, w_bias, beta, epochs, visits, init_rows })
+        Ok(SvrSolve { w, w_bias, beta, epochs, visits })
     }
 
     /// Dispatch on the configured [`SolverMode`], record solver stats, and
@@ -377,23 +374,30 @@ impl SvrTrainer {
             ));
         }
 
+        let span = telemetry::span(telemetry::Stage::Solve);
         let out = match cfg.mode {
             SolverMode::Strict => self.solve_strict(x, y, budget)?,
             SolverMode::Fast => self.solve_fast(x, y, warm, budget)?,
         };
+        drop(span);
         stats::record(out.epochs, out.visits, out.epochs * n as u64);
+        telemetry::counter_add(telemetry::Counter::SolverEpochs, out.epochs);
+        telemetry::counter_add(telemetry::Counter::SolverVisits, out.visits);
 
         // Every visited coordinate touches its (d+1) augmented columns twice
-        // (gradient + update), ~4 flops each; warm-start initialization folds
-        // each nonzero row in once (~2 flops per column). Under shrinking,
-        // `visits` counts only coordinates actually swept, so the savings
-        // show up in ResourceReport instead of being charged as dense work.
+        // (gradient + update), ~4 flops each. Warm-start initialization is
+        // priced by the CV driver once per dual vector, not here — a cached
+        // dual vector may seed many solves (folds, ensemble members), and
+        // charging per solve would double-count the same fold-in work.
+        // Under shrinking, `visits` counts only coordinates actually swept,
+        // so the savings show up in ResourceReport instead of being charged
+        // as dense work.
         let active_set_bytes = match cfg.mode {
             SolverMode::Fast => n * std::mem::size_of::<usize>(),
             SolverMode::Strict => 0,
         };
         let cost = TrainingCost {
-            flops: out.visits * ((d as u64) + 1) * 4 + out.init_rows * ((d as u64) + 1) * 2,
+            flops: out.visits * ((d as u64) + 1) * 4,
             peak_bytes: ((n + d + n) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
         };
         Ok((

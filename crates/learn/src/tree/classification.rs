@@ -4,6 +4,7 @@ use super::splitter::{best_classification_split, SplitScratch};
 use super::{descend, Node, TreeConfig, BUDGET_CHECK_NODES};
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
+use crate::telemetry;
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::DesignView;
 
@@ -77,7 +78,7 @@ impl ClassificationTreeTrainer {
     }
 
     /// Greedy top-down growth with cooperative budget polling every
-    /// [`BUDGET_CHECK_NODES`] node expansions; see
+    /// `BUDGET_CHECK_NODES` node expansions; see
     /// [`super::regression::RegressionTreeTrainer`] for the contract.
     fn grow(
         &self,
@@ -87,6 +88,7 @@ impl ClassificationTreeTrainer {
         budget: &TargetBudget,
     ) -> Result<Trained<ClassificationTree>, TrainError> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+        let _span = telemetry::span(telemetry::Stage::TreeGrow);
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -161,6 +163,7 @@ impl ClassificationTreeTrainer {
 
         let peak_bytes = (n * (std::mem::size_of::<usize>() + 16)
             + nodes.len() * std::mem::size_of::<Node<u32>>()) as u64;
+        telemetry::counter_add(telemetry::Counter::TreeNodes, nodes.len() as u64);
         Ok(Trained {
             model: ClassificationTree { nodes, arity },
             cost: TrainingCost { flops, peak_bytes },
@@ -193,7 +196,7 @@ impl ClassifierTrainer for ClassificationTreeTrainer {
     }
 
     /// Budget-polling growth: same arithmetic as the infallible path, with
-    /// the budget checked every [`BUDGET_CHECK_NODES`] node expansions.
+    /// the budget checked every `BUDGET_CHECK_NODES` node expansions.
     fn try_train_view_budgeted(
         &self,
         x: &dyn DesignView,

@@ -9,6 +9,7 @@ use super::splitter::{best_regression_split, SplitScratch};
 use super::{descend, Node, TreeConfig, BUDGET_CHECK_NODES};
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
+use crate::telemetry;
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::DesignView;
 
@@ -71,7 +72,7 @@ impl RegressionTreeTrainer {
     }
 
     /// Greedy top-down growth with cooperative budget polling every
-    /// [`BUDGET_CHECK_NODES`] node expansions. With an unlimited budget the
+    /// `BUDGET_CHECK_NODES` node expansions. With an unlimited budget the
     /// result is the arithmetic of [`RegressorTrainer::train_view`], bit for
     /// bit.
     fn grow(
@@ -81,6 +82,7 @@ impl RegressionTreeTrainer {
         budget: &TargetBudget,
     ) -> Result<Trained<RegressionTree>, TrainError> {
         assert_eq!(x.n_rows(), y.len(), "target length must match rows");
+        let _span = telemetry::span(telemetry::Stage::TreeGrow);
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
@@ -153,6 +155,7 @@ impl RegressionTreeTrainer {
 
         let peak_bytes = (n * (std::mem::size_of::<usize>() + 16)
             + nodes.len() * std::mem::size_of::<Node<f64>>()) as u64;
+        telemetry::counter_add(telemetry::Counter::TreeNodes, nodes.len() as u64);
         Ok(Trained {
             model: RegressionTree { nodes },
             cost: TrainingCost { flops, peak_bytes },
@@ -171,7 +174,7 @@ impl RegressorTrainer for RegressionTreeTrainer {
     }
 
     /// Budget-polling growth: same arithmetic as the infallible path, with
-    /// the budget checked every [`BUDGET_CHECK_NODES`] node expansions.
+    /// the budget checked every `BUDGET_CHECK_NODES` node expansions.
     fn try_train_view_budgeted(
         &self,
         x: &dyn DesignView,

@@ -4,29 +4,58 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-cargo build --release
+# The bare root build only covers the facade lib; the smoke below runs
+# the release binary, so build frac-cli explicitly too.
+cargo build --release -p frac -p frac-cli
 cargo test -q
 cargo clippy --workspace -- -D warnings
 # frac-core and frac-learn deny unwrap/expect in non-test code via
 # crate-root cfg_attr (flags passed here would leak into dependency
 # builds); this run enforces those lints.
 cargo clippy -p frac-core -p frac-learn --lib
+# The documented surface is part of the gate: every public item has docs
+# (frac-core/frac-learn deny missing_docs) and no doc link is broken.
+# Library crates only — the vendored stubs are workspace members but not
+# ours to lint, and the `frac` bin would collide with the facade's docs.
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps \
+  -p frac -p frac-dataset -p frac-learn -p frac-projection -p frac-synth \
+  -p frac-core -p frac-baselines -p frac-eval
 # Fault-isolation guarantee: fit + score must survive injected faults.
 cargo test -q -p frac-core --test fault_injection
 # Crash-safety guarantee: resume after a kill at any journal byte must be
 # bitwise identical to an uninterrupted run.
 cargo test -q -p frac-core --test crash_resume
+# Telemetry guarantee: well-nested span trees under injected faults, and
+# traced runs bit-identical to untraced ones.
+cargo test -q -p frac-core --test telemetry
 
 # Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
-# within the budget plus slack, save a scored model, and print a health
-# summary that accounts for every planned target.
+# within the budget plus slack, save a scored model, print a health
+# summary that accounts for every planned target, and write an
+# inspectable telemetry trace.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-./target/release/frac generate --dataset autism --out "$smoke_dir"
-timeout 60 ./target/release/frac train \
-  --train "$smoke_dir/autism.train.tsv" \
-  --out "$smoke_dir/autism.frac" \
-  --snp --deadline 2s --journal "$smoke_dir/autism.frj" \
-  2> "$smoke_dir/train.log"
-test -f "$smoke_dir/autism.frac"
-grep -q "health: " "$smoke_dir/train.log"
+run_smoke() {
+  ./target/release/frac generate --dataset autism --out "$smoke_dir"
+  timeout 60 ./target/release/frac train \
+    --train "$smoke_dir/autism.train.tsv" \
+    --out "$smoke_dir/autism.frac" \
+    --snp --deadline 2s --journal "$smoke_dir/autism.frj" \
+    --telemetry "$smoke_dir/autism.trace.tsv" \
+    2> "$smoke_dir/train.log"
+  test -f "$smoke_dir/autism.frac"
+  grep -q "health: " "$smoke_dir/train.log"
+  test -f "$smoke_dir/autism.trace.tsv"
+  ./target/release/frac inspect-telemetry \
+    --file "$smoke_dir/autism.trace.tsv" > "$smoke_dir/inspect.log"
+  grep -q "^wall" "$smoke_dir/inspect.log"
+}
+run_smoke
+
+# The telemetry-off build must compile every probe away and still pass
+# the same smoke (its trace degenerates to wall clock + solver delta).
+cargo build --release -p frac-cli --features telemetry-off
+rm -rf "$smoke_dir"/*
+run_smoke
+# Leave the default binary in place for anything run after the gate.
+cargo build --release -p frac-cli
