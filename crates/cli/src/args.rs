@@ -23,6 +23,9 @@ USAGE:
                            each target's time went) and write it here:
                            self-describing TSV, or JSON if FILE ends in
                            .json; inspect with `frac inspect-telemetry`
+        --kernel-tier T    force the blocked-kernel tier for A/B runs:
+                           unrolled (portable fallback) or avx2 (requires
+                           AVX2+FMA); default: best supported tier
 
   frac resume --train FILE --out FILE --journal FILE [OPTIONS]
       Continue a journaled `train` run that was killed or hit its
@@ -117,6 +120,8 @@ pub struct TrainArgs {
     pub deadline: Option<Duration>,
     /// Telemetry trace output path (TSV, or JSON for a `.json` extension).
     pub telemetry: Option<PathBuf>,
+    /// Forced blocked-kernel tier name (`unrolled` | `avx2`), if any.
+    pub kernel_tier: Option<String>,
 }
 
 impl Default for TrainArgs {
@@ -131,6 +136,7 @@ impl Default for TrainArgs {
             journal: None,
             deadline: None,
             telemetry: None,
+            kernel_tier: None,
         }
     }
 }
@@ -227,6 +233,9 @@ fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
             }
             "--telemetry" => {
                 a.telemetry = Some(take_value(argv, &mut i, "--telemetry")?.into())
+            }
+            "--kernel-tier" => {
+                a.kernel_tier = Some(take_value(argv, &mut i, "--kernel-tier")?.to_string())
             }
             other => return Err(format!("unknown flag `{other}` for {sub}")),
         }
@@ -516,6 +525,23 @@ mod tests {
                 assert_eq!(a.telemetry, Some(PathBuf::from("t.tsv")));
                 assert_eq!(a.deadline, Some(Duration::from_secs(2)));
             }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_train_kernel_tier_flag() {
+        let cmd = parse(&argv(
+            "train --train a.tsv --out m.frac --kernel-tier unrolled",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train(a) => assert_eq!(a.kernel_tier.as_deref(), Some("unrolled")),
+            _ => panic!(),
+        }
+        // No flag: no override.
+        match parse(&argv("train --train a.tsv --out m.frac")).unwrap() {
+            Command::Train(a) => assert_eq!(a.kernel_tier, None),
             _ => panic!(),
         }
     }

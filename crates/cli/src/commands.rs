@@ -78,6 +78,15 @@ fn variant_from(args: &ScoreArgs) -> Result<Variant, Error> {
 }
 
 fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
+    if let Some(name) = &args.kernel_tier {
+        let requested = frac_dataset::kernels::KernelTier::parse(name)
+            .ok_or_else(|| format!("unknown kernel tier `{name}` (unrolled | avx2)"))?;
+        if !requested.supported() {
+            return Err(format!("kernel tier `{requested}` is not supported on this CPU").into());
+        }
+        let active = frac_dataset::kernels::force_tier(Some(requested));
+        eprintln!("kernel tier forced: {active}");
+    }
     let train = read_tsv_at(&args.train)?;
     let config = if args.snp {
         FracConfig::snp().with_seed(args.seed)
@@ -309,6 +318,9 @@ fn inspect_telemetry(path: &std::path::Path, top: usize) -> Result<(), Error> {
     println!("counter\tvalue");
     for c in Counter::ALL {
         println!("{}\t{}", c.as_str(), report.counter(c));
+    }
+    if let Some(name) = frac_dataset::kernels::describe_code(report.counter(Counter::KernelTier)) {
+        println!("kernel_tier_name\t{name}");
     }
     println!(
         "solver\tsolves={} epochs={} visits={} dense_slots={}",

@@ -310,19 +310,27 @@ impl RunJournal {
         self.sync()
     }
 
-    /// Frame, checksum, and write record bodies without flushing. Marks
-    /// the journal broken on failure.
+    /// Frame, checksum, and write record bodies without flushing. The whole
+    /// batch is framed into one buffer before the file lock is taken and
+    /// written with a single `write_all` — one syscall per flush window
+    /// instead of one per record, which is most of the journal overhead on
+    /// fast many-target workloads. Marks the journal broken on failure.
     fn write_bodies(&self, bodies: impl Iterator<Item = String>) -> Result<(), JournalError> {
+        use std::fmt::Write as _;
+        let mut buf = String::new();
+        for body in bodies {
+            let _ = writeln!(buf, "rec {} {:08x}", body.len(), crc32(body.as_bytes()));
+            buf.push_str(&body);
+        }
+        if buf.is_empty() {
+            return Ok(());
+        }
         let result = (|| -> Result<(), JournalError> {
             let mut file = match self.file.lock() {
                 Ok(f) => f,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            for body in bodies {
-                let mut buf = format!("rec {} {:08x}\n", body.len(), crc32(body.as_bytes()));
-                buf.push_str(&body);
-                file.write_all(buf.as_bytes())?;
-            }
+            file.write_all(buf.as_bytes())?;
             Ok(())
         })();
         if result.is_err() {

@@ -277,6 +277,25 @@ impl DualCache {
     }
 }
 
+/// Kernel tier code for the run's `kernel_tier` telemetry counter
+/// (decoded by [`frac_dataset::kernels::describe_code`]). A strict SVM
+/// family pins the exact sequential kernels regardless of the dispatched
+/// blocked tier, so the run is recorded as sequential-strict.
+fn kernel_tier_code(config: &FracConfig) -> u64 {
+    let strict = matches!(
+        config.real_model,
+        RealModel::Svr(c) if c.mode == frac_learn::SolverMode::Strict
+    ) || matches!(
+        config.cat_model,
+        CatModel::Svc(c) if c.mode == frac_learn::SolverMode::Strict
+    );
+    if strict {
+        frac_dataset::kernels::SEQUENTIAL_STRICT_CODE
+    } else {
+        frac_dataset::kernels::active_tier().code()
+    }
+}
+
 /// Restrict the run-wide fold plan to one target's present rows.
 ///
 /// The shared plan partitions global row indices; a target trains only on
@@ -1217,6 +1236,7 @@ impl FracModel {
         preloaded: Vec<TargetRecord>,
     ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
+        telemetry::counter_add(telemetry::Counter::KernelTier, kernel_tier_code(config));
         // One k-fold plan for the whole run: the shuffle is derived once
         // from the master seed, and each target restricts it to its present
         // rows instead of re-deriving a per-target partition.

@@ -523,6 +523,18 @@ impl DesignView for PoolView<'_> {
         }
     }
 
+    fn row_dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        let base = r * self.stride;
+        let mut acc = init;
+        let mut wo = 0usize;
+        for &(start, width) in &self.segments {
+            let seg = &self.values[base + start..base + start + width];
+            acc = crate::kernels::dot_f32_blocked(seg, &w[wo..wo + width], acc);
+            wo += width;
+        }
+        acc
+    }
+
     fn col(&self, c: usize) -> ColRef<'_> {
         ColRef {
             values: self.values,
@@ -662,6 +674,15 @@ pub trait DesignView: Sync {
         self.axpy_row(r, alpha, w);
     }
 
+    /// Mixed-precision variant of [`Self::row_dot_blocked`] for the fast
+    /// solver path's optional f32 mode: products computed in f32,
+    /// accumulated in f64 ([`crate::kernels::dot_f32_blocked`]). The
+    /// default falls back to the full-precision blocked kernel, which is
+    /// always within the f32 mode's documented tolerance.
+    fn row_dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.row_dot_blocked(r, w, init)
+    }
+
     /// Bytes this view holds beyond the storage it borrows (row-index
     /// vectors, column maps) — the working-set cost of serving it.
     fn view_overhead_bytes(&self) -> usize {
@@ -728,6 +749,10 @@ impl<D: DesignView + ?Sized> DesignView for RowSubset<'_, D> {
         self.inner.axpy_row_blocked(self.rows[r], alpha, w);
     }
 
+    fn row_dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.inner.row_dot_f32(self.rows[r], w, init)
+    }
+
     fn col(&self, c: usize) -> ColRef<'_> {
         self.inner.col(c).push_rows(self.rows)
     }
@@ -792,6 +817,10 @@ impl DesignView for DesignMatrix {
         crate::kernels::axpy_blocked(alpha, self.row(r), w);
     }
 
+    fn row_dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        crate::kernels::dot_f32_blocked(self.row(r), w, init)
+    }
+
     fn col(&self, c: usize) -> ColRef<'_> {
         assert!(c < self.n_cols, "column {c} out of range");
         ColRef {
@@ -801,6 +830,83 @@ impl DesignView for DesignMatrix {
             rows: RowIx::Direct,
             len: self.n_rows,
         }
+    }
+}
+
+/// A dense row-major copy of a design view, packed once per solve.
+///
+/// Dual coordinate descent revisits every row once per epoch, so the fast
+/// solver path pays the one-time gather here to make each visit a single
+/// contiguous kernel call — no virtual dispatch, no row-subset remap, no
+/// per-segment loop. Packing merges a view's pool segments into one slice
+/// per row, which changes the reduction kernels' block boundaries: results
+/// can differ from the segmented view path in the last bits (covered by
+/// the fast path's tolerance contract; strict mode never packs).
+///
+/// [`PackedDesign::from_view`] refuses designs beyond [`Self::MAX_ELEMS`]
+/// so transient solver scratch stays bounded on very wide problems; the
+/// caller falls back to the zero-copy view path.
+#[derive(Debug, Clone)]
+pub struct PackedDesign {
+    values: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+}
+
+impl PackedDesign {
+    /// Packing budget: at most `2^22` f64 elements (32 MiB) per solve.
+    pub const MAX_ELEMS: usize = 1 << 22;
+
+    /// Gather `x` into a contiguous row-major buffer, or `None` when the
+    /// design exceeds [`Self::MAX_ELEMS`] (caller keeps the view path).
+    pub fn from_view(x: &dyn DesignView) -> Option<Self> {
+        let (n_rows, n_cols) = (x.n_rows(), x.n_cols());
+        let elems = n_rows.checked_mul(n_cols)?;
+        if elems > Self::MAX_ELEMS {
+            return None;
+        }
+        let mut values = vec![0.0f64; elems];
+        for (r, buf) in values.chunks_exact_mut(n_cols.max(1)).enumerate() {
+            x.copy_row_into(r, buf);
+        }
+        Some(PackedDesign { values, n_rows, n_cols })
+    }
+
+    /// Number of packed rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of packed columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// Row `r` as one contiguous slice.
+    pub fn row(&self, r: usize) -> &[f64] {
+        &self.values[r * self.n_cols..(r + 1) * self.n_cols]
+    }
+
+    /// `init + w · row(r)` through the dispatched blocked kernel.
+    pub fn row_dot_blocked(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        crate::kernels::dot_blocked(self.row(r), w, init)
+    }
+
+    /// `Σ_j row(r)[j]²` through the dispatched blocked kernel.
+    pub fn row_sq_norm_blocked(&self, r: usize) -> f64 {
+        crate::kernels::sq_norm_blocked(self.row(r), 0.0)
+    }
+
+    /// `w += alpha · row(r)` through the blocked kernel (bit-identical to
+    /// the exact kernel — axpy has no cross-lane reduction).
+    pub fn axpy_row_blocked(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        crate::kernels::axpy_blocked(alpha, self.row(r), w);
+    }
+
+    /// Mixed-precision dot for the solver's f32 mode (f32 products, f64
+    /// accumulation).
+    pub fn row_dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        crate::kernels::dot_f32_blocked(self.row(r), w, init)
     }
 }
 

@@ -1,84 +1,580 @@
-//! Blocked inner-loop kernels for the solver fast path.
+//! Vectorized inner-loop kernels for the solver fast path.
 //!
 //! The SVM coordinate-descent sweeps spend almost all their time in three
-//! row-wise primitives: `dot`, `axpy`, and squared norm. The reference
-//! implementations fold strictly left to right, which serializes every
-//! addition behind a ~4-cycle FP latency chain. These kernels break that
-//! chain with four independent accumulators (the compiler is then free to
-//! keep them in separate registers / SIMD lanes), turning the sweeps
-//! memory-bandwidth-bound instead of scalar-issue-bound.
+//! row-wise primitives: `dot`, `axpy`, and squared norm. Two implementation
+//! tiers exist, selected **once per process** into a kernel table of plain
+//! function pointers, so the dispatch decision never sits in an inner loop:
+//!
+//! * [`KernelTier::Avx2Fma`] — explicit `std::arch` x86_64 AVX2/FMA
+//!   kernels, 16 lanes per iteration in four independent 256-bit
+//!   accumulator registers (enough chains to hide the FMA latency).
+//!   Installed only after `is_x86_feature_detected!` confirms both
+//!   features at runtime.
+//! * [`KernelTier::Unrolled`] — the portable fallback: 4-wide unrolled
+//!   scalar loops with independent accumulators (the compiler keeps them in
+//!   separate registers / SIMD lanes), which breaks the ~4-cycle FP latency
+//!   chain of a strict left-to-right fold.
 //!
 //! The lane split changes floating-point summation *grouping*, so blocked
 //! results are not bit-identical to the sequential fold — they are used only
 //! by the fast solver path ([`crate::DesignView::row_dot_blocked`] and
 //! friends); the strict reference path keeps the exact sequential kernels.
-//! Within one slice the grouping is a deterministic function of its length,
-//! so fast-path results are still reproducible run to run and across thread
-//! counts.
+//! `axpy` is the exception: it has no cross-lane reduction, so **every tier
+//! is bit-identical** to the sequential loop (each lane performs the same
+//! multiply-then-add double rounding — the AVX2 tier deliberately avoids
+//! FMA there). Within one tier the grouping is a deterministic function of
+//! the slice length, so fast-path results are reproducible run to run and
+//! across thread counts on one machine; across machines the resolved tier
+//! may differ, which is why the selected tier is recorded in telemetry and
+//! the perf snapshots.
+//!
+//! [`dot_f32_blocked`] is the optional mixed-precision kernel for the SVR /
+//! SVC duals (`SolverMode::Fast` only): products are computed in f32 and
+//! accumulated in f64, halving multiply precision (~1.2e-7 relative per
+//! product) without ever letting the accumulation itself drift. See
+//! DESIGN.md §12 for the error model.
+//!
+//! The environment variable `FRAC_KERNEL_TIER` (`avx2` / `unrolled`, plus
+//! aliases below) overrides auto-detection at first use; [`force_tier`]
+//! overrides it at any point thereafter (benchmark A/B harnesses swap tiers
+//! mid-process). Forcing `avx2` on hardware without AVX2+FMA silently falls
+//! back to the portable tier — the table never holds kernels the CPU cannot
+//! execute.
 
-/// `init + Σ_i x[i]·w[i]` with four independent accumulators.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// An implementation tier of the blocked kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelTier {
+    /// Portable 4-wide unrolled scalar kernels (every platform).
+    Unrolled,
+    /// Explicit AVX2 + FMA kernels (x86_64 with both features detected).
+    Avx2Fma,
+}
+
+/// Telemetry code for a strict-mode solve (exact sequential kernels, not
+/// part of the dispatch table). See [`KernelTier::code`].
+pub const SEQUENTIAL_STRICT_CODE: u64 = 3;
+
+impl KernelTier {
+    /// Stable display / serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            KernelTier::Unrolled => "unrolled",
+            KernelTier::Avx2Fma => "avx2+fma",
+        }
+    }
+
+    /// Telemetry counter code: 1 = unrolled, 2 = avx2+fma (3 is reserved
+    /// for [`SEQUENTIAL_STRICT_CODE`]).
+    pub fn code(self) -> u64 {
+        match self {
+            KernelTier::Unrolled => 1,
+            KernelTier::Avx2Fma => 2,
+        }
+    }
+
+    /// Parse a tier name: `unrolled` / `portable` / `scalar`, or `avx2` /
+    /// `avx2+fma` / `avx2fma`.
+    pub fn parse(s: &str) -> Option<KernelTier> {
+        match s.to_ascii_lowercase().as_str() {
+            "unrolled" | "portable" | "scalar" => Some(KernelTier::Unrolled),
+            "avx2" | "avx2+fma" | "avx2fma" => Some(KernelTier::Avx2Fma),
+            _ => None,
+        }
+    }
+
+    /// Whether this tier's kernels can execute on the current CPU.
+    pub fn supported(self) -> bool {
+        match self {
+            KernelTier::Unrolled => true,
+            KernelTier::Avx2Fma => avx2_table().is_some(),
+        }
+    }
+}
+
+impl std::fmt::Display for KernelTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Human name for a telemetry tier code ([`KernelTier::code`] plus
+/// [`SEQUENTIAL_STRICT_CODE`]); `None` for any other value.
+pub fn describe_code(code: u64) -> Option<&'static str> {
+    match code {
+        1 => Some(KernelTier::Unrolled.as_str()),
+        2 => Some(KernelTier::Avx2Fma.as_str()),
+        SEQUENTIAL_STRICT_CODE => Some("sequential-strict"),
+        _ => None,
+    }
+}
+
+/// The once-resolved kernel table: plain function pointers, so a kernel
+/// call costs one relaxed atomic load plus an indirect call — no feature
+/// detection anywhere near the inner loops.
+struct KernelTable {
+    tier: KernelTier,
+    dot: fn(&[f64], &[f64], f64) -> f64,
+    axpy: fn(f64, &[f64], &mut [f64]),
+    sq_norm: fn(&[f64], f64) -> f64,
+    dot_f32: fn(&[f64], &[f64], f64) -> f64,
+}
+
+static UNROLLED_TABLE: KernelTable = KernelTable {
+    tier: KernelTier::Unrolled,
+    dot: portable::dot,
+    axpy: portable::axpy,
+    sq_norm: portable::sq_norm,
+    dot_f32: portable::dot_f32,
+};
+
+#[cfg(target_arch = "x86_64")]
+static AVX2_TABLE: KernelTable = KernelTable {
+    tier: KernelTier::Avx2Fma,
+    dot: avx2::dot,
+    axpy: avx2::axpy,
+    sq_norm: avx2::sq_norm,
+    dot_f32: avx2::dot_f32,
+};
+
+/// The active table; null until first use. Only ever holds a pointer to
+/// one of the `'static` tables above.
+static ACTIVE: AtomicPtr<KernelTable> = AtomicPtr::new(std::ptr::null_mut());
+
+fn table() -> &'static KernelTable {
+    let p = ACTIVE.load(Ordering::Acquire);
+    if p.is_null() {
+        resolve()
+    } else {
+        // SAFETY: `ACTIVE` is written only by `install`, always with a
+        // pointer to one of the immutable `'static` tables.
+        unsafe { &*p }
+    }
+}
+
+fn install(t: &'static KernelTable) -> &'static KernelTable {
+    ACTIVE.store(t as *const KernelTable as *mut KernelTable, Ordering::Release);
+    t
+}
+
+/// First-use resolution: honor `FRAC_KERNEL_TIER` if set (unparseable
+/// values fall through to auto-detection), else pick the best supported
+/// tier.
+fn resolve() -> &'static KernelTable {
+    let requested = std::env::var("FRAC_KERNEL_TIER")
+        .ok()
+        .and_then(|v| KernelTier::parse(&v));
+    install(select(requested))
+}
+
+fn select(requested: Option<KernelTier>) -> &'static KernelTable {
+    match requested {
+        Some(KernelTier::Unrolled) => &UNROLLED_TABLE,
+        Some(KernelTier::Avx2Fma) | None => avx2_table().unwrap_or(&UNROLLED_TABLE),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn avx2_table() -> Option<&'static KernelTable> {
+    if std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    {
+        Some(&AVX2_TABLE)
+    } else {
+        None
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn avx2_table() -> Option<&'static KernelTable> {
+    None
+}
+
+/// The tier currently serving the blocked kernels (resolving it on first
+/// call).
+pub fn active_tier() -> KernelTier {
+    table().tier
+}
+
+/// Override the dispatch decision (benchmark A/B, CLI `--kernel-tier`).
+/// `None` re-runs auto-detection (ignoring the environment override).
+/// Returns the tier actually installed — a request for an unsupported tier
+/// falls back to the portable one.
+///
+/// Swapping tiers changes fast-path summation grouping from that point on;
+/// strict-path results are unaffected. Not intended for use concurrent
+/// with in-flight solves (the swap is atomic, but a solve spanning it
+/// would mix groupings — still within the fast path's tolerance gate,
+/// just not reproducible).
+pub fn force_tier(requested: Option<KernelTier>) -> KernelTier {
+    install(select(requested)).tier
+}
+
+/// `init + Σ_i x[i]·w[i]` through the active tier.
 ///
 /// # Panics
 /// Debug-asserts `x.len() == w.len()`.
 #[inline]
 pub fn dot_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
     debug_assert_eq!(x.len(), w.len());
-    let mut xc = x.chunks_exact(4);
-    let mut wc = w.chunks_exact(4);
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for (xs, ws) in (&mut xc).zip(&mut wc) {
-        a0 += xs[0] * ws[0];
-        a1 += xs[1] * ws[1];
-        a2 += xs[2] * ws[2];
-        a3 += xs[3] * ws[3];
-    }
-    let mut acc = init + ((a0 + a2) + (a1 + a3));
-    for (xv, wv) in xc.remainder().iter().zip(wc.remainder()) {
-        acc += xv * wv;
-    }
-    acc
+    (table().dot)(x, w, init)
 }
 
-/// `w[i] += alpha · x[i]`, 4-wide unrolled.
-///
-/// Unlike the reductions, axpy has no cross-lane dependency, so the result
-/// is bit-identical to the sequential loop — the unroll only removes bounds
-/// checks and exposes independent stores.
+/// `w[i] += alpha · x[i]` through the active tier. Bit-identical to the
+/// sequential loop on every tier (no cross-lane reduction; the AVX2 tier
+/// uses separate multiply and add, never FMA).
 ///
 /// # Panics
 /// Debug-asserts `x.len() == w.len()`.
 #[inline]
 pub fn axpy_blocked(alpha: f64, x: &[f64], w: &mut [f64]) {
     debug_assert_eq!(x.len(), w.len());
-    let mut xc = x.chunks_exact(4);
-    let mut wc = w.chunks_exact_mut(4);
-    for (xs, ws) in (&mut xc).zip(&mut wc) {
-        ws[0] += alpha * xs[0];
-        ws[1] += alpha * xs[1];
-        ws[2] += alpha * xs[2];
-        ws[3] += alpha * xs[3];
-    }
-    for (xv, wv) in xc.remainder().iter().zip(wc.into_remainder()) {
-        *wv += alpha * xv;
+    (table().axpy)(alpha, x, w);
+}
+
+/// `acc + Σ_i x[i]²` through the active tier.
+#[inline]
+pub fn sq_norm_blocked(x: &[f64], acc: f64) -> f64 {
+    (table().sq_norm)(x, acc)
+}
+
+/// `init + Σ_i f64(f32(x[i]) · f32(w[i]))` through the active tier: the
+/// mixed-precision f32-compute / f64-accumulate dot for the fast solver
+/// path's optional f32 mode.
+///
+/// # Panics
+/// Debug-asserts `x.len() == w.len()`.
+#[inline]
+pub fn dot_f32_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
+    debug_assert_eq!(x.len(), w.len());
+    (table().dot_f32)(x, w, init)
+}
+
+/// Run one kernel under an explicit tier without touching the process-wide
+/// table (equivalence tests exercise both tiers in one process).
+///
+/// # Panics
+/// Panics if the tier is not [supported](KernelTier::supported) on this CPU.
+pub fn dot_for_tier(tier: KernelTier, x: &[f64], w: &[f64], init: f64) -> f64 {
+    (table_for(tier).dot)(x, w, init)
+}
+
+/// Per-tier variant of [`axpy_blocked`]; see [`dot_for_tier`].
+///
+/// # Panics
+/// Panics if the tier is not supported on this CPU.
+pub fn axpy_for_tier(tier: KernelTier, alpha: f64, x: &[f64], w: &mut [f64]) {
+    (table_for(tier).axpy)(alpha, x, w);
+}
+
+/// Per-tier variant of [`sq_norm_blocked`]; see [`dot_for_tier`].
+///
+/// # Panics
+/// Panics if the tier is not supported on this CPU.
+pub fn sq_norm_for_tier(tier: KernelTier, x: &[f64], acc: f64) -> f64 {
+    (table_for(tier).sq_norm)(x, acc)
+}
+
+/// Per-tier variant of [`dot_f32_blocked`]; see [`dot_for_tier`].
+///
+/// # Panics
+/// Panics if the tier is not supported on this CPU.
+pub fn dot_f32_for_tier(tier: KernelTier, x: &[f64], w: &[f64], init: f64) -> f64 {
+    (table_for(tier).dot_f32)(x, w, init)
+}
+
+fn table_for(tier: KernelTier) -> &'static KernelTable {
+    match tier {
+        KernelTier::Unrolled => &UNROLLED_TABLE,
+        KernelTier::Avx2Fma => match avx2_table() {
+            Some(t) => t,
+            None => panic!("kernel tier avx2+fma is not supported on this CPU"),
+        },
     }
 }
 
-/// `acc + Σ_i x[i]²` with four independent accumulators.
-#[inline]
-pub fn sq_norm_blocked(x: &[f64], acc: f64) -> f64 {
-    let mut xc = x.chunks_exact(4);
-    let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for xs in &mut xc {
-        a0 += xs[0] * xs[0];
-        a1 += xs[1] * xs[1];
-        a2 += xs[2] * xs[2];
-        a3 += xs[3] * xs[3];
+/// Portable fallback tier: 4-wide unrolled with independent accumulators.
+mod portable {
+    pub(super) fn dot(x: &[f64], w: &[f64], init: f64) -> f64 {
+        let mut xc = x.chunks_exact(4);
+        let mut wc = w.chunks_exact(4);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (xs, ws) in (&mut xc).zip(&mut wc) {
+            a0 += xs[0] * ws[0];
+            a1 += xs[1] * ws[1];
+            a2 += xs[2] * ws[2];
+            a3 += xs[3] * ws[3];
+        }
+        let mut acc = init + ((a0 + a2) + (a1 + a3));
+        for (xv, wv) in xc.remainder().iter().zip(wc.remainder()) {
+            acc += xv * wv;
+        }
+        acc
     }
-    let mut acc = acc + ((a0 + a2) + (a1 + a3));
-    for xv in xc.remainder() {
-        acc += xv * xv;
+
+    pub(super) fn axpy(alpha: f64, x: &[f64], w: &mut [f64]) {
+        let mut xc = x.chunks_exact(4);
+        let mut wc = w.chunks_exact_mut(4);
+        for (xs, ws) in (&mut xc).zip(&mut wc) {
+            ws[0] += alpha * xs[0];
+            ws[1] += alpha * xs[1];
+            ws[2] += alpha * xs[2];
+            ws[3] += alpha * xs[3];
+        }
+        for (xv, wv) in xc.remainder().iter().zip(wc.into_remainder()) {
+            *wv += alpha * xv;
+        }
     }
-    acc
+
+    pub(super) fn sq_norm(x: &[f64], acc: f64) -> f64 {
+        let mut xc = x.chunks_exact(4);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for xs in &mut xc {
+            a0 += xs[0] * xs[0];
+            a1 += xs[1] * xs[1];
+            a2 += xs[2] * xs[2];
+            a3 += xs[3] * xs[3];
+        }
+        let mut acc = acc + ((a0 + a2) + (a1 + a3));
+        for xv in xc.remainder() {
+            acc += xv * xv;
+        }
+        acc
+    }
+
+    pub(super) fn dot_f32(x: &[f64], w: &[f64], init: f64) -> f64 {
+        let mut xc = x.chunks_exact(4);
+        let mut wc = w.chunks_exact(4);
+        let (mut a0, mut a1, mut a2, mut a3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+        for (xs, ws) in (&mut xc).zip(&mut wc) {
+            a0 += f64::from(xs[0] as f32 * ws[0] as f32);
+            a1 += f64::from(xs[1] as f32 * ws[1] as f32);
+            a2 += f64::from(xs[2] as f32 * ws[2] as f32);
+            a3 += f64::from(xs[3] as f32 * ws[3] as f32);
+        }
+        let mut acc = init + ((a0 + a2) + (a1 + a3));
+        for (xv, wv) in xc.remainder().iter().zip(wc.remainder()) {
+            acc += f64::from(*xv as f32 * *wv as f32);
+        }
+        acc
+    }
+}
+
+/// Explicit AVX2/FMA tier. The safe entry points here are sound only when
+/// the CPU has AVX2 and FMA — they are reachable exclusively through a
+/// kernel table installed after runtime detection (`select`), or through
+/// `table_for`, which panics on unsupported tiers.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::{
+        __m256d, _mm256_add_pd, _mm256_castpd256_pd128, _mm256_cvtpd_ps, _mm256_cvtps_pd,
+        _mm256_extractf128_pd, _mm256_fmadd_pd, _mm256_loadu_pd, _mm256_mul_pd, _mm256_set1_pd,
+        _mm256_setzero_pd, _mm256_storeu_pd, _mm_add_pd, _mm_add_sd, _mm_cvtsd_f64, _mm_mul_ps,
+        _mm_unpackhi_pd,
+    };
+
+    pub(super) fn dot(x: &[f64], w: &[f64], init: f64) -> f64 {
+        // SAFETY: reachable only via a table installed after runtime
+        // detection of avx2+fma (see module docs).
+        unsafe { dot_impl(x, w, init) }
+    }
+
+    pub(super) fn axpy(alpha: f64, x: &[f64], w: &mut [f64]) {
+        // SAFETY: as for `dot`.
+        unsafe { axpy_impl(alpha, x, w) }
+    }
+
+    pub(super) fn sq_norm(x: &[f64], acc: f64) -> f64 {
+        // SAFETY: as for `dot`.
+        unsafe { sq_norm_impl(x, acc) }
+    }
+
+    pub(super) fn dot_f32(x: &[f64], w: &[f64], init: f64) -> f64 {
+        // SAFETY: as for `dot`.
+        unsafe { dot_f32_impl(x, w, init) }
+    }
+
+    /// Horizontal sum of the four lanes, in a fixed (pairwise) order.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn hsum(v: __m256d) -> f64 {
+        let lo = _mm256_castpd256_pd128(v);
+        let hi = _mm256_extractf128_pd::<1>(v);
+        let s = _mm_add_pd(lo, hi);
+        _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)))
+    }
+
+    /// 16 lanes per iteration in four independent accumulator registers —
+    /// enough chains to cover the ~4-cycle FMA latency at the loads' issue
+    /// rate; FMA keeps each product unrounded until its lane add.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn dot_impl(x: &[f64], w: &[f64], init: f64) -> f64 {
+        let n = x.len();
+        let (xp, wp) = (x.as_ptr(), w.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` keeps all eight 4-lane loads in bounds
+            // (the caller debug-asserts `x.len() == w.len()`; release
+            // builds are guarded by the loop bound on the shorter read).
+            unsafe {
+                acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(wp.add(i)), acc0);
+                acc1 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(xp.add(i + 4)),
+                    _mm256_loadu_pd(wp.add(i + 4)),
+                    acc1,
+                );
+                acc2 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(xp.add(i + 8)),
+                    _mm256_loadu_pd(wp.add(i + 8)),
+                    acc2,
+                );
+                acc3 = _mm256_fmadd_pd(
+                    _mm256_loadu_pd(xp.add(i + 12)),
+                    _mm256_loadu_pd(wp.add(i + 12)),
+                    acc3,
+                );
+            }
+            i += 16;
+        }
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` keeps both 4-lane loads in bounds.
+            unsafe {
+                acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(wp.add(i)), acc0);
+            }
+            i += 4;
+        }
+        let mut acc =
+            init + hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc2), _mm256_add_pd(acc1, acc3)));
+        while i < n {
+            acc += x[i] * w[i];
+            i += 1;
+        }
+        acc
+    }
+
+    /// 8 lanes per iteration; multiply *then* add (never FMA), so every
+    /// lane performs the same double rounding as the sequential loop and
+    /// the result stays bit-identical on every tier.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn axpy_impl(alpha: f64, x: &[f64], w: &mut [f64]) {
+        let n = x.len().min(w.len());
+        let a = _mm256_set1_pd(alpha);
+        let xp = x.as_ptr();
+        let wp = w.as_mut_ptr();
+        let mut i = 0usize;
+        while i + 8 <= n {
+            // SAFETY: `i + 8 <= n` keeps every load/store in bounds; `x`
+            // and `w` cannot alias (`&[f64]` vs `&mut [f64]`).
+            unsafe {
+                let x0 = _mm256_loadu_pd(xp.add(i));
+                let x1 = _mm256_loadu_pd(xp.add(i + 4));
+                let w0 = _mm256_loadu_pd(wp.add(i));
+                let w1 = _mm256_loadu_pd(wp.add(i + 4));
+                _mm256_storeu_pd(wp.add(i), _mm256_add_pd(w0, _mm256_mul_pd(a, x0)));
+                _mm256_storeu_pd(wp.add(i + 4), _mm256_add_pd(w1, _mm256_mul_pd(a, x1)));
+            }
+            i += 8;
+        }
+        while i < n {
+            w[i] += alpha * x[i];
+            i += 1;
+        }
+    }
+
+    /// 16 lanes per iteration in four independent accumulator registers.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn sq_norm_impl(x: &[f64], acc: f64) -> f64 {
+        let n = x.len();
+        let xp = x.as_ptr();
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` keeps all four 4-lane loads in bounds.
+            unsafe {
+                let x0 = _mm256_loadu_pd(xp.add(i));
+                let x1 = _mm256_loadu_pd(xp.add(i + 4));
+                let x2 = _mm256_loadu_pd(xp.add(i + 8));
+                let x3 = _mm256_loadu_pd(xp.add(i + 12));
+                acc0 = _mm256_fmadd_pd(x0, x0, acc0);
+                acc1 = _mm256_fmadd_pd(x1, x1, acc1);
+                acc2 = _mm256_fmadd_pd(x2, x2, acc2);
+                acc3 = _mm256_fmadd_pd(x3, x3, acc3);
+            }
+            i += 16;
+        }
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` keeps the 4-lane load in bounds.
+            unsafe {
+                let x0 = _mm256_loadu_pd(xp.add(i));
+                acc0 = _mm256_fmadd_pd(x0, x0, acc0);
+            }
+            i += 4;
+        }
+        let mut acc =
+            acc + hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc2), _mm256_add_pd(acc1, acc3)));
+        while i < n {
+            acc += x[i] * x[i];
+            i += 1;
+        }
+        acc
+    }
+
+    /// f32-compute / f64-accumulate: demote each 4-lane f64 block to f32,
+    /// multiply in f32, promote the products back and accumulate in f64.
+    /// 16 lanes per iteration, four independent f64 accumulators.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    fn dot_f32_impl(x: &[f64], w: &[f64], init: f64) -> f64 {
+        let n = x.len();
+        let (xp, wp) = (x.as_ptr(), w.as_ptr());
+        let mut acc0 = _mm256_setzero_pd();
+        let mut acc1 = _mm256_setzero_pd();
+        let mut acc2 = _mm256_setzero_pd();
+        let mut acc3 = _mm256_setzero_pd();
+        let mut i = 0usize;
+        while i + 16 <= n {
+            // SAFETY: `i + 16 <= n` keeps all eight 4-lane loads in bounds.
+            unsafe {
+                let x0 = _mm256_cvtpd_ps(_mm256_loadu_pd(xp.add(i)));
+                let w0 = _mm256_cvtpd_ps(_mm256_loadu_pd(wp.add(i)));
+                let x1 = _mm256_cvtpd_ps(_mm256_loadu_pd(xp.add(i + 4)));
+                let w1 = _mm256_cvtpd_ps(_mm256_loadu_pd(wp.add(i + 4)));
+                let x2 = _mm256_cvtpd_ps(_mm256_loadu_pd(xp.add(i + 8)));
+                let w2 = _mm256_cvtpd_ps(_mm256_loadu_pd(wp.add(i + 8)));
+                let x3 = _mm256_cvtpd_ps(_mm256_loadu_pd(xp.add(i + 12)));
+                let w3 = _mm256_cvtpd_ps(_mm256_loadu_pd(wp.add(i + 12)));
+                acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm_mul_ps(x0, w0)));
+                acc1 = _mm256_add_pd(acc1, _mm256_cvtps_pd(_mm_mul_ps(x1, w1)));
+                acc2 = _mm256_add_pd(acc2, _mm256_cvtps_pd(_mm_mul_ps(x2, w2)));
+                acc3 = _mm256_add_pd(acc3, _mm256_cvtps_pd(_mm_mul_ps(x3, w3)));
+            }
+            i += 16;
+        }
+        while i + 4 <= n {
+            // SAFETY: `i + 4 <= n` keeps both 4-lane loads in bounds.
+            unsafe {
+                let x0 = _mm256_cvtpd_ps(_mm256_loadu_pd(xp.add(i)));
+                let w0 = _mm256_cvtpd_ps(_mm256_loadu_pd(wp.add(i)));
+                acc0 = _mm256_add_pd(acc0, _mm256_cvtps_pd(_mm_mul_ps(x0, w0)));
+            }
+            i += 4;
+        }
+        let mut acc =
+            init + hsum(_mm256_add_pd(_mm256_add_pd(acc0, acc2), _mm256_add_pd(acc1, acc3)));
+        while i < n {
+            acc += f64::from(x[i] as f32 * w[i] as f32);
+            i += 1;
+        }
+        acc
+    }
 }
 
 #[cfg(test)]
@@ -91,51 +587,119 @@ mod tests {
         (x, w)
     }
 
+    fn tiers() -> Vec<KernelTier> {
+        [KernelTier::Unrolled, KernelTier::Avx2Fma]
+            .into_iter()
+            .filter(|t| t.supported())
+            .collect()
+    }
+
     #[test]
     fn dot_matches_sequential_within_tolerance() {
-        for n in [0, 1, 3, 4, 5, 7, 8, 64, 129] {
-            let (x, w) = vecs(n);
-            let seq: f64 = 0.5 + x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
-            let blocked = dot_blocked(&x, &w, 0.5);
-            assert!(
-                (seq - blocked).abs() <= 1e-12 * (1.0 + seq.abs()),
-                "n={n}: {seq} vs {blocked}"
-            );
+        for tier in tiers() {
+            for n in [0, 1, 3, 4, 5, 7, 8, 9, 15, 64, 129] {
+                let (x, w) = vecs(n);
+                let seq: f64 = 0.5 + x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+                let blocked = dot_for_tier(tier, &x, &w, 0.5);
+                assert!(
+                    (seq - blocked).abs() <= 1e-10 * (1.0 + seq.abs()),
+                    "{tier} n={n}: {seq} vs {blocked}"
+                );
+            }
         }
     }
 
     #[test]
     fn axpy_is_bit_identical_to_sequential() {
-        for n in [0, 1, 3, 4, 6, 8, 65] {
-            let (x, w0) = vecs(n);
-            let mut a = w0.clone();
-            let mut b = w0.clone();
-            axpy_blocked(1.75, &x, &mut a);
-            for (wv, xv) in b.iter_mut().zip(&x) {
-                *wv += 1.75 * xv;
+        for tier in tiers() {
+            for n in [0, 1, 3, 4, 6, 7, 8, 9, 13, 65] {
+                let (x, w0) = vecs(n);
+                let mut a = w0.clone();
+                let mut b = w0.clone();
+                axpy_for_tier(tier, 1.75, &x, &mut a);
+                for (wv, xv) in b.iter_mut().zip(&x) {
+                    *wv += 1.75 * xv;
+                }
+                assert_eq!(
+                    a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+                    "{tier} n={n}"
+                );
             }
-            assert_eq!(
-                a.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                b.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
-                "n={n}"
-            );
         }
     }
 
     #[test]
     fn sq_norm_matches_sequential_within_tolerance() {
-        for n in [0, 1, 2, 4, 9, 31, 128] {
-            let (x, _) = vecs(n);
-            let seq: f64 = x.iter().map(|v| v * v).sum();
-            let blocked = sq_norm_blocked(&x, 0.0);
-            assert!((seq - blocked).abs() <= 1e-12 * (1.0 + seq), "n={n}");
+        for tier in tiers() {
+            for n in [0, 1, 2, 4, 7, 9, 31, 128] {
+                let (x, _) = vecs(n);
+                let seq: f64 = x.iter().map(|v| v * v).sum();
+                let blocked = sq_norm_for_tier(tier, &x, 0.0);
+                assert!((seq - blocked).abs() <= 1e-10 * (1.0 + seq), "{tier} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn dot_f32_matches_f64_within_f32_tolerance() {
+        for tier in tiers() {
+            for n in [0, 1, 5, 8, 33, 200] {
+                let (x, w) = vecs(n);
+                let exact: f64 = x.iter().zip(&w).map(|(a, b)| a * b).sum::<f64>();
+                let mixed = dot_f32_for_tier(tier, &x, &w, 0.0);
+                let budget = 4.0 * f64::from(f32::EPSILON)
+                    * x.iter().zip(&w).map(|(a, b)| (a * b).abs()).sum::<f64>()
+                    + 1e-12;
+                assert!(
+                    (exact - mixed).abs() <= budget,
+                    "{tier} n={n}: {exact} vs {mixed} (budget {budget})"
+                );
+            }
         }
     }
 
     #[test]
     fn blocked_results_are_deterministic() {
-        let (x, w) = vecs(101);
-        assert_eq!(dot_blocked(&x, &w, 0.0).to_bits(), dot_blocked(&x, &w, 0.0).to_bits());
-        assert_eq!(sq_norm_blocked(&x, 0.0).to_bits(), sq_norm_blocked(&x, 0.0).to_bits());
+        // Per-tier entry points: the global table may be swapped by the
+        // force test running in a sibling thread.
+        for tier in tiers() {
+            let (x, w) = vecs(101);
+            assert_eq!(
+                dot_for_tier(tier, &x, &w, 0.0).to_bits(),
+                dot_for_tier(tier, &x, &w, 0.0).to_bits()
+            );
+            assert_eq!(
+                sq_norm_for_tier(tier, &x, 0.0).to_bits(),
+                sq_norm_for_tier(tier, &x, 0.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn tier_parse_and_codes_round_trip() {
+        assert_eq!(KernelTier::parse("unrolled"), Some(KernelTier::Unrolled));
+        assert_eq!(KernelTier::parse("portable"), Some(KernelTier::Unrolled));
+        assert_eq!(KernelTier::parse("AVX2"), Some(KernelTier::Avx2Fma));
+        assert_eq!(KernelTier::parse("avx2+fma"), Some(KernelTier::Avx2Fma));
+        assert_eq!(KernelTier::parse("mmx"), None);
+        for tier in [KernelTier::Unrolled, KernelTier::Avx2Fma] {
+            assert_eq!(describe_code(tier.code()), Some(tier.as_str()));
+        }
+        assert_eq!(describe_code(SEQUENTIAL_STRICT_CODE), Some("sequential-strict"));
+        assert_eq!(describe_code(0), None);
+    }
+
+    #[test]
+    fn active_tier_is_supported_and_forceable() {
+        let resolved = active_tier();
+        assert!(resolved.supported());
+        // Forcing the portable tier always succeeds; restore auto after.
+        assert_eq!(force_tier(Some(KernelTier::Unrolled)), KernelTier::Unrolled);
+        let (x, w) = vecs(37);
+        let portable = dot_blocked(&x, &w, 0.0);
+        assert_eq!(portable.to_bits(), dot_for_tier(KernelTier::Unrolled, &x, &w, 0.0).to_bits());
+        let back = force_tier(None);
+        assert!(back.supported());
     }
 }

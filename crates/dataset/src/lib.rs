@@ -46,7 +46,9 @@ pub mod stats;
 pub mod textio;
 
 pub use dataset::{Column, Dataset, Value};
-pub use design::{ColRef, DesignMatrix, DesignView, EncodedPool, PoolSpec, PoolView, RowSubset};
+pub use design::{
+    ColRef, DesignMatrix, DesignView, EncodedPool, PackedDesign, PoolSpec, PoolView, RowSubset,
+};
 pub use kde::GaussianKde;
 pub use quarantine::{FeatureScreen, QuarantineReason, ScreenReport};
 pub use schema::{Feature, FeatureKind, Schema};

@@ -26,6 +26,120 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use frac_dataset::{DesignView, PackedDesign};
+
+/// Row-access surface the fast solvers' epoch loops are generic over.
+///
+/// Two implementors: [`frac_dataset::PackedDesign`] — rows gathered into
+/// one contiguous buffer per solve, so the monomorphized hot loop makes a
+/// single unsegmented kernel call per visit — and `dyn DesignView`, the
+/// zero-copy fallback for designs beyond the packing budget
+/// ([`PackedDesign::MAX_ELEMS`]). Strict mode never goes through this
+/// trait; it keeps the exact sequential per-view paths.
+pub(crate) trait SolverRows {
+    /// Number of rows.
+    fn n_rows(&self) -> usize;
+    /// Number of design columns.
+    fn n_cols(&self) -> usize;
+    /// `init + w · row(r)` (blocked kernel).
+    fn dot(&self, r: usize, w: &[f64], init: f64) -> f64;
+    /// Mixed-precision `init + w · row(r)` (f32 products, f64 accumulate).
+    fn dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64;
+    /// `Σ_j row(r)[j]²` (blocked kernel).
+    fn sq_norm(&self, r: usize) -> f64;
+    /// `w += alpha · row(r)` (blocked kernel; bit-identical across tiers).
+    fn axpy(&self, r: usize, alpha: f64, w: &mut [f64]);
+}
+
+impl SolverRows for PackedDesign {
+    fn n_rows(&self) -> usize {
+        PackedDesign::n_rows(self)
+    }
+
+    fn n_cols(&self) -> usize {
+        PackedDesign::n_cols(self)
+    }
+
+    fn dot(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.row_dot_blocked(r, w, init)
+    }
+
+    fn dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        PackedDesign::row_dot_f32(self, r, w, init)
+    }
+
+    fn sq_norm(&self, r: usize) -> f64 {
+        self.row_sq_norm_blocked(r)
+    }
+
+    fn axpy(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        self.axpy_row_blocked(r, alpha, w);
+    }
+}
+
+impl SolverRows for dyn DesignView + '_ {
+    fn n_rows(&self) -> usize {
+        DesignView::n_rows(self)
+    }
+
+    fn n_cols(&self) -> usize {
+        DesignView::n_cols(self)
+    }
+
+    fn dot(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        self.row_dot_blocked(r, w, init)
+    }
+
+    fn dot_f32(&self, r: usize, w: &[f64], init: f64) -> f64 {
+        DesignView::row_dot_f32(self, r, w, init)
+    }
+
+    fn sq_norm(&self, r: usize) -> f64 {
+        self.row_sq_norm_blocked(r)
+    }
+
+    fn axpy(&self, r: usize, alpha: f64, w: &mut [f64]) {
+        self.axpy_row_blocked(r, alpha, w);
+    }
+}
+
+/// When set, the fast solvers skip the per-solve [`PackedDesign`] gather
+/// and run their epoch loops through the zero-copy view path, as the
+/// pre-SIMD-tier fast path did. Bench-only (the `perfsnapshot` A/B pins
+/// its scalar-blocked baseline with this); packing changes results only
+/// within the fast path's tolerance contract.
+static FORCE_UNPACKED: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+/// Force (or restore) the zero-copy view-path solver, skipping the
+/// per-solve design packing. Bench-only: `perfsnapshot` pins its
+/// scalar-blocked A/B baseline with this.
+pub fn force_unpacked_solver(on: bool) {
+    FORCE_UNPACKED.store(on, Ordering::Release);
+}
+
+/// Gather `x` for the fast epoch loops unless disabled or over-budget.
+pub(crate) fn pack_for_solve(x: &dyn DesignView) -> Option<PackedDesign> {
+    if FORCE_UNPACKED.load(Ordering::Acquire) {
+        return None;
+    }
+    PackedDesign::from_view(x)
+}
+
+/// Fisher–Yates with multiply-shift index sampling (Lemire) — no integer
+/// division. The fast solver paths shuffle the active set every epoch, so
+/// the reference shuffle's rejection sampling (two 64-bit divisions per
+/// element) is measurable next to a blocked dot over a short row. The
+/// permutation is still a pure function of the RNG stream, just a
+/// different one than `SliceRandom::shuffle` draws — covered by the fast
+/// path's "iteration order differs from the reference" contract. Strict
+/// keeps the reference shuffle.
+pub(crate) fn shuffle_fast(v: &mut [usize], rng: &mut impl rand::RngCore) {
+    for i in (1..v.len()).rev() {
+        let j = (((rng.next_u64() as u128) * (i as u128 + 1)) >> 64) as usize;
+        v.swap(i, j);
+    }
+}
+
 /// Which coordinate-descent path [`crate::svr::SvrTrainer`] and
 /// [`crate::svc::SvcTrainer`] use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -17,7 +17,7 @@
 
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
-use crate::solver::{stats, SolverMode};
+use crate::solver::{stats, SolverMode, SolverRows};
 use crate::telemetry;
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
@@ -40,6 +40,10 @@ pub struct SvcConfig {
     pub seed: u64,
     /// Solver path: fast (shrinking + warm starts, default) or strict.
     pub mode: SolverMode,
+    /// Compute gradient dot products in f32 with f64 accumulation
+    /// ([`frac_dataset::DesignView::row_dot_f32`]). Honoured only on the
+    /// fast path — strict always runs the exact sequential f64 kernels.
+    pub f32_compute: bool,
 }
 
 impl Default for SvcConfig {
@@ -54,6 +58,7 @@ impl Default for SvcConfig {
             bias: true,
             seed: 0x0c1a_55e5,
             mode: SolverMode::Fast,
+            f32_compute: false,
         }
     }
 }
@@ -216,11 +221,27 @@ impl SvcTrainer {
         warm: Option<&[f64]>,
         budget: &TargetBudget,
     ) -> Result<SvcSolve, TrainError> {
+        // Gather the design into contiguous rows when it fits the packing
+        // budget (see the SVR fast path); zero-copy fallback otherwise.
+        match crate::solver::pack_for_solve(x) {
+            Some(packed) => self.solve_binary_fast_rows(&packed, labels, class_seed, warm, budget),
+            None => self.solve_binary_fast_rows(x, labels, class_seed, warm, budget),
+        }
+    }
+
+    fn solve_binary_fast_rows<X: SolverRows + ?Sized>(
+        &self,
+        x: &X,
+        labels: &[f64],
+        class_seed: u64,
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<SvcSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
         let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
-        let q_diag: Vec<f64> = (0..n).map(|i| x.row_sq_norm_blocked(i) + bias_sq).collect();
+        let q_diag: Vec<f64> = (0..n).map(|i| x.sq_norm(i) + bias_sq).collect();
 
         let mut alpha = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
@@ -232,7 +253,7 @@ impl SvcTrainer {
                 if a != 0.0 {
                     alpha[i] = a;
                     let scaled = a * labels[i];
-                    x.axpy_row_blocked(i, scaled, &mut w);
+                    x.axpy(i, scaled, &mut w);
                     w_bias += scaled * bias_sq;
                 }
             }
@@ -242,18 +263,23 @@ impl SvcTrainer {
         let mut shrink_thr = f64::INFINITY;
         let mut epochs = 0u64;
         let mut visits = 0u64;
+        let f32_dot = cfg.f32_compute;
 
         while epochs < cfg.max_epochs as u64 {
             budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epochs));
-            active.shuffle(&mut rng);
+            crate::solver::shuffle_fast(&mut active, &mut rng);
             let mut max_violation = 0.0f64;
 
             let mut idx = 0usize;
             while idx < active.len() {
                 let i = active[idx];
                 let yi = labels[i];
-                let mut g = x.row_dot_blocked(i, &w, w_bias * bias_sq);
+                let mut g = if f32_dot {
+                    x.dot_f32(i, &w, w_bias * bias_sq)
+                } else {
+                    x.dot(i, &w, w_bias * bias_sq)
+                };
                 g = yi * g - 1.0;
                 visits += 1;
 
@@ -286,7 +312,7 @@ impl SvcTrainer {
                     let delta = (a_new - a) * yi;
                     if delta != 0.0 {
                         alpha[i] = a_new;
-                        x.axpy_row_blocked(i, delta, &mut w);
+                        x.axpy(i, delta, &mut w);
                         w_bias += delta * bias_sq;
                     }
                 }

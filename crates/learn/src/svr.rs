@@ -26,7 +26,7 @@
 
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
-use crate::solver::{stats, SolverMode};
+use crate::solver::{stats, SolverMode, SolverRows};
 use crate::telemetry;
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
@@ -52,6 +52,13 @@ pub struct SvrConfig {
     pub seed: u64,
     /// Solver path: fast (shrinking + warm starts, default) or strict.
     pub mode: SolverMode,
+    /// Compute gradient dot products in f32 with f64 accumulation
+    /// ([`frac_dataset::DesignView::row_dot_f32`]). Honoured only on the
+    /// fast path — strict always runs the exact sequential f64 kernels.
+    /// The weight updates (axpy) stay full f64, so the error is bounded by
+    /// the ~1.2e-7 relative rounding of each product, well inside the
+    /// solver tolerance it is meant to be paired with.
+    pub f32_compute: bool,
 }
 
 impl Default for SvrConfig {
@@ -71,6 +78,7 @@ impl Default for SvrConfig {
             bias: true,
             seed: 0x5f3c_9e1d,
             mode: SolverMode::Fast,
+            f32_compute: false,
         }
     }
 }
@@ -244,11 +252,27 @@ impl SvrTrainer {
         warm: Option<&[f64]>,
         budget: &TargetBudget,
     ) -> Result<SvrSolve, TrainError> {
+        // Gather the design into contiguous rows when it fits the packing
+        // budget: the epoch loop below then monomorphizes to single-slice
+        // kernel calls with no view indirection.
+        match crate::solver::pack_for_solve(x) {
+            Some(packed) => self.solve_fast_rows(&packed, y, warm, budget),
+            None => self.solve_fast_rows(x, y, warm, budget),
+        }
+    }
+
+    fn solve_fast_rows<X: SolverRows + ?Sized>(
+        &self,
+        x: &X,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<SvrSolve, TrainError> {
         let cfg = &self.config;
         let n = x.n_rows();
         let d = x.n_cols();
         let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
-        let q_diag: Vec<f64> = (0..n).map(|i| x.row_sq_norm_blocked(i) + bias_sq).collect();
+        let q_diag: Vec<f64> = (0..n).map(|i| x.sq_norm(i) + bias_sq).collect();
 
         let mut beta = vec![0.0f64; n];
         let mut w = vec![0.0f64; d];
@@ -261,7 +285,7 @@ impl SvrTrainer {
                 let b = wv.clamp(-cfg.c, cfg.c);
                 if b != 0.0 {
                     beta[i] = b;
-                    x.axpy_row_blocked(i, b, &mut w);
+                    x.axpy(i, b, &mut w);
                     w_bias += b * bias_sq;
                 }
             }
@@ -271,18 +295,24 @@ impl SvrTrainer {
         let mut shrink_thr = f64::INFINITY;
         let mut epochs = 0u64;
         let mut visits = 0u64;
+        let f32_dot = cfg.f32_compute;
 
         while epochs < cfg.max_epochs as u64 {
             budget.check()?;
             let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, epochs));
-            active.shuffle(&mut rng);
+            crate::solver::shuffle_fast(&mut active, &mut rng);
             let mut max_violation = 0.0f64;
 
             let mut idx = 0usize;
             while idx < active.len() {
                 let i = active[idx];
                 let h = q_diag[i];
-                let g = x.row_dot_blocked(i, &w, -y[i] + w_bias * bias_sq);
+                let init = -y[i] + w_bias * bias_sq;
+                let g = if f32_dot {
+                    x.dot_f32(i, &w, init)
+                } else {
+                    x.dot(i, &w, init)
+                };
                 visits += 1;
                 let gp = g + cfg.epsilon;
                 let gn = g - cfg.epsilon;
@@ -325,7 +355,7 @@ impl SvrTrainer {
                     let delta = beta_new - b;
                     if delta != 0.0 {
                         beta[i] = beta_new;
-                        x.axpy_row_blocked(i, delta, &mut w);
+                        x.axpy(i, delta, &mut w);
                         w_bias += delta * bias_sq;
                     }
                 }

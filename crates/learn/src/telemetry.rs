@@ -140,10 +140,15 @@ pub enum Counter {
     JournalBytes,
     /// Cells encoded into the shared design pool.
     EncodedCells,
+    /// Kernel tier code recorded once per fit
+    /// ([`frac_dataset::kernels::describe_code`] names the codes). Unlike
+    /// the other counters this is a label, not a volume — repeated fits in
+    /// one session sum their codes, so interpret it per fit.
+    KernelTier,
 }
 
 /// Number of [`Counter`] variants (report array size).
-pub const N_COUNTERS: usize = 5;
+pub const N_COUNTERS: usize = 6;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -153,6 +158,7 @@ impl Counter {
         Counter::TreeNodes,
         Counter::JournalBytes,
         Counter::EncodedCells,
+        Counter::KernelTier,
     ];
 
     /// Stable serialization name.
@@ -163,6 +169,7 @@ impl Counter {
             Counter::TreeNodes => "tree_nodes",
             Counter::JournalBytes => "journal_bytes",
             Counter::EncodedCells => "encoded_cells",
+            Counter::KernelTier => "kernel_tier",
         }
     }
 
@@ -178,6 +185,7 @@ impl Counter {
             Counter::TreeNodes => 2,
             Counter::JournalBytes => 3,
             Counter::EncodedCells => 4,
+            Counter::KernelTier => 5,
         }
     }
 }
@@ -992,7 +1000,7 @@ mod tests {
                     dur_ns: 100,
                 },
             ],
-            counters: [1, 2, 3, 4, 5],
+            counters: [1, 2, 3, 4, 5, 6],
             solver: SolverStats { solves: 9, epochs: 8, visits: 7, dense_slots: 6 },
             wall_ns: 12345,
             notes: vec![("health".into(), "all 4 targets fitted cleanly".into())],

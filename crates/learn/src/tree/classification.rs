@@ -133,7 +133,8 @@ impl ClassificationTreeTrainer {
                     cfg.min_samples_leaf,
                     cfg.min_gain,
                     &mut scratch,
-                )
+                    budget,
+                )?
             };
 
             match choice {

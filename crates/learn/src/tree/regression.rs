@@ -124,7 +124,8 @@ impl RegressionTreeTrainer {
                     cfg.min_samples_leaf,
                     cfg.min_gain,
                     &mut scratch,
-                )
+                    budget,
+                )?
             };
 
             match choice {

@@ -13,6 +13,10 @@ cargo clippy --workspace -- -D warnings
 # crate-root cfg_attr (flags passed here would leak into dependency
 # builds); this run enforces those lints.
 cargo clippy -p frac-core -p frac-learn --lib
+# The SIMD kernel module is the workspace's only unsafe code
+# (#![deny(unsafe_op_in_unsafe_fn)] at its root); keep the crate that
+# hosts it lint-clean on its own, independent of workspace-wide runs.
+cargo clippy -p frac-dataset --lib -- -D warnings
 # The documented surface is part of the gate: every public item has docs
 # (frac-core/frac-learn deny missing_docs) and no doc link is broken.
 # Library crates only — the vendored stubs are workspace members but not
@@ -28,6 +32,12 @@ cargo test -q -p frac-core --test crash_resume
 # Telemetry guarantee: well-nested span trees under injected faults, and
 # traced runs bit-identical to untraced ones.
 cargo test -q -p frac-core --test telemetry
+# SIMD-tier guarantee: the fast/strict equivalence suites must also pass
+# with vectorization force-disabled — the portable unrolled tier is a
+# first-class execution path, not just a fallback (DESIGN.md §12).
+FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-dataset --test kernel_equivalence
+FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-learn --test solver_equivalence
+FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-core --test pool_equivalence
 
 # Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
 # within the budget plus slack, save a scored model, print a health
