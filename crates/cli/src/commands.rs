@@ -319,7 +319,7 @@ fn inspect_telemetry(path: &std::path::Path, top: usize) -> Result<(), Error> {
     for c in Counter::ALL {
         println!("{}\t{}", c.as_str(), report.counter(c));
     }
-    if let Some(name) = frac_dataset::kernels::describe_code(report.counter(Counter::KernelTier)) {
+    if let Some(name) = frac_dataset::kernels::describe_mask(report.counter(Counter::KernelTier)) {
         println!("kernel_tier_name\t{name}");
     }
     println!(

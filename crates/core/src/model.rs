@@ -277,23 +277,34 @@ impl DualCache {
     }
 }
 
-/// Kernel tier code for the run's `kernel_tier` telemetry counter
-/// (decoded by [`frac_dataset::kernels::describe_code`]). A strict SVM
-/// family pins the exact sequential kernels regardless of the dispatched
-/// blocked tier, so the run is recorded as sequential-strict.
+/// Kernel tier bitmask for the run's `kernel_tier` telemetry counter
+/// (decoded by [`frac_dataset::kernels::describe_mask`]). Each SVM family
+/// contributes the tier its solves actually use — a strict family pins the
+/// exact sequential kernels, a fast one rides the dispatched blocked tier
+/// — so a mixed config (strict SVR + fast SVC) records both bits instead
+/// of mislabeling the fast solves as sequential-strict. A config with no
+/// SVM family records the dispatched tier alone: that is what any blocked
+/// kernel the fit touches would resolve to, and it keeps bench snapshots
+/// comparable across machines.
 fn kernel_tier_code(config: &FracConfig) -> u64 {
-    let strict = matches!(
-        config.real_model,
-        RealModel::Svr(c) if c.mode == frac_learn::SolverMode::Strict
-    ) || matches!(
-        config.cat_model,
-        CatModel::Svc(c) if c.mode == frac_learn::SolverMode::Strict
-    );
-    if strict {
-        frac_dataset::kernels::SEQUENTIAL_STRICT_CODE
-    } else {
-        frac_dataset::kernels::active_tier().code()
+    let family_bit = |mode: frac_learn::SolverMode| {
+        if mode == frac_learn::SolverMode::Strict {
+            frac_dataset::kernels::SEQUENTIAL_STRICT_CODE
+        } else {
+            frac_dataset::kernels::active_tier().code()
+        }
+    };
+    let mut mask = 0;
+    if let RealModel::Svr(c) = config.real_model {
+        mask |= family_bit(c.mode);
     }
+    if let CatModel::Svc(c) = config.cat_model {
+        mask |= family_bit(c.mode);
+    }
+    if mask == 0 {
+        mask = frac_dataset::kernels::active_tier().code();
+    }
+    mask
 }
 
 /// Restrict the run-wide fold plan to one target's present rows.

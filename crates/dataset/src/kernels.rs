@@ -54,9 +54,9 @@ pub enum KernelTier {
     Avx2Fma,
 }
 
-/// Telemetry code for a strict-mode solve (exact sequential kernels, not
-/// part of the dispatch table). See [`KernelTier::code`].
-pub const SEQUENTIAL_STRICT_CODE: u64 = 3;
+/// Telemetry bit flag for a strict-mode solve (exact sequential kernels,
+/// not part of the dispatch table). See [`KernelTier::code`].
+pub const SEQUENTIAL_STRICT_CODE: u64 = 4;
 
 impl KernelTier {
     /// Stable display / serialization name.
@@ -67,8 +67,11 @@ impl KernelTier {
         }
     }
 
-    /// Telemetry counter code: 1 = unrolled, 2 = avx2+fma (3 is reserved
-    /// for [`SEQUENTIAL_STRICT_CODE`]).
+    /// Telemetry bit flag: 1 = unrolled, 2 = avx2+fma (4 is
+    /// [`SEQUENTIAL_STRICT_CODE`]). The `kernel_tier` counter OR-merges
+    /// these into a mask of every tier the session's fits used, so a run
+    /// mixing strict and fast families (or repeated fits) stays decodable
+    /// — see [`describe_mask`].
     pub fn code(self) -> u64 {
         match self {
             KernelTier::Unrolled => 1,
@@ -101,15 +104,20 @@ impl std::fmt::Display for KernelTier {
     }
 }
 
-/// Human name for a telemetry tier code ([`KernelTier::code`] plus
-/// [`SEQUENTIAL_STRICT_CODE`]); `None` for any other value.
-pub fn describe_code(code: u64) -> Option<&'static str> {
-    match code {
-        1 => Some(KernelTier::Unrolled.as_str()),
-        2 => Some(KernelTier::Avx2Fma.as_str()),
-        SEQUENTIAL_STRICT_CODE => Some("sequential-strict"),
-        _ => None,
+/// Human name(s) for a `kernel_tier` telemetry mask: the OR of
+/// [`KernelTier::code`] bits and [`SEQUENTIAL_STRICT_CODE`], comma-joined
+/// in flag order. `None` for an empty mask or one with unknown bits
+/// (e.g. a trace written by an incompatible version).
+pub fn describe_mask(mask: u64) -> Option<String> {
+    const FLAGS: [(u64, &str); 3] =
+        [(1, "unrolled"), (2, "avx2+fma"), (SEQUENTIAL_STRICT_CODE, "sequential-strict")];
+    const KNOWN: u64 = 1 | 2 | SEQUENTIAL_STRICT_CODE;
+    if mask == 0 || mask & !KNOWN != 0 {
+        return None;
     }
+    let names: Vec<&str> =
+        FLAGS.iter().filter(|&&(bit, _)| mask & bit != 0).map(|&(_, name)| name).collect();
+    Some(names.join(","))
 }
 
 /// The once-resolved kernel table: plain function pointers, so a kernel
@@ -215,10 +223,12 @@ pub fn force_tier(requested: Option<KernelTier>) -> KernelTier {
 /// `init + Σ_i x[i]·w[i]` through the active tier.
 ///
 /// # Panics
-/// Debug-asserts `x.len() == w.len()`.
+/// Panics if `x.len() != w.len()` — the asserted equality is what keeps
+/// the AVX2 tier's raw loads in bounds, so it is a hard assert, not a
+/// debug one (the length compare is noise next to the kernel itself).
 #[inline]
 pub fn dot_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
-    debug_assert_eq!(x.len(), w.len());
+    assert_eq!(x.len(), w.len());
     (table().dot)(x, w, init)
 }
 
@@ -227,10 +237,10 @@ pub fn dot_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
 /// uses separate multiply and add, never FMA).
 ///
 /// # Panics
-/// Debug-asserts `x.len() == w.len()`.
+/// Panics if `x.len() != w.len()` (see [`dot_blocked`]).
 #[inline]
 pub fn axpy_blocked(alpha: f64, x: &[f64], w: &mut [f64]) {
-    debug_assert_eq!(x.len(), w.len());
+    assert_eq!(x.len(), w.len());
     (table().axpy)(alpha, x, w);
 }
 
@@ -245,10 +255,10 @@ pub fn sq_norm_blocked(x: &[f64], acc: f64) -> f64 {
 /// path's optional f32 mode.
 ///
 /// # Panics
-/// Debug-asserts `x.len() == w.len()`.
+/// Panics if `x.len() != w.len()` (see [`dot_blocked`]).
 #[inline]
 pub fn dot_f32_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
-    debug_assert_eq!(x.len(), w.len());
+    assert_eq!(x.len(), w.len());
     (table().dot_f32)(x, w, init)
 }
 
@@ -256,16 +266,20 @@ pub fn dot_f32_blocked(x: &[f64], w: &[f64], init: f64) -> f64 {
 /// table (equivalence tests exercise both tiers in one process).
 ///
 /// # Panics
-/// Panics if the tier is not [supported](KernelTier::supported) on this CPU.
+/// Panics if the tier is not [supported](KernelTier::supported) on this
+/// CPU, or if `x.len() != w.len()` (see [`dot_blocked`]).
 pub fn dot_for_tier(tier: KernelTier, x: &[f64], w: &[f64], init: f64) -> f64 {
+    assert_eq!(x.len(), w.len());
     (table_for(tier).dot)(x, w, init)
 }
 
 /// Per-tier variant of [`axpy_blocked`]; see [`dot_for_tier`].
 ///
 /// # Panics
-/// Panics if the tier is not supported on this CPU.
+/// Panics if the tier is not supported on this CPU, or if
+/// `x.len() != w.len()`.
 pub fn axpy_for_tier(tier: KernelTier, alpha: f64, x: &[f64], w: &mut [f64]) {
+    assert_eq!(x.len(), w.len());
     (table_for(tier).axpy)(alpha, x, w);
 }
 
@@ -280,8 +294,10 @@ pub fn sq_norm_for_tier(tier: KernelTier, x: &[f64], acc: f64) -> f64 {
 /// Per-tier variant of [`dot_f32_blocked`]; see [`dot_for_tier`].
 ///
 /// # Panics
-/// Panics if the tier is not supported on this CPU.
+/// Panics if the tier is not supported on this CPU, or if
+/// `x.len() != w.len()`.
 pub fn dot_f32_for_tier(tier: KernelTier, x: &[f64], w: &[f64], init: f64) -> f64 {
+    assert_eq!(x.len(), w.len());
     (table_for(tier).dot_f32)(x, w, init)
 }
 
@@ -411,7 +427,10 @@ mod avx2 {
     /// rate; FMA keeps each product unrounded until its lane add.
     #[target_feature(enable = "avx2", enable = "fma")]
     fn dot_impl(x: &[f64], w: &[f64], init: f64) -> f64 {
-        let n = x.len();
+        // Equal lengths are hard-asserted at every public entry point;
+        // bounding by the shorter slice anyway makes this function
+        // memory-safe on its own rather than by caller contract.
+        let n = x.len().min(w.len());
         let (xp, wp) = (x.as_ptr(), w.as_ptr());
         let mut acc0 = _mm256_setzero_pd();
         let mut acc1 = _mm256_setzero_pd();
@@ -419,9 +438,8 @@ mod avx2 {
         let mut acc3 = _mm256_setzero_pd();
         let mut i = 0usize;
         while i + 16 <= n {
-            // SAFETY: `i + 16 <= n` keeps all eight 4-lane loads in bounds
-            // (the caller debug-asserts `x.len() == w.len()`; release
-            // builds are guarded by the loop bound on the shorter read).
+            // SAFETY: `i + 16 <= n ≤ min(x.len(), w.len())` keeps all eight
+            // 4-lane loads in bounds.
             unsafe {
                 acc0 = _mm256_fmadd_pd(_mm256_loadu_pd(xp.add(i)), _mm256_loadu_pd(wp.add(i)), acc0);
                 acc1 = _mm256_fmadd_pd(
@@ -533,7 +551,8 @@ mod avx2 {
     /// 16 lanes per iteration, four independent f64 accumulators.
     #[target_feature(enable = "avx2", enable = "fma")]
     fn dot_f32_impl(x: &[f64], w: &[f64], init: f64) -> f64 {
-        let n = x.len();
+        // Shorter-slice bound: see `dot_impl`.
+        let n = x.len().min(w.len());
         let (xp, wp) = (x.as_ptr(), w.as_ptr());
         let mut acc0 = _mm256_setzero_pd();
         let mut acc1 = _mm256_setzero_pd();
@@ -684,10 +703,38 @@ mod tests {
         assert_eq!(KernelTier::parse("avx2+fma"), Some(KernelTier::Avx2Fma));
         assert_eq!(KernelTier::parse("mmx"), None);
         for tier in [KernelTier::Unrolled, KernelTier::Avx2Fma] {
-            assert_eq!(describe_code(tier.code()), Some(tier.as_str()));
+            assert_eq!(describe_mask(tier.code()).as_deref(), Some(tier.as_str()));
         }
-        assert_eq!(describe_code(SEQUENTIAL_STRICT_CODE), Some("sequential-strict"));
-        assert_eq!(describe_code(0), None);
+        assert_eq!(
+            describe_mask(SEQUENTIAL_STRICT_CODE).as_deref(),
+            Some("sequential-strict")
+        );
+        assert_eq!(
+            describe_mask(KernelTier::Avx2Fma.code() | SEQUENTIAL_STRICT_CODE).as_deref(),
+            Some("avx2+fma,sequential-strict")
+        );
+        assert_eq!(describe_mask(0), None);
+        assert_eq!(describe_mask(8), None);
+        assert_eq!(describe_mask(1 | 8), None);
+    }
+
+    #[test]
+    fn mismatched_lengths_panic_at_every_entry_point() {
+        // A length mismatch would walk the AVX2 loads out of bounds if it
+        // ever reached a kernel, so the public entry points hard-assert
+        // equality in release builds too.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let (x, w) = vecs(67);
+        let mut wm = w.clone();
+        assert!(catch_unwind(AssertUnwindSafe(|| dot_blocked(&x, &w[..33], 0.0))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| dot_f32_blocked(&x[..19], &w, 0.0))).is_err());
+        assert!(catch_unwind(AssertUnwindSafe(|| axpy_blocked(1.5, &x[..33], &mut wm))).is_err());
+        for tier in tiers() {
+            assert!(
+                catch_unwind(AssertUnwindSafe(|| dot_for_tier(tier, &x, &w[..33], 0.0))).is_err(),
+                "{tier}"
+            );
+        }
     }
 
     #[test]

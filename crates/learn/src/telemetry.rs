@@ -140,10 +140,12 @@ pub enum Counter {
     JournalBytes,
     /// Cells encoded into the shared design pool.
     EncodedCells,
-    /// Kernel tier code recorded once per fit
-    /// ([`frac_dataset::kernels::describe_code`] names the codes). Unlike
-    /// the other counters this is a label, not a volume — repeated fits in
-    /// one session sum their codes, so interpret it per fit.
+    /// Bitmask of kernel tiers the session's fits used
+    /// ([`frac_dataset::kernels::describe_mask`] names the bits). Unlike
+    /// the other counters this is a label, not a volume: it merges by
+    /// bitwise OR (see [`Counter::merge`]), so repeated fits on one tier
+    /// leave a single bit set and mixed strict/fast configs set one bit
+    /// per tier actually used.
     KernelTier,
 }
 
@@ -186,6 +188,17 @@ impl Counter {
             Counter::JournalBytes => 3,
             Counter::EncodedCells => 4,
             Counter::KernelTier => 5,
+        }
+    }
+
+    /// Combine an accumulated value with a new contribution: addition for
+    /// volume counters, bitwise OR for the [`Counter::KernelTier`] label
+    /// mask. Used on every accumulation boundary (thread-local add, sink
+    /// flush, final drain) so the semantics hold end to end.
+    pub fn merge(self, acc: u64, v: u64) -> u64 {
+        match self {
+            Counter::KernelTier => acc | v,
+            _ => acc + v,
         }
     }
 }
@@ -596,8 +609,9 @@ mod recorder {
         if let Some(sink) = &rec.sink {
             let mut sink = sink.lock().unwrap_or_else(|p| p.into_inner());
             sink.spans.append(&mut rec.buf);
-            for (sc, rc) in sink.counters.iter_mut().zip(&rec.counters) {
-                *sc += rc;
+            for (c, (sc, rc)) in Counter::ALL.iter().zip(sink.counters.iter_mut().zip(&rec.counters))
+            {
+                *sc = c.merge(*sc, *rc);
             }
         }
         rec.buf.clear();
@@ -771,7 +785,8 @@ pub fn counter_add(counter: Counter, n: u64) {
         recorder::REC.with(|rec| {
             let mut rec = rec.borrow_mut();
             if recorder::refresh(&mut rec) {
-                rec.counters[counter.index()] += n;
+                let i = counter.index();
+                rec.counters[i] = counter.merge(rec.counters[i], n);
                 // A counter bumped outside any span (e.g. encode cells on
                 // the pool thread) must not strand in the thread-local
                 // array if no span ever flushes it.
@@ -843,8 +858,10 @@ impl TelemetrySession {
                 for sink in g.sinks {
                     let mut s = sink.lock().unwrap_or_else(|p| p.into_inner());
                     spans.append(&mut s.spans);
-                    for (c, sc) in counters.iter_mut().zip(&s.counters) {
-                        *c += sc;
+                    for (c, (acc, sc)) in
+                        Counter::ALL.iter().zip(counters.iter_mut().zip(&s.counters))
+                    {
+                        *acc = c.merge(*acc, *sc);
                     }
                 }
             }
@@ -915,6 +932,20 @@ mod tests {
         assert_eq!(report.counter(Counter::SolverEpochs), 3);
         assert_eq!(report.counter(Counter::TreeNodes), 7);
         assert!(report.wall_ns > 0);
+    }
+
+    #[test]
+    #[cfg(not(feature = "telemetry-off"))]
+    fn kernel_tier_counter_or_merges_across_fits_and_threads() {
+        let _l = locked();
+        let session = TelemetrySession::start().unwrap();
+        // Two fits on the same tier must not sum into a different tier's
+        // bit; a strict fit on another thread adds its own bit.
+        counter_add(Counter::KernelTier, 2);
+        counter_add(Counter::KernelTier, 2);
+        std::thread::spawn(|| counter_add(Counter::KernelTier, 4)).join().unwrap();
+        let report = session.finish();
+        assert_eq!(report.counter(Counter::KernelTier), 2 | 4);
     }
 
     #[test]

@@ -22,13 +22,19 @@
 //! and up to tie-group summation order in the regression case. Constant
 //! columns are likewise rejected without sorting.
 //!
-//! The unstable sort is result-identical to the previous stable sort:
-//! split statistics are only inspected at distinct-value boundaries, where
-//! the prefix counts are invariant to the ordering inside a tie group
-//! (`-0.0`/`0.0` groups included — `v_next <= v` merges them and the
-//! midpoint threshold is numerically unchanged). Because the pairs carry
-//! the label/target directly, intra-tie permutations cannot change any
-//! evaluated quantity.
+//! For **classification** the unstable sort is result-identical to the
+//! previous stable sort: the statistics inspected at distinct-value
+//! boundaries are integer class counts, invariant to the ordering inside
+//! a tie group (`-0.0`/`0.0` groups included — `v_next <= v` merges them
+//! and the midpoint threshold is numerically unchanged). **Regression**
+//! is equivalent only up to floating-point rounding: the boundary
+//! statistics are float prefix sums (`left_sum`/`left_sq`) whose rounding
+//! depends on the intra-tie accumulation order, so gains need not be
+//! bit-identical to a stable-sort sweep, and when two candidates' gains
+//! sit within that rounding of each other the argmax could tip either
+//! way. Within one process the result is still deterministic (one sort
+//! implementation, one gather order); the legacy-oracle test compares
+//! regression gains with a tolerance rather than bit-for-bit.
 //!
 //! Budget cooperation: both searches poll the [`TargetBudget`] every
 //! [`SCAN_CHECK_ELEMS`] gathered elements, so a single pathological column
@@ -681,7 +687,9 @@ mod tests {
     fn gathered_scan_matches_legacy_oracle() {
         // Dense tie groups, signed zeros, and multiple competitive features:
         // the gathered unstable-sort scan must reproduce the legacy result
-        // exactly, gain bits included.
+        // — bit-exactly for classification (integer counts are invariant
+        // to intra-tie order), within rounding tolerance for regression
+        // gains (float prefix sums are not; see the module docs).
         let rows: Vec<Vec<f64>> = (0..48)
             .map(|i| {
                 let a = ((i * 7) % 12) as f64 * 0.25;
@@ -730,12 +738,22 @@ mod tests {
             .unwrap();
             let old_r =
                 legacy_regression_split(&samples, &x, &|s| ts[s], min_leaf, 1e-12, &mut s);
-            assert_eq!(new_r, old_r, "regression, min_leaf={min_leaf}");
             if let (Some(a), Some(b)) = (new_c, old_c) {
                 assert_eq!(a.gain.to_bits(), b.gain.to_bits());
             }
+            assert_eq!(new_r.is_some(), old_r.is_some(), "regression, min_leaf={min_leaf}");
             if let (Some(a), Some(b)) = (new_r, old_r) {
-                assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+                assert_eq!(
+                    (a.feature, a.threshold.to_bits(), a.n_left),
+                    (b.feature, b.threshold.to_bits(), b.n_left),
+                    "regression, min_leaf={min_leaf}"
+                );
+                assert!(
+                    (a.gain - b.gain).abs() <= 1e-9 * (1.0 + b.gain.abs()),
+                    "regression gain, min_leaf={min_leaf}: {} vs {}",
+                    a.gain,
+                    b.gain
+                );
             }
         }
     }
