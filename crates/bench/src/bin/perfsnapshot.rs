@@ -5,24 +5,32 @@
 //! solver-bound SVM configurations (`BENCH_solver.json`), so the perf
 //! trajectory is tracked across PRs. Further families measure journal
 //! overhead (`BENCH_journal.json`), telemetry overhead
-//! (`BENCH_telemetry.json`), and the SIMD kernel tier — per-kernel
+//! (`BENCH_telemetry.json`), the SIMD kernel tier — per-kernel
 //! throughput, scalar-blocked vs vectorized fit wall, and f32-mode NS
-//! drift (`BENCH_simd.json`).
+//! drift (`BENCH_simd.json`) — and the Gram-matrix dual strategy against
+//! the primal fast path, with a d/n sweep locating the measured crossover
+//! (`BENCH_gram.json`).
 //!
 //! ```text
-//! cargo run -p frac-bench --release --bin perfsnapshot
+//! cargo run -p frac-bench --release --bin perfsnapshot [-- --family NAME]...
 //! ```
+//!
+//! With no `--family` flag every family runs; `--family` (repeatable:
+//! `fit | solver | journal | telemetry | simd | gram`) restricts the run
+//! to the named families.
 //!
 //! Environment knobs: `FRAC_PERF_FEATURES` (default 400),
 //! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of),
 //! `FRAC_PERF_SOLVER_FEATURES` (default 160; solver-bound families).
 
 use frac_core::config::{CatModel, RealModel};
-use frac_core::{FracConfig, FracModel, ResourceReport, SolverMode, TrainingPlan};
+use frac_core::{FracConfig, FracModel, ResourceReport, SolverMode, SolverStrategy, TrainingPlan};
 use frac_dataset::kernels::{self, KernelTier};
-use frac_dataset::Dataset;
+use frac_dataset::{Dataset, DesignMatrix};
 use frac_learn::solver::stats::{self, SolverStats};
+use frac_learn::svr::SvrTrainer;
 use frac_learn::telemetry::{Counter, TelemetryReport, TelemetrySession};
+use frac_learn::traits::RegressorTrainer;
 use frac_learn::{SvcConfig, SvrConfig};
 use frac_synth::snp::CohortGroup;
 use frac_synth::{ExpressionConfig, ExpressionGenerator, SnpConfig, SnpGenerator, SubpopulationMix};
@@ -535,11 +543,244 @@ fn max_rel_drift(a: &[f64], b: &[f64]) -> f64 {
         .fold(0.0f64, f64::max)
 }
 
+/// One timed fit + NS scores + the solver counters the fit drove, for the
+/// Gram-vs-primal strategy A/B.
+struct GramSnapshot {
+    fit_s: f64,
+    ns: Vec<f64>,
+    flops: u64,
+    stats: SolverStats,
+}
+
+fn gram_timed(
+    train: &Dataset,
+    test: &Dataset,
+    plan: &TrainingPlan,
+    config: &FracConfig,
+) -> GramSnapshot {
+    stats::reset();
+    let t0 = Instant::now();
+    let (model, report) = FracModel::fit(train, plan, config);
+    let fit_s = t0.elapsed().as_secs_f64();
+    let ns = model.score(test);
+    assert!(ns.iter().all(|s| s.is_finite()));
+    GramSnapshot { fit_s, ns, flops: report.flops, stats: stats::snapshot() }
+}
+
+fn gram_best_of(
+    reps: usize,
+    train: &Dataset,
+    test: &Dataset,
+    plan: &TrainingPlan,
+    config: &FracConfig,
+) -> GramSnapshot {
+    let mut best: Option<GramSnapshot> = None;
+    for _ in 0..reps {
+        let s = gram_timed(train, test, plan, config);
+        if best.as_ref().is_none_or(|b| s.fit_s < b.fit_s) {
+            best = Some(s);
+        }
+    }
+    best.expect("at least one rep")
+}
+
+fn gram_strategy_json(s: &GramSnapshot) -> String {
+    format!(
+        "{{\"fit_wall_s\": {:.6}, \"flops\": {}, \"solves\": {}, \"gram_solves\": {}, \
+         \"gram_builds\": {}, \"pack_reuses\": {}}}",
+        s.fit_s, s.flops, s.stats.solves, s.stats.gram_solves, s.stats.gram_builds,
+        s.stats.pack_reuses,
+    )
+}
+
+/// Time one solver-bound family through the primal, Gram, and auto
+/// strategies (all on the fast path) and render its JSON object. When
+/// `strict_ref` is set, one strict fit provides the NS ranking reference
+/// (the bitwise-reference solver); otherwise the primal fast run does.
+fn gram_family_json(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    base: &FracConfig,
+    reps: usize,
+    strict_ref: bool,
+) -> String {
+    let plan = TrainingPlan::full(train.n_features());
+    let primal = gram_best_of(
+        reps,
+        train,
+        test,
+        &plan,
+        &(*base).with_solver_strategy(SolverStrategy::Primal),
+    );
+    let gram =
+        gram_best_of(reps, train, test, &plan, &(*base).with_solver_strategy(SolverStrategy::Gram));
+    let auto =
+        gram_best_of(reps, train, test, &plan, &(*base).with_solver_strategy(SolverStrategy::Auto));
+    let speedup = primal.fit_s / gram.fit_s;
+    let auto_penalty = auto.fit_s / primal.fit_s.min(gram.fit_s) - 1.0;
+    let (ref_name, ref_ns) = if strict_ref {
+        let (model, _) = FracModel::fit(train, &plan, &(*base).with_solver_mode(SolverMode::Strict));
+        ("strict", model.score(test))
+    } else {
+        ("primal", primal.ns.clone())
+    };
+    let primal_ranks = rank_agreement(&ref_ns, &primal.ns);
+    let gram_ranks = rank_agreement(&ref_ns, &gram.ns);
+    let auto_ranks = rank_agreement(&ref_ns, &auto.ns);
+    eprintln!(
+        "{name}: fit primal {:.3}s vs gram {:.3}s ({speedup:.2}x), auto {:.3}s \
+         ({:+.2}% vs best); gram builds {} / reuses {}; \
+         rank agreement vs {ref_name}: primal {primal_ranks:.3}, gram {gram_ranks:.3}, \
+         auto {auto_ranks:.3}",
+        primal.fit_s,
+        gram.fit_s,
+        auto.fit_s,
+        auto_penalty * 100.0,
+        gram.stats.gram_builds,
+        gram.stats.pack_reuses,
+    );
+    format!(
+        "  \"{name}\": {{\n    \
+         \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
+         \"primal\": {},\n    \
+         \"gram\": {},\n    \
+         \"auto\": {},\n    \
+         \"fit_speedup_gram_vs_primal\": {speedup:.3},\n    \
+         \"auto_penalty_fraction\": {auto_penalty:.4},\n    \
+         \"ranking_reference\": \"{ref_name}\",\n    \
+         \"rank_agreement_primal\": {primal_ranks:.4},\n    \
+         \"rank_agreement_gram\": {gram_ranks:.4},\n    \
+         \"rank_agreement_auto\": {auto_ranks:.4}\n  }}",
+        train.n_features(),
+        train.n_rows(),
+        test.n_rows(),
+        gram_strategy_json(&primal),
+        gram_strategy_json(&gram),
+        gram_strategy_json(&auto),
+    )
+}
+
+/// Time a bare SVR solve (no FRaC pipeline around it) at one `(n, d)`
+/// shape under one strategy: `windows` timing windows of `solves` cold
+/// solves each, best window wins. Returns seconds per solve.
+fn sweep_solve_s(
+    x: &DesignMatrix,
+    y: &[f64],
+    strategy: SolverStrategy,
+    windows: usize,
+    solves: usize,
+) -> f64 {
+    let cfg = SvrConfig {
+        tolerance: 1e-4,
+        max_epochs: 1000,
+        mode: SolverMode::Fast,
+        strategy,
+        ..SvrConfig::default()
+    };
+    let trainer = SvrTrainer::new(cfg);
+    let mut best = f64::INFINITY;
+    for _ in 0..windows {
+        let t0 = Instant::now();
+        for _ in 0..solves {
+            let (model, _) = trainer.train_view_warm(x, y, None);
+            std::hint::black_box(model);
+        }
+        best = best.min(t0.elapsed().as_secs_f64() / solves as f64);
+    }
+    best
+}
+
+/// The d/n sweep: fixed row count, widening feature count, bare SVR solves
+/// under each strategy. Locates the measured Gram-vs-primal crossover and
+/// checks the auto policy never trails the better strategy by more than
+/// 5%. Returns the rendered JSON object.
+fn gram_sweep_json(n: usize, dims: &[usize], windows: usize, solves: usize) -> String {
+    let mut points = Vec::new();
+    let mut crossover: Option<f64> = None;
+    for &d in dims {
+        // Deterministic pseudo-random data: hash-mix the index so columns
+        // are linearly independent-ish without pulling in an RNG.
+        let values: Vec<f64> =
+            (0..n * d).map(|i| ((i * 7919 + 131) % 104729) as f64 / 52364.5 - 1.0).collect();
+        let x = DesignMatrix::from_raw(n, d, values);
+        let y: Vec<f64> = (0..n).map(|i| ((i * 6151 + 7) % 104729) as f64 / 52364.5 - 1.0).collect();
+        let primal_s = sweep_solve_s(&x, &y, SolverStrategy::Primal, windows, solves);
+        let gram_s = sweep_solve_s(&x, &y, SolverStrategy::Gram, windows, solves);
+        let auto_s = sweep_solve_s(&x, &y, SolverStrategy::Auto, windows, solves);
+        let ratio = d as f64 / n as f64;
+        let policy_gram = frac_learn::solver::gram_policy().should_use_gram(n, d);
+        let auto_within = auto_s <= 1.05 * primal_s.min(gram_s);
+        if crossover.is_none() && gram_s <= primal_s {
+            crossover = Some(ratio);
+        }
+        eprintln!(
+            "sweep n={n} d={d} (d/n {ratio:.2}): primal {:.2}us gram {:.2}us auto {:.2}us; \
+             policy={} auto_within_5pct={auto_within}",
+            primal_s * 1e6,
+            gram_s * 1e6,
+            auto_s * 1e6,
+            if policy_gram { "gram" } else { "primal" },
+        );
+        points.push(format!(
+            "{{\"d\": {d}, \"dn_ratio\": {ratio:.3}, \"primal_solve_s\": {primal_s:.9}, \
+             \"gram_solve_s\": {gram_s:.9}, \"auto_solve_s\": {auto_s:.9}, \
+             \"policy_picks_gram\": {policy_gram}, \"auto_within_5pct\": {auto_within}}}"
+        ));
+    }
+    let crossover_json = match crossover {
+        Some(r) => format!("{r:.3}"),
+        None => "null".to_string(),
+    };
+    eprintln!(
+        "sweep: measured gram-wins crossover at d/n {} (policy crossover ratio {})",
+        crossover_json,
+        frac_learn::solver::gram_policy().crossover_ratio,
+    );
+    format!(
+        "  \"dn_sweep\": {{\n    \"n_rows\": {n},\n    \
+         \"policy_crossover_ratio\": {},\n    \
+         \"measured_crossover_dn\": {crossover_json},\n    \
+         \"points\": [\n      {}\n    ]\n  }}",
+        frac_learn::solver::gram_policy().crossover_ratio,
+        points.join(",\n      "),
+    )
+}
+
 fn main() {
     let n_features = env_usize("FRAC_PERF_FEATURES", 400);
     let n_rows = env_usize("FRAC_PERF_ROWS", 80);
     let reps = env_usize("FRAC_PERF_REPS", 2).max(1);
     let n_test = n_rows;
+
+    const FAMILIES: [&str; 6] = ["fit", "solver", "journal", "telemetry", "simd", "gram"];
+    let mut selected: Vec<String> = Vec::new();
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--family" => {
+                let v = argv.next().unwrap_or_else(|| {
+                    eprintln!("--family wants a value ({})", FAMILIES.join(" | "));
+                    std::process::exit(2);
+                });
+                if !FAMILIES.contains(&v.as_str()) {
+                    eprintln!("unknown family `{v}` ({})", FAMILIES.join(" | "));
+                    std::process::exit(2);
+                }
+                selected.push(v);
+            }
+            other => {
+                eprintln!(
+                    "unknown argument `{other}` \
+                     (usage: perfsnapshot [--family {}]...)",
+                    FAMILIES.join("|")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    // No flag → every family, preserving the original all-in-one snapshot.
+    let run = |name: &str| selected.is_empty() || selected.iter().any(|f| f == name);
 
     eprintln!("perfsnapshot: {n_features} features x {n_rows} train rows, best of {reps}");
 
@@ -576,20 +817,24 @@ fn main() {
     let snp_train = snp.select_rows(&(0..n_rows).collect::<Vec<_>>());
     let snp_test = snp.select_rows(&(n_rows..n_rows + n_test).collect::<Vec<_>>());
 
-    let expr_json =
-        family_json("expression", &expr_train, &expr_test, &FracConfig::expression(), reps);
-    let snp_json = family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
-    // Encode-bound family: constant predictors make training trivial, so the
-    // fit wall is dominated by design-matrix construction — the component
-    // the pool replaces. This isolates the O(f² · n) → O(f · n) change from
-    // solver time, which dominates the two paper families at this scale.
-    let encode_cfg =
-        FracConfig { real_model: RealModel::Constant, ..FracConfig::default() };
-    let encode_json = family_json("encode_bound", &expr_train, &expr_test, &encode_cfg, reps);
+    if run("fit") {
+        let expr_json =
+            family_json("expression", &expr_train, &expr_test, &FracConfig::expression(), reps);
+        let snp_json = family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+        // Encode-bound family: constant predictors make training trivial, so
+        // the fit wall is dominated by design-matrix construction — the
+        // component the pool replaces. This isolates the O(f² · n) → O(f · n)
+        // change from solver time, which dominates the two paper families at
+        // this scale.
+        let encode_cfg =
+            FracConfig { real_model: RealModel::Constant, ..FracConfig::default() };
+        let encode_json =
+            family_json("encode_bound", &expr_train, &expr_test, &encode_cfg, reps);
 
-    let json = format!("{{\n{expr_json},\n{snp_json},\n{encode_json}\n}}\n");
-    std::fs::write("BENCH_fit.json", &json).expect("write BENCH_fit.json");
-    println!("{json}");
+        let json = format!("{{\n{expr_json},\n{snp_json},\n{encode_json}\n}}\n");
+        std::fs::write("BENCH_fit.json", &json).expect("write BENCH_fit.json");
+        println!("{json}");
+    }
 
     // Solver-bound families: tight stopping tolerance with a high epoch cap
     // makes the dual coordinate-descent solves dominate the fit wall, which
@@ -652,54 +897,62 @@ fn main() {
         ..FracConfig::snp()
     };
 
-    let sexpr_json =
-        solver_family_json("expression_svr", &sexpr_train, &sexpr_test, &svr_cfg, reps);
-    let ssnp_json = solver_family_json("snp_svc", &ssnp_train, &ssnp_test, &svc_cfg, reps);
+    if run("solver") {
+        let sexpr_json =
+            solver_family_json("expression_svr", &sexpr_train, &sexpr_test, &svr_cfg, reps);
+        let ssnp_json = solver_family_json("snp_svc", &ssnp_train, &ssnp_test, &svc_cfg, reps);
 
-    let solver_json = format!("{{\n{sexpr_json},\n{ssnp_json}\n}}\n");
-    std::fs::write("BENCH_solver.json", &solver_json).expect("write BENCH_solver.json");
-    println!("{solver_json}");
+        let solver_json = format!("{{\n{sexpr_json},\n{ssnp_json}\n}}\n");
+        std::fs::write("BENCH_solver.json", &solver_json).expect("write BENCH_solver.json");
+        println!("{solver_json}");
+    }
 
-    // Journal overhead: the same fit with every completed target appended
-    // (checksummed + fsynced) to the write-ahead journal. The checkpoint
-    // write is one frame per *target*, so its cost amortizes over the
-    // target's whole ensemble fit; the budget is < 3% wall overhead.
-    let expr_journal = journal_family_json(
-        "expression",
-        &expr_train,
-        &expr_test,
-        &FracConfig::expression(),
-        reps,
-    );
-    let snp_journal =
-        journal_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
-    let journal_json = format!("{{\n{expr_journal},\n{snp_journal}\n}}\n");
-    std::fs::write("BENCH_journal.json", &journal_json).expect("write BENCH_journal.json");
-    println!("{journal_json}");
+    if run("journal") {
+        // Journal overhead: the same fit with every completed target appended
+        // (checksummed + fsynced) to the write-ahead journal. The checkpoint
+        // write is one frame per *target*, so its cost amortizes over the
+        // target's whole ensemble fit; the budget is < 3% wall overhead.
+        let expr_journal = journal_family_json(
+            "expression",
+            &expr_train,
+            &expr_test,
+            &FracConfig::expression(),
+            reps,
+        );
+        let snp_journal =
+            journal_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+        let journal_json = format!("{{\n{expr_journal},\n{snp_journal}\n}}\n");
+        std::fs::write("BENCH_journal.json", &journal_json).expect("write BENCH_journal.json");
+        println!("{journal_json}");
+    }
 
-    // Telemetry overhead: the same fit + score with a live session draining
-    // span records vs the disabled probes (one relaxed atomic load each).
-    // Budget: ≤ 1% fit overhead, and the traced scores must be bit-identical
-    // to the untraced ones — recording may observe the run, never steer it.
-    let expr_tele = telemetry_family_json(
-        "expression",
-        &expr_train,
-        &expr_test,
-        &FracConfig::expression(),
-        reps,
-    );
-    let snp_tele =
-        telemetry_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
-    let tele_json = format!("{{\n{expr_tele},\n{snp_tele}\n}}\n");
-    std::fs::write("BENCH_telemetry.json", &tele_json).expect("write BENCH_telemetry.json");
-    println!("{tele_json}");
+    if run("telemetry") {
+        // Telemetry overhead: the same fit + score with a live session
+        // draining span records vs the disabled probes (one relaxed atomic
+        // load each). Budget: ≤ 1% fit overhead, and the traced scores must
+        // be bit-identical to the untraced ones — recording may observe the
+        // run, never steer it.
+        let expr_tele = telemetry_family_json(
+            "expression",
+            &expr_train,
+            &expr_test,
+            &FracConfig::expression(),
+            reps,
+        );
+        let snp_tele =
+            telemetry_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+        let tele_json = format!("{{\n{expr_tele},\n{snp_tele}\n}}\n");
+        std::fs::write("BENCH_telemetry.json", &tele_json).expect("write BENCH_telemetry.json");
+        println!("{tele_json}");
+    }
 
+    if run("simd") {
     // SIMD kernel tier: per-kernel throughput for every supported tier,
     // then the whole-fit A/B — scalar-blocked baseline (portable unrolled
     // kernels + legacy per-row splitter) vs the vectorized path (best
     // dispatched tier + gathered splitter) — on the tree_grow-bound SNP
-    // family and the solve-bound expression family. Runs last because the
-    // A/B forces process-global knobs.
+    // family and the solve-bound expression family. Runs after the timing
+    // families above because the A/B forces process-global knobs.
     let avx2_ok = KernelTier::Avx2Fma.supported();
     eprintln!(
         "simd bench: dispatched tier {}, avx2+fma supported: {avx2_ok}",
@@ -793,4 +1046,76 @@ fn main() {
     );
     std::fs::write("BENCH_simd.json", &simd_json).expect("write BENCH_simd.json");
     println!("{simd_json}");
+    }
+
+    if run("gram") {
+        // Gram-matrix dual strategy: primal vs Gram vs auto on the same
+        // solver-bound configurations as BENCH_solver but at full surrogate
+        // width (n ≪ d is the regime the strategy targets), plus a bare-
+        // solver d/n sweep that locates the measured crossover. The SNP
+        // family anchors its NS rankings to the strict reference solver;
+        // expression (every target an SVR solve, ~6x more fits) anchors to
+        // the primal fast path to keep the strict side tractable.
+        let gram_reps = reps.max(3);
+        eprintln!(
+            "gram bench: {n_features} features x {n_rows} train rows, best of {gram_reps}"
+        );
+        let snp_gram =
+            gram_family_json("snp_svc", &snp_train, &snp_test, &svc_cfg, gram_reps, true);
+        let expr_gram = gram_family_json(
+            "expression_svr",
+            &expr_train,
+            &expr_test,
+            &svr_cfg,
+            gram_reps,
+            false,
+        );
+        // Tight-tolerance agreement: the timing families above run at the
+        // solver-bound 1e-4 tolerance, where fast and strict stop at
+        // slightly different points and near-tie NS ranks can swap — for
+        // primal exactly as for Gram (compare their rank_agreement
+        // fields). At 1e-6 both solvers reach the same optimum, so the
+        // Gram rankings must match the strict reference exactly. Uses the
+        // solver-bench surrogate: a strict 400-feature fit at 1e-6 is not
+        // wall-tractable on this host.
+        let tight_svc = FracConfig {
+            cat_model: CatModel::Svc(SvcConfig {
+                tolerance: 1e-6,
+                max_epochs: 10_000,
+                ..SvcConfig::default()
+            }),
+            ..FracConfig::snp()
+        };
+        let tight_plan = TrainingPlan::full(ssnp_train.n_features());
+        let (strict_model, _) = FracModel::fit(
+            &ssnp_train,
+            &tight_plan,
+            &tight_svc.with_solver_mode(SolverMode::Strict),
+        );
+        let strict_ns = strict_model.score(&ssnp_test);
+        let (gram_model, _) = FracModel::fit(
+            &ssnp_train,
+            &tight_plan,
+            &tight_svc.with_solver_strategy(SolverStrategy::Gram),
+        );
+        let gram_ns = gram_model.score(&ssnp_test);
+        let tight_agreement = rank_agreement(&strict_ns, &gram_ns);
+        eprintln!(
+            "tight agreement ({}x{} snp svc, tol 1e-6): gram vs strict rank agreement \
+             {tight_agreement:.4}",
+            ssnp_train.n_features(),
+            ssnp_train.n_rows(),
+        );
+        let agreement_json = format!(
+            "  \"strict_agreement_check\": {{\"n_features\": {}, \"train_rows\": {}, \
+             \"tolerance\": 1e-6, \"rank_agreement_gram_vs_strict\": {tight_agreement:.4}}}",
+            ssnp_train.n_features(),
+            ssnp_train.n_rows(),
+        );
+        let sweep = gram_sweep_json(48, &[16, 48, 96, 192, 384], 5, 12);
+        let gram_json =
+            format!("{{\n{snp_gram},\n{expr_gram},\n{agreement_json},\n{sweep}\n}}\n");
+        std::fs::write("BENCH_gram.json", &gram_json).expect("write BENCH_gram.json");
+        println!("{gram_json}");
+    }
 }

@@ -26,6 +26,11 @@ USAGE:
         --kernel-tier T    force the blocked-kernel tier for A/B runs:
                            unrolled (portable fallback) or avx2 (requires
                            AVX2+FMA); default: best supported tier
+        --solver-strategy S
+                           fast-SVM execution strategy: auto (cost-model
+                           selection per solve, default), gram (Gram-matrix
+                           dual maintenance for n ≪ d), or primal (classic
+                           primal maintenance)
 
   frac resume --train FILE --out FILE --journal FILE [OPTIONS]
       Continue a journaled `train` run that was killed or hit its
@@ -122,6 +127,8 @@ pub struct TrainArgs {
     pub telemetry: Option<PathBuf>,
     /// Forced blocked-kernel tier name (`unrolled` | `avx2`), if any.
     pub kernel_tier: Option<String>,
+    /// Fast-SVM execution strategy (`auto` | `gram` | `primal`), if any.
+    pub solver_strategy: Option<String>,
 }
 
 impl Default for TrainArgs {
@@ -137,6 +144,7 @@ impl Default for TrainArgs {
             deadline: None,
             telemetry: None,
             kernel_tier: None,
+            solver_strategy: None,
         }
     }
 }
@@ -236,6 +244,10 @@ fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
             }
             "--kernel-tier" => {
                 a.kernel_tier = Some(take_value(argv, &mut i, "--kernel-tier")?.to_string())
+            }
+            "--solver-strategy" => {
+                a.solver_strategy =
+                    Some(take_value(argv, &mut i, "--solver-strategy")?.to_string())
             }
             other => return Err(format!("unknown flag `{other}` for {sub}")),
         }
@@ -542,6 +554,23 @@ mod tests {
         // No flag: no override.
         match parse(&argv("train --train a.tsv --out m.frac")).unwrap() {
             Command::Train(a) => assert_eq!(a.kernel_tier, None),
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn parses_train_solver_strategy_flag() {
+        let cmd = parse(&argv(
+            "train --train a.tsv --out m.frac --solver-strategy gram",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train(a) => assert_eq!(a.solver_strategy.as_deref(), Some("gram")),
+            _ => panic!(),
+        }
+        // No flag: no override.
+        match parse(&argv("train --train a.tsv --out m.frac")).unwrap() {
+            Command::Train(a) => assert_eq!(a.solver_strategy, None),
             _ => panic!(),
         }
     }

@@ -3,7 +3,8 @@
 use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
 use frac_core::telemetry::{Counter, TelemetryReport, TelemetrySession};
 use frac_core::{
-    run_variant, FeatureSelector, FracConfig, FracModel, RunBudget, TrainingPlan, Variant,
+    run_variant, FeatureSelector, FracConfig, FracModel, RunBudget, SolverStrategy, TrainingPlan,
+    Variant,
 };
 use frac_dataset::io::{read_tsv, write_tsv};
 use frac_eval::auc::auc_from_scores;
@@ -88,11 +89,17 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
         eprintln!("kernel tier forced: {active}");
     }
     let train = read_tsv_at(&args.train)?;
-    let config = if args.snp {
+    let mut config = if args.snp {
         FracConfig::snp().with_seed(args.seed)
     } else {
         FracConfig::default().with_seed(args.seed)
     };
+    if let Some(name) = &args.solver_strategy {
+        let strategy = SolverStrategy::parse(name)
+            .ok_or_else(|| format!("unknown solver strategy `{name}` (auto | gram | primal)"))?;
+        config = config.with_solver_strategy(strategy);
+        eprintln!("solver strategy: {strategy}");
+    }
     let plan = match args.variant.as_str() {
         "full" => TrainingPlan::full(train.n_features()),
         "filter" => {
@@ -322,9 +329,20 @@ fn inspect_telemetry(path: &std::path::Path, top: usize) -> Result<(), Error> {
     if let Some(name) = frac_dataset::kernels::describe_mask(report.counter(Counter::KernelTier)) {
         println!("kernel_tier_name\t{name}");
     }
+    if let Some(names) =
+        frac_core::describe_strategy_mask(report.counter(Counter::SolverStrategy))
+    {
+        println!("solver_strategy_names\t{names}");
+    }
     println!(
-        "solver\tsolves={} epochs={} visits={} dense_slots={}",
-        report.solver.solves, report.solver.epochs, report.solver.visits, report.solver.dense_slots
+        "solver\tsolves={} epochs={} visits={} dense_slots={} gram_solves={} gram_builds={} pack_reuses={}",
+        report.solver.solves,
+        report.solver.epochs,
+        report.solver.visits,
+        report.solver.dense_slots,
+        report.solver.gram_solves,
+        report.solver.gram_builds,
+        report.solver.pack_reuses
     );
     let slow = report.slowest_targets(top);
     if !slow.is_empty() {

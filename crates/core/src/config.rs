@@ -1,7 +1,7 @@
 //! FRaC configuration: model families, CV folds, seeds.
 
 use frac_learn::tree::TreeConfig;
-use frac_learn::{SolverMode, SvcConfig, SvrConfig};
+use frac_learn::{SolverMode, SolverStrategy, SvcConfig, SvrConfig};
 
 /// Which model family learns real-valued target features.
 #[derive(Debug, Clone, Copy)]
@@ -99,6 +99,22 @@ impl FracConfig {
         }
         if let CatModel::Svc(cfg) = &mut self.cat_model {
             cfg.mode = mode;
+        }
+        self
+    }
+
+    /// Select the fast-path SVM execution strategy (builder style):
+    /// [`SolverStrategy::Auto`] (cost-model selection per solve, the
+    /// default), [`SolverStrategy::Gram`] (always the Gram-matrix dual
+    /// loop), or [`SolverStrategy::Primal`] (always primal maintenance).
+    /// Honoured only on the [`SolverMode::Fast`] path; a no-op for
+    /// tree/baseline model families.
+    pub fn with_solver_strategy(mut self, strategy: SolverStrategy) -> Self {
+        if let RealModel::Svr(cfg) = &mut self.real_model {
+            cfg.strategy = strategy;
+        }
+        if let CatModel::Svc(cfg) = &mut self.cat_model {
+            cfg.strategy = strategy;
         }
         self
     }

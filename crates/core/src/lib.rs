@@ -56,7 +56,8 @@ pub mod variants;
 
 pub use config::{CatModel, FracConfig, RealModel};
 pub use frac_learn::telemetry;
-pub use frac_learn::{CancelHandle, RunBudget, SolverMode, TargetBudget};
+pub use frac_learn::solver::describe_strategy_mask;
+pub use frac_learn::{CancelHandle, RunBudget, SolverMode, SolverStrategy, TargetBudget};
 pub use csax::{characterize, CsaxConfig, GeneSet, SampleCharacterization};
 pub use fault::FaultPlan;
 pub use health::{FallbackKind, RunHealth, TargetHealth, TargetOutcome};

@@ -49,6 +49,26 @@ use rayon::prelude::*;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::Instant;
 
+/// Process-wide fit counter: every [`FracModel::fit`]-family call takes a
+/// fresh nonce that scopes the thread-local solver pack cache
+/// ([`frac_learn::solver::pack_cache`]), so a design gathered for one fit
+/// can never be mistaken for the same-shaped design of a later fit over
+/// different data.
+static FIT_NONCE: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(1);
+
+/// Pack-cache scope key for one fitted predictor problem: ensemble members
+/// differ by input set (different design columns at identical shapes), so
+/// the scope hashes the fit nonce, target, and the exact input list.
+fn pack_scope(fit_nonce: u64, target: usize, inputs: &[usize]) -> u64 {
+    let mut buf = Vec::with_capacity((2 + inputs.len()) * 8);
+    buf.extend_from_slice(&fit_nonce.to_le_bytes());
+    buf.extend_from_slice(&(target as u64).to_le_bytes());
+    for &i in inputs {
+        buf.extend_from_slice(&(i as u64).to_le_bytes());
+    }
+    frac_dataset::crc::fnv64(&buf)
+}
+
 /// A fitted real-target predictor: a closed enum (rather than a trait
 /// object) so models can be persisted and reloaded exactly.
 pub(crate) enum RealPredictor {
@@ -365,11 +385,17 @@ fn fit_predictor(
     inputs: &[usize],
     config: &FracConfig,
     member_seed: u64,
+    fit_nonce: u64,
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init_duals: Option<&PredictorDuals>,
     budget: &TargetBudget,
 ) -> Result<MemberFit, TrainError> {
+    // Scope the thread-local solver pack cache to this exact predictor
+    // problem: the CV drivers and final fits below then declare their train
+    // rows per slot, letting repeated gathers of the same (rows, columns)
+    // design — and its Gram matrix — be reused instead of rebuilt.
+    frac_learn::solver::pack_cache::begin_scope(pack_scope(fit_nonce, target, inputs));
     let owned: DesignMatrix;
     let pooled: PoolView<'_>;
     let spec: DesignSpec;
@@ -581,11 +607,19 @@ fn run_real<T: frac_learn::RegressorTrainer>(
     let strength = r2_strength(y, &oof);
     drop(error_span);
     let _final_span = telemetry::span(telemetry::Stage::FinalTrain);
-    let (trained, final_duals) = if budget.is_limited() {
-        trainer.try_train_view_budgeted(x, y, cv_duals.as_deref(), budget)?
+    // Slot 0 of the pack-cache scope is the final fit over every present
+    // row (the CV folds took slots 1..); a repeat fit of the same problem
+    // (strict-ladder siblings, members sharing an input set) reuses the
+    // gather.
+    let all_rows: Vec<usize> = (0..x.n_rows()).collect();
+    frac_learn::solver::pack_cache::set_rows(0, &all_rows);
+    let final_fit = if budget.is_limited() {
+        trainer.try_train_view_budgeted(x, y, cv_duals.as_deref(), budget)
     } else {
-        trainer.try_train_view_warm(x, y, cv_duals.as_deref())?
+        trainer.try_train_view_warm(x, y, cv_duals.as_deref())
     };
+    frac_learn::solver::pack_cache::clear_rows();
+    let (trained, final_duals) = final_fit?;
     Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
@@ -617,11 +651,15 @@ fn run_cat<T: frac_learn::ClassifierTrainer>(
     let strength = accuracy_strength(y, &oof);
     drop(error_span);
     let _final_span = telemetry::span(telemetry::Stage::FinalTrain);
-    let (trained, final_duals) = if budget.is_limited() {
-        trainer.try_train_view_budgeted(x, y, arity, cv_duals.as_deref(), budget)?
+    let all_rows: Vec<usize> = (0..x.n_rows()).collect();
+    frac_learn::solver::pack_cache::set_rows(0, &all_rows);
+    let final_fit = if budget.is_limited() {
+        trainer.try_train_view_budgeted(x, y, arity, cv_duals.as_deref(), budget)
     } else {
-        trainer.try_train_view_warm(x, y, arity, cv_duals.as_deref())?
+        trainer.try_train_view_warm(x, y, arity, cv_duals.as_deref())
     };
+    frac_learn::solver::pack_cache::clear_rows();
+    let (trained, final_duals) = final_fit?;
     Ok((wrap(trained.model), trained.cost, error, strength, cv_cost, final_duals))
 }
 
@@ -696,6 +734,7 @@ fn guarded_attempt(
     inputs: &[usize],
     config: &FracConfig,
     member_seed: u64,
+    fit_nonce: u64,
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init: Option<&PredictorDuals>,
@@ -706,7 +745,8 @@ fn guarded_attempt(
             panic!("{}", INJECTED_PANIC);
         }
         fit_predictor(
-            train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
+            train, target, inputs, config, member_seed, fit_nonce, pool, shared_folds, init,
+            budget,
         )
     }));
     match outcome {
@@ -749,6 +789,7 @@ fn fit_member(
     inputs: &[usize],
     config: &FracConfig,
     member_seed: u64,
+    fit_nonce: u64,
     pool: Option<&EncodedPool>,
     shared_folds: &[Fold],
     init: Option<&PredictorDuals>,
@@ -760,13 +801,15 @@ fn fit_member(
     let mut deadline_hit = false;
     let first = match fault {
         MemberFault::Panic => guarded_attempt(
-            true, train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
+            true, train, target, inputs, config, member_seed, fit_nonce, pool, shared_folds,
+            init, budget,
         ),
         MemberFault::Diverge => {
             Err(AttemptFailure::Train(TrainError::NonConvergence { epochs: 0 }))
         }
         MemberFault::None => guarded_attempt(
-            false, train, target, inputs, config, member_seed, pool, shared_folds, init, budget,
+            false, train, target, inputs, config, member_seed, fit_nonce, pool, shared_folds,
+            init, budget,
         ),
     };
     if !matches!(fault, MemberFault::Diverge) && attempt_ran_training(&first) {
@@ -785,7 +828,8 @@ fn fit_member(
     if matches!(&failure, AttemptFailure::Train(e) if e.is_retryable()) {
         let strict = config.with_solver_mode(frac_learn::SolverMode::Strict);
         let retry = guarded_attempt(
-            false, train, target, inputs, &strict, member_seed, pool, shared_folds, init, budget,
+            false, train, target, inputs, &strict, member_seed, fit_nonce, pool, shared_folds,
+            init, budget,
         );
         if attempt_ran_training(&retry) {
             attempts_trained += 1;
@@ -817,6 +861,7 @@ fn fit_member(
         inputs,
         &baseline,
         member_seed,
+        fit_nonce,
         pool,
         shared_folds,
         None,
@@ -856,6 +901,7 @@ fn fit_one_target(
     train: &Dataset,
     tp: &TargetPlan,
     config: &FracConfig,
+    fit_nonce: u64,
     pool: Option<&EncodedPool>,
     cache_read: Option<&DualCache>,
     screen: &ScreenReport,
@@ -936,6 +982,7 @@ fn fit_one_target(
             inputs,
             config,
             member_seed,
+            fit_nonce,
             pool,
             shared_folds,
             init,
@@ -1247,6 +1294,7 @@ impl FracModel {
         preloaded: Vec<TargetRecord>,
     ) -> (FracModel, ResourceReport) {
         let t0 = Instant::now();
+        let fit_nonce = FIT_NONCE.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         telemetry::counter_add(telemetry::Counter::KernelTier, kernel_tier_code(config));
         // One k-fold plan for the whole run: the shuffle is derived once
         // from the master seed, and each target restricts it to its present
@@ -1282,6 +1330,7 @@ impl FracModel {
                 train,
                 tp,
                 config,
+                fit_nonce,
                 pool,
                 cache_read,
                 screen,

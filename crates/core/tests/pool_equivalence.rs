@@ -13,7 +13,9 @@
 //!   a small relative tolerance and **identical anomaly rankings**, on both
 //!   surrogates, at 1 and 4 threads.
 
-use frac_core::{CatModel, FracConfig, FracModel, RealModel, SolverMode, TrainingPlan};
+use frac_core::{
+    CatModel, FracConfig, FracModel, RealModel, SolverMode, SolverStrategy, TrainingPlan,
+};
 use frac_dataset::Dataset;
 use frac_learn::{SvcConfig, SvrConfig};
 use frac_synth::snp::{CohortGroup, SnpConfig, SnpGenerator, SubpopulationMix};
@@ -217,4 +219,26 @@ fn fast_solver_matches_strict_snp() {
     let config = snp_svm_config();
     check_fast_matches_strict(&train, &test, &config, "snp svc", 1);
     check_fast_matches_strict(&train, &test, &config, "snp svc", 4);
+}
+
+// The Gram-matrix dual strategy (DESIGN.md §13) rides the fast path, so it
+// owes the same end-to-end contract as the primal fast loop: NS scores
+// within tolerance of the strict reference and the identical anomaly
+// ranking, at 1 and 4 threads. The strategy pin only affects the fast side
+// of the A/B — strict never consults it.
+
+#[test]
+fn gram_strategy_matches_strict_expression() {
+    let (train, test) = expression_surrogate();
+    let config = expression_svm_config().with_solver_strategy(SolverStrategy::Gram);
+    check_fast_matches_strict(&train, &test, &config, "expression svr gram", 1);
+    check_fast_matches_strict(&train, &test, &config, "expression svr gram", 4);
+}
+
+#[test]
+fn gram_strategy_matches_strict_snp() {
+    let (train, test) = snp_surrogate();
+    let config = snp_svm_config().with_solver_strategy(SolverStrategy::Gram);
+    check_fast_matches_strict(&train, &test, &config, "snp svc gram", 1);
+    check_fast_matches_strict(&train, &test, &config, "snp svc gram", 4);
 }

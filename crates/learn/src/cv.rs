@@ -71,14 +71,18 @@ pub fn cv_regression_folds<T: RegressorTrainer>(
     let mut flops = 0u64;
     let mut peak = 0u64;
     let mut warm_buf: Vec<f64> = Vec::new();
-    for fold in folds {
+    for (fold_idx, fold) in folds.iter().enumerate() {
         let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
         warm_buf.clear();
         warm_buf.extend(fold.train.iter().map(|&r| dual_by_row[r]));
         let warm = if have_duals { Some(warm_buf.as_slice()) } else { None };
+        // Declare this fold's rows to the per-scope pack cache (slot 0 is
+        // the final fit) — inert unless a fit scope is active.
+        crate::solver::pack_cache::set_rows(1 + fold_idx as u64, &fold.train);
         let (trained, duals) = trainer.train_view_warm(&x_train, &y_train, warm);
+        crate::solver::pack_cache::clear_rows();
         match duals {
             Some(d) => {
                 for (&r, &b) in fold.train.iter().zip(&d) {
@@ -137,14 +141,17 @@ pub fn cv_regression_folds_budgeted<T: RegressorTrainer>(
     let mut flops = 0u64;
     let mut peak = 0u64;
     let mut warm_buf: Vec<f64> = Vec::new();
-    for fold in folds {
+    for (fold_idx, fold) in folds.iter().enumerate() {
         let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<f64> = fold.train.iter().map(|&r| y[r]).collect();
         warm_buf.clear();
         warm_buf.extend(fold.train.iter().map(|&r| dual_by_row[r]));
         let warm = if have_duals { Some(warm_buf.as_slice()) } else { None };
-        let (trained, duals) = trainer.try_train_view_budgeted(&x_train, &y_train, warm, budget)?;
+        crate::solver::pack_cache::set_rows(1 + fold_idx as u64, &fold.train);
+        let trained_duals = trainer.try_train_view_budgeted(&x_train, &y_train, warm, budget);
+        crate::solver::pack_cache::clear_rows();
+        let (trained, duals) = trained_duals?;
         match duals {
             Some(d) => {
                 for (&r, &b) in fold.train.iter().zip(&d) {
@@ -213,7 +220,7 @@ pub fn cv_classification_folds<T: ClassifierTrainer>(
     let mut have_duals = true;
     let mut flops = 0u64;
     let mut peak = 0u64;
-    for fold in folds {
+    for (fold_idx, fold) in folds.iter().enumerate() {
         let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
@@ -226,7 +233,9 @@ pub fn cv_classification_folds<T: ClassifierTrainer>(
             Vec::new()
         };
         let warm = if have_duals { Some(warm_vecs.as_slice()) } else { None };
+        crate::solver::pack_cache::set_rows(1 + fold_idx as u64, &fold.train);
         let (trained, duals) = trainer.train_view_warm(&x_train, &y_train, arity, warm);
+        crate::solver::pack_cache::clear_rows();
         match duals {
             Some(d) => {
                 for (class_duals, class_out) in dual_by_row.iter_mut().zip(&d) {
@@ -283,7 +292,7 @@ pub fn cv_classification_folds_budgeted<T: ClassifierTrainer>(
     let mut have_duals = true;
     let mut flops = 0u64;
     let mut peak = 0u64;
-    for fold in folds {
+    for (fold_idx, fold) in folds.iter().enumerate() {
         let _fold_span = telemetry::span(telemetry::Stage::CvFold);
         let x_train = RowSubset::new(x, &fold.train);
         let y_train: Vec<u32> = fold.train.iter().map(|&r| y[r]).collect();
@@ -296,8 +305,10 @@ pub fn cv_classification_folds_budgeted<T: ClassifierTrainer>(
             Vec::new()
         };
         let warm = if have_duals { Some(warm_vecs.as_slice()) } else { None };
-        let (trained, duals) =
-            trainer.try_train_view_budgeted(&x_train, &y_train, arity, warm, budget)?;
+        crate::solver::pack_cache::set_rows(1 + fold_idx as u64, &fold.train);
+        let trained_duals = trainer.try_train_view_budgeted(&x_train, &y_train, arity, warm, budget);
+        crate::solver::pack_cache::clear_rows();
+        let (trained, duals) = trained_duals?;
         match duals {
             Some(d) => {
                 for (class_duals, class_out) in dual_by_row.iter_mut().zip(&d) {

@@ -56,7 +56,7 @@ pub use baseline::{ConstantRegressor, MajorityClassifier};
 pub use budget::{CancelHandle, RunBudget, TargetBudget};
 pub use error::{ConfusionErrorModel, GaussianErrorModel};
 pub use fault::TrainError;
-pub use solver::SolverMode;
+pub use solver::{GramPolicy, SolverMode, SolverStrategy};
 pub use svc::{LinearSvc, SvcConfig};
 pub use svr::{LinearSvr, SvrConfig};
 pub use telemetry::{TelemetryReport, TelemetrySession};

@@ -17,11 +17,11 @@
 
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
-use crate::solver::{stats, SolverMode, SolverRows};
+use crate::solver::{stats, GramMatrix, SolverMode, SolverRows, SolverStrategy};
 use crate::telemetry;
 use crate::traits::{Classifier, ClassifierTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
-use frac_dataset::DesignView;
+use frac_dataset::{DesignView, PackedDesign};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -44,6 +44,12 @@ pub struct SvcConfig {
     /// ([`frac_dataset::DesignView::row_dot_f32`]). Honoured only on the
     /// fast path — strict always runs the exact sequential f64 kernels.
     pub f32_compute: bool,
+    /// Fast-path execution strategy: Gram-matrix dual maintenance, primal
+    /// maintenance, or cost-model auto-selection (default). Strict mode
+    /// ignores this and always runs the primal reference sweep. Under the
+    /// Gram strategy all one-vs-rest classes share one Q build (the Gram
+    /// matrix is label-independent).
+    pub strategy: SolverStrategy,
 }
 
 impl Default for SvcConfig {
@@ -59,6 +65,7 @@ impl Default for SvcConfig {
             seed: 0x0c1a_55e5,
             mode: SolverMode::Fast,
             f32_compute: false,
+            strategy: SolverStrategy::Auto,
         }
     }
 }
@@ -206,29 +213,138 @@ impl SvcTrainer {
             }
         }
         let visits = epochs_run * n as u64;
-        Ok(SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits })
+        let flops = visits * ((d as u64) + 1) * 4;
+        Ok(SvcSolve { w, w_bias, alpha, epochs: epochs_run, visits, path_bits: 0, flops })
     }
 
-    /// Fast path for one binary problem: active-set shrinking, optional
-    /// warm-started duals, blocked kernels. Mirrors the SVR fast path; the
-    /// box here is `[0, C]` (hinge loss), so the shrink conditions are the
-    /// one-sided liblinear ones.
-    fn solve_binary_fast(
+    /// The Gram-strategy fast loop for one binary problem: identical sweep
+    /// order, shrinking, and stopping logic to
+    /// [`SvcTrainer::solve_binary_fast_rows`], but the gradient comes from
+    /// a maintained dual image `qs[i] = Σ_j Q_ij α_j y_j` (= w·x_i +
+    /// w_bias·bias, since Q folds the bias in) instead of an O(d) primal
+    /// dot. Q is label-independent, so every one-vs-rest class reuses the
+    /// same matrix. Always full f64.
+    fn solve_binary_fast_gram(
         &self,
-        x: &dyn DesignView,
+        x: &PackedDesign,
+        q: &GramMatrix,
         labels: &[f64],
         class_seed: u64,
         warm: Option<&[f64]>,
         budget: &TargetBudget,
     ) -> Result<SvcSolve, TrainError> {
-        // Gather the design into contiguous rows when it fits the packing
-        // budget (see the SVR fast path); zero-copy fallback otherwise.
-        match crate::solver::pack_for_solve(x) {
-            Some(packed) => self.solve_binary_fast_rows(&packed, labels, class_seed, warm, budget),
-            None => self.solve_binary_fast_rows(x, labels, class_seed, warm, budget),
+        let cfg = &self.config;
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+
+        let mut alpha = vec![0.0f64; n];
+        let mut qs = vec![0.0f64; n];
+        if let Some(warm) = warm {
+            debug_assert_eq!(warm.len(), n, "warm-start dual length must match rows");
+            for (i, &wv) in warm.iter().enumerate() {
+                let a = wv.clamp(0.0, cfg.c);
+                if a != 0.0 {
+                    alpha[i] = a;
+                    frac_dataset::kernels::axpy_blocked(a * labels[i], q.row(i), &mut qs);
+                }
+            }
         }
+
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut shrink_thr = f64::INFINITY;
+        let mut epochs = 0u64;
+        let mut visits = 0u64;
+
+        while epochs < cfg.max_epochs as u64 {
+            budget.check()?;
+            let mut rng = StdRng::seed_from_u64(derive_seed(class_seed, epochs));
+            crate::solver::shuffle_fast(&mut active, &mut rng);
+            let mut max_violation = 0.0f64;
+
+            let mut idx = 0usize;
+            while idx < active.len() {
+                let i = active[idx];
+                let yi = labels[i];
+                let g = yi * qs[i] - 1.0;
+                visits += 1;
+
+                let a = alpha[i];
+                let shrink = if a == 0.0 {
+                    g > shrink_thr
+                } else if a >= cfg.c {
+                    g < -shrink_thr
+                } else {
+                    false
+                };
+                if shrink {
+                    active.swap_remove(idx);
+                    continue;
+                }
+
+                let pg = if a == 0.0 {
+                    g.min(0.0)
+                } else if a >= cfg.c {
+                    g.max(0.0)
+                } else {
+                    g
+                };
+                max_violation = max_violation.max(pg.abs());
+
+                let h = q.diag(i);
+                if pg.abs() > 1e-14 && h > 0.0 {
+                    let a_new = (a - g / h).clamp(0.0, cfg.c);
+                    let delta = (a_new - a) * yi;
+                    if delta != 0.0 {
+                        alpha[i] = a_new;
+                        frac_dataset::kernels::axpy_blocked(delta, q.row(i), &mut qs);
+                    }
+                }
+                idx += 1;
+            }
+
+            epochs += 1;
+            if max_violation < cfg.tolerance {
+                if active.len() == n {
+                    break;
+                }
+                active = (0..n).collect();
+                shrink_thr = f64::INFINITY;
+            } else {
+                shrink_thr = max_violation;
+            }
+        }
+
+        // Reconstruct the primal once: w = Σ α_i y_i x_i over the support.
+        let mut w = vec![0.0f64; d];
+        let mut w_bias = 0.0f64;
+        let mut nnz = 0u64;
+        for (i, &a) in alpha.iter().enumerate() {
+            if a != 0.0 {
+                let scaled = a * labels[i];
+                x.axpy_row_blocked(i, scaled, &mut w);
+                w_bias += scaled * bias_sq;
+                nnz += 1;
+            }
+        }
+
+        stats::record_gram_solve();
+        let flops = visits * ((n as u64) + 1) * 4 + nnz * ((d as u64) + 1) * 2;
+        Ok(SvcSolve {
+            w,
+            w_bias,
+            alpha,
+            epochs,
+            visits,
+            path_bits: crate::solver::STRATEGY_GRAM_CODE,
+            flops,
+        })
     }
 
+    /// Fast primal-maintenance path for one binary problem: active-set
+    /// shrinking, optional warm-started duals, blocked kernels. Mirrors the
+    /// SVR fast path; the box here is `[0, C]` (hinge loss), so the shrink
+    /// conditions are the one-sided liblinear ones.
     fn solve_binary_fast_rows<X: SolverRows + ?Sized>(
         &self,
         x: &X,
@@ -263,7 +379,10 @@ impl SvcTrainer {
         let mut shrink_thr = f64::INFINITY;
         let mut epochs = 0u64;
         let mut visits = 0u64;
-        let f32_dot = cfg.f32_compute;
+        // f32 mode needs the packed f32 mirror; without it the
+        // demote-per-visit kernel is slower than f64, so fall back and
+        // record which happened (see svr.rs).
+        let f32_dot = cfg.f32_compute && x.has_f32();
 
         while epochs < cfg.max_epochs as u64 {
             budget.check()?;
@@ -332,15 +451,30 @@ impl SvcTrainer {
             }
         }
 
-        Ok(SvcSolve { w, w_bias, alpha, epochs, visits })
+        let path_bits = crate::solver::STRATEGY_PRIMAL_CODE
+            | if f32_dot {
+                crate::solver::STRATEGY_F32_PACKED_CODE
+            } else if cfg.f32_compute {
+                crate::solver::STRATEGY_F32_FALLBACK_CODE
+            } else {
+                0
+            };
+        let flops = visits * ((d as u64) + 1) * 4;
+        Ok(SvcSolve { w, w_bias, alpha, epochs, visits, path_bits, flops })
     }
 
     /// Dispatch one binary problem on the configured [`SolverMode`] and
-    /// record solver stats. Fails only when `budget` trips (the budget is
-    /// polled once per coordinate-descent epoch).
+    /// record solver stats. `packed`/`gram` carry the per-train fast-path
+    /// context hoisted by [`SvcTrainer::train_warm_impl`] (one gather and
+    /// at most one Q build shared by all one-vs-rest classes). Fails only
+    /// when `budget` trips (the budget is polled once per coordinate-descent
+    /// epoch).
+    #[allow(clippy::too_many_arguments)]
     fn solve_binary(
         &self,
         x: &dyn DesignView,
+        packed: Option<&PackedDesign>,
+        gram: Option<&GramMatrix>,
         labels: &[f64],
         class_seed: u64,
         warm: Option<&[f64]>,
@@ -349,12 +483,23 @@ impl SvcTrainer {
         let span = telemetry::span(telemetry::Stage::Solve);
         let out = match self.config.mode {
             SolverMode::Strict => self.solve_binary_strict(x, labels, class_seed, budget)?,
-            SolverMode::Fast => self.solve_binary_fast(x, labels, class_seed, warm, budget)?,
+            SolverMode::Fast => match (packed, gram) {
+                (Some(p), Some(q)) => {
+                    self.solve_binary_fast_gram(p, q, labels, class_seed, warm, budget)?
+                }
+                (Some(p), None) => {
+                    self.solve_binary_fast_rows(p, labels, class_seed, warm, budget)?
+                }
+                _ => self.solve_binary_fast_rows(x, labels, class_seed, warm, budget)?,
+            },
         };
         drop(span);
         stats::record(out.epochs, out.visits, out.epochs * x.n_rows() as u64);
         telemetry::counter_add(telemetry::Counter::SolverEpochs, out.epochs);
         telemetry::counter_add(telemetry::Counter::SolverVisits, out.visits);
+        if out.path_bits != 0 {
+            telemetry::counter_add(telemetry::Counter::SolverStrategy, out.path_bits);
+        }
         Ok(out)
     }
 
@@ -376,9 +521,40 @@ impl SvcTrainer {
         let d = x.n_cols();
         let k = arity as usize;
 
+        // Hoist the fast-path gather — and, under the Gram strategy, the
+        // O(n²d) Q build — out of the per-class loop: Q depends only on the
+        // design (labels enter the maintained gradient, not the matrix), so
+        // every one-vs-rest class shares one build.
+        let packed = if cfg.mode == SolverMode::Fast && n > 0 {
+            crate::solver::pack_for_solve(x, cfg.f32_compute)
+        } else {
+            None
+        };
+        let mut total_flops = 0u64;
+        let gram = match &packed {
+            Some(p) => {
+                let use_gram = match cfg.strategy {
+                    SolverStrategy::Primal => false,
+                    SolverStrategy::Gram => true,
+                    SolverStrategy::Auto => crate::solver::gram_policy().should_use_gram(n, d),
+                };
+                if use_gram {
+                    let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+                    let (q, built) = crate::solver::gram_for_solve(p, bias_sq, budget)?;
+                    if built {
+                        total_flops += GramMatrix::build_flops(n, d);
+                    }
+                    Some(q)
+                } else {
+                    None
+                }
+            }
+            None => None,
+        };
+
         let mut hyperplanes = Vec::with_capacity(k);
         let mut duals = Vec::with_capacity(k);
-        let mut total_visits = 0u64;
+        let mut used_gram = false;
         for class in 0..k {
             let labels: Vec<f64> = y
                 .iter()
@@ -392,26 +568,37 @@ impl SvcTrainer {
             let class_warm = warm.and_then(|w| w.get(class)).map(|v| v.as_slice());
             let out = self.solve_binary(
                 x,
+                packed.as_deref(),
+                gram.as_deref(),
                 &labels,
                 derive_seed(cfg.seed, class as u64),
                 class_warm,
                 budget,
             )?;
-            total_visits += out.visits;
+            total_flops += out.flops;
+            used_gram |= out.path_bits & crate::solver::STRATEGY_GRAM_CODE != 0;
             hyperplanes.push((out.w, if cfg.bias { out.w_bias } else { 0.0 }));
             duals.push(out.alpha);
         }
 
-        // Visit-based accounting (see svr.rs): shrinking's skipped
-        // coordinates are not charged; warm-init fold-in is priced by the
-        // CV driver once per dual vector, never per solve.
+        // Visit-based accounting (see svr.rs): flops are priced per path
+        // inside each solve (plus the shared Q build above, charged once);
+        // shrinking's skipped coordinates are not charged; warm-init
+        // fold-in is priced by the CV driver once per dual vector, never
+        // per solve.
         let active_set_bytes = match cfg.mode {
             SolverMode::Fast => n * std::mem::size_of::<usize>(),
             SolverMode::Strict => 0,
         };
+        let gram_bytes = if used_gram {
+            (n * n + n) * std::mem::size_of::<f64>()
+        } else {
+            0
+        };
         let cost = TrainingCost {
-            flops: total_visits * ((d as u64) + 1) * 4,
-            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
+            flops: total_flops,
+            peak_bytes: ((2 * n + d) * std::mem::size_of::<f64>() + active_set_bytes + gram_bytes)
+                as u64,
         };
         Ok((Trained { model: LinearSvc { hyperplanes }, cost }, duals))
     }
@@ -424,6 +611,11 @@ struct SvcSolve {
     alpha: Vec<f64>,
     epochs: u64,
     visits: u64,
+    /// `STRATEGY_*` mask bits for the path this solve took (0 on strict).
+    path_bits: u64,
+    /// Flops performed by this solve, priced per path (the shared Q build
+    /// is charged once by [`SvcTrainer::train_warm_impl`], not here).
+    flops: u64,
 }
 
 impl ClassifierTrainer for SvcTrainer {

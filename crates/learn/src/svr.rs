@@ -26,7 +26,7 @@
 
 use crate::budget::TargetBudget;
 use crate::fault::{self, TrainError};
-use crate::solver::{stats, SolverMode, SolverRows};
+use crate::solver::{stats, GramMatrix, SolverMode, SolverRows, SolverStrategy};
 use crate::telemetry;
 use crate::traits::{Regressor, RegressorTrainer, Trained, TrainingCost};
 use frac_dataset::split::derive_seed;
@@ -59,6 +59,10 @@ pub struct SvrConfig {
     /// the ~1.2e-7 relative rounding of each product, well inside the
     /// solver tolerance it is meant to be paired with.
     pub f32_compute: bool,
+    /// Fast-path execution strategy: Gram-matrix dual maintenance, primal
+    /// maintenance, or cost-model auto-selection (default). Strict mode
+    /// ignores this and always runs the primal reference sweep.
+    pub strategy: SolverStrategy,
 }
 
 impl Default for SvrConfig {
@@ -79,6 +83,7 @@ impl Default for SvrConfig {
             seed: 0x5f3c_9e1d,
             mode: SolverMode::Fast,
             f32_compute: false,
+            strategy: SolverStrategy::Auto,
         }
     }
 }
@@ -149,6 +154,13 @@ struct SvrSolve {
     /// Coordinates whose gradient was evaluated (= dense `epochs · n` on the
     /// strict path; less under shrinking).
     visits: u64,
+    /// `STRATEGY_*` mask bits describing the path this solve actually took
+    /// (0 on the strict path, which predates the strategy telemetry).
+    path_bits: u64,
+    /// Flops actually performed, priced per path: the primal loop pays
+    /// O(d) per visit, the Gram loop O(n) per visit plus the one-off Q
+    /// build and final w reconstruction.
+    flops: u64,
 }
 
 impl SvrTrainer {
@@ -236,7 +248,10 @@ impl SvrTrainer {
         }
 
         let visits = epochs_run * n as u64;
-        Ok(SvrSolve { w, w_bias, beta, epochs: epochs_run, visits })
+        // Every visited coordinate touches its (d+1) augmented columns twice
+        // (gradient + update), ~4 flops each.
+        let flops = visits * ((d as u64) + 1) * 4;
+        Ok(SvrSolve { w, w_bias, beta, epochs: epochs_run, visits, path_bits: 0, flops })
     }
 
     /// The fast path: active-set shrinking (liblinear §4), warm-started
@@ -253,12 +268,170 @@ impl SvrTrainer {
         budget: &TargetBudget,
     ) -> Result<SvrSolve, TrainError> {
         // Gather the design into contiguous rows when it fits the packing
-        // budget: the epoch loop below then monomorphizes to single-slice
-        // kernel calls with no view indirection.
-        match crate::solver::pack_for_solve(x) {
-            Some(packed) => self.solve_fast_rows(&packed, y, warm, budget),
+        // budget: the epoch loops below then monomorphize to single-slice
+        // kernel calls with no view indirection. The Gram strategy
+        // additionally requires a packed design (Q is built from its rows),
+        // so an unpackable view always takes the primal path.
+        let cfg = &self.config;
+        match crate::solver::pack_for_solve(x, cfg.f32_compute) {
+            Some(packed) => {
+                let n = packed.n_rows();
+                let d = packed.n_cols();
+                let use_gram = match cfg.strategy {
+                    SolverStrategy::Primal => false,
+                    SolverStrategy::Gram => n > 0,
+                    SolverStrategy::Auto => crate::solver::gram_policy().should_use_gram(n, d),
+                };
+                if use_gram {
+                    let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+                    let (gram, built) = crate::solver::gram_for_solve(&packed, bias_sq, budget)?;
+                    self.solve_fast_gram(&packed, &gram, built, y, warm, budget)
+                } else {
+                    self.solve_fast_rows(packed.as_ref(), y, warm, budget)
+                }
+            }
             None => self.solve_fast_rows(x, y, warm, budget),
         }
+    }
+
+    /// The Gram-strategy fast loop: identical sweep order, shrinking, and
+    /// stopping logic to [`SvrTrainer::solve_fast_rows`], but the gradient
+    /// comes from a maintained dual image `qb[i] = Σ_j Q_ij β_j` (an O(1)
+    /// read + O(n) row-of-Q update per step) instead of an O(d) primal dot;
+    /// `w` is reconstructed once at convergence. Always full f64 — the Q
+    /// build and row updates dominate, and mixing precision here would buy
+    /// nothing.
+    fn solve_fast_gram(
+        &self,
+        x: &frac_dataset::PackedDesign,
+        q: &GramMatrix,
+        built: bool,
+        y: &[f64],
+        warm: Option<&[f64]>,
+        budget: &TargetBudget,
+    ) -> Result<SvrSolve, TrainError> {
+        let cfg = &self.config;
+        let n = x.n_rows();
+        let d = x.n_cols();
+        let bias_sq = if cfg.bias { 1.0 } else { 0.0 };
+
+        let mut beta = vec![0.0f64; n];
+        // qb[i] tracks w·x_i + w_bias·bias exactly (Q folds the bias into
+        // every entry), so g = qb[i] − y_i mirrors the primal gradient.
+        let mut qb = vec![0.0f64; n];
+        if let Some(warm) = warm {
+            debug_assert_eq!(warm.len(), n, "warm-start dual length must match rows");
+            for (i, &wv) in warm.iter().enumerate() {
+                let b = wv.clamp(-cfg.c, cfg.c);
+                if b != 0.0 {
+                    beta[i] = b;
+                    frac_dataset::kernels::axpy_blocked(b, q.row(i), &mut qb);
+                }
+            }
+        }
+
+        let mut active: Vec<usize> = (0..n).collect();
+        let mut shrink_thr = f64::INFINITY;
+        let mut epochs = 0u64;
+        let mut visits = 0u64;
+
+        while epochs < cfg.max_epochs as u64 {
+            budget.check()?;
+            let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, epochs));
+            crate::solver::shuffle_fast(&mut active, &mut rng);
+            let mut max_violation = 0.0f64;
+
+            let mut idx = 0usize;
+            while idx < active.len() {
+                let i = active[idx];
+                let h = q.diag(i);
+                let g = qb[i] - y[i];
+                visits += 1;
+                let gp = g + cfg.epsilon;
+                let gn = g - cfg.epsilon;
+                let b = beta[i];
+
+                let shrink = if b == 0.0 {
+                    gp > shrink_thr && gn < -shrink_thr
+                } else if b >= cfg.c {
+                    gp < -shrink_thr
+                } else if b <= -cfg.c {
+                    gn > shrink_thr
+                } else {
+                    false
+                };
+                if shrink {
+                    active.swap_remove(idx);
+                    continue;
+                }
+
+                max_violation = max_violation.max(svr_violation(b, gp, gn, cfg.c));
+
+                if h <= 0.0 {
+                    beta[i] = 0.0;
+                    idx += 1;
+                    continue;
+                }
+
+                let dstep = if gp < h * b {
+                    -gp / h
+                } else if gn > h * b {
+                    -gn / h
+                } else {
+                    -b
+                };
+                if dstep.abs() >= 1e-14 {
+                    let beta_new = (b + dstep).clamp(-cfg.c, cfg.c);
+                    let delta = beta_new - b;
+                    if delta != 0.0 {
+                        beta[i] = beta_new;
+                        frac_dataset::kernels::axpy_blocked(delta, q.row(i), &mut qb);
+                    }
+                }
+                idx += 1;
+            }
+
+            epochs += 1;
+            if max_violation < cfg.tolerance {
+                if active.len() == n {
+                    break;
+                }
+                active = (0..n).collect();
+                shrink_thr = f64::INFINITY;
+            } else {
+                shrink_thr = max_violation;
+            }
+        }
+
+        // Reconstruct the primal once: w = Xᵀβ over the support vectors.
+        let mut w = vec![0.0f64; d];
+        let mut w_bias = 0.0f64;
+        let mut nnz = 0u64;
+        for (i, &b) in beta.iter().enumerate() {
+            if b != 0.0 {
+                x.axpy_row_blocked(i, b, &mut w);
+                w_bias += b * bias_sq;
+                nnz += 1;
+            }
+        }
+
+        stats::record_gram_solve();
+        // Per visit: O(1) gradient + O(n+1) row-of-Q axpy (~4 flops/entry);
+        // plus the final O(nnz·d) reconstruction, and the Q build when this
+        // solve actually paid for it (a cache hit doesn't).
+        let mut flops = visits * ((n as u64) + 1) * 4 + nnz * ((d as u64) + 1) * 2;
+        if built {
+            flops += GramMatrix::build_flops(n, d);
+        }
+        Ok(SvrSolve {
+            w,
+            w_bias,
+            beta,
+            epochs,
+            visits,
+            path_bits: crate::solver::STRATEGY_GRAM_CODE,
+            flops,
+        })
     }
 
     fn solve_fast_rows<X: SolverRows + ?Sized>(
@@ -295,7 +468,10 @@ impl SvrTrainer {
         let mut shrink_thr = f64::INFINITY;
         let mut epochs = 0u64;
         let mut visits = 0u64;
-        let f32_dot = cfg.f32_compute;
+        // f32 mode runs only over a packed f32 mirror (unit-stride loads);
+        // without one the demote-per-visit kernel measures slower than f64,
+        // so fall back to the exact dot and record which happened.
+        let f32_dot = cfg.f32_compute && x.has_f32();
 
         while epochs < cfg.max_epochs as u64 {
             budget.check()?;
@@ -376,7 +552,16 @@ impl SvrTrainer {
             }
         }
 
-        Ok(SvrSolve { w, w_bias, beta, epochs, visits })
+        let path_bits = crate::solver::STRATEGY_PRIMAL_CODE
+            | if f32_dot {
+                crate::solver::STRATEGY_F32_PACKED_CODE
+            } else if cfg.f32_compute {
+                crate::solver::STRATEGY_F32_FALLBACK_CODE
+            } else {
+                0
+            };
+        let flops = visits * ((d as u64) + 1) * 4;
+        Ok(SvrSolve { w, w_bias, beta, epochs, visits, path_bits, flops })
     }
 
     /// Dispatch on the configured [`SolverMode`], record solver stats, and
@@ -413,11 +598,15 @@ impl SvrTrainer {
         stats::record(out.epochs, out.visits, out.epochs * n as u64);
         telemetry::counter_add(telemetry::Counter::SolverEpochs, out.epochs);
         telemetry::counter_add(telemetry::Counter::SolverVisits, out.visits);
+        if out.path_bits != 0 {
+            telemetry::counter_add(telemetry::Counter::SolverStrategy, out.path_bits);
+        }
 
-        // Every visited coordinate touches its (d+1) augmented columns twice
-        // (gradient + update), ~4 flops each. Warm-start initialization is
-        // priced by the CV driver once per dual vector, not here — a cached
-        // dual vector may seed many solves (folds, ensemble members), and
+        // Flops are priced per path inside each solve (the Gram loop's visit
+        // is O(n), the primal loop's O(d), and a Q build is charged only by
+        // the solve that paid for it). Warm-start initialization is priced
+        // by the CV driver once per dual vector, not here — a cached dual
+        // vector may seed many solves (folds, ensemble members), and
         // charging per solve would double-count the same fold-in work.
         // Under shrinking, `visits` counts only coordinates actually swept,
         // so the savings show up in ResourceReport instead of being charged
@@ -426,9 +615,15 @@ impl SvrTrainer {
             SolverMode::Fast => n * std::mem::size_of::<usize>(),
             SolverMode::Strict => 0,
         };
+        let gram_bytes = if out.path_bits & crate::solver::STRATEGY_GRAM_CODE != 0 {
+            (n * n + n) * std::mem::size_of::<f64>()
+        } else {
+            0
+        };
         let cost = TrainingCost {
-            flops: out.visits * ((d as u64) + 1) * 4,
-            peak_bytes: ((n + d + n) * std::mem::size_of::<f64>() + active_set_bytes) as u64,
+            flops: out.flops,
+            peak_bytes: ((n + d + n) * std::mem::size_of::<f64>() + active_set_bytes + gram_bytes)
+                as u64,
         };
         Ok((
             Trained {

@@ -147,10 +147,15 @@ pub enum Counter {
     /// leave a single bit set and mixed strict/fast configs set one bit
     /// per tier actually used.
     KernelTier,
+    /// Bitmask of fast-solver execution strategies the session's solves
+    /// used ([`crate::solver::describe_strategy_mask`] names the bits:
+    /// primal, gram, and the f32 packed/fallback flags). A label counter
+    /// like [`Counter::KernelTier`]: merges by bitwise OR.
+    SolverStrategy,
 }
 
 /// Number of [`Counter`] variants (report array size).
-pub const N_COUNTERS: usize = 6;
+pub const N_COUNTERS: usize = 7;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -161,6 +166,7 @@ impl Counter {
         Counter::JournalBytes,
         Counter::EncodedCells,
         Counter::KernelTier,
+        Counter::SolverStrategy,
     ];
 
     /// Stable serialization name.
@@ -172,6 +178,7 @@ impl Counter {
             Counter::JournalBytes => "journal_bytes",
             Counter::EncodedCells => "encoded_cells",
             Counter::KernelTier => "kernel_tier",
+            Counter::SolverStrategy => "solver_strategy",
         }
     }
 
@@ -188,16 +195,18 @@ impl Counter {
             Counter::JournalBytes => 3,
             Counter::EncodedCells => 4,
             Counter::KernelTier => 5,
+            Counter::SolverStrategy => 6,
         }
     }
 
     /// Combine an accumulated value with a new contribution: addition for
-    /// volume counters, bitwise OR for the [`Counter::KernelTier`] label
-    /// mask. Used on every accumulation boundary (thread-local add, sink
-    /// flush, final drain) so the semantics hold end to end.
+    /// volume counters, bitwise OR for the [`Counter::KernelTier`] and
+    /// [`Counter::SolverStrategy`] label masks. Used on every accumulation
+    /// boundary (thread-local add, sink flush, final drain) so the
+    /// semantics hold end to end.
     pub fn merge(self, acc: u64, v: u64) -> u64 {
         match self {
-            Counter::KernelTier => acc | v,
+            Counter::KernelTier | Counter::SolverStrategy => acc | v,
             _ => acc + v,
         }
     }
@@ -332,8 +341,14 @@ impl TelemetryReport {
         out.push_str("# span\tid\tparent\tthread\ttarget\tstage\tstart_ns\tdur_ns\n");
         out.push_str(&format!("wall\t{}\n", self.wall_ns));
         out.push_str(&format!(
-            "solver\t{}\t{}\t{}\t{}\n",
-            self.solver.solves, self.solver.epochs, self.solver.visits, self.solver.dense_slots
+            "solver\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+            self.solver.solves,
+            self.solver.epochs,
+            self.solver.visits,
+            self.solver.dense_slots,
+            self.solver.gram_solves,
+            self.solver.gram_builds,
+            self.solver.pack_reuses
         ));
         for c in Counter::ALL {
             out.push_str(&format!("counter\t{}\t{}\n", c.as_str(), self.counter(c)));
@@ -378,15 +393,22 @@ impl TelemetryReport {
                     report.wall_ns = parse_u64(v, "wall_ns")?;
                 }
                 "solver" => {
-                    if fields.len() != 5 {
-                        return Err(format!("line {lineno}: solver wants 4 fields"));
+                    // 5 fields is the pre-gram layout; absent fields stay 0.
+                    if fields.len() != 5 && fields.len() != 8 {
+                        return Err(format!("line {lineno}: solver wants 4 or 7 fields"));
                     }
                     report.solver = SolverStats {
                         solves: parse_u64(fields[1], "solves")?,
                         epochs: parse_u64(fields[2], "epochs")?,
                         visits: parse_u64(fields[3], "visits")?,
                         dense_slots: parse_u64(fields[4], "dense_slots")?,
+                        ..SolverStats::default()
                     };
+                    if fields.len() == 8 {
+                        report.solver.gram_solves = parse_u64(fields[5], "gram_solves")?;
+                        report.solver.gram_builds = parse_u64(fields[6], "gram_builds")?;
+                        report.solver.pack_reuses = parse_u64(fields[7], "pack_reuses")?;
+                    }
                 }
                 "counter" => {
                     if fields.len() != 3 {
@@ -432,8 +454,15 @@ impl TelemetryReport {
         let mut out = String::from("{\n");
         out.push_str(&format!("  \"wall_ns\": {},\n", self.wall_ns));
         out.push_str(&format!(
-            "  \"solver\": {{\"solves\": {}, \"epochs\": {}, \"visits\": {}, \"dense_slots\": {}}},\n",
-            self.solver.solves, self.solver.epochs, self.solver.visits, self.solver.dense_slots
+            "  \"solver\": {{\"solves\": {}, \"epochs\": {}, \"visits\": {}, \"dense_slots\": {}, \
+             \"gram_solves\": {}, \"gram_builds\": {}, \"pack_reuses\": {}}},\n",
+            self.solver.solves,
+            self.solver.epochs,
+            self.solver.visits,
+            self.solver.dense_slots,
+            self.solver.gram_solves,
+            self.solver.gram_builds,
+            self.solver.pack_reuses
         ));
         out.push_str("  \"counters\": {");
         for (i, c) in Counter::ALL.iter().enumerate() {
@@ -847,6 +876,9 @@ impl TelemetrySession {
             epochs: after.epochs.wrapping_sub(self.solver_start.epochs),
             visits: after.visits.wrapping_sub(self.solver_start.visits),
             dense_slots: after.dense_slots.wrapping_sub(self.solver_start.dense_slots),
+            gram_solves: after.gram_solves.wrapping_sub(self.solver_start.gram_solves),
+            gram_builds: after.gram_builds.wrapping_sub(self.solver_start.gram_builds),
+            pack_reuses: after.pack_reuses.wrapping_sub(self.solver_start.pack_reuses),
         };
         #[cfg(not(feature = "telemetry-off"))]
         {
@@ -1031,8 +1063,16 @@ mod tests {
                     dur_ns: 100,
                 },
             ],
-            counters: [1, 2, 3, 4, 5, 6],
-            solver: SolverStats { solves: 9, epochs: 8, visits: 7, dense_slots: 6 },
+            counters: [1, 2, 3, 4, 5, 6, 7],
+            solver: SolverStats {
+                solves: 9,
+                epochs: 8,
+                visits: 7,
+                dense_slots: 6,
+                gram_solves: 5,
+                gram_builds: 4,
+                pack_reuses: 3,
+            },
             wall_ns: 12345,
             notes: vec![("health".into(), "all 4 targets fitted cleanly".into())],
         };
@@ -1050,6 +1090,20 @@ mod tests {
             "# frac telemetry v1\ncounter\tnot_a_counter\t4\n"
         )
         .is_err());
+    }
+
+    #[test]
+    fn parse_accepts_legacy_solver_line() {
+        let parsed =
+            TelemetryReport::parse_tsv("# frac telemetry v1\nsolver\t1\t2\t3\t4\n").unwrap();
+        assert_eq!(
+            (parsed.solver.solves, parsed.solver.epochs, parsed.solver.visits),
+            (1, 2, 3)
+        );
+        assert_eq!(
+            (parsed.solver.gram_solves, parsed.solver.gram_builds, parsed.solver.pack_reuses),
+            (0, 0, 0)
+        );
     }
 
     #[test]

@@ -1,0 +1,239 @@
+//! Property-based equivalence of the Gram-matrix and primal fast paths.
+//!
+//! The Gram strategy sweeps coordinates in exactly the same order as the
+//! primal fast loop (same derived RNG, same shuffle, same shrink/unshrink
+//! thresholds) but reads gradients from the maintained dual image
+//! `qb[i] = Σ_j Q_ij β_j` instead of a primal `w·xᵢ` dot. Floating-point
+//! association differs, so iterates are not bitwise-equal, but both paths
+//! minimize the same dual objective: with a tight stopping tolerance the
+//! **objective values** must agree to ~1e-8 on random small problems — for
+//! SVR and SVC, with and without warm starts, and both with shrinking
+//! engaged (tight tolerance, many epochs) and effectively disabled (loose
+//! tolerance, convergence before the shrink threshold tightens).
+
+use frac_dataset::DesignMatrix;
+use frac_learn::svc::{SvcConfig, SvcTrainer};
+use frac_learn::svr::{SvrConfig, SvrTrainer};
+use frac_learn::traits::{ClassifierTrainer, RegressorTrainer};
+use frac_learn::{SolverMode, SolverStrategy};
+use proptest::prelude::*;
+
+const MAX_N: usize = 12;
+const MAX_D: usize = 5;
+
+/// Tight tolerance: the solver runs long enough for active-set shrinking
+/// to engage and (on some draws) trigger unshrink-and-recheck passes.
+const TIGHT: f64 = 1e-10;
+/// Loose tolerance: convergence typically lands within the first epochs,
+/// before shrinking removes any coordinate — the "shrinking off" regime.
+const LOOSE: f64 = 1e-3;
+
+fn svr_cfg(strategy: SolverStrategy, tolerance: f64) -> SvrConfig {
+    SvrConfig {
+        tolerance,
+        max_epochs: 50_000,
+        mode: SolverMode::Fast,
+        strategy,
+        ..SvrConfig::default()
+    }
+}
+
+fn svc_cfg(strategy: SolverStrategy, tolerance: f64) -> SvcConfig {
+    SvcConfig {
+        tolerance,
+        max_epochs: 50_000,
+        mode: SolverMode::Fast,
+        strategy,
+        ..SvcConfig::default()
+    }
+}
+
+fn matrix(n: usize, d: usize, values: &[f64]) -> DesignMatrix {
+    DesignMatrix::from_raw(n, d, values[..n * d].to_vec())
+}
+
+/// The SVR dual objective at `beta`:
+/// `½(‖w‖² + w_bias²) + ε·Σ|βᵢ| − Σ yᵢβᵢ` with `w = Σ βᵢxᵢ`.
+fn svr_objective(x: &DesignMatrix, y: &[f64], beta: &[f64], epsilon: f64) -> f64 {
+    let mut w = vec![0.0f64; x.n_cols()];
+    let mut w_bias = 0.0f64;
+    for (i, &b) in beta.iter().enumerate() {
+        for (wj, &xj) in w.iter_mut().zip(x.row(i)) {
+            *wj += b * xj;
+        }
+        w_bias += b;
+    }
+    0.5 * (w.iter().map(|v| v * v).sum::<f64>() + w_bias * w_bias)
+        + epsilon * beta.iter().map(|b| b.abs()).sum::<f64>()
+        - y.iter().zip(beta).map(|(yi, b)| yi * b).sum::<f64>()
+}
+
+/// The binary C-SVC dual objective at `alpha` for ±1 labels:
+/// `½(‖w‖² + w_bias²) − Σ αᵢ` with `w = Σ αᵢyᵢxᵢ`.
+fn svc_objective(x: &DesignMatrix, labels: &[f64], alpha: &[f64]) -> f64 {
+    let mut w = vec![0.0f64; x.n_cols()];
+    let mut w_bias = 0.0f64;
+    for (i, &a) in alpha.iter().enumerate() {
+        let scaled = a * labels[i];
+        for (wj, &xj) in w.iter_mut().zip(x.row(i)) {
+            *wj += scaled * xj;
+        }
+        w_bias += scaled;
+    }
+    0.5 * (w.iter().map(|v| v * v).sum::<f64>() + w_bias * w_bias)
+        - alpha.iter().sum::<f64>()
+}
+
+fn svr_objective_for(
+    x: &DesignMatrix,
+    y: &[f64],
+    strategy: SolverStrategy,
+    tolerance: f64,
+    warm: Option<&[f64]>,
+) -> f64 {
+    let cfg = svr_cfg(strategy, tolerance);
+    let (_, duals) = SvrTrainer::new(cfg).train_view_warm(x, y, warm);
+    svr_objective(x, y, &duals.expect("SVR always returns duals"), cfg.epsilon)
+}
+
+fn svc_objectives_for(
+    x: &DesignMatrix,
+    y: &[u32],
+    arity: u32,
+    strategy: SolverStrategy,
+    tolerance: f64,
+    warm: Option<&[Vec<f64>]>,
+) -> Vec<f64> {
+    let (_, duals) =
+        SvcTrainer::new(svc_cfg(strategy, tolerance)).train_view_warm(x, y, arity, warm);
+    let duals = duals.expect("SVC always returns duals");
+    (0..arity as usize)
+        .map(|class| {
+            let labels: Vec<f64> =
+                y.iter().map(|&c| if c as usize == class { 1.0 } else { -1.0 }).collect();
+            svc_objective(x, &labels, &duals[class])
+        })
+        .collect()
+}
+
+/// The equivalence gate: 1e-8 relative agreement between the two
+/// strategies' objectives, per the solver's documented contract.
+fn assert_close(a: f64, b: f64, what: &str) -> Result<(), TestCaseError> {
+    prop_assert!(
+        (a - b).abs() <= 1e-8 * (1.0 + a.abs()),
+        "{what}: objectives diverged ({a} vs {b})"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn svr_gram_matches_primal_objective(
+        n in 2usize..MAX_N,
+        d in 1usize..MAX_D,
+        values in prop::collection::vec(-2.0f64..2.0, MAX_N * MAX_D),
+        y in prop::collection::vec(-2.0f64..2.0, MAX_N),
+    ) {
+        let x = matrix(n, d, &values);
+        for tol in [TIGHT, LOOSE] {
+            let primal = svr_objective_for(&x, &y[..n], SolverStrategy::Primal, tol, None);
+            let gram = svr_objective_for(&x, &y[..n], SolverStrategy::Gram, tol, None);
+            assert_close(primal, gram, &format!("svr cold tol={tol:e}"))?;
+        }
+    }
+
+    #[test]
+    fn svr_gram_matches_primal_with_warm_start(
+        n in 2usize..MAX_N,
+        d in 1usize..MAX_D,
+        values in prop::collection::vec(-2.0f64..2.0, MAX_N * MAX_D),
+        y in prop::collection::vec(-2.0f64..2.0, MAX_N),
+        warm in prop::collection::vec(-3.0f64..3.0, MAX_N),
+    ) {
+        let x = matrix(n, d, &values);
+        for tol in [TIGHT, LOOSE] {
+            let primal =
+                svr_objective_for(&x, &y[..n], SolverStrategy::Primal, tol, Some(&warm[..n]));
+            let gram =
+                svr_objective_for(&x, &y[..n], SolverStrategy::Gram, tol, Some(&warm[..n]));
+            assert_close(primal, gram, &format!("svr warm tol={tol:e}"))?;
+        }
+    }
+
+    #[test]
+    fn svc_gram_matches_primal_objective(
+        n in 2usize..MAX_N,
+        d in 1usize..MAX_D,
+        values in prop::collection::vec(-2.0f64..2.0, MAX_N * MAX_D),
+        y in prop::collection::vec(0u32..3, MAX_N),
+    ) {
+        let x = matrix(n, d, &values);
+        for tol in [TIGHT, LOOSE] {
+            let primal = svc_objectives_for(&x, &y[..n], 3, SolverStrategy::Primal, tol, None);
+            let gram = svc_objectives_for(&x, &y[..n], 3, SolverStrategy::Gram, tol, None);
+            for (class, (p, g)) in primal.iter().zip(&gram).enumerate() {
+                assert_close(*p, *g, &format!("svc cold class {class} tol={tol:e}"))?;
+            }
+        }
+    }
+
+    #[test]
+    fn svc_gram_matches_primal_with_warm_start(
+        n in 2usize..MAX_N,
+        d in 1usize..MAX_D,
+        values in prop::collection::vec(-2.0f64..2.0, MAX_N * MAX_D),
+        y in prop::collection::vec(0u32..3, MAX_N),
+        warm_flat in prop::collection::vec(-2.0f64..2.0, 3 * MAX_N),
+    ) {
+        let x = matrix(n, d, &values);
+        let warm: Vec<Vec<f64>> =
+            warm_flat.chunks(MAX_N).map(|c| c[..n].to_vec()).collect();
+        for tol in [TIGHT, LOOSE] {
+            let primal =
+                svc_objectives_for(&x, &y[..n], 3, SolverStrategy::Primal, tol, Some(&warm));
+            let gram =
+                svc_objectives_for(&x, &y[..n], 3, SolverStrategy::Gram, tol, Some(&warm));
+            for (class, (p, g)) in primal.iter().zip(&gram).enumerate() {
+                assert_close(*p, *g, &format!("svc warm class {class} tol={tol:e}"))?;
+            }
+        }
+    }
+
+    #[test]
+    fn gram_also_matches_strict_objective(
+        n in 2usize..MAX_N,
+        d in 1usize..MAX_D,
+        values in prop::collection::vec(-2.0f64..2.0, MAX_N * MAX_D),
+        y in prop::collection::vec(-2.0f64..2.0, MAX_N),
+    ) {
+        // Anchor the Gram path to the bitwise-reference strict solver too,
+        // so a shared bug in both fast paths cannot hide.
+        let x = matrix(n, d, &values);
+        let strict_cfg = SvrConfig {
+            tolerance: TIGHT,
+            max_epochs: 50_000,
+            mode: SolverMode::Strict,
+            ..SvrConfig::default()
+        };
+        let (_, duals) = SvrTrainer::new(strict_cfg).train_view_warm(&x, &y[..n], None);
+        let strict =
+            svr_objective(&x, &y[..n], &duals.expect("duals"), strict_cfg.epsilon);
+        let gram = svr_objective_for(&x, &y[..n], SolverStrategy::Gram, TIGHT, None);
+        assert_close(strict, gram, "svr gram vs strict")?;
+    }
+}
+
+/// The auto policy must be deterministic per shape: on a tiny problem the
+/// cost model picks some strategy, and two identical solves agree exactly
+/// on the objective (same path, same arithmetic).
+#[test]
+fn auto_strategy_is_deterministic() {
+    let values: Vec<f64> = (0..8 * 4).map(|i| ((i * 37 % 17) as f64 - 8.0) / 4.0).collect();
+    let x = matrix(8, 4, &values);
+    let y: Vec<f64> = (0..8).map(|i| ((i * 53 % 11) as f64 - 5.0) / 3.0).collect();
+    let a = svr_objective_for(&x, &y, SolverStrategy::Auto, TIGHT, None);
+    let b = svr_objective_for(&x, &y, SolverStrategy::Auto, TIGHT, None);
+    assert_eq!(a.to_bits(), b.to_bits());
+}

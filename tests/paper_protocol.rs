@@ -1,7 +1,7 @@
 //! Integration tests of the paper's experimental protocol and its headline
 //! resource claims, at miniature scale.
 
-use frac::core::{FeatureSelector, FracConfig, Variant};
+use frac::core::{FeatureSelector, FracConfig, SolverStrategy, Variant};
 use frac::eval::replicates::{aggregate, run_replicates};
 use frac::synth::registry::LabeledDataset;
 use frac::synth::{ExpressionConfig, ExpressionGenerator};
@@ -38,7 +38,13 @@ fn filtering_preserves_auc_at_fraction_of_cost() {
     // The paper's central claim, in miniature: an ensemble of random
     // filtering keeps the AUC while cutting compute and memory hard.
     let ld = mini_dataset();
-    let cfg = FracConfig::default();
+    // The paper's Time%/Mem% columns model the d-dominated primal solver
+    // cost; the Gram dual strategy (auto-picked at this miniature scale)
+    // makes per-solve cost n-dominated, which compresses the analytic
+    // ratio between Full and its filtered members. Pin the primal strategy
+    // so this test exercises the protocol claim under the paper's cost
+    // model; Gram-vs-primal agreement is gated in pool_equivalence.
+    let cfg = FracConfig::default().with_solver_strategy(SolverStrategy::Primal);
     let full = aggregate(&run_replicates(&ld, &Variant::Full, &cfg, 3, 2));
     // p = 0.3 at this miniature scale keeps 12 of 40 features per member —
     // proportionally more than the paper's 5% of 20k, because a 40-feature
@@ -73,7 +79,10 @@ fn diverse_at_half_p_roughly_halves_memory() {
     // Table IV's signature: Diverse p=½ sits near 50% memory, far from the
     // tiny filtering footprints.
     let ld = mini_dataset();
-    let cfg = FracConfig::default();
+    // Pinned to primal for the same reason as
+    // `filtering_preserves_auc_at_fraction_of_cost`: Table IV's ratios are
+    // stated under the d-dominated primal cost model.
+    let cfg = FracConfig::default().with_solver_strategy(SolverStrategy::Primal);
     let full = aggregate(&run_replicates(&ld, &Variant::Full, &cfg, 2, 3));
     let diverse = aggregate(&run_replicates(
         &ld,

@@ -38,6 +38,11 @@ cargo test -q -p frac-core --test telemetry
 FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-dataset --test kernel_equivalence
 FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-learn --test solver_equivalence
 FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-core --test pool_equivalence
+# Gram-strategy guarantee: the Gram dual loop must match the primal fast
+# path (objective ≤ 1e-8 relative) under the default tier and with
+# vectorization force-disabled (DESIGN.md §13).
+cargo test -q -p frac-learn --test gram_equivalence
+FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-learn --test gram_equivalence
 
 # Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
 # within the budget plus slack, save a scored model, print a health
