@@ -5,7 +5,9 @@
 //! solver-bound SVM configurations (`BENCH_solver.json`), so the perf
 //! trajectory is tracked across PRs. Further families measure journal
 //! overhead (`BENCH_journal.json`), telemetry overhead
-//! (`BENCH_telemetry.json`), the SIMD kernel tier — per-kernel
+//! (`BENCH_telemetry.json`), sharded-run scaling — per-shard journals
+//! fitted concurrently then merged, at 1/2/4 shards
+//! (`BENCH_shard.json`) — the SIMD kernel tier — per-kernel
 //! throughput, scalar-blocked vs vectorized fit wall, and f32-mode NS
 //! drift (`BENCH_simd.json`) — and the Gram-matrix dual strategy against
 //! the primal fast path, with a d/n sweep locating the measured crossover
@@ -16,8 +18,8 @@
 //! ```
 //!
 //! With no `--family` flag every family runs; `--family` (repeatable:
-//! `fit | solver | journal | telemetry | simd | gram`) restricts the run
-//! to the named families.
+//! `fit | solver | journal | shard | telemetry | simd | gram`) restricts
+//! the run to the named families.
 //!
 //! Environment knobs: `FRAC_PERF_FEATURES` (default 400),
 //! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of),
@@ -310,6 +312,122 @@ fn journal_family_json(
         journaled.fit_s,
         journaled.score_s,
         plan.n_targets(),
+    )
+}
+
+/// Sharded-run scaling: each shard's sub-plan is fitted by
+/// [`frac_core::shard::worker_run`] on its own thread (process spawn and
+/// supervisor poll latency are the supervisor's business, not the fit's),
+/// journaling into its own `.s<k>-<n>` file, then
+/// [`frac_core::shard::resume_shards`] merges the complete set. Per shard
+/// count the best-of-reps fit wall, merge wall, and journal footprint are
+/// recorded, and the merged NS must be bit-identical to a single-process
+/// fit.
+fn shard_family_json(
+    name: &str,
+    train: &Dataset,
+    test: &Dataset,
+    config: &FracConfig,
+    reps: usize,
+) -> String {
+    let plan = TrainingPlan::full(train.n_features());
+    let mut single_fit_s = f64::INFINITY;
+    let mut reference_bits: Option<Vec<u64>> = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let (model, _) = FracModel::fit(train, &plan, config);
+        single_fit_s = single_fit_s.min(t0.elapsed().as_secs_f64());
+        let bits: Vec<u64> = model.score(test).iter().map(|v| v.to_bits()).collect();
+        if let Some(first) = &reference_bits {
+            assert_eq!(first, &bits, "single-process fits must be deterministic");
+        } else {
+            reference_bits = Some(bits);
+        }
+    }
+    let reference_bits = reference_bits.expect("at least one rep");
+    let dir = std::env::temp_dir().join(format!("frac-perf-shard-{name}"));
+    let mut rows = Vec::new();
+    for &n_shards in &[1usize, 2, 4] {
+        let mut best: Option<(f64, f64, u64)> = None;
+        for _ in 0..reps {
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).expect("shard bench dir");
+            let base = dir.join("run.frj");
+            let t0 = Instant::now();
+            std::thread::scope(|s| {
+                for k in 0..n_shards {
+                    let base = &base;
+                    let plan = &plan;
+                    s.spawn(move || {
+                        let fit = frac_core::shard::worker_run(
+                            train,
+                            plan,
+                            config,
+                            &frac_core::RunBudget::unlimited(),
+                            base,
+                            k,
+                            n_shards,
+                        )
+                        .expect("shard worker");
+                        assert_eq!(fit.resumed, 0, "bench must measure a fresh run");
+                    });
+                }
+            });
+            let fit_s = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            let merged = frac_core::shard::resume_shards(
+                train,
+                &plan,
+                config,
+                &frac_core::RunBudget::unlimited(),
+                &base,
+                n_shards,
+                &mut |e| panic!("complete shard journals must merge silently: {e}"),
+            )
+            .expect("shard merge");
+            let merge_s = t1.elapsed().as_secs_f64();
+            let bits: Vec<u64> =
+                merged.model.score(test).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(
+                reference_bits, bits,
+                "merged NS must be bit-identical to the single-process fit"
+            );
+            let journal_bytes: u64 = (0..n_shards)
+                .map(|k| {
+                    let p = frac_core::shard::shard_journal_path(&base, k, n_shards);
+                    std::fs::metadata(p).map(|m| m.len()).unwrap_or(0)
+                })
+                .sum();
+            if best.is_none_or(|b| fit_s < b.0) {
+                best = Some((fit_s, merge_s, journal_bytes));
+            }
+        }
+        let (fit_s, merge_s, journal_bytes) = best.expect("at least one rep");
+        let overhead = fit_s / single_fit_s - 1.0;
+        eprintln!(
+            "{name}: {n_shards} shard(s) fit {fit_s:.3}s ({:+.2}% vs single-process \
+             {single_fit_s:.3}s), merge {merge_s:.4}s, journals {journal_bytes} bytes",
+            overhead * 100.0,
+        );
+        rows.push(format!(
+            "      {{\"n_shards\": {n_shards}, \"fit_wall_s\": {fit_s:.6}, \
+             \"merge_wall_s\": {merge_s:.6}, \"journal_bytes\": {journal_bytes}, \
+             \"fit_overhead_fraction\": {overhead:.4}}}"
+        ));
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    format!(
+        "  \"{name}\": {{\n    \
+         \"surrogate\": {{\"n_features\": {}, \"train_rows\": {}, \"test_rows\": {}}},\n    \
+         \"single_process\": {{\"fit_wall_s\": {single_fit_s:.6}}},\n    \
+         \"records\": {},\n    \
+         \"ns_bits_identical\": true,\n    \
+         \"shards\": [\n{}\n    ]\n  }}",
+        train.n_features(),
+        train.n_rows(),
+        test.n_rows(),
+        plan.n_targets(),
+        rows.join(",\n"),
     )
 }
 
@@ -753,7 +871,8 @@ fn main() {
     let reps = env_usize("FRAC_PERF_REPS", 2).max(1);
     let n_test = n_rows;
 
-    const FAMILIES: [&str; 6] = ["fit", "solver", "journal", "telemetry", "simd", "gram"];
+    const FAMILIES: [&str; 7] =
+        ["fit", "solver", "journal", "shard", "telemetry", "simd", "gram"];
     let mut selected: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -924,6 +1043,19 @@ fn main() {
         let journal_json = format!("{{\n{expr_journal},\n{snp_journal}\n}}\n");
         std::fs::write("BENCH_journal.json", &journal_json).expect("write BENCH_journal.json");
         println!("{journal_json}");
+    }
+
+    if run("shard") {
+        // Shard scaling: the same fit split round-robin over 1/2/4 in-process
+        // workers (one journal each) and merged back. On this host the win is
+        // crash isolation, not parallel speedup — the number that matters is
+        // the overhead of journaling per shard plus the merge wall, and that
+        // the merged NS stays bit-identical to the single-process run.
+        let snp_shard =
+            shard_family_json("snp", &snp_train, &snp_test, &FracConfig::snp(), reps);
+        let shard_json = format!("{{\n{snp_shard}\n}}\n");
+        std::fs::write("BENCH_shard.json", &shard_json).expect("write BENCH_shard.json");
+        println!("{shard_json}");
     }
 
     if run("telemetry") {

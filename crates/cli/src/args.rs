@@ -19,6 +19,20 @@ USAGE:
         --deadline DUR     wall-clock budget (e.g. 500ms, 2s, 5m); targets
                            still unfitted at the deadline degrade to
                            baseline predictors and the run exits cleanly
+        --shards N         split the fit across N supervised worker
+                           processes (requires --journal). Each worker
+                           journals its own shard (FILE.s<k>-<N>); dead or
+                           stalled workers are restarted with backoff, and
+                           the merged model is bit-identical to a
+                           single-process run
+        --shard-retries N  worker restarts per shard before the supervisor
+                           reclaims the shard in-process (default 3)
+        --shard-heartbeat DUR
+                           kill a worker whose shard journal has not grown
+                           for DUR (default 30s)
+        --shard-backoff DUR
+                           base restart delay, doubling per restart
+                           (default 250ms)
         --telemetry FILE   record a span-level trace of the fit (where
                            each target's time went) and write it here:
                            self-describing TSV, or JSON if FILE ends in
@@ -38,6 +52,9 @@ USAGE:
       must match the original run (the journal header is verified).
       Already-completed targets are loaded from the journal, the rest are
       fitted, and the result is bit-identical to an uninterrupted run.
+      To resume a `--shards` run, repeat --journal once per shard journal
+      or point a single --journal at the directory containing them; each
+      shard journal is verified separately.
 
   frac score --train FILE --test FILE [OPTIONS]
   frac score --model FILE --test FILE [OPTIONS]
@@ -119,10 +136,26 @@ pub struct TrainArgs {
     pub snp: bool,
     /// Master seed.
     pub seed: u64,
-    /// Write-ahead journal path (checkpoint every finished target).
-    pub journal: Option<PathBuf>,
+    /// Write-ahead journal paths (checkpoint every finished target).
+    /// `train` takes at most one; `resume` accepts several (one per shard
+    /// of a `--shards` run) or a directory containing them.
+    pub journals: Vec<PathBuf>,
     /// Wall-clock budget for the whole fit.
     pub deadline: Option<Duration>,
+    /// Split the fit across this many supervised worker processes.
+    pub shards: Option<usize>,
+    /// Hidden worker mode: run shard `.0` of `.1` and exit (the supervisor
+    /// re-invokes the binary with this flag; not part of the public UI).
+    pub shard_worker: Option<(usize, usize)>,
+    /// Hidden fault injection for the supervisor's process-level fault
+    /// harness, e.g. `crashloop:1` or `abort-after:0:3` (comma-separated).
+    pub shard_fault: Option<String>,
+    /// Worker restarts per shard before in-process reclaim.
+    pub shard_retries: Option<usize>,
+    /// Heartbeat timeout: kill a worker whose journal stops growing.
+    pub shard_heartbeat: Option<Duration>,
+    /// Base restart backoff (doubles per restart).
+    pub shard_backoff: Option<Duration>,
     /// Telemetry trace output path (TSV, or JSON for a `.json` extension).
     pub telemetry: Option<PathBuf>,
     /// Forced blocked-kernel tier name (`unrolled` | `avx2`), if any.
@@ -140,12 +173,26 @@ impl Default for TrainArgs {
             p: 0.05,
             snp: false,
             seed: 42,
-            journal: None,
+            journals: Vec::new(),
             deadline: None,
+            shards: None,
+            shard_worker: None,
+            shard_fault: None,
+            shard_retries: None,
+            shard_heartbeat: None,
+            shard_backoff: None,
             telemetry: None,
             kernel_tier: None,
             solver_strategy: None,
         }
+    }
+}
+
+impl TrainArgs {
+    /// The single journal path of a non-sharded run (`train` enforces at
+    /// most one `--journal`).
+    pub fn journal(&self) -> Option<&PathBuf> {
+        self.journals.first()
     }
 }
 
@@ -235,9 +282,47 @@ fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
                     .parse()
                     .map_err(|_| "--seed expects an integer".to_string())?
             }
-            "--journal" => a.journal = Some(take_value(argv, &mut i, "--journal")?.into()),
+            "--journal" => a.journals.push(take_value(argv, &mut i, "--journal")?.into()),
             "--deadline" => {
                 a.deadline = Some(parse_duration(take_value(argv, &mut i, "--deadline")?)?)
+            }
+            "--shards" => {
+                a.shards = Some(
+                    take_value(argv, &mut i, "--shards")?
+                        .parse()
+                        .ok()
+                        .filter(|&n: &usize| n >= 1)
+                        .ok_or_else(|| "--shards expects an integer >= 1".to_string())?,
+                )
+            }
+            "--shard-worker" => {
+                let spec = take_value(argv, &mut i, "--shard-worker")?;
+                let parsed = spec.split_once('/').and_then(|(k, n)| {
+                    let k: usize = k.parse().ok()?;
+                    let n: usize = n.parse().ok()?;
+                    (k < n).then_some((k, n))
+                });
+                a.shard_worker = Some(parsed.ok_or_else(|| {
+                    format!("--shard-worker expects K/N with K < N, got `{spec}`")
+                })?);
+            }
+            "--shard-fault" => {
+                a.shard_fault = Some(take_value(argv, &mut i, "--shard-fault")?.to_string())
+            }
+            "--shard-retries" => {
+                a.shard_retries = Some(
+                    take_value(argv, &mut i, "--shard-retries")?
+                        .parse()
+                        .map_err(|_| "--shard-retries expects an integer".to_string())?,
+                )
+            }
+            "--shard-heartbeat" => {
+                a.shard_heartbeat =
+                    Some(parse_duration(take_value(argv, &mut i, "--shard-heartbeat")?)?)
+            }
+            "--shard-backoff" => {
+                a.shard_backoff =
+                    Some(parse_duration(take_value(argv, &mut i, "--shard-backoff")?)?)
             }
             "--telemetry" => {
                 a.telemetry = Some(take_value(argv, &mut i, "--telemetry")?.into())
@@ -259,6 +344,15 @@ fn parse_train_args(argv: &[String], sub: &str) -> Result<TrainArgs, String> {
     if !(a.p > 0.0 && a.p <= 1.0) {
         return Err("--p must be in (0, 1]".into());
     }
+    if sub == "train" && a.journals.len() > 1 {
+        return Err("train takes at most one --journal (resume accepts several)".into());
+    }
+    if a.shards.is_some() && a.shard_worker.is_some() {
+        return Err("--shards and --shard-worker are mutually exclusive".into());
+    }
+    if (a.shards.is_some() || a.shard_worker.is_some()) && a.journals.len() != 1 {
+        return Err("--shards needs exactly one --journal (the shard journal base)".into());
+    }
     Ok(a)
 }
 
@@ -270,7 +364,7 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
         "train" => Ok(Command::Train(parse_train_args(argv, "train")?)),
         "resume" => {
             let a = parse_train_args(argv, "resume")?;
-            if a.journal.is_none() {
+            if a.journals.is_empty() {
                 return Err("resume requires --journal".into());
             }
             Ok(Command::Resume(a))
@@ -519,11 +613,58 @@ mod tests {
         .unwrap();
         match cmd {
             Command::Train(a) => {
-                assert_eq!(a.journal, Some(PathBuf::from("j.frj")));
+                assert_eq!(a.journal(), Some(&PathBuf::from("j.frj")));
                 assert_eq!(a.deadline, Some(Duration::from_secs(2)));
             }
             _ => panic!(),
         }
+    }
+
+    #[test]
+    fn parses_shard_flags() {
+        let cmd = parse(&argv(
+            "train --train a.tsv --out m.frac --journal j.frj --shards 4 \
+             --shard-retries 2 --shard-heartbeat 10s --shard-backoff 100ms",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Train(a) => {
+                assert_eq!(a.shards, Some(4));
+                assert_eq!(a.shard_retries, Some(2));
+                assert_eq!(a.shard_heartbeat, Some(Duration::from_secs(10)));
+                assert_eq!(a.shard_backoff, Some(Duration::from_millis(100)));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn shard_flags_are_validated() {
+        // --shards needs a journal to shard.
+        assert!(parse(&argv("train --train a --out m --shards 2")).is_err());
+        assert!(parse(&argv("train --train a --out m --journal j --shards 0")).is_err());
+        // Worker mode parses K/N and rejects K >= N.
+        match parse(&argv(
+            "train --train a --out m --journal j --shard-worker 1/3",
+        ))
+        .unwrap()
+        {
+            Command::Train(a) => assert_eq!(a.shard_worker, Some((1, 3))),
+            _ => panic!(),
+        }
+        assert!(parse(&argv(
+            "train --train a --out m --journal j --shard-worker 3/3"
+        ))
+        .is_err());
+        assert!(parse(&argv(
+            "train --train a --out m --journal j --shards 2 --shard-worker 0/2"
+        ))
+        .is_err());
+        // Plain train takes at most one journal.
+        assert!(parse(&argv(
+            "train --train a --out m --journal j1 --journal j2"
+        ))
+        .is_err());
     }
 
     #[test]
@@ -595,7 +736,16 @@ mod tests {
         let cmd =
             parse(&argv("resume --train a.tsv --out m.frac --journal j.frj")).unwrap();
         match cmd {
-            Command::Resume(a) => assert_eq!(a.journal, Some(PathBuf::from("j.frj"))),
+            Command::Resume(a) => assert_eq!(a.journal(), Some(&PathBuf::from("j.frj"))),
+            _ => panic!(),
+        }
+        // Sharded runs resume with one --journal per shard journal.
+        let cmd = parse(&argv(
+            "resume --train a.tsv --out m.frac --journal j.frj.s0-2 --journal j.frj.s1-2",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Resume(a) => assert_eq!(a.journals.len(), 2),
             _ => panic!(),
         }
     }

@@ -1,11 +1,16 @@
 //! Command implementations.
 
 use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
+use frac_core::shard::{
+    apply_worker_faults_from_env, expand_journal_paths, resume_shards, shard_journal_path,
+    shard_set, train_sharded,
+};
 use frac_core::telemetry::{Counter, TelemetryReport, TelemetrySession};
 use frac_core::{
-    run_variant, FeatureSelector, FracConfig, FracModel, RunBudget, SolverStrategy, TrainingPlan,
-    Variant,
+    run_variant, FaultPlan, FeatureSelector, FracConfig, FracModel, JournaledFit, RunBudget,
+    ShardOptions, ShardStat, SolverStrategy, TrainingPlan, Variant,
 };
+use std::time::Duration;
 use frac_dataset::io::{read_tsv, write_tsv};
 use frac_eval::auc::auc_from_scores;
 use frac_projection::JlMatrixKind;
@@ -121,6 +126,19 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
         Some(d) => RunBudget::with_deadline(d),
         None => RunBudget::unlimited(),
     };
+    // Hidden worker mode: fit our shard into its journal and exit. The
+    // supervisor owns model assembly, so a worker saves nothing.
+    if let Some((k, n)) = args.shard_worker {
+        let base = args.journal().ok_or("--shard-worker requires --journal")?;
+        apply_worker_faults_from_env(&shard_journal_path(base, k, n));
+        let fit = frac_core::shard::worker_run(&train, &plan, &config, &budget, base, k, n)?;
+        eprintln!(
+            "shard {k}/{n}: {} target(s) journaled ({} restored)",
+            fit.model.n_targets(),
+            fit.resumed
+        );
+        return Ok(());
+    }
     eprintln!(
         "{} {} on {} samples × {} features ({} targets{})…",
         if resuming { "resuming" } else { "fitting" },
@@ -137,38 +155,135 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
     // captured too. `start()` only refuses if another session is live in
     // this process, which the single-run CLI never does.
     let session = if args.telemetry.is_some() { TelemetrySession::start() } else { None };
-    let (model, mut report) = match &args.journal {
-        Some(jpath) => {
-            let fit = if resuming {
-                FracModel::resume(&train, &plan, &config, &budget, jpath)
-            } else {
-                FracModel::fit_journaled(&train, &plan, &config, &budget, jpath)
+    let mut shard_stats: Option<Vec<ShardStat>> = None;
+    let (model, mut report) = if let Some(n_shards) = args.shards {
+        // `--shards N` supervisor: spawn N worker re-invocations of this
+        // binary, each journaling its own shard; merge is bit-identical to
+        // a single-process run.
+        let base = args.journal().ok_or("--shards requires --journal")?.clone();
+        let opts = shard_options_from(&args);
+        let faults = match &args.shard_fault {
+            Some(spec) => parse_shard_faults(spec)?,
+            None => FaultPlan::none(),
+        };
+        let exe = std::env::current_exe()
+            .map_err(|e| format!("cannot locate own binary to spawn workers: {e}"))?;
+        let mut spawn = |k: usize, remaining: Option<Duration>| {
+            let mut cmd = std::process::Command::new(&exe);
+            cmd.arg("train")
+                .arg("--train")
+                .arg(&args.train)
+                .arg("--out")
+                .arg(&args.out)
+                .arg("--variant")
+                .arg(&args.variant)
+                .arg("--p")
+                .arg(args.p.to_string())
+                .arg("--seed")
+                .arg(args.seed.to_string())
+                .arg("--journal")
+                .arg(&base)
+                .arg("--shard-worker")
+                .arg(format!("{k}/{n_shards}"));
+            if args.snp {
+                cmd.arg("--snp");
             }
-            .map_err(|e| format!("{}: {e}", jpath.display()))?;
-            if fit.resumed > 0 {
-                eprintln!(
-                    "journal {}: {} of {} targets restored, fitting the rest",
-                    jpath.display(),
-                    fit.resumed,
-                    plan.n_targets()
-                );
+            if let Some(t) = &args.kernel_tier {
+                cmd.args(["--kernel-tier", t]);
             }
-            if fit.journal_broken {
-                eprintln!(
-                    "warning: journal {} stopped accepting appends mid-run; \
-                     the model is complete but a crash would lose checkpoints",
-                    jpath.display()
-                );
+            if let Some(s) = &args.solver_strategy {
+                cmd.args(["--solver-strategy", s]);
             }
-            (fit.model, fit.report)
+            if let Some(d) = remaining {
+                // Deadlines don't cross process boundaries as instants; a
+                // duration re-anchored at worker startup does.
+                cmd.arg("--deadline").arg(format!("{}ms", d.as_millis().max(1)));
+            }
+            for (key, value) in faults.worker_env(k) {
+                cmd.env(key, value);
+            }
+            cmd.stdout(std::process::Stdio::null()).stderr(std::process::Stdio::null());
+            cmd.spawn()
+        };
+        let run = train_sharded(
+            &train,
+            &plan,
+            &config,
+            &budget,
+            &base,
+            n_shards,
+            &opts,
+            &mut spawn,
+            &mut |e| eprintln!("{e}"),
+        )?;
+        eprintln!(
+            "shards merged: restarts per shard {:?}; worker-phase health: {}",
+            run.model.shard_restarts(),
+            run.journal_health.summary()
+        );
+        shard_stats = Some(run.stats);
+        (run.model, run.report)
+    } else if resuming {
+        let paths = expand_journal_paths(&args.journals)
+            .map_err(|e| format!("expanding --journal paths: {e}"))?;
+        match shard_set(&paths)? {
+            Some((base, n_shards)) => {
+                // A directory of shard journals (or one --journal per
+                // shard): complete each shard in-process, then merge.
+                let run = resume_shards(
+                    &train,
+                    &plan,
+                    &config,
+                    &budget,
+                    &base,
+                    n_shards,
+                    &mut |e| eprintln!("{e}"),
+                )?;
+                shard_stats = Some(run.stats);
+                (run.model, run.report)
+            }
+            None => {
+                let jpath = match paths.as_slice() {
+                    [one] => one,
+                    [] => return Err("resume found no journals to resume from".into()),
+                    _ => {
+                        return Err("resume takes one plain journal, or shard journals \
+                                    that form one complete set"
+                            .into())
+                    }
+                };
+                let fit = FracModel::resume(&train, &plan, &config, &budget, jpath)
+                    .map_err(|e| format!("{}: {e}", jpath.display()))?;
+                report_journal_fit(&fit, jpath, plan.n_targets());
+                (fit.model, fit.report)
+            }
         }
-        None => FracModel::fit_budgeted(&train, &plan, &config, &budget),
+    } else if let Some(jpath) = args.journal() {
+        let fit = FracModel::fit_journaled(&train, &plan, &config, &budget, jpath)
+            .map_err(|e| format!("{}: {e}", jpath.display()))?;
+        report_journal_fit(&fit, jpath, plan.n_targets());
+        (fit.model, fit.report)
+    } else {
+        FracModel::fit_budgeted(&train, &plan, &config, &budget)
     };
+    if let Some(stats) = &shard_stats {
+        for (k, s) in stats.iter().enumerate() {
+            eprintln!(
+                "shard {k}: {} planned, {} restart(s), {} from workers, {} reclaimed",
+                s.planned, s.restarts, s.worker_records, s.reclaimed
+            );
+        }
+    }
     if let Some(tpath) = &args.telemetry {
         match session {
             Some(s) => {
                 let mut trace = s.finish();
                 trace.notes.push(("health".into(), report.health.summary()));
+                if let Some(stats) = &shard_stats {
+                    let restarts: Vec<String> =
+                        stats.iter().map(|s| s.restarts.to_string()).collect();
+                    trace.notes.push(("shard_restarts".into(), restarts.join(" ")));
+                }
                 let text = if tpath.extension().is_some_and(|e| e == "json") {
                     trace.to_json()
                 } else {
@@ -209,6 +324,63 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
     Ok(())
 }
 
+/// Print the resume/degradation status of a journaled single-process fit.
+fn report_journal_fit(fit: &JournaledFit, jpath: &std::path::Path, n_targets: usize) {
+    if fit.resumed > 0 {
+        eprintln!(
+            "journal {}: {} of {} targets restored, fitting the rest",
+            jpath.display(),
+            fit.resumed,
+            n_targets
+        );
+    }
+    if fit.journal_broken {
+        eprintln!(
+            "warning: journal {} stopped accepting appends mid-run; \
+             the model is complete but a crash would lose checkpoints",
+            jpath.display()
+        );
+    }
+}
+
+/// Supervisor knobs from the CLI flags, defaulting per [`ShardOptions`].
+fn shard_options_from(args: &TrainArgs) -> ShardOptions {
+    let mut opts = ShardOptions::default();
+    if let Some(r) = args.shard_retries {
+        opts.retry_budget = r;
+    }
+    if let Some(h) = args.shard_heartbeat {
+        opts.heartbeat_timeout = h;
+    }
+    if let Some(b) = args.shard_backoff {
+        opts.backoff_base = b;
+    }
+    opts
+}
+
+/// Parse the hidden `--shard-fault` spec (comma-separated `crashloop:K` /
+/// `abort-after:K:N`) into a process-level [`FaultPlan`].
+fn parse_shard_faults(spec: &str) -> Result<FaultPlan, Error> {
+    let bad = |part: &str| -> Error {
+        format!("bad --shard-fault `{part}` (crashloop:K | abort-after:K:N)").into()
+    };
+    let mut plan = FaultPlan::none();
+    for part in spec.split(',') {
+        let fields: Vec<&str> = part.split(':').collect();
+        plan = match fields.as_slice() {
+            ["crashloop", k] => {
+                plan.with_crashloop_at([k.parse().map_err(|_| bad(part))?])
+            }
+            ["abort-after", k, n] => plan.with_abort_after(
+                k.parse().map_err(|_| bad(part))?,
+                n.parse().map_err(|_| bad(part))?,
+            ),
+            _ => return Err(bad(part)),
+        };
+    }
+    Ok(plan)
+}
+
 /// Score with a previously saved model.
 fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Error> {
     let test = read_tsv_at(&args.test)?;
@@ -221,6 +393,13 @@ fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Erro
     );
     if model.n_targets() < model.planned_targets() {
         eprintln!("note: NS is renormalized over the surviving targets");
+    }
+    if !model.shard_restarts().is_empty() {
+        eprintln!(
+            "sharded run ({} shards): worker restarts per shard {:?}",
+            model.shard_restarts().len(),
+            model.shard_restarts()
+        );
     }
     let contributions = model.contributions(&test);
     let ns = contributions.ns_scores();
@@ -501,7 +680,7 @@ mod tests {
             out: dir.join("m.frac"),
             variant: "filter".into(),
             p: 0.04,
-            journal: Some(dir.join("run.frj")),
+            journals: vec![dir.join("run.frj")],
             ..TrainArgs::default()
         };
         // Journaled train from scratch, then resume of the complete journal:
@@ -516,7 +695,7 @@ mod tests {
         assert!(err.to_string().contains("journal"), "{err}");
         // A resume without any journal on disk is an error, not a fresh run.
         let err = train(
-            TrainArgs { journal: Some(dir.join("absent.frj")), ..base.clone() },
+            TrainArgs { journals: vec![dir.join("absent.frj")], ..base.clone() },
             true,
         )
         .unwrap_err();
@@ -524,7 +703,7 @@ mod tests {
         // An (easily met) deadline run still exits cleanly and saves.
         train(
             TrainArgs {
-                journal: None,
+                journals: Vec::new(),
                 deadline: Some(std::time::Duration::from_secs(600)),
                 out: dir.join("m3.frac"),
                 ..base
@@ -533,6 +712,109 @@ mod tests {
         )
         .unwrap();
         assert!(dir.join("m3.frac").exists());
+    }
+
+    /// Under `cargo test`, `current_exe()` is the test binary, which
+    /// rejects worker argv and dies instantly — so with a zero retry
+    /// budget the supervisor's reclaim path must finish every shard
+    /// in-process and still produce the single-process model bit for bit.
+    #[test]
+    fn sharded_train_falls_back_to_in_process_reclaim() {
+        let dir = std::env::temp_dir().join("frac-cli-test-shards");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let base = TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: dir.join("m.frac"),
+            variant: "filter".into(),
+            p: 0.04,
+            ..TrainArgs::default()
+        };
+        train(
+            TrainArgs {
+                journals: vec![dir.join("run.frj")],
+                shards: Some(2),
+                shard_retries: Some(0),
+                shard_backoff: Some(std::time::Duration::from_millis(1)),
+                ..base.clone()
+            },
+            false,
+        )
+        .unwrap();
+        let sharded = FracModel::load(dir.join("m.frac")).unwrap();
+        assert_eq!(sharded.shard_restarts(), &[0, 0]);
+        // Reference: plain single-process fit of the same spec.
+        train(TrainArgs { out: dir.join("ref.frac"), ..base }, false).unwrap();
+        let reference = FracModel::load(dir.join("ref.frac")).unwrap();
+        assert!(reference.shard_restarts().is_empty());
+        let data = read_tsv(dir.join("breast.basal.train.tsv")).unwrap();
+        let (a, b) = (reference.score(&data), sharded.score(&data));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// `frac resume` pointed at the directory holding the shard journals
+    /// reassembles the same model; a wrong-seed resume refuses each shard
+    /// journal with the named-hash detail.
+    #[test]
+    fn resume_assembles_a_directory_of_shard_journals() {
+        let dir = std::env::temp_dir().join("frac-cli-test-shard-resume");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let base = TrainArgs {
+            train: dir.join("breast.basal.train.tsv"),
+            out: dir.join("m.frac"),
+            variant: "filter".into(),
+            p: 0.04,
+            journals: vec![dir.join("run.frj")],
+            shards: Some(2),
+            shard_retries: Some(0),
+            shard_backoff: Some(std::time::Duration::from_millis(1)),
+            ..TrainArgs::default()
+        };
+        train(base.clone(), false).unwrap();
+        let first = std::fs::read_to_string(dir.join("m.frac")).unwrap();
+        // Resume from the directory: both shard journals are complete, so
+        // nothing refits and the saved model is byte-identical.
+        train(
+            TrainArgs {
+                journals: vec![dir.clone()],
+                shards: None,
+                out: dir.join("m2.frac"),
+                ..base.clone()
+            },
+            true,
+        )
+        .unwrap();
+        let second = std::fs::read_to_string(dir.join("m2.frac")).unwrap();
+        assert_eq!(first, second);
+        // A foreign (wrong-seed) resume is refused per shard, naming the
+        // config hash that differed.
+        let err = train(
+            TrainArgs {
+                journals: vec![dir.clone()],
+                shards: None,
+                seed: 7,
+                ..base
+            },
+            true,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("config hash"), "{err}");
+    }
+
+    #[test]
+    fn shard_fault_specs_parse_and_reject() {
+        let plan = parse_shard_faults("crashloop:1,abort-after:0:3").unwrap();
+        assert!(plan.crashloop_shards.contains(&1));
+        assert_eq!(plan.abort_after_records.get(&0), Some(&3));
+        for bad in ["crashloop", "crashloop:x", "abort-after:1", "nonsense:2"] {
+            assert!(parse_shard_faults(bad).is_err(), "{bad}");
+        }
     }
 
     #[test]

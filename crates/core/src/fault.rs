@@ -31,11 +31,34 @@ pub struct FaultPlan {
     /// Targets whose fit attempt is forced to panic, exercising the
     /// `catch_unwind` + baseline-substitution rung.
     pub panic_targets: BTreeSet<usize>,
+    /// Shards whose worker process exits nonzero immediately at startup,
+    /// every attempt — a crash-looping worker. Exercises the supervisor's
+    /// retry/backoff and shard-reclaim paths (see [`crate::shard`]).
+    pub crashloop_shards: BTreeSet<usize>,
+    /// Per-shard record budgets: the worker for shard `k` aborts (as if
+    /// SIGKILLed) once its shard journal holds at least `abort_after[k]`
+    /// records. Exercises mid-run worker death at a record boundary.
+    pub abort_after_records: std::collections::BTreeMap<usize, usize>,
 }
 
 /// The panic payload used for injected panics, so tests (and humans reading
 /// a health report) can tell an injected panic from a real one.
 pub const INJECTED_PANIC: &str = "injected fault: trainer panic";
+
+/// Environment variable that makes a shard worker exit nonzero at startup
+/// (crash-loop injection). Set per worker by the supervisor's fault harness;
+/// honored by [`crate::shard::apply_worker_faults_from_env`].
+pub const ENV_SHARD_CRASHLOOP: &str = "FRAC_SHARD_CRASHLOOP";
+
+/// Environment variable holding a record count after which a shard worker
+/// aborts (simulated SIGKILL at a record boundary). Set per worker by the
+/// supervisor's fault harness; honored by
+/// [`crate::shard::apply_worker_faults_from_env`].
+pub const ENV_SHARD_ABORT_AFTER: &str = "FRAC_SHARD_ABORT_AFTER";
+
+/// The exit code of a crash-looping worker, distinct from ordinary failures
+/// so supervisor tests can assert on the injected cause.
+pub const CRASHLOOP_EXIT_CODE: i32 = 101;
 
 impl FaultPlan {
     /// The empty plan: injects nothing; `fit` stays on the clean path.
@@ -66,11 +89,41 @@ impl FaultPlan {
         self
     }
 
+    /// Make the worker for these shards crash-loop (exit nonzero at startup
+    /// on every attempt).
+    pub fn with_crashloop_at(mut self, shards: impl IntoIterator<Item = usize>) -> Self {
+        self.crashloop_shards.extend(shards);
+        self
+    }
+
+    /// Make the worker for `shard` abort once its journal holds `records`
+    /// completed records — a simulated SIGKILL at that record boundary.
+    pub fn with_abort_after(mut self, shard: usize, records: usize) -> Self {
+        self.abort_after_records.insert(shard, records);
+        self
+    }
+
     /// Whether the plan injects nothing at all.
     pub fn is_empty(&self) -> bool {
         self.poison_fraction == 0.0
             && self.diverge_targets.is_empty()
             && self.panic_targets.is_empty()
+            && self.crashloop_shards.is_empty()
+            && self.abort_after_records.is_empty()
+    }
+
+    /// The environment variables the supervisor must set on the worker for
+    /// `shard` so the worker enacts this plan's process-level faults
+    /// (crash-loop / abort-after). Empty when the shard is unaffected.
+    pub fn worker_env(&self, shard: usize) -> Vec<(&'static str, String)> {
+        let mut env = Vec::new();
+        if self.crashloop_shards.contains(&shard) {
+            env.push((ENV_SHARD_CRASHLOOP, "1".to_string()));
+        }
+        if let Some(&n) = self.abort_after_records.get(&shard) {
+            env.push((ENV_SHARD_ABORT_AFTER, n.to_string()));
+        }
+        env
     }
 
     /// Does this plan force the first fit attempt at `target` to diverge?
@@ -156,6 +209,15 @@ mod tests {
         assert!(!p.is_empty());
         assert!(p.forces_diverge(1) && p.forces_diverge(3) && !p.forces_diverge(2));
         assert!(p.forces_panic(2) && !p.forces_panic(1));
+    }
+
+    #[test]
+    fn process_faults_register_and_encode_as_worker_env() {
+        let p = FaultPlan::none().with_crashloop_at([1]).with_abort_after(0, 3);
+        assert!(!p.is_empty());
+        assert_eq!(p.worker_env(1), vec![(ENV_SHARD_CRASHLOOP, "1".to_string())]);
+        assert_eq!(p.worker_env(0), vec![(ENV_SHARD_ABORT_AFTER, "3".to_string())]);
+        assert!(p.worker_env(2).is_empty());
     }
 
     #[test]

@@ -166,6 +166,28 @@ impl RunHealth {
         self.events.extend(other.events.iter().cloned());
     }
 
+    /// Fold in the health of a *shard* of the same run: a disjoint subset of
+    /// targets fitted against the same training set, possibly in another
+    /// process.
+    ///
+    /// Differs from [`Self::merge_sequential`] in two ways that matter for
+    /// sharded runs:
+    ///
+    /// - `sanitized_cells` takes the max, not the sum. Every worker screens
+    ///   the same full training matrix, so each shard reports the same
+    ///   global sanitization count; adding them would multi-count cells.
+    /// - `events` are re-sorted by target index (stably, so multiple events
+    ///   on one target keep their ladder order). Shards interleave targets
+    ///   round-robin, and the merged report must read identically no matter
+    ///   how many shards produced it or in which order they were merged.
+    pub fn merge(&mut self, other: &RunHealth) {
+        self.targets_planned += other.targets_planned;
+        self.targets_survived += other.targets_survived;
+        self.sanitized_cells = self.sanitized_cells.max(other.sanitized_cells);
+        self.events.extend(other.events.iter().cloned());
+        self.events.sort_by_key(|e| e.target);
+    }
+
     /// One-line human summary, e.g. for CLI output.
     pub fn summary(&self) -> String {
         if self.is_clean() {
@@ -246,6 +268,85 @@ mod tests {
         assert_eq!(a.targets_survived, 6);
         assert_eq!(a.sanitized_cells, 4);
         assert_eq!(a.events.len(), 8);
+    }
+
+    #[test]
+    fn shard_merge_rebalances_counts_and_orders_events_by_target() {
+        // Two shards of one 5-target run over the same training matrix:
+        // shard 0 took targets {0, 2, 4}, shard 1 took {1, 3}. Both saw the
+        // same 2 sanitized cells (each worker screens the full matrix).
+        let shard0 = RunHealth {
+            targets_planned: 3,
+            targets_survived: 3,
+            sanitized_cells: 2,
+            events: vec![
+                TargetHealth { target: 0, outcome: TargetOutcome::Sanitized { cells: 2 } },
+                TargetHealth {
+                    target: 4,
+                    outcome: TargetOutcome::Quarantined {
+                        reason: QuarantineReason::ZeroVariance,
+                    },
+                },
+            ],
+        };
+        let shard1 = RunHealth {
+            targets_planned: 2,
+            targets_survived: 1,
+            sanitized_cells: 2,
+            events: vec![TargetHealth {
+                target: 1,
+                outcome: TargetOutcome::Dropped { reason: "all values missing".into() },
+            }],
+        };
+
+        // Merge in both orders: the result must be identical.
+        let mut a = shard0.clone();
+        a.merge(&shard1);
+        let mut b = shard1.clone();
+        b.merge(&shard0);
+        assert_eq!(a, b);
+
+        assert_eq!(a.targets_planned, 5);
+        assert_eq!(a.targets_survived, 4);
+        assert_eq!(a.sanitized_cells, 2, "same matrix — cells must not double-count");
+        let order: Vec<usize> = a.events.iter().map(|e| e.target).collect();
+        assert_eq!(order, vec![0, 1, 4], "events sorted by target index");
+    }
+
+    #[test]
+    fn shard_merge_keeps_ladder_order_within_a_target() {
+        // Two events on the same target must keep their relative (ladder)
+        // order through the stable sort.
+        let mut base = RunHealth {
+            targets_planned: 1,
+            targets_survived: 1,
+            sanitized_cells: 0,
+            events: vec![
+                TargetHealth { target: 2, outcome: TargetOutcome::Sanitized { cells: 1 } },
+                TargetHealth {
+                    target: 2,
+                    outcome: TargetOutcome::Degraded {
+                        member: 0,
+                        fallback: FallbackKind::Baseline,
+                        detail: "panicked".into(),
+                    },
+                },
+            ],
+        };
+        let other = RunHealth {
+            targets_planned: 1,
+            targets_survived: 1,
+            sanitized_cells: 0,
+            events: vec![TargetHealth {
+                target: 0,
+                outcome: TargetOutcome::Sanitized { cells: 1 },
+            }],
+        };
+        base.merge(&other);
+        assert_eq!(base.events.len(), 3);
+        assert_eq!(base.events[0].target, 0);
+        assert!(matches!(base.events[1].outcome, TargetOutcome::Sanitized { .. }));
+        assert!(matches!(base.events[2].outcome, TargetOutcome::Degraded { .. }));
     }
 
     #[test]

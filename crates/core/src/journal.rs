@@ -440,24 +440,40 @@ fn header_text(h: &JournalHeader) -> String {
     )
 }
 
-fn mismatch_detail(found: &JournalHeader, expected: &JournalHeader) -> String {
+pub(crate) fn mismatch_detail(found: &JournalHeader, expected: &JournalHeader) -> String {
+    // Name each differing hash with its found/expected values: a stale or
+    // wrong-shard journal must be diagnosable from the CLI message alone
+    // (e.g. "plan differs" pinpoints a journal from another shard of the
+    // same run, where config and dataset still agree).
     let mut parts = Vec::new();
     if found.config_hash != expected.config_hash {
-        parts.push("config");
+        parts.push(format!(
+            "config hash {:016x}, expected {:016x}",
+            found.config_hash, expected.config_hash
+        ));
     }
     if found.dataset_fingerprint != expected.dataset_fingerprint {
-        parts.push("dataset");
+        parts.push(format!(
+            "dataset fingerprint {:016x}, expected {:016x}",
+            found.dataset_fingerprint, expected.dataset_fingerprint
+        ));
     }
     if found.plan_hash != expected.plan_hash {
-        parts.push("training plan");
+        parts.push(format!(
+            "training plan hash {:016x}, expected {:016x}",
+            found.plan_hash, expected.plan_hash
+        ));
     }
     if found.planned != expected.planned {
-        parts.push("planned target count");
+        parts.push(format!(
+            "planned target count {}, expected {}",
+            found.planned, expected.planned
+        ));
     }
     format!(
-        "journal was written by a different run ({} changed); \
+        "journal was written by a different run ({}); \
          delete it or point --journal elsewhere to start fresh",
-        parts.join(", ")
+        parts.join("; ")
     )
 }
 
@@ -816,7 +832,15 @@ mod tests {
         drop(j);
         let other = JournalHeader { config_hash: 0x99, ..header() };
         match RunJournal::open_or_create(&path, &other) {
-            Err(JournalError::Mismatch(m)) => assert!(m.contains("config"), "{m}"),
+            Err(JournalError::Mismatch(m)) => {
+                // The message names the differing hash with both values and
+                // stays silent about the parts that agree.
+                assert!(m.contains("config"), "{m}");
+                assert!(m.contains("00000000000000ab"), "found hash missing: {m}");
+                assert!(m.contains("0000000000000099"), "expected hash missing: {m}");
+                assert!(!m.contains("dataset"), "dataset agrees, not named: {m}");
+                assert!(!m.contains("plan"), "plan agrees, not named: {m}");
+            }
             other => panic!("expected mismatch, got {:?}", other.err()),
         }
         // The file was not harmed.

@@ -52,6 +52,7 @@ pub mod persist;
 pub mod plan;
 pub mod resources;
 pub mod selector;
+pub mod shard;
 pub mod variants;
 
 pub use config::{CatModel, FracConfig, RealModel};
@@ -66,4 +67,5 @@ pub use model::{ContributionMatrix, DualCache, FracModel, JournaledFit};
 pub use plan::{TargetPlan, TrainingPlan};
 pub use resources::ResourceReport;
 pub use selector::FeatureSelector;
+pub use shard::{ShardError, ShardEvent, ShardOptions, ShardRun, ShardStat};
 pub use variants::{run_variant, Variant, VariantOutcome};

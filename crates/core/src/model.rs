@@ -175,6 +175,10 @@ pub struct FracModel {
     /// scores are renormalized by `planned / survived` so score magnitudes
     /// stay comparable across degraded and healthy runs.
     pub(crate) planned_targets: usize,
+    /// Worker restart counts per shard when the model came out of a sharded
+    /// run (`frac train --shards N`); empty for single-process fits. Carried
+    /// through persistence so `frac score` can report the run's provenance.
+    pub(crate) shard_restarts: Vec<usize>,
 }
 
 /// Per-target output of the parallel fit loop. `feature` is `None` when the
@@ -1208,8 +1212,12 @@ impl FracModel {
         Self::fit_journaled(train, plan, config, budget, path)
     }
 
+    // `pub(crate)` for the shard supervisor: merging per-shard journals is
+    // a pooled fit of the full plan with every record preloaded — the same
+    // assembly path a single-process resume takes, which is what makes the
+    // merge bit-identical by construction.
     #[allow(clippy::too_many_arguments)]
-    fn fit_pooled(
+    pub(crate) fn fit_pooled(
         train: &Dataset,
         plan: &TrainingPlan,
         config: &FracConfig,
@@ -1416,7 +1424,14 @@ impl FracModel {
         }
         report.health = health;
         report.wall = t0.elapsed();
-        (FracModel { features, planned_targets: plan.targets.len() }, report)
+        (
+            FracModel {
+                features,
+                planned_targets: plan.targets.len(),
+                shard_restarts: Vec::new(),
+            },
+            report,
+        )
     }
 
     /// Number of target features with fitted models (survivors).
@@ -1427,6 +1442,13 @@ impl FracModel {
     /// Targets the training plan asked for, including dropped ones.
     pub fn planned_targets(&self) -> usize {
         self.planned_targets
+    }
+
+    /// Worker restart counts per shard for a model trained with
+    /// `--shards N` (index = shard, value = restarts); empty for
+    /// single-process fits.
+    pub fn shard_restarts(&self) -> &[usize] {
+        &self.shard_restarts
     }
 
     /// NS renormalization factor `planned / survived`, exactly `1.0` when

@@ -20,10 +20,13 @@ use frac_dataset::textio::{TextError, TextReader, TextWriter};
 /// Version 2 added the `planned` line (targets the training plan asked
 /// for, including ones dropped by fault isolation); version 3 added the
 /// `crc` trailer (CRC-32 of everything through the `end` line, verified on
-/// load). Version 1/2 files are still read — v1 defaults `planned` to the
-/// surviving feature count, and both load without a checksum.
+/// load); version 4 added the optional `shards` line (per-shard worker
+/// restart counts of a `--shards N` run, written only when the model came
+/// out of a sharded fit). Version 1–3 files are still read — v1 defaults
+/// `planned` to the surviving feature count, v1/v2 load without a checksum,
+/// and a missing `shards` line means a single-process fit.
 const MAGIC: &str = "fracmodel";
-const VERSION: u32 = 3;
+const VERSION: u32 = 4;
 
 /// Serialize one per-target feature section (the unit shared by the model
 /// file and the run journal's per-target records).
@@ -172,11 +175,15 @@ fn verify_crc_trailer(text: &str) -> Result<(), TextError> {
 }
 
 impl FracModel {
-    /// Serialize the model to the text format (v3: checksummed trailer).
+    /// Serialize the model to the text format (v4: checksummed trailer,
+    /// optional shard-provenance line).
     pub fn to_text(&self) -> String {
         let mut w = TextWriter::new();
         w.line(MAGIC, [VERSION]);
         w.line("planned", [self.planned_targets]);
+        if !self.shard_restarts.is_empty() {
+            w.line("shards", self.shard_restarts.iter().copied());
+        }
         w.line("features", [self.features.len()]);
         for fm in &self.features {
             write_feature(&mut w, fm);
@@ -204,6 +211,11 @@ impl FracModel {
         }
         let planned: Option<usize> =
             if version >= 2 { Some(r.parse_one("planned")?) } else { None };
+        let shard_restarts: Vec<usize> = if version >= 4 && r.peek_is("shards") {
+            r.parse_all("shards")?
+        } else {
+            Vec::new()
+        };
         let n_features: usize = r.parse_one("features")?;
         let mut features = Vec::with_capacity(n_features);
         let mut seen = std::collections::BTreeSet::new();
@@ -220,7 +232,7 @@ impl FracModel {
         }
         r.expect("end")?;
         let planned_targets = planned.unwrap_or(features.len());
-        Ok(FracModel { features, planned_targets })
+        Ok(FracModel { features, planned_targets, shard_restarts })
     }
 
     /// Save to a file, atomically and durably: the model is written to
@@ -372,7 +384,7 @@ mod tests {
     fn v3_crc_trailer_catches_corruption() {
         let model = small_model();
         let text = model.to_text();
-        assert!(text.contains("\ncrc "), "v3 files carry a crc trailer: {text}");
+        assert!(text.contains("\ncrc "), "v3+ files carry a crc trailer: {text}");
         assert!(FracModel::from_text(&text).is_ok());
 
         // Flip one digit somewhere in the body: checksum must catch it even
@@ -391,12 +403,19 @@ mod tests {
     }
 
     #[test]
-    fn v1_and_v2_files_still_load() {
+    fn older_versions_still_load() {
         let model = small_model();
         let text = model.to_text();
         let body_end = text.rfind("\nend\n").unwrap() + "\nend\n".len();
-        // Reconstruct a v2 file: old version line, no crc trailer.
-        let v2 = text[..body_end].replacen("fracmodel 3", "fracmodel 2", 1);
+        // Reconstruct a v3 file: old version line, trailer recomputed over
+        // the edited body.
+        let v3_body = text[..body_end].replacen("fracmodel 4", "fracmodel 3", 1);
+        let v3 =
+            format!("{v3_body}crc {:08x}\n", frac_dataset::crc::crc32(v3_body.as_bytes()));
+        let back = FracModel::from_text(&v3).unwrap();
+        assert_eq!(back.planned_targets, model.planned_targets);
+        // A v2 file: old version line, no crc trailer.
+        let v2 = text[..body_end].replacen("fracmodel 4", "fracmodel 2", 1);
         let back = FracModel::from_text(&v2).unwrap();
         assert_eq!(back.planned_targets, model.planned_targets);
         // And a v1 file: no `planned` line either.
@@ -406,6 +425,30 @@ mod tests {
             .replacen(&planned_line, "", 1);
         let back = FracModel::from_text(&v1).unwrap();
         assert_eq!(back.features.len(), model.features.len());
+    }
+
+    #[test]
+    fn shard_restarts_roundtrip_and_default_empty() {
+        // A single-process model writes no `shards` line and loads with an
+        // empty provenance.
+        let model = small_model();
+        assert!(!model.to_text().contains("\nshards "));
+        let back = FracModel::from_text(&model.to_text()).unwrap();
+        assert!(back.shard_restarts().is_empty());
+
+        // A sharded model's restart counts survive the roundtrip.
+        let mut sharded = small_model();
+        sharded.shard_restarts = vec![0, 2, 1];
+        let text = sharded.to_text();
+        assert!(text.contains("\nshards 0 2 1\n"), "{text}");
+        let back = FracModel::from_text(&text).unwrap();
+        assert_eq!(back.shard_restarts(), &[0, 2, 1]);
+        // Scores are unaffected by provenance.
+        let train = DatasetBuilder::new()
+            .real("x", (0..10).map(|i| i as f64).collect())
+            .real("y", (0..10).map(|i| i as f64 * 1.5 + 0.25).collect())
+            .build();
+        assert_eq!(sharded.score(&train), back.score(&train));
     }
 
     #[test]

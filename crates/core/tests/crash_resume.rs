@@ -157,6 +157,39 @@ fn resume_refuses_a_journal_from_a_different_run() {
 }
 
 #[test]
+fn a_shard_journal_is_foreign_to_a_full_plan_resume() {
+    // A shard journal's header binds the *sub*-plan, so resuming the full
+    // plan against it must refuse — naming the plan hash and the planned
+    // count, not silently fitting the targets the shard never owned.
+    let train = expr_data(18, 5, 4);
+    let plan = TrainingPlan::full(5);
+    let cfg = strict_config();
+    let dir = temp_dir("shard-foreign");
+    let base = dir.join("run.frj");
+    frac_core::shard::worker_run(
+        &train,
+        &plan,
+        &cfg,
+        &RunBudget::unlimited(),
+        &base,
+        0,
+        2,
+    )
+    .unwrap();
+    let shard_journal = frac_core::shard::shard_journal_path(&base, 0, 2);
+    match FracModel::resume(&train, &plan, &cfg, &RunBudget::unlimited(), &shard_journal)
+    {
+        Err(JournalError::Mismatch(detail)) => {
+            assert!(detail.contains("training plan hash"), "{detail}");
+            assert!(detail.contains("planned target count"), "{detail}");
+            assert!(!detail.contains("config hash"), "config matches: {detail}");
+        }
+        Err(e) => panic!("expected a header mismatch, got {e}"),
+        Ok(_) => panic!("expected a header mismatch, got a model"),
+    }
+}
+
+#[test]
 fn deadline_run_journals_only_clean_targets_and_resume_completes_them() {
     let data = expr_data(24, 6, 8);
     let train = data.select_rows(&(0..18).collect::<Vec<_>>());

@@ -68,6 +68,28 @@ impl RunBudget {
         self.deadline.is_some() || self.per_target.is_some() || self.cancel.is_some()
     }
 
+    /// Wall-clock time left until the run deadline; `None` when the budget
+    /// has no deadline. Saturates at zero once the deadline has passed.
+    ///
+    /// A multi-process supervisor uses this to hand each spawned worker the
+    /// *remaining* run budget: `Instant` deadlines don't cross process
+    /// boundaries, but a duration re-anchored at the worker's startup does.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether the run as a whole can make no further progress: the deadline
+    /// has already passed or the run was cancelled. Per-target timeouts do
+    /// not count — they bound individual fits, not the run.
+    pub fn is_expired(&self) -> bool {
+        if let Some(flag) = &self.cancel {
+            if flag.load(Ordering::Relaxed) {
+                return true;
+            }
+        }
+        matches!(self.deadline, Some(d) if Instant::now() >= d)
+    }
+
     /// Derive the budget for one target starting now: the tighter of the run
     /// deadline and `now + per_target`, plus the shared cancel flag.
     pub fn start_target(&self) -> TargetBudget {
@@ -189,5 +211,28 @@ mod tests {
     #[test]
     fn deadline_error_is_not_retryable() {
         assert!(!TrainError::DeadlineExceeded.is_retryable());
+    }
+
+    #[test]
+    fn remaining_tracks_the_deadline() {
+        assert_eq!(RunBudget::unlimited().remaining(), None);
+        let b = RunBudget::with_deadline(Duration::from_secs(3600));
+        let left = b.remaining().unwrap();
+        assert!(left > Duration::from_secs(3500) && left <= Duration::from_secs(3600));
+        let expired = RunBudget::with_deadline(Duration::ZERO);
+        assert_eq!(expired.remaining(), Some(Duration::ZERO));
+    }
+
+    #[test]
+    fn is_expired_covers_deadline_and_cancel_but_not_per_target() {
+        assert!(!RunBudget::unlimited().is_expired());
+        assert!(RunBudget::with_deadline(Duration::ZERO).is_expired());
+        assert!(!RunBudget::with_deadline(Duration::from_secs(3600)).is_expired());
+        // A per-target timeout bounds single fits, not the whole run.
+        assert!(!RunBudget::unlimited().per_target(Duration::ZERO).is_expired());
+        let (b, handle) = RunBudget::unlimited().cancellable();
+        assert!(!b.is_expired());
+        handle.cancel();
+        assert!(b.is_expired());
     }
 }

@@ -29,6 +29,10 @@ cargo test -q -p frac-core --test fault_injection
 # Crash-safety guarantee: resume after a kill at any journal byte must be
 # bitwise identical to an uninterrupted run.
 cargo test -q -p frac-core --test crash_resume
+# Shard-supervision guarantee: crash-looping and mid-run-killed workers
+# must not lose or double-count a target, and the merged model must be
+# bitwise identical to a single-process run (DESIGN.md §14).
+cargo test -q -p frac-core --test shard_supervision
 # Telemetry guarantee: well-nested span trees under injected faults, and
 # traced runs bit-identical to untraced ones.
 cargo test -q -p frac-core --test telemetry
@@ -66,6 +70,25 @@ run_smoke() {
   grep -q "^wall" "$smoke_dir/inspect.log"
 }
 run_smoke
+
+# Shard smoke: a 2-shard run whose second worker crash-loops must still
+# exit 0 — the supervisor burns the retry budget, reclaims the dead
+# shard in-process, and the merged model scores.
+timeout 120 ./target/release/frac train \
+  --train "$smoke_dir/autism.train.tsv" \
+  --out "$smoke_dir/autism-sharded.frac" \
+  --snp --shards 2 --shard-fault crashloop:1 \
+  --shard-retries 1 --shard-backoff 50ms --shard-heartbeat 30s \
+  --journal "$smoke_dir/autism-sharded.frj" \
+  2> "$smoke_dir/shard.log"
+test -f "$smoke_dir/autism-sharded.frac"
+grep -q "shards merged" "$smoke_dir/shard.log"
+./target/release/frac score \
+  --model "$smoke_dir/autism-sharded.frac" \
+  --test "$smoke_dir/autism.test.tsv" \
+  > "$smoke_dir/shard-score.tsv" 2> "$smoke_dir/shard-score.log"
+grep -q "sharded run (2 shards)" "$smoke_dir/shard-score.log"
+grep -q "^sample" "$smoke_dir/shard-score.tsv"
 
 # The telemetry-off build must compile every probe away and still pass
 # the same smoke (its trace degenerates to wall clock + solver delta).
