@@ -77,6 +77,33 @@ USAGE:
       Summarize a telemetry trace written by `train --telemetry`: per-stage
       time table, counters, and the K slowest targets (default 10).
 
+  frac serve --model FILE --schema FILE [OPTIONS]
+      Long-lived scoring daemon: load the model once (CRC-verified), then
+      score streaming records. Reads line-oriented requests — TSV rows in
+      schema order, flat JSON objects, or `cmd ping|stats|reload|stop` —
+      and answers `ns <line> <score>` / `err <line> <reason>` /
+      `busy <line>` on the same connection. SIGHUP hot-reloads the model
+      (validated off-path, rolled back on failure); SIGTERM drains and
+      exits cleanly. Scores are bit-identical to `frac score`.
+        --schema FILE      TSV whose header defines the record layout
+                           (usually the training file; only the header
+                           line is read)
+        --listen ADDR      serve a TCP socket, e.g. 127.0.0.1:7878
+                           (default: stdin/stdout pipe mode; ADDR with
+                           port 0 picks a free port, printed to stderr)
+        --batch-max N      most records scored per batch (default 64)
+        --queue-cap N      admission queue bound; a full queue answers
+                           `busy` instead of buffering (default 1024)
+        --request-timeout DUR
+                           per-request deadline; requests queued longer
+                           get a timeout error (default 5s)
+        --drain-timeout DUR
+                           bound on the shutdown drain (default 5s)
+        --max-line-bytes N longest accepted request line (default 1048576)
+        --telemetry FILE   write a serve telemetry trace on exit (latency
+                           percentiles, shed/quarantine counters); view
+                           with `frac inspect-telemetry`
+
   frac generate --dataset NAME --out DIR [--seed N]
       Write a paper-surrogate data set as train/test TSVs.
       NAME ∈ {breast.basal, biomarkers, ethnic, bild, smokers2,
@@ -108,6 +135,8 @@ pub enum Command {
         /// How many slowest targets to print.
         top: usize,
     },
+    /// `frac serve` — long-lived scoring daemon.
+    Serve(ServeArgs),
     /// `frac generate`
     Generate {
         /// Registry data-set name.
@@ -230,6 +259,45 @@ impl Default for ScoreArgs {
     }
 }
 
+/// Arguments of `frac serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Saved model to serve (CRC-verified at startup and on reload).
+    pub model: PathBuf,
+    /// TSV whose header defines the record layout (only the header is read).
+    pub schema: PathBuf,
+    /// TCP listen address; `None` = stdin/stdout pipe mode.
+    pub listen: Option<String>,
+    /// Most records scored per batch.
+    pub batch_max: usize,
+    /// Admission queue bound (full queue sheds with `busy`).
+    pub queue_cap: usize,
+    /// Per-request deadline while queued.
+    pub request_timeout: Duration,
+    /// Bound on the shutdown drain.
+    pub drain_timeout: Duration,
+    /// Longest accepted request line, in bytes.
+    pub max_line_bytes: usize,
+    /// Where to write the serve telemetry trace on exit, if anywhere.
+    pub telemetry: Option<PathBuf>,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            model: PathBuf::new(),
+            schema: PathBuf::new(),
+            listen: None,
+            batch_max: 64,
+            queue_cap: 1024,
+            request_timeout: Duration::from_secs(5),
+            drain_timeout: Duration::from_secs(5),
+            max_line_bytes: 1 << 20,
+            telemetry: None,
+        }
+    }
+}
+
 fn take_value<'a>(
     argv: &'a [String],
     i: &mut usize,
@@ -241,8 +309,8 @@ fn take_value<'a>(
         .ok_or_else(|| format!("{flag} requires a value"))
 }
 
-/// Parse a human duration: `500ms`, `2s`, `5m`, or a bare number of
-/// seconds. Fractions are fine (`1.5s`, `0.25m`).
+/// Parse a human duration: `500ms`, `2s`, `5m`, `1h`, or a bare number of
+/// seconds. Fractions are fine (`1.5s`, `0.25m`, `0.5h`).
 pub fn parse_duration(s: &str) -> Result<Duration, String> {
     let (number, scale) = if let Some(n) = s.strip_suffix("ms") {
         (n, 1e-3)
@@ -250,12 +318,14 @@ pub fn parse_duration(s: &str) -> Result<Duration, String> {
         (n, 1.0)
     } else if let Some(n) = s.strip_suffix('m') {
         (n, 60.0)
+    } else if let Some(n) = s.strip_suffix('h') {
+        (n, 3600.0)
     } else {
         (s, 1.0)
     };
     let value: f64 = number
         .parse()
-        .map_err(|_| format!("bad duration `{s}` (expected e.g. 500ms, 2s, 5m)"))?;
+        .map_err(|_| format!("bad duration `{s}` (expected e.g. 500ms, 2s, 5m, 1h)"))?;
     if !(value.is_finite() && value > 0.0) {
         return Err(format!("duration `{s}` must be positive and finite"));
     }
@@ -463,6 +533,59 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::InspectTelemetry { file, top })
         }
+        "serve" => {
+            let mut a = ServeArgs::default();
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--model" => a.model = take_value(argv, &mut i, "--model")?.into(),
+                    "--schema" => a.schema = take_value(argv, &mut i, "--schema")?.into(),
+                    "--listen" => {
+                        a.listen = Some(take_value(argv, &mut i, "--listen")?.to_string())
+                    }
+                    "--batch-max" => {
+                        a.batch_max = take_value(argv, &mut i, "--batch-max")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| "--batch-max expects an integer >= 1".to_string())?
+                    }
+                    "--queue-cap" => {
+                        a.queue_cap = take_value(argv, &mut i, "--queue-cap")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| "--queue-cap expects an integer >= 1".to_string())?
+                    }
+                    "--request-timeout" => {
+                        a.request_timeout =
+                            parse_duration(take_value(argv, &mut i, "--request-timeout")?)?
+                    }
+                    "--drain-timeout" => {
+                        a.drain_timeout =
+                            parse_duration(take_value(argv, &mut i, "--drain-timeout")?)?
+                    }
+                    "--max-line-bytes" => {
+                        a.max_line_bytes = take_value(argv, &mut i, "--max-line-bytes")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| {
+                                "--max-line-bytes expects an integer >= 1".to_string()
+                            })?
+                    }
+                    "--telemetry" => {
+                        a.telemetry = Some(take_value(argv, &mut i, "--telemetry")?.into())
+                    }
+                    other => return Err(format!("unknown flag `{other}` for serve")),
+                }
+                i += 1;
+            }
+            if a.model.as_os_str().is_empty() || a.schema.as_os_str().is_empty() {
+                return Err("serve requires --model and --schema".into());
+            }
+            Ok(Command::Serve(a))
+        }
         "generate" => {
             let mut dataset = String::new();
             let mut out = PathBuf::new();
@@ -599,10 +722,60 @@ mod tests {
         assert_eq!(parse_duration("5m").unwrap(), Duration::from_secs(300));
         assert_eq!(parse_duration("7").unwrap(), Duration::from_secs(7));
         assert_eq!(parse_duration("1.5s").unwrap(), Duration::from_millis(1500));
+        assert_eq!(parse_duration("1h").unwrap(), Duration::from_secs(3600));
+        assert_eq!(parse_duration("0.5h").unwrap(), Duration::from_secs(1800));
         assert!(parse_duration("abc").is_err());
         assert!(parse_duration("-2s").is_err());
         assert!(parse_duration("0s").is_err());
+        assert!(parse_duration("-1h").is_err());
         assert!(parse_duration("").is_err());
+        assert!(parse_duration("h").is_err());
+    }
+
+    #[test]
+    fn parses_serve_defaults_and_flags() {
+        match parse(&argv("serve --model m.frac --schema train.tsv")).unwrap() {
+            Command::Serve(a) => {
+                assert_eq!(a.model, PathBuf::from("m.frac"));
+                assert_eq!(a.schema, PathBuf::from("train.tsv"));
+                assert_eq!(a.listen, None);
+                assert_eq!(a.batch_max, 64);
+                assert_eq!(a.queue_cap, 1024);
+                assert_eq!(a.request_timeout, Duration::from_secs(5));
+                assert_eq!(a.drain_timeout, Duration::from_secs(5));
+                assert_eq!(a.max_line_bytes, 1 << 20);
+                assert_eq!(a.telemetry, None);
+            }
+            _ => panic!(),
+        }
+        match parse(&argv(
+            "serve --model m --schema s --listen 127.0.0.1:0 --batch-max 8 \
+             --queue-cap 2 --request-timeout 250ms --drain-timeout 1h \
+             --max-line-bytes 4096 --telemetry t.tsv",
+        ))
+        .unwrap()
+        {
+            Command::Serve(a) => {
+                assert_eq!(a.listen.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(a.batch_max, 8);
+                assert_eq!(a.queue_cap, 2);
+                assert_eq!(a.request_timeout, Duration::from_millis(250));
+                assert_eq!(a.drain_timeout, Duration::from_secs(3600));
+                assert_eq!(a.max_line_bytes, 4096);
+                assert_eq!(a.telemetry, Some(PathBuf::from("t.tsv")));
+            }
+            _ => panic!(),
+        }
+    }
+
+    #[test]
+    fn serve_validates_its_flags() {
+        assert!(parse(&argv("serve --model m.frac")).is_err());
+        assert!(parse(&argv("serve --schema s.tsv")).is_err());
+        assert!(parse(&argv("serve --model m --schema s --batch-max 0")).is_err());
+        assert!(parse(&argv("serve --model m --schema s --queue-cap 0")).is_err());
+        assert!(parse(&argv("serve --model m --schema s --request-timeout 0s")).is_err());
+        assert!(parse(&argv("serve --model m --schema s --bogus 1")).is_err());
     }
 
     #[test]

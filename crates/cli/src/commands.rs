@@ -1,6 +1,6 @@
 //! Command implementations.
 
-use crate::args::{Command, ScoreArgs, TrainArgs, USAGE};
+use crate::args::{Command, ScoreArgs, ServeArgs, TrainArgs, USAGE};
 use frac_core::shard::{
     apply_worker_faults_from_env, expand_journal_paths, resume_shards, shard_journal_path,
     shard_set, train_sharded,
@@ -8,7 +8,7 @@ use frac_core::shard::{
 use frac_core::telemetry::{Counter, TelemetryReport, TelemetrySession};
 use frac_core::{
     run_variant, FaultPlan, FeatureSelector, FracConfig, FracModel, JournaledFit, RunBudget,
-    ShardOptions, ShardStat, SolverStrategy, TrainingPlan, Variant,
+    ServeConfig, Server, ShardOptions, ShardStat, SolverStrategy, TrainingPlan, Variant,
 };
 use std::time::Duration;
 use frac_dataset::io::{read_tsv, write_tsv};
@@ -60,8 +60,115 @@ pub fn run(cmd: Command) -> Result<(), Error> {
         Command::Score(args) => score(args),
         Command::Entropy { data, top } => entropy(&data, top),
         Command::InspectTelemetry { file, top } => inspect_telemetry(&file, top),
+        Command::Serve(args) => serve(args),
         Command::Generate { dataset, out, seed } => generate(&dataset, &out, seed),
     }
+}
+
+/// `frac serve`: load the model once, then score streaming records until
+/// EOF, `cmd stop`, or `SIGTERM`. See `frac_core::serve` for the protocol
+/// and robustness guarantees; this function only does process plumbing —
+/// signal handlers, the listener/pipe choice, and the exit telemetry.
+fn serve(args: ServeArgs) -> Result<(), Error> {
+    use std::io::BufRead;
+    // Only the header line of --schema is read; pointing it at the full
+    // training TSV is the expected usage.
+    let header = {
+        let file = std::fs::File::open(&args.schema)
+            .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+        let mut line = String::new();
+        std::io::BufReader::new(file)
+            .read_line(&mut line)
+            .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+        line
+    };
+    let schema = frac_dataset::io::schema_from_header(&header)
+        .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+    // `FracModel::load` errors already name the path.
+    let model = FracModel::load(&args.model).map_err(|e| e.to_string())?;
+    let n_targets = model.n_targets();
+    let cfg = ServeConfig {
+        batch_max: args.batch_max,
+        queue_cap: args.queue_cap,
+        request_timeout: args.request_timeout,
+        drain_timeout: args.drain_timeout,
+        max_line_bytes: args.max_line_bytes,
+        score_delay: None,
+    };
+    let server = Server::new(model, args.model.clone(), schema, cfg)
+        .map_err(|e| format!("{}: {e}", args.model.display()))?;
+    let handle = server.handle();
+    let session = if args.telemetry.is_some() { TelemetrySession::start() } else { None };
+    crate::signals::install();
+    {
+        // Signal watcher: handlers may only flip atomics, so a plain thread
+        // forwards the flags to the daemon (SIGTERM → drain, SIGHUP →
+        // validated hot reload).
+        let handle = handle.clone();
+        std::thread::spawn(move || loop {
+            if crate::signals::termination_requested() {
+                handle.request_shutdown();
+                return;
+            }
+            if crate::signals::take_reload() {
+                eprintln!("frac serve: SIGHUP: reloading model (validated off-path)");
+                handle.request_reload();
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        });
+    }
+    let summary = match &args.listen {
+        Some(addr) => {
+            let listener =
+                std::net::TcpListener::bind(addr).map_err(|e| format!("{addr}: {e}"))?;
+            let local = listener.local_addr().map_err(|e| e.to_string())?;
+            eprintln!(
+                "frac serve: listening on {local} ({}: {n_targets} targets)",
+                args.model.display()
+            );
+            server.serve_listener(listener)?
+        }
+        None => {
+            eprintln!(
+                "frac serve: pipe mode, reading records from stdin \
+                 ({}: {n_targets} targets)",
+                args.model.display()
+            );
+            server.serve_pipe(std::io::stdin(), std::io::stdout())?
+        }
+    };
+    eprintln!("frac serve: exit: {}", summary.render());
+    if let Some(tpath) = &args.telemetry {
+        match session {
+            Some(s) => {
+                let mut trace = s.finish();
+                trace.notes.push(("serve_health".into(), summary.counts.summary()));
+                trace.notes.push(("serve_p50_us".into(), summary.p50_us.to_string()));
+                trace.notes.push(("serve_p99_us".into(), summary.p99_us.to_string()));
+                trace
+                    .notes
+                    .push(("serve_throughput_rps".into(), format!("{:.1}", summary.throughput_rps())));
+                let text = if tpath.extension().is_some_and(|e| e == "json") {
+                    trace.to_json()
+                } else {
+                    trace.write_tsv()
+                };
+                std::fs::write(tpath, text).map_err(|e| format!("{}: {e}", tpath.display()))?;
+                eprintln!(
+                    "telemetry: {} spans → {} (summarize with \
+                     `frac inspect-telemetry --file {}`)",
+                    trace.spans.len(),
+                    tpath.display(),
+                    tpath.display()
+                );
+            }
+            None => eprintln!(
+                "warning: --telemetry ignored: another telemetry session \
+                 is already active in this process"
+            ),
+        }
+    }
+    Ok(())
 }
 
 /// Build the requested variant from CLI flags.
@@ -384,7 +491,8 @@ fn parse_shard_faults(spec: &str) -> Result<FaultPlan, Error> {
 /// Score with a previously saved model.
 fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Error> {
     let test = read_tsv_at(&args.test)?;
-    let model = FracModel::load(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    // `FracModel::load` errors already name the path.
+    let model = FracModel::load(path).map_err(|e| e.to_string())?;
     eprintln!(
         "loaded model: {}/{} planned targets survived; scoring {} samples…",
         model.n_targets(),

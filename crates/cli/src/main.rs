@@ -12,6 +12,7 @@
 
 mod args;
 mod commands;
+mod signals;
 
 use std::process::ExitCode;
 

@@ -1,0 +1,87 @@
+//! Minimal POSIX signal hookup for the serving daemon.
+//!
+//! The workspace deliberately carries no `libc`-style dependency, and the
+//! standard library exposes no signal API, so `frac serve` declares the one
+//! C function it needs — `signal(2)` — directly. The handlers only flip
+//! `static` atomics (the only thing that is async-signal-safe anyway); a
+//! watcher thread in the serve command polls the flags and forwards them to
+//! the daemon's [`frac_core::ServeHandle`].
+//!
+//! glibc's `signal()` installs BSD semantics (`SA_RESTART`), so a daemon
+//! blocked in `read(2)` on a quiet stdin is *not* interrupted by `SIGTERM`
+//! — which is exactly why the serve engine keeps its reader on a side
+//! thread and polls the shutdown flag from the main loop.
+//!
+//! On non-Unix targets installation is a no-op: the daemon still honors
+//! `cmd stop` and EOF, it just cannot be signalled.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `SIGHUP`: reload the model.
+#[cfg(unix)]
+const SIGHUP: i32 = 1;
+/// `SIGTERM`: drain and exit.
+#[cfg(unix)]
+const SIGTERM: i32 = 15;
+
+static HUP: AtomicBool = AtomicBool::new(false);
+static TERM: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+extern "C" {
+    /// POSIX `signal(2)`. Takes and returns a handler as a plain address so
+    /// no function-pointer-type aliasing is needed; `usize::MAX` is
+    /// `SIG_ERR` on every platform this repo targets.
+    fn signal(signum: i32, handler: usize) -> usize;
+}
+
+#[cfg(unix)]
+extern "C" fn on_hup(_signum: i32) {
+    HUP.store(true, Ordering::Relaxed);
+}
+
+#[cfg(unix)]
+extern "C" fn on_term(_signum: i32) {
+    TERM.store(true, Ordering::Relaxed);
+}
+
+/// Install the `SIGHUP`/`SIGTERM` handlers. Call once, before serving.
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `signal` is the POSIX libc entry point the process is already
+    // linked against; the installed handlers only store to static atomics,
+    // which is async-signal-safe. A `SIG_ERR` return (e.g. inside an
+    // exotic sandbox) leaves the default disposition in place, which is the
+    // pre-existing behavior — nothing to unwind.
+    unsafe {
+        let _ = signal(SIGHUP, on_hup as *const () as usize);
+        let _ = signal(SIGTERM, on_term as *const () as usize);
+    }
+}
+
+/// True once per received `SIGHUP` (the flag is consumed).
+pub fn take_reload() -> bool {
+    HUP.swap(false, Ordering::Relaxed)
+}
+
+/// True once a `SIGTERM` has been received (latched; not consumed).
+pub fn termination_requested() -> bool {
+    TERM.load(Ordering::Relaxed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_start_clear_and_reload_is_consumed() {
+        // Note: handler installation is exercised end-to-end by the tier-1
+        // serve smoke (SIGHUP reload + SIGTERM drain against a real daemon);
+        // here we only pin the flag semantics the watcher relies on.
+        assert!(!termination_requested());
+        assert!(!take_reload());
+        HUP.store(true, Ordering::Relaxed);
+        assert!(take_reload());
+        assert!(!take_reload(), "reload flag must be one-shot");
+    }
+}

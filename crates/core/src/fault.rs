@@ -56,6 +56,49 @@ pub const ENV_SHARD_CRASHLOOP: &str = "FRAC_SHARD_CRASHLOOP";
 /// [`crate::shard::apply_worker_faults_from_env`].
 pub const ENV_SHARD_ABORT_AFTER: &str = "FRAC_SHARD_ABORT_AFTER";
 
+/// Process-global abort-after state: whether a budget is armed, and how
+/// many more journal records this process may append before it aborts.
+/// Armed once at worker startup by
+/// [`crate::shard::apply_worker_faults_from_env`], consumed by the journal
+/// write path, so the injected death lands deterministically at a record
+/// boundary. (An earlier timer-based watcher lost the race against a
+/// worker fast enough to finish its whole sub-plan between polls.)
+static ABORT_ARMED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+static ABORT_REMAINING: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Arm the abort-after fault: the process aborts — `abort()`, not
+/// `exit()`: no atexit handlers, no unwinding, the closest in-process
+/// stand-in for SIGKILL — at the record boundary that brings its journal
+/// to the configured count. `remaining` is how many more records may be
+/// appended; 0 aborts on the spot (the journal already holds enough).
+pub(crate) fn arm_abort_after_records(remaining: usize) {
+    use std::sync::atomic::Ordering;
+    if remaining == 0 {
+        std::process::abort();
+    }
+    ABORT_REMAINING.store(remaining, Ordering::SeqCst);
+    ABORT_ARMED.store(true, Ordering::SeqCst);
+}
+
+/// Journal hook for the armed abort-after fault: `n` records were just
+/// written. Aborts once the armed budget is consumed; a no-op (one relaxed
+/// load) in every process that never armed a fault.
+pub(crate) fn note_journal_records_appended(n: usize) {
+    use std::sync::atomic::Ordering;
+    if n == 0 || !ABORT_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    let update = ABORT_REMAINING
+        .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| Some(v.saturating_sub(n)));
+    if let Ok(prev) = update {
+        if prev <= n {
+            std::process::abort();
+        }
+    }
+}
+
 /// The exit code of a crash-looping worker, distinct from ordinary failures
 /// so supervisor tests can assert on the injected cause.
 pub const CRASHLOOP_EXIT_CODE: i32 = 101;

@@ -318,9 +318,11 @@ impl RunJournal {
     fn write_bodies(&self, bodies: impl Iterator<Item = String>) -> Result<(), JournalError> {
         use std::fmt::Write as _;
         let mut buf = String::new();
+        let mut n_records = 0usize;
         for body in bodies {
             let _ = writeln!(buf, "rec {} {:08x}", body.len(), crc32(body.as_bytes()));
             buf.push_str(&body);
+            n_records += 1;
         }
         if buf.is_empty() {
             return Ok(());
@@ -335,6 +337,10 @@ impl RunJournal {
         })();
         if result.is_err() {
             self.broken.store(true, Ordering::Relaxed);
+        } else {
+            // Fault-injection hook: an armed abort-after budget dies here,
+            // at the record boundary, once the write has reached the file.
+            crate::fault::note_journal_records_appended(n_records);
         }
         result
     }

@@ -52,6 +52,7 @@ pub mod persist;
 pub mod plan;
 pub mod resources;
 pub mod selector;
+pub mod serve;
 pub mod shard;
 pub mod variants;
 
@@ -67,5 +68,6 @@ pub use model::{ContributionMatrix, DualCache, FracModel, JournaledFit};
 pub use plan::{TargetPlan, TrainingPlan};
 pub use resources::ResourceReport;
 pub use selector::FeatureSelector;
+pub use serve::{validate_model, ServeConfig, ServeCounts, ServeHandle, ServeSummary, Server};
 pub use shard::{ShardError, ShardEvent, ShardOptions, ShardRun, ShardStat};
 pub use variants::{run_variant, Variant, VariantOutcome};

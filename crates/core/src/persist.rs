@@ -156,11 +156,37 @@ fn parse_feature_body(r: &mut TextReader<'_>, target: usize) -> Result<FeatureMo
 fn verify_crc_trailer(text: &str) -> Result<(), TextError> {
     let body_len = match text.rfind("\nend\n") {
         Some(idx) => idx + "\nend\n".len(),
-        None => return Err("v3 model file is missing its `end` line".into()),
+        None => {
+            return Err(format!(
+                "model body stops before its `end` line after {} byte(s) — \
+                 the file was truncated before the CRC32 trailer",
+                text.len()
+            )
+            .into())
+        }
     };
     let (body, trailer) = text.split_at(body_len);
+    let trailer_preview = trailer.trim();
+    if trailer_preview.is_empty() {
+        return Err("missing CRC trailer: expected `crc <8 hex digits>` after the \
+                    `end` line — the file was truncated at the trailer"
+            .into());
+    }
     let mut r = TextReader::new(trailer);
-    let stored_hex: String = r.parse_one("crc")?;
+    let stored_hex: String = r.parse_one("crc").map_err(|_| {
+        TextError::from(format!(
+            "short or malformed CRC trailer `{trailer_preview}`: expected \
+             `crc <8 hex digits>` after the `end` line (file truncated?)"
+        ))
+    })?;
+    if stored_hex.len() != 8 {
+        return Err(format!(
+            "short CRC trailer `crc {stored_hex}`: expected 8 hex digits, \
+             got {} — the file was truncated inside the trailer",
+            stored_hex.len()
+        )
+        .into());
+    }
     let stored = u32::from_str_radix(&stored_hex, 16)
         .map_err(|_| TextError::from(format!("bad crc field `{stored_hex}`")))?;
     let computed = crc32(body.as_bytes());
@@ -265,10 +291,19 @@ impl FracModel {
     }
 
     /// Load from a file.
+    ///
+    /// Every error — I/O, truncation, checksum, parse — names the path, so
+    /// callers (the CLI, the serving daemon's hot-reload) can surface it
+    /// verbatim without re-wrapping.
     pub fn load(path: impl AsRef<std::path::Path>) -> Result<FracModel, TextError> {
-        let text = std::fs::read_to_string(path)
-            .map_err(|e| TextError::from(format!("I/O error: {e}")))?;
-        FracModel::from_text(&text)
+        let path = path.as_ref();
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            TextError::from(format!("{}: I/O error: {e}", path.display()))
+        })?;
+        FracModel::from_text(&text).map_err(|e| TextError {
+            message: format!("{}: {}", path.display(), e.message),
+            ..e
+        })
     }
 }
 
@@ -396,10 +431,69 @@ mod tests {
         let err = parse_err(&corrupted);
         assert!(err.to_string().contains("checksum mismatch"), "{err}");
 
-        // A missing trailer on a v3 file is also rejected.
+        // A missing trailer on a v3 file is also rejected, naming the
+        // trailer rather than a generic parse failure.
         let body_end = text.rfind("\nend\n").unwrap() + "\nend\n".len();
         let err = parse_err(&text[..body_end]);
-        assert!(err.to_string().contains("end of input"), "{err}");
+        assert!(err.to_string().contains("missing CRC trailer"), "{err}");
+    }
+
+    /// Satellite guarantee: a file truncated anywhere after the version
+    /// line fails with an error that names the path and the truncation
+    /// (missing `end`, missing trailer, or short trailer) — never a
+    /// generic "unknown tag"-style parse error from half a feature
+    /// section, because the trailer is checked before any body parsing.
+    #[test]
+    fn truncation_at_any_offset_names_path_and_trailer() {
+        let model = small_model();
+        let dir = std::env::temp_dir().join("frac-persist-truncation-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.frac");
+        model.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let body_end = text.rfind("\nend\n").unwrap() + "\nend\n".len();
+
+        // Offsets spanning the interesting regions: just past the version
+        // line, mid-body, just before `end`, after `end` but before the
+        // trailer, and inside the trailer's tag and hex digits.
+        let offsets = [
+            text.find('\n').unwrap() + 2, // inside the `planned` line
+            text.len() / 3,               // mid-body
+            text.len() / 2,               // mid-body
+            body_end - 3,                 // inside the `end` line
+            body_end,                     // trailer fully missing
+            body_end + 2,                 // inside the `crc` tag
+            text.len() - 6,               // trailer hex cut short
+        ];
+        for &off in &offsets {
+            let cut = path.with_extension(format!("cut{off}"));
+            std::fs::write(&cut, &text.as_bytes()[..off]).unwrap();
+            let err = match FracModel::load(&cut) {
+                Err(e) => e.to_string(),
+                Ok(_) => panic!("offset {off}: truncated file loaded"),
+            };
+            assert!(
+                err.contains(&cut.display().to_string()),
+                "offset {off}: error must name the path: {err}"
+            );
+            assert!(
+                err.to_lowercase().contains("truncat"),
+                "offset {off}: error must name the truncation: {err}"
+            );
+            assert!(
+                !err.contains("unknown model tag"),
+                "offset {off}: generic parse error leaked through: {err}"
+            );
+            std::fs::remove_file(&cut).ok();
+        }
+
+        // Losing only the final newline leaves the trailer complete: the
+        // file still verifies and loads.
+        let trimmed = path.with_extension("nonl");
+        std::fs::write(&trimmed, &text.as_bytes()[..text.len() - 1]).unwrap();
+        assert!(FracModel::load(&trimmed).is_ok());
+        std::fs::remove_file(&trimmed).ok();
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

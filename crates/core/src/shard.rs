@@ -366,9 +366,11 @@ pub fn worker_run(
 ///
 /// - [`crate::fault::ENV_SHARD_CRASHLOOP`] set → exit immediately with
 ///   [`crate::fault::CRASHLOOP_EXIT_CODE`] (a crash-looping worker).
-/// - [`crate::fault::ENV_SHARD_ABORT_AFTER`]` = n` → spawn a watcher
-///   thread that aborts the process (as SIGKILL would) once the worker's
-///   own shard journal holds ≥ n records — death at a record boundary.
+/// - [`crate::fault::ENV_SHARD_ABORT_AFTER`]` = n` → arm an abort budget
+///   consumed by the journal write path: the process aborts (as SIGKILL
+///   would) at the exact record boundary that brings the worker's shard
+///   journal to ≥ n records. Deterministic — a worker cannot outrun it no
+///   matter how fast its fits finish.
 ///
 /// Call once at worker startup with the worker's shard journal path. A
 /// no-op when neither variable is set.
@@ -380,17 +382,8 @@ pub fn apply_worker_faults_from_env(shard_journal: &Path) {
         .ok()
         .and_then(|v| v.parse::<usize>().ok());
     if let Some(n) = after {
-        let path = shard_journal.to_path_buf();
-        std::thread::spawn(move || loop {
-            let records =
-                RunJournal::scan(&path).map_or(0, |scan| scan.records.len());
-            if records >= n {
-                // abort(), not exit(): no atexit handlers, no unwinding —
-                // the closest in-process stand-in for SIGKILL.
-                std::process::abort();
-            }
-            std::thread::sleep(Duration::from_millis(5));
-        });
+        let existing = RunJournal::scan(shard_journal).map_or(0, |scan| scan.records.len());
+        crate::fault::arm_abort_after_records(n.saturating_sub(existing));
     }
 }
 

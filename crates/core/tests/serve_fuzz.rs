@@ -1,0 +1,179 @@
+//! Property-based fuzzing of the serve wire protocol: the daemon must
+//! survive arbitrary byte soup, structured garbage, oversized lines, and
+//! mid-record disconnects — and after every abuse, a well-formed request on
+//! the same daemon must still score **bit-identically** to
+//! [`FracModel::score`]. One daemon is shared by every case, so each case
+//! also fuzzes the state the previous cases left behind.
+
+use frac_core::serve::{ServeConfig, Server};
+use frac_core::{FracConfig, FracModel, TrainingPlan};
+use frac_dataset::{Dataset, Value};
+use frac_synth::{ExpressionConfig, ExpressionGenerator};
+use proptest::prelude::*;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Cap on input lines for the fuzz daemon — small enough that the oversize
+/// path gets exercised, large enough that well-formed records never hit it.
+const FUZZ_LINE_CAP: usize = 4096;
+
+struct Daemon {
+    addr: SocketAddr,
+    /// A well-formed TSV record and the exact score bits it must produce.
+    probe_line: String,
+    probe_bits: u64,
+}
+
+fn daemon() -> &'static Daemon {
+    static D: OnceLock<Daemon> = OnceLock::new();
+    D.get_or_init(|| {
+        let (data, _) = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 10,
+            n_modules: 2,
+            relevant_fraction: 0.9,
+            anomaly_modules: 1,
+            anomaly_shift: 3.0,
+            noise_sd: 0.5,
+            structure_seed: 31,
+            ..ExpressionConfig::default()
+        })
+        .generate(20, 2, 9);
+        let train = data.select_rows(&(0..16).collect::<Vec<_>>());
+        let test = data.select_rows(&(16..22).collect::<Vec<_>>());
+        let plan = TrainingPlan::full(train.n_features());
+        let (model, _) = FracModel::fit(&train, &plan, &FracConfig::expression());
+        let probe_bits = model.score(&test)[0].to_bits();
+        let probe_line = tsv_line(&test, 0);
+
+        let dir = std::env::temp_dir().join(format!("frac-serve-fuzz-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let model_path = dir.join("model.frac");
+        model.save(&model_path).unwrap();
+
+        let cfg = ServeConfig { max_line_bytes: FUZZ_LINE_CAP, ..ServeConfig::default() };
+        let server = Server::new(model, model_path, train.schema().clone(), cfg).unwrap();
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        // The daemon lives (and must stay healthy) for the whole test
+        // process; the thread is deliberately not joined.
+        std::thread::spawn(move || server.serve_listener(listener));
+        Daemon { addr, probe_line, probe_bits }
+    })
+}
+
+fn tsv_line(ds: &Dataset, r: usize) -> String {
+    ds.row(r)
+        .into_iter()
+        .map(|v| match v {
+            Value::Real(x) => format!("{x}"),
+            Value::Categorical(c) => format!("{c}"),
+            Value::Missing => "?".into(),
+        })
+        .collect::<Vec<_>>()
+        .join("\t")
+}
+
+fn connect(addr: SocketAddr) -> TcpStream {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+    stream
+}
+
+/// Send `abuse` (raw, possibly unterminated), terminate the line, then send
+/// the probe record and assert its reply carries the exact expected bits.
+/// `abuse` may provoke any number of `err` replies; the probe's reply is
+/// identified by its seq (1 line per `\n`, +1 for the terminator we add).
+fn abuse_then_probe(abuse: &[u8]) {
+    let d = daemon();
+    let mut stream = connect(d.addr);
+    stream.write_all(abuse).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let newlines = abuse.iter().filter(|&&b| b == b'\n').count() as u64;
+    let probe_seq = newlines + 2;
+    stream.write_all(d.probe_line.as_bytes()).unwrap();
+    stream.write_all(b"\n").unwrap();
+    let mut reader = BufReader::new(stream);
+    let want = format!("ns {probe_seq} ");
+    // Every reply before the probe's is for abuse lines; bounded by the
+    // number of lines sent, so this cannot loop forever.
+    for _ in 0..probe_seq + 1 {
+        let mut line = String::new();
+        let n = reader.read_line(&mut line).expect("daemon must keep answering");
+        assert!(n > 0, "daemon closed the connection after abuse {abuse:?}");
+        if let Some(score) = line.trim_end().strip_prefix(&want) {
+            assert_eq!(
+                score.parse::<f64>().unwrap().to_bits(),
+                d.probe_bits,
+                "score after abuse diverged from frac score"
+            );
+            return;
+        }
+    }
+    panic!("probe record (seq {probe_seq}) was never answered");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Arbitrary bytes — control characters, invalid UTF-8, embedded
+    /// newlines, stray protocol keywords — must never take the daemon down
+    /// or perturb subsequent scores.
+    #[test]
+    fn byte_soup_is_survivable(
+        soup in prop::collection::vec(0u32..256, 0..400),
+    ) {
+        let bytes: Vec<u8> = soup.into_iter().map(|b| b as u8).collect();
+        abuse_then_probe(&bytes);
+    }
+
+    /// Structured garbage: near-miss TSV and JSON records (truncated cells,
+    /// swapped separators, braces) built from printable fragments.
+    #[test]
+    fn structured_garbage_is_survivable(
+        picks in prop::collection::vec(0u32..8, 1..20),
+    ) {
+        const FRAGMENTS: [&str; 8] =
+            ["1.5", "?", "\t", "{", "}", "\"g0\":", "not-a-number", "cmd "];
+        let garbage: String =
+            picks.iter().map(|&i| FRAGMENTS[i as usize]).collect();
+        abuse_then_probe(garbage.as_bytes());
+    }
+
+    /// A client that vanishes mid-record (no trailing newline) must not
+    /// wedge or kill the daemon; the next connection scores exactly.
+    #[test]
+    fn mid_record_disconnect_is_survivable(
+        cut in 1usize..20,
+    ) {
+        let d = daemon();
+        let partial = &d.probe_line.as_bytes()[..cut.min(d.probe_line.len() - 1)];
+        {
+            let mut stream = connect(d.addr);
+            stream.write_all(partial).unwrap();
+            // Dropped here: mid-record disconnect.
+        }
+        abuse_then_probe(b"");
+    }
+}
+
+#[test]
+fn oversized_lines_are_rejected_without_memory_growth() {
+    // Lines past the cap draw an `err` naming the limit; the bytes are
+    // discarded as they stream in, so even a line far larger than the cap
+    // cannot balloon the daemon.
+    for size in [FUZZ_LINE_CAP + 1, 4 * FUZZ_LINE_CAP, 64 * FUZZ_LINE_CAP] {
+        let d = daemon();
+        let mut stream = connect(d.addr);
+        stream.write_all(&vec![b'7'; size]).unwrap();
+        stream.write_all(b"\n").unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("err 1 "), "{line}");
+        assert!(line.contains(&FUZZ_LINE_CAP.to_string()), "{line}");
+        drop(stream);
+    }
+    abuse_then_probe(b"");
+}

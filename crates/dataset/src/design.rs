@@ -90,6 +90,34 @@ impl DesignSpec {
         &self.input_features
     }
 
+    /// Check that this spec can encode datasets of `schema`: every input
+    /// index in range, and every encoder's width matching the feature's
+    /// one-hot width (a real encoder on a real feature, a k-wide one-hot
+    /// on a k-ary categorical). Used to vet a reloaded model against a
+    /// serving schema before it is allowed anywhere near the score path —
+    /// a mismatch would otherwise surface as an out-of-bounds panic deep
+    /// in the encode pool.
+    pub fn validate_against(&self, schema: &crate::schema::Schema) -> Result<(), String> {
+        for (&j, enc) in self.input_features.iter().zip(&self.encoders) {
+            if j >= schema.len() {
+                return Err(format!(
+                    "input feature {j} out of range for a schema of {} features",
+                    schema.len()
+                ));
+            }
+            let want = schema.kind(j).one_hot_width();
+            if enc.width() != want {
+                return Err(format!(
+                    "feature {j} (`{}`): encoded width {} does not match schema kind `{}`",
+                    schema.feature(j).name,
+                    enc.width(),
+                    schema.kind(j)
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Serialize this spec into a [`crate::textio::TextWriter`] (model
     /// persistence).
     pub fn write_text(&self, w: &mut crate::textio::TextWriter) {

@@ -11,7 +11,7 @@
 //! ?<TAB>0.7<TAB>0
 //! ```
 
-use crate::dataset::{Column, Dataset};
+use crate::dataset::{Column, Dataset, Value};
 use crate::schema::{Feature, FeatureKind, Schema};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
@@ -113,12 +113,16 @@ pub fn to_tsv(data: &Dataset) -> String {
     out
 }
 
-/// Parse a data set from the TSV format.
-pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
-    let mut lines = text.lines().enumerate();
-    let (_, header) = lines
-        .next()
-        .ok_or_else(|| ParseError::Header("empty input".into()))?;
+/// Parse a header line of `name:kind` pairs into a [`Schema`].
+///
+/// This is the first line of the TSV format, split out so long-lived
+/// consumers (the scoring daemon) can fix a schema once and then decode
+/// records incrementally with [`parse_record`] / [`parse_json_record`].
+pub fn schema_from_header(header: &str) -> Result<Schema, ParseError> {
+    let header = header.trim_end_matches(['\r', '\n']);
+    if header.is_empty() {
+        return Err(ParseError::Header("empty input".into()));
+    }
     let mut features = Vec::new();
     for cell in header.split('\t') {
         let (name, kind) = cell
@@ -127,7 +131,242 @@ pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
         let kind = parse_kind(kind).map_err(ParseError::Header)?;
         features.push(Feature::new(name, kind));
     }
-    let schema = Schema::new(features);
+    Ok(Schema::new(features))
+}
+
+/// Parse one cell of a TSV row against its schema kind.
+fn parse_cell(
+    kind: FeatureKind,
+    cell: &str,
+    line: usize,
+    column: usize,
+) -> Result<Value, ParseError> {
+    let cell_err = |message: String| ParseError::Cell { line, column, message };
+    if cell == "?" {
+        return Ok(Value::Missing);
+    }
+    match kind {
+        FeatureKind::Real => cell
+            .parse::<f64>()
+            .map(Value::Real)
+            .map_err(|_| cell_err(format!("bad real `{cell}`"))),
+        FeatureKind::Categorical { arity } => {
+            let c: u32 = cell
+                .parse()
+                .map_err(|_| cell_err(format!("bad code `{cell}`")))?;
+            if c >= arity {
+                return Err(cell_err(format!("code {c} out of range for arity {arity}")));
+            }
+            Ok(Value::Categorical(c))
+        }
+    }
+}
+
+/// Incrementally decode one TSV data row against a fixed schema.
+///
+/// `line` is the 1-based line number reported in errors. The returned
+/// values are exactly what [`from_tsv`] would have stored for the same
+/// row, so records decoded one at a time score identically to records
+/// parsed from a whole file.
+pub fn parse_record(
+    schema: &Schema,
+    row: &str,
+    line: usize,
+) -> Result<Vec<Value>, ParseError> {
+    let row = row.trim_end_matches(['\r', '\n']);
+    let cells: Vec<&str> = row.split('\t').collect();
+    if cells.len() != schema.len() {
+        return Err(ParseError::RowWidth {
+            line,
+            found: cells.len(),
+            expected: schema.len(),
+        });
+    }
+    cells
+        .iter()
+        .enumerate()
+        .map(|(j, cell)| parse_cell(schema.kind(j), cell, line, j))
+        .collect()
+}
+
+/// Incrementally decode one flat JSON object (`{"name": value, …}`)
+/// against a fixed schema.
+///
+/// Values may be numbers (reals, or integer codes for categorical
+/// features), `null` / the string `"?"` for missing, or quoted numbers.
+/// Features absent from the object are missing; unknown keys are an
+/// error (they usually mean a schema mismatch, which must not be
+/// silently dropped in a clinical scoring path). Only the flat subset of
+/// JSON needed for one record is accepted — nested objects or arrays are
+/// rejected.
+pub fn parse_json_record(
+    schema: &Schema,
+    text: &str,
+    line: usize,
+) -> Result<Vec<Value>, ParseError> {
+    let cell_err = |column: usize, message: String| ParseError::Cell { line, column, message };
+    let mut values = vec![Value::Missing; schema.len()];
+    let mut seen = vec![false; schema.len()];
+    let mut p = JsonCursor { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{').map_err(|m| cell_err(0, m))?;
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string().map_err(|m| cell_err(0, m))?;
+            let j = schema
+                .index_of(&key)
+                .ok_or_else(|| cell_err(0, format!("unknown feature `{key}`")))?;
+            if seen[j] {
+                return Err(cell_err(j, format!("duplicate feature `{key}`")));
+            }
+            seen[j] = true;
+            p.skip_ws();
+            p.expect(b':').map_err(|m| cell_err(j, m))?;
+            p.skip_ws();
+            values[j] = match p.peek() {
+                Some(b'n') => {
+                    p.literal("null").map_err(|m| cell_err(j, m))?;
+                    Value::Missing
+                }
+                Some(b'"') => {
+                    let s = p.string().map_err(|m| cell_err(j, m))?;
+                    parse_cell(schema.kind(j), &s, line, j)?
+                }
+                _ => {
+                    let s = p.number().map_err(|m| cell_err(j, m))?;
+                    parse_cell(schema.kind(j), &s, line, j)?
+                }
+            };
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.pos += 1,
+                Some(b'}') => {
+                    p.pos += 1;
+                    break;
+                }
+                _ => return Err(cell_err(j, "expected `,` or `}`".into())),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(cell_err(0, "trailing bytes after JSON object".into()));
+    }
+    Ok(values)
+}
+
+/// Byte cursor for the minimal flat-JSON record parser (no dependency,
+/// no recursion — a record is one object of scalars).
+struct JsonCursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonCursor<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}`", b as char))
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{lit}`"))
+        }
+    }
+
+    /// A quoted string; `\"` `\\` `\/` and whitespace escapes only (feature
+    /// names and the `?` missing marker need nothing more).
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    out.push(match esc {
+                        b'"' => '"',
+                        b'\\' => '\\',
+                        b'/' => '/',
+                        b'n' => '\n',
+                        b't' => '\t',
+                        b'r' => '\r',
+                        other => {
+                            return Err(format!("unsupported escape `\\{}`", other as char))
+                        }
+                    });
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through byte-wise; the
+                    // source is a &str so the bytes are valid.
+                    let start = self.pos;
+                    while self
+                        .peek()
+                        .is_some_and(|b| b != b'"' && b != b'\\')
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid UTF-8 in string".to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    /// The raw text of a JSON number (validated downstream by the typed
+    /// cell parser).
+    fn number(&mut self) -> Result<String, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return Err("expected a value".into());
+        }
+        String::from_utf8(self.bytes[start..self.pos].to_vec())
+            .map_err(|_| "invalid number".into())
+    }
+}
+
+/// Parse a data set from the TSV format.
+pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| ParseError::Header("empty input".into()))?;
+    let schema = schema_from_header(header)?;
     let n_features = schema.len();
 
     let mut columns: Vec<Column> = schema
@@ -139,56 +378,26 @@ pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
             }
         })
         .collect();
-    let mut n_rows = 0usize;
     for (lineno, line) in lines {
         if line.is_empty() {
             continue;
         }
-        let cells: Vec<&str> = line.split('\t').collect();
-        if cells.len() != n_features {
-            return Err(ParseError::RowWidth {
-                line: lineno + 1,
-                found: cells.len(),
-                expected: n_features,
-            });
-        }
-        for (j, cell) in cells.iter().enumerate() {
-            let cell_err = |message: String| ParseError::Cell {
-                line: lineno + 1,
-                column: j,
-                message,
-            };
-            match &mut columns[j] {
-                Column::Real(v) => {
-                    if *cell == "?" {
-                        v.push(f64::NAN);
-                    } else {
-                        v.push(
-                            cell.parse::<f64>()
-                                .map_err(|_| cell_err(format!("bad real `{cell}`")))?,
-                        );
-                    }
+        let row = parse_record(&schema, line, lineno + 1)?;
+        debug_assert_eq!(row.len(), n_features);
+        for (col, v) in columns.iter_mut().zip(row) {
+            match (col, v) {
+                (Column::Real(vec), Value::Real(x)) => vec.push(x),
+                (Column::Real(vec), Value::Missing) => vec.push(f64::NAN),
+                (Column::Categorical { codes, .. }, Value::Categorical(c)) => codes.push(c),
+                (Column::Categorical { codes, .. }, Value::Missing) => {
+                    codes.push(crate::dataset::MISSING_CODE)
                 }
-                Column::Categorical { arity, codes } => {
-                    if *cell == "?" {
-                        codes.push(crate::dataset::MISSING_CODE);
-                    } else {
-                        let c: u32 = cell
-                            .parse()
-                            .map_err(|_| cell_err(format!("bad code `{cell}`")))?;
-                        if c >= *arity {
-                            return Err(cell_err(format!(
-                                "code {c} out of range for arity {arity}"
-                            )));
-                        }
-                        codes.push(c);
-                    }
-                }
+                // parse_record types cells from the same schema the columns
+                // were built from, so kinds always agree.
+                _ => unreachable!("cell kind matches its column"),
             }
         }
-        n_rows += 1;
     }
-    let _ = n_rows;
     Ok(Dataset::new(schema, columns))
 }
 
@@ -304,5 +513,80 @@ mod tests {
     fn colon_in_name_parses_via_rsplit() {
         let d = from_tsv("chr1:1234:real\n0.5\n").unwrap();
         assert_eq!(d.schema().feature(0).name, "chr1:1234");
+    }
+
+    #[test]
+    fn incremental_records_match_whole_file_parse() {
+        let d = sample();
+        let text = to_tsv(&d);
+        let mut lines = text.lines();
+        let schema = schema_from_header(lines.next().unwrap()).unwrap();
+        assert_eq!(&schema, d.schema());
+        let mut rebuilt = Dataset::empty(schema.clone());
+        for (i, line) in lines.enumerate() {
+            rebuilt.push_row(&parse_record(&schema, line, i + 2).unwrap());
+        }
+        assert_eq!(rebuilt.n_rows(), d.n_rows());
+        for r in 0..d.n_rows() {
+            for j in 0..d.n_features() {
+                assert_eq!(rebuilt.value(r, j), d.value(r, j), "({r},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_record_errors_carry_the_line_number() {
+        let schema = schema_from_header("a:real\tb:cat3").unwrap();
+        match parse_record(&schema, "1.0", 7).unwrap_err() {
+            ParseError::RowWidth { line: 7, found: 1, expected: 2 } => {}
+            e => panic!("{e}"),
+        }
+        match parse_record(&schema, "x\t1", 9).unwrap_err() {
+            ParseError::Cell { line: 9, column: 0, .. } => {}
+            e => panic!("{e}"),
+        }
+        match parse_record(&schema, "1.0\t5", 3).unwrap_err() {
+            ParseError::Cell { line: 3, column: 1, message } => {
+                assert!(message.contains("out of range"), "{message}");
+            }
+            e => panic!("{e}"),
+        }
+    }
+
+    #[test]
+    fn json_records_decode_against_the_schema() {
+        let schema = schema_from_header("geneA:real\trs1:cat3").unwrap();
+        let v = parse_json_record(&schema, r#"{"geneA": -1.25, "rs1": 2}"#, 1).unwrap();
+        assert_eq!(v, vec![Value::Real(-1.25), Value::Categorical(2)]);
+        // Order-independent; absent and null keys are missing; "?" too.
+        let v = parse_json_record(&schema, r#"{"rs1": 0}"#, 1).unwrap();
+        assert_eq!(v, vec![Value::Missing, Value::Categorical(0)]);
+        let v = parse_json_record(&schema, r#"{"geneA": null, "rs1": "?"}"#, 1).unwrap();
+        assert_eq!(v, vec![Value::Missing, Value::Missing]);
+        let v = parse_json_record(&schema, "{}", 1).unwrap();
+        assert_eq!(v, vec![Value::Missing, Value::Missing]);
+        // Quoted numbers parse like TSV cells.
+        let v = parse_json_record(&schema, r#"{"geneA": "0.5"}"#, 1).unwrap();
+        assert_eq!(v[0], Value::Real(0.5));
+    }
+
+    #[test]
+    fn json_record_rejections() {
+        let schema = schema_from_header("geneA:real\trs1:cat3").unwrap();
+        for bad in [
+            r#"{"nope": 1}"#,                    // unknown feature
+            r#"{"geneA": 1, "geneA": 2}"#,       // duplicate
+            r#"{"rs1": 7}"#,                     // code out of range
+            r#"{"geneA": [1]}"#,                 // nested value
+            r#"{"geneA": 1"#,                    // truncated
+            r#"{"geneA": 1} trailing"#,          // trailing bytes
+            "not json",
+        ] {
+            let err = parse_json_record(&schema, bad, 4).unwrap_err();
+            match err {
+                ParseError::Cell { line: 4, .. } => {}
+                e => panic!("{bad}: {e}"),
+            }
+        }
     }
 }

@@ -81,11 +81,14 @@ pub enum Stage {
     JournalAppend,
     /// Scoring one feature's NS contributions over a test set.
     Score,
+    /// One admitted batch scored by the serving daemon (decode → encode
+    /// pool → NS accumulation → replies).
+    ServeBatch,
 }
 
 impl Stage {
     /// Every stage, in taxonomy order (report rendering).
-    pub const ALL: [Stage; 10] = [
+    pub const ALL: [Stage; 11] = [
         Stage::Encode,
         Stage::Quarantine,
         Stage::Entropy,
@@ -96,6 +99,7 @@ impl Stage {
         Stage::TreeGrow,
         Stage::JournalAppend,
         Stage::Score,
+        Stage::ServeBatch,
     ];
 
     /// Stable serialization name (TSV / JSON field).
@@ -111,6 +115,7 @@ impl Stage {
             Stage::TreeGrow => "tree_grow",
             Stage::JournalAppend => "journal_append",
             Stage::Score => "score",
+            Stage::ServeBatch => "serve_batch",
         }
     }
 
@@ -152,10 +157,22 @@ pub enum Counter {
     /// primal, gram, and the f32 packed/fallback flags). A label counter
     /// like [`Counter::KernelTier`]: merges by bitwise OR.
     SolverStrategy,
+    /// Records admitted by the scoring daemon (parsed and queued; the
+    /// denominator for the shed/quarantine/timeout rates below).
+    ServeRequests,
+    /// Requests refused with a `busy` reply because the admission queue
+    /// was full (explicit load shedding instead of unbounded buffering).
+    ServeShed,
+    /// Malformed records refused with a per-line error reply (the
+    /// connection and the rest of the batch survive).
+    ServeQuarantined,
+    /// Admitted requests whose deadline expired before scoring (answered
+    /// with a timeout error, never scored).
+    ServeTimeouts,
 }
 
 /// Number of [`Counter`] variants (report array size).
-pub const N_COUNTERS: usize = 7;
+pub const N_COUNTERS: usize = 11;
 
 impl Counter {
     /// Every counter, in declaration order.
@@ -167,6 +184,10 @@ impl Counter {
         Counter::EncodedCells,
         Counter::KernelTier,
         Counter::SolverStrategy,
+        Counter::ServeRequests,
+        Counter::ServeShed,
+        Counter::ServeQuarantined,
+        Counter::ServeTimeouts,
     ];
 
     /// Stable serialization name.
@@ -179,6 +200,10 @@ impl Counter {
             Counter::EncodedCells => "encoded_cells",
             Counter::KernelTier => "kernel_tier",
             Counter::SolverStrategy => "solver_strategy",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeQuarantined => "serve_quarantined",
+            Counter::ServeTimeouts => "serve_timeouts",
         }
     }
 
@@ -196,6 +221,10 @@ impl Counter {
             Counter::EncodedCells => 4,
             Counter::KernelTier => 5,
             Counter::SolverStrategy => 6,
+            Counter::ServeRequests => 7,
+            Counter::ServeShed => 8,
+            Counter::ServeQuarantined => 9,
+            Counter::ServeTimeouts => 10,
         }
     }
 
@@ -1063,7 +1092,7 @@ mod tests {
                     dur_ns: 100,
                 },
             ],
-            counters: [1, 2, 3, 4, 5, 6, 7],
+            counters: [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11],
             solver: SolverStats {
                 solves: 9,
                 epochs: 8,

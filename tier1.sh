@@ -13,10 +13,12 @@ cargo clippy --workspace -- -D warnings
 # crate-root cfg_attr (flags passed here would leak into dependency
 # builds); this run enforces those lints.
 cargo clippy -p frac-core -p frac-learn --lib
-# The SIMD kernel module is the workspace's only unsafe code
-# (#![deny(unsafe_op_in_unsafe_fn)] at its root); keep the crate that
-# hosts it lint-clean on its own, independent of workspace-wide runs.
+# The workspace's only unsafe code is the SIMD kernel module
+# (#![deny(unsafe_op_in_unsafe_fn)] at its root) and the serve daemon's
+# signal hookup in frac-cli; keep the hosting crates lint-clean on their
+# own, independent of workspace-wide runs.
 cargo clippy -p frac-dataset --lib -- -D warnings
+cargo clippy -p frac-cli -- -D warnings
 # The documented surface is part of the gate: every public item has docs
 # (frac-core/frac-learn deny missing_docs) and no doc link is broken.
 # Library crates only — the vendored stubs are workspace members but not
@@ -47,13 +49,20 @@ FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-core --test pool_equivalence
 # vectorization force-disabled (DESIGN.md §13).
 cargo test -q -p frac-learn --test gram_equivalence
 FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-learn --test gram_equivalence
+# Serving guarantee: daemon replies bit-identical to `frac score`,
+# malformed lines quarantined per-record, overload shed with `busy`,
+# hot reload validated off-path with rollback, drain on shutdown — plus
+# wire-protocol fuzzing (byte soup, oversized lines, disconnects).
+cargo test -q -p frac-core --test serve
+cargo test -q -p frac-core --test serve_fuzz
 
 # Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
 # within the budget plus slack, save a scored model, print a health
 # summary that accounts for every planned target, and write an
 # inspectable telemetry trace.
 smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
+# Also reaps the serve-smoke daemon if a later assertion aborts the gate.
+trap '[ -z "${serve_pid:-}" ] || kill "$serve_pid" 2>/dev/null || true; rm -rf "$smoke_dir"' EXIT
 run_smoke() {
   ./target/release/frac generate --dataset autism --out "$smoke_dir"
   timeout 60 ./target/release/frac train \
@@ -97,3 +106,61 @@ rm -rf "$smoke_dir"/*
 run_smoke
 # Leave the default binary in place for anything run after the gate.
 cargo build --release -p frac-cli
+
+# Serve smoke: a release daemon on a loopback socket must score a piped
+# TSV record, quarantine a malformed line without dropping the
+# connection, hot-reload on SIGHUP, reject a corrupt reload candidate
+# and keep serving the old model, and exit 0 on SIGTERM with its
+# counters accounting for both reload outcomes. Uses the model the
+# telemetry-off smoke just trained (the default binary serves it).
+./target/release/frac serve \
+  --model "$smoke_dir/autism.frac" \
+  --schema "$smoke_dir/autism.train.tsv" \
+  --listen 127.0.0.1:0 --drain-timeout 5s 2> "$smoke_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 50); do
+  grep -q "listening on" "$smoke_dir/serve.log" && break
+  sleep 0.1
+done
+port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$smoke_dir/serve.log")
+exec 3<>"/dev/tcp/127.0.0.1/$port"
+# A real record scores (seq 1)…
+sed -n '2p' "$smoke_dir/autism.test.tsv" >&3
+read -t 10 -r reply <&3
+case "$reply" in "ns 1 "*) ;; *) echo "serve smoke: bad score reply: $reply"; exit 1;; esac
+# …a malformed line is quarantined (seq 2) and the connection survives
+# to answer a ping (seq 3).
+printf 'definitely\tnot\ta\trecord\n' >&3
+read -t 10 -r reply <&3
+case "$reply" in "err 2 "*) ;; *) echo "serve smoke: malformed line not quarantined: $reply"; exit 1;; esac
+printf 'cmd ping\n' >&3
+read -t 10 -r reply <&3
+case "$reply" in "ok 3 pong") ;; *) echo "serve smoke: daemon died after quarantine: $reply"; exit 1;; esac
+# SIGHUP hot reload (same path on disk is a valid candidate); the daemon
+# must log the reload and keep scoring.
+kill -HUP "$serve_pid"
+for _ in $(seq 50); do
+  grep -q "SIGHUP: reloading" "$smoke_dir/serve.log" && break
+  sleep 0.1
+done
+grep -q "SIGHUP: reloading" "$smoke_dir/serve.log"
+sleep 0.3
+sed -n '2p' "$smoke_dir/autism.test.tsv" >&3
+read -t 10 -r reply <&3
+case "$reply" in "ns 4 "*) ;; *) echo "serve smoke: no score after SIGHUP reload: $reply"; exit 1;; esac
+# A truncated candidate must be rejected off-path and rolled back; the
+# serving model keeps answering.
+head -c "$(( $(wc -c < "$smoke_dir/autism.frac") / 2 ))" \
+  "$smoke_dir/autism.frac" > "$smoke_dir/corrupt.frac"
+printf 'cmd reload %s\n' "$smoke_dir/corrupt.frac" >&3
+read -t 10 -r reply <&3
+case "$reply" in "err 5 reload failed"*) ;; *) echo "serve smoke: corrupt reload not rejected: $reply"; exit 1;; esac
+sed -n '2p' "$smoke_dir/autism.test.tsv" >&3
+read -t 10 -r reply <&3
+case "$reply" in "ns 6 "*) ;; *) echo "serve smoke: daemon lost the model after rollback: $reply"; exit 1;; esac
+# SIGTERM drains and exits 0; the exit summary accounts for the one
+# successful reload and the one rejected candidate.
+kill -TERM "$serve_pid"
+wait "$serve_pid"
+grep -q "reloads=1" "$smoke_dir/serve.log"
+grep -q "reload_failures=1" "$smoke_dir/serve.log"
