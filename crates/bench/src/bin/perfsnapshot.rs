@@ -13,19 +13,25 @@
 //! throughput, scalar-blocked vs vectorized fit wall, and f32-mode NS
 //! drift (`BENCH_simd.json`) — and the Gram-matrix dual strategy against
 //! the primal fast path, with a d/n sweep locating the measured crossover
-//! (`BENCH_gram.json`).
+//! (`BENCH_gram.json`) — and the out-of-core FCB path: chunked pack time
+//! and peak encode buffer on a synthetic tall dataset, mmap-open vs
+//! TSV-parse wall clock, peak-RSS checkpoints around each load path, and
+//! an NS bit-identity check between FCB-trained and TSV-trained models
+//! (`BENCH_oocore.json`).
 //!
 //! ```text
 //! cargo run -p frac-bench --release --bin perfsnapshot [-- --family NAME]...
 //! ```
 //!
 //! With no `--family` flag every family runs; `--family` (repeatable:
-//! `fit | solver | journal | shard | telemetry | serve | simd | gram`)
-//! restricts the run to the named families.
+//! `fit | solver | journal | shard | telemetry | serve | simd | gram |
+//! oocore`) restricts the run to the named families.
 //!
 //! Environment knobs: `FRAC_PERF_FEATURES` (default 400),
 //! `FRAC_PERF_ROWS` (default 80), `FRAC_PERF_REPS` (default 2; best of),
-//! `FRAC_PERF_SOLVER_FEATURES` (default 160; solver-bound families).
+//! `FRAC_PERF_SOLVER_FEATURES` (default 160; solver-bound families),
+//! `FRAC_PERF_OOCORE_ROWS` / `FRAC_PERF_OOCORE_COLS` /
+//! `FRAC_PERF_OOCORE_CHUNK` (defaults 150000 / 24 / 4096; oocore only).
 
 use frac_core::config::{CatModel, RealModel};
 use frac_core::{FracConfig, FracModel, ResourceReport, SolverMode, SolverStrategy, TrainingPlan};
@@ -1019,14 +1025,65 @@ fn gram_sweep_json(n: usize, dims: &[usize], windows: usize, solves: usize) -> S
     )
 }
 
+/// Peak resident set (`VmHWM`) of this process in kilobytes, read from
+/// `/proc/self/status`; 0 where the file is unavailable. VmHWM is a
+/// high-water mark — monotone over the process lifetime — so comparisons
+/// must order the low-memory path first.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmHWM:"))
+                .and_then(|l| l.split_whitespace().nth(1).and_then(|v| v.parse().ok()))
+        })
+        .unwrap_or(0)
+}
+
+/// Stream a synthetic tall all-real TSV to `path` without materializing a
+/// `Dataset` (the point of the oocore family is files bigger than what we
+/// want resident). Values come from a xorshift64* stream; roughly 1% of
+/// cells are missing. Returns the file size in bytes.
+fn write_tall_tsv(path: &std::path::Path, rows: usize, cols: usize) -> std::io::Result<u64> {
+    use std::io::Write as _;
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    for j in 0..cols {
+        if j > 0 {
+            write!(w, "\t")?;
+        }
+        write!(w, "g{j}:real")?;
+    }
+    writeln!(w)?;
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    for r in 0..rows {
+        for j in 0..cols {
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            let v = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+            if j > 0 {
+                write!(w, "\t")?;
+            }
+            if (r + j) % 97 == 0 {
+                write!(w, "?")?;
+            } else {
+                write!(w, "{:.4}", (v % 2_000_000) as f64 / 100.0 - 10_000.0)?;
+            }
+        }
+        writeln!(w)?;
+    }
+    w.flush()?;
+    Ok(std::fs::metadata(path)?.len())
+}
+
 fn main() {
     let n_features = env_usize("FRAC_PERF_FEATURES", 400);
     let n_rows = env_usize("FRAC_PERF_ROWS", 80);
     let reps = env_usize("FRAC_PERF_REPS", 2).max(1);
     let n_test = n_rows;
 
-    const FAMILIES: [&str; 8] =
-        ["fit", "solver", "journal", "shard", "telemetry", "serve", "simd", "gram"];
+    const FAMILIES: [&str; 9] =
+        ["fit", "solver", "journal", "shard", "telemetry", "serve", "simd", "gram", "oocore"];
     let mut selected: Vec<String> = Vec::new();
     let mut argv = std::env::args().skip(1);
     while let Some(arg) = argv.next() {
@@ -1415,5 +1472,119 @@ fn main() {
             format!("{{\n{snp_gram},\n{expr_gram},\n{agreement_json},\n{sweep}\n}}\n");
         std::fs::write("BENCH_gram.json", &gram_json).expect("write BENCH_gram.json");
         println!("{gram_json}");
+    }
+
+    if run("oocore") {
+        // Out-of-core FCB path: (a) chunked pack keeps its encode buffer
+        // bounded regardless of file size, (b) opening the packed file
+        // (mmap + full CRC verification, which touches every page) beats
+        // re-parsing the TSV, (c) the mapped path adds no heap proportional
+        // to the data, and (d) an FCB-trained model scores bit-identically
+        // to a TSV-trained one.
+        let oo_rows = env_usize("FRAC_PERF_OOCORE_ROWS", 150_000);
+        let oo_cols = env_usize("FRAC_PERF_OOCORE_COLS", 24);
+        let oo_chunk = env_usize("FRAC_PERF_OOCORE_CHUNK", 4096);
+        eprintln!(
+            "oocore bench: {oo_rows} rows x {oo_cols} real columns, chunk {oo_chunk} rows, \
+             best of {reps}"
+        );
+        let dir = std::env::temp_dir().join(format!("frac-perf-oocore-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("oocore scratch dir");
+        let tsv_path = dir.join("tall.tsv");
+        let fcb_path = dir.join("tall.fcb");
+        let tsv_bytes = write_tall_tsv(&tsv_path, oo_rows, oo_cols).expect("write tall TSV");
+
+        let t0 = Instant::now();
+        let stats =
+            frac_dataset::fcb::pack_tsv(&tsv_path, &fcb_path, oo_chunk).expect("pack tall TSV");
+        let pack_s = t0.elapsed().as_secs_f64();
+        let buffer_ratio = stats.file_bytes as f64 / stats.peak_buffer_bytes.max(1) as f64;
+
+        // VmHWM is monotone, so the low-memory path must run first: any
+        // high-water growth observed after the TSV reps belongs to the
+        // parse alone.
+        let rss_before_load_kb = peak_rss_kb();
+        let mut open_s = f64::INFINITY;
+        let mut mapped = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let d = frac_dataset::fcb::FcbFile::open(&fcb_path).expect("open packed").dataset();
+            assert_eq!(d.n_rows(), oo_rows);
+            open_s = open_s.min(t.elapsed().as_secs_f64());
+            mapped = Some(d);
+        }
+        let rss_after_mmap_kb = peak_rss_kb();
+        let mut parse_s = f64::INFINITY;
+        let mut parsed = None;
+        for _ in 0..reps {
+            let t = Instant::now();
+            let d = frac_dataset::io::read_tsv(&tsv_path).expect("parse tall TSV");
+            assert_eq!(d.n_rows(), oo_rows);
+            parse_s = parse_s.min(t.elapsed().as_secs_f64());
+            parsed = Some(d);
+        }
+        let rss_after_parse_kb = peak_rss_kb();
+        assert_eq!(
+            mapped.unwrap().fingerprint(),
+            parsed.unwrap().fingerprint(),
+            "mapped FCB content must match parsed TSV content"
+        );
+        let load_speedup = parse_s / open_s;
+        eprintln!(
+            "pack {pack_s:.3}s ({} file bytes, peak buffer {} bytes, {buffer_ratio:.0}x); \
+             mmap open {open_s:.4}s vs tsv parse {parse_s:.4}s ({load_speedup:.1}x); \
+             peak rss {rss_before_load_kb} -> {rss_after_mmap_kb} -> {rss_after_parse_kb} kB",
+            stats.file_bytes, stats.peak_buffer_bytes,
+        );
+
+        // NS bit-identity on a small surrogate trained both ways (fitting
+        // the tall dataset itself is a fit benchmark, not a storage one).
+        let (surr, _) = ExpressionGenerator::new(ExpressionConfig {
+            n_features: 24,
+            n_modules: 4,
+            relevant_fraction: 0.9,
+            anomaly_modules: 2,
+            anomaly_shift: 3.0,
+            noise_sd: 0.5,
+            structure_seed: 77,
+            ..ExpressionConfig::default()
+        })
+        .generate(36, 6, 7);
+        let surr_train = surr.select_rows(&(0..30).collect::<Vec<_>>());
+        let surr_test = surr.select_rows(&(30..42).collect::<Vec<_>>());
+        let surr_tsv = dir.join("surr.tsv");
+        let surr_fcb = dir.join("surr.fcb");
+        frac_dataset::io::write_tsv(&surr_train, &surr_tsv).expect("write surrogate TSV");
+        frac_dataset::fcb::pack_tsv(&surr_tsv, &surr_fcb, 8).expect("pack surrogate");
+        let from_tsv = frac_dataset::io::read_tsv(&surr_tsv).expect("parse surrogate");
+        let from_fcb = frac_dataset::fcb::FcbFile::open(&surr_fcb).expect("open surrogate");
+        let surr_plan = TrainingPlan::full(surr_train.n_features());
+        let surr_cfg = FracConfig::default();
+        let (m_tsv, _) = FracModel::fit(&from_tsv, &surr_plan, &surr_cfg);
+        let (m_fcb, _) = FracModel::fit(&from_fcb.dataset(), &surr_plan, &surr_cfg);
+        let ns_tsv = m_tsv.score(&surr_test);
+        let ns_fcb = m_fcb.score(&surr_test);
+        let ns_identical =
+            ns_tsv.iter().zip(&ns_fcb).all(|(a, b)| a.to_bits() == b.to_bits());
+        assert!(ns_identical, "FCB-trained NS must be bit-identical to TSV-trained NS");
+        eprintln!("ns bits identical to tsv path: {ns_identical}");
+
+        let oocore_json = format!(
+            "{{\n  \"dataset\": {{\"rows\": {oo_rows}, \"real_columns\": {oo_cols}, \
+             \"tsv_bytes\": {tsv_bytes}, \"fcb_bytes\": {}}},\n  \
+             \"pack\": {{\"wall_s\": {pack_s:.6}, \"chunk_rows\": {}, \
+             \"peak_buffer_bytes\": {}, \"file_to_buffer_ratio\": {buffer_ratio:.1}}},\n  \
+             \"load\": {{\"mmap_open_s\": {open_s:.6}, \"tsv_parse_s\": {parse_s:.6}, \
+             \"mmap_speedup\": {load_speedup:.2}}},\n  \
+             \"peak_rss_kb\": {{\"before_load\": {rss_before_load_kb}, \
+             \"after_mmap_open\": {rss_after_mmap_kb}, \
+             \"after_tsv_parse\": {rss_after_parse_kb}}},\n  \
+             \"ns_bits_identical_to_tsv\": {ns_identical}\n}}\n",
+            stats.file_bytes, stats.chunk_rows, stats.peak_buffer_bytes,
+        );
+        std::fs::write("BENCH_oocore.json", &oocore_json).expect("write BENCH_oocore.json");
+        println!("{oocore_json}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -109,6 +109,26 @@ USAGE:
       NAME ∈ {breast.basal, biomarkers, ethnic, bild, smokers2,
               hematopoiesis, autism, schizophrenia}
 
+  frac pack --data FILE.tsv --out FILE.fcb [--chunk-rows N]
+      Convert a TSV data set to FCB, the checksummed binary column format
+      (byte layout in FORMATS.md). Packing streams: at most --chunk-rows
+      rows (default 8192) are in memory at once, so data sets larger than
+      RAM pack fine, and the output file appears atomically (tmp + fsync
+      + rename). Example:
+        frac pack --data train.tsv --out train.fcb
+        frac train --train train.fcb --out model.frac
+
+  frac info --data FILE.fcb
+      Validate an FCB file (magic, version, geometry, and every CRC) and
+      print its header: rows, features, schema fingerprint, file
+      checksum, and per-column kind/missing-count/CRC. Example:
+        frac info --data train.fcb
+
+  Every file flag that reads a data set (--train, --test, --data,
+  --schema) accepts either format: files ending in .fcb are
+  memory-mapped and verified, anything else is parsed as TSV. Scores
+  are bit-identical either way.
+
   frac help
       Print this text.";
 
@@ -137,6 +157,20 @@ pub enum Command {
     },
     /// `frac serve` — long-lived scoring daemon.
     Serve(ServeArgs),
+    /// `frac pack` — convert a TSV data set to the FCB binary format.
+    Pack {
+        /// Input TSV path.
+        data: PathBuf,
+        /// Output FCB path.
+        out: PathBuf,
+        /// Rows buffered per write chunk (the encode memory budget).
+        chunk_rows: usize,
+    },
+    /// `frac info` — validate an FCB file and print its header.
+    Info {
+        /// FCB file to inspect.
+        data: PathBuf,
+    },
     /// `frac generate`
     Generate {
         /// Registry data-set name.
@@ -586,6 +620,46 @@ pub fn parse(argv: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Serve(a))
         }
+        "pack" => {
+            let mut data = PathBuf::new();
+            let mut out = PathBuf::new();
+            let mut chunk_rows = 8192usize;
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--data" => data = take_value(argv, &mut i, "--data")?.into(),
+                    "--out" => out = take_value(argv, &mut i, "--out")?.into(),
+                    "--chunk-rows" => {
+                        chunk_rows = take_value(argv, &mut i, "--chunk-rows")?
+                            .parse()
+                            .ok()
+                            .filter(|&n: &usize| n >= 1)
+                            .ok_or_else(|| "--chunk-rows expects an integer >= 1".to_string())?
+                    }
+                    other => return Err(format!("unknown flag `{other}` for pack")),
+                }
+                i += 1;
+            }
+            if data.as_os_str().is_empty() || out.as_os_str().is_empty() {
+                return Err("pack requires --data and --out".into());
+            }
+            Ok(Command::Pack { data, out, chunk_rows })
+        }
+        "info" => {
+            let mut data = PathBuf::new();
+            let mut i = 1;
+            while i < argv.len() {
+                match argv[i].as_str() {
+                    "--data" => data = take_value(argv, &mut i, "--data")?.into(),
+                    other => return Err(format!("unknown flag `{other}` for info")),
+                }
+                i += 1;
+            }
+            if data.as_os_str().is_empty() {
+                return Err("info requires --data".into());
+            }
+            Ok(Command::Info { data })
+        }
         "generate" => {
             let mut dataset = String::new();
             let mut out = PathBuf::new();
@@ -708,6 +782,26 @@ mod tests {
         assert!(err.contains("breast.basal"), "should list valid names: {err}");
         // An explicit seed defers the name check to the generate command.
         assert!(parse(&argv("generate --dataset nope --out /tmp/x --seed 1")).is_ok());
+    }
+
+    #[test]
+    fn parses_pack_and_info() {
+        assert_eq!(
+            parse(&argv("pack --data a.tsv --out a.fcb")).unwrap(),
+            Command::Pack { data: "a.tsv".into(), out: "a.fcb".into(), chunk_rows: 8192 }
+        );
+        assert_eq!(
+            parse(&argv("pack --data a.tsv --out a.fcb --chunk-rows 64")).unwrap(),
+            Command::Pack { data: "a.tsv".into(), out: "a.fcb".into(), chunk_rows: 64 }
+        );
+        assert_eq!(
+            parse(&argv("info --data a.fcb")).unwrap(),
+            Command::Info { data: "a.fcb".into() }
+        );
+        assert!(parse(&argv("pack --data a.tsv")).is_err());
+        assert!(parse(&argv("pack --data a.tsv --out a.fcb --chunk-rows 0")).is_err());
+        assert!(parse(&argv("info")).is_err());
+        assert!(parse(&argv("info --bogus x")).is_err());
     }
 
     #[test]

@@ -18,10 +18,17 @@ use frac_synth::registry::{lookup, make_dataset, PAPER_DATASETS};
 
 type Error = Box<dyn std::error::Error>;
 
-/// Read a TSV, prefixing any error with the offending path so the user
-/// knows which of several input files failed.
-fn read_tsv_at(path: &std::path::Path) -> Result<frac_dataset::Dataset, Error> {
-    read_tsv(path).map_err(|e| format!("{}: {e}", path.display()).into())
+/// Read a data set, dispatching on the extension: `.fcb` files are
+/// memory-mapped and fully verified (every CRC, geometry, code ranges),
+/// anything else is parsed as TSV. Training or scoring from either format
+/// yields bit-identical results. Errors name the offending path so the
+/// user knows which of several input files failed.
+fn read_data_at(path: &std::path::Path) -> Result<frac_dataset::Dataset, Error> {
+    if frac_dataset::fcb::is_fcb_path(path) {
+        Ok(frac_dataset::FcbFile::open(path)?.dataset())
+    } else {
+        read_tsv(path).map_err(|e| format!("{}: {e}", path.display()).into())
+    }
 }
 
 /// Parse a labels file: one 0/1 token per test row, strictly validated.
@@ -61,8 +68,50 @@ pub fn run(cmd: Command) -> Result<(), Error> {
         Command::Entropy { data, top } => entropy(&data, top),
         Command::InspectTelemetry { file, top } => inspect_telemetry(&file, top),
         Command::Serve(args) => serve(args),
+        Command::Pack { data, out, chunk_rows } => pack(&data, &out, chunk_rows),
+        Command::Info { data } => info(&data),
         Command::Generate { dataset, out, seed } => generate(&dataset, &out, seed),
     }
+}
+
+/// `frac pack`: convert a TSV data set to FCB, streaming with a bounded
+/// row buffer so inputs larger than RAM pack fine.
+fn pack(data: &std::path::Path, out: &std::path::Path, chunk_rows: usize) -> Result<(), Error> {
+    if frac_dataset::fcb::is_fcb_path(data) {
+        return Err(format!("{}: already an FCB file (pack reads TSV)", data.display()).into());
+    }
+    let stats = frac_dataset::fcb::pack_tsv(data, out, chunk_rows)?;
+    println!(
+        "packed {} rows -> {} ({} bytes; chunk {} rows, peak buffer {} bytes)",
+        stats.rows,
+        out.display(),
+        stats.file_bytes,
+        stats.chunk_rows,
+        stats.peak_buffer_bytes
+    );
+    Ok(())
+}
+
+/// `frac info`: validate an FCB file (opening runs the full integrity
+/// pass) and dump its header and checksums as TSV.
+fn info(data: &std::path::Path) -> Result<(), Error> {
+    let file = frac_dataset::FcbFile::open(data)?;
+    let info = file.info();
+    println!("file\t{}", data.display());
+    println!("format\tfcb v{}", info.version);
+    println!("rows\t{}", info.n_rows);
+    println!("features\t{}", info.n_features);
+    println!("schema_fnv\t{:016x}", info.schema_fnv);
+    println!("file_bytes\t{}", info.file_len);
+    println!("file_crc\t{:08x}", info.file_crc);
+    println!("column\tname\tkind\tmissing\tvalue_bytes\tvalues_crc\tmissing_crc");
+    for c in &info.columns {
+        println!(
+            "column\t{}\t{}\t{}\t{}\t{:08x}\t{:08x}",
+            c.name, c.kind, c.n_missing, c.values_len, c.values_crc, c.missing_crc
+        );
+    }
+    Ok(())
 }
 
 /// `frac serve`: load the model once, then score streaming records until
@@ -71,19 +120,24 @@ pub fn run(cmd: Command) -> Result<(), Error> {
 /// signal handlers, the listener/pipe choice, and the exit telemetry.
 fn serve(args: ServeArgs) -> Result<(), Error> {
     use std::io::BufRead;
-    // Only the header line of --schema is read; pointing it at the full
-    // training TSV is the expected usage.
-    let header = {
-        let file = std::fs::File::open(&args.schema)
-            .map_err(|e| format!("{}: {e}", args.schema.display()))?;
-        let mut line = String::new();
-        std::io::BufReader::new(file)
-            .read_line(&mut line)
-            .map_err(|e| format!("{}: {e}", args.schema.display()))?;
-        line
+    // --schema accepts either format. For a TSV only the header line is
+    // read (pointing it at the full training file is the expected usage);
+    // for an `.fcb` file the embedded, CRC-verified schema block is used.
+    let schema = if frac_dataset::fcb::is_fcb_path(&args.schema) {
+        frac_dataset::FcbFile::open(&args.schema)?.schema().clone()
+    } else {
+        let header = {
+            let file = std::fs::File::open(&args.schema)
+                .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+            let mut line = String::new();
+            std::io::BufReader::new(file)
+                .read_line(&mut line)
+                .map_err(|e| format!("{}: {e}", args.schema.display()))?;
+            line
+        };
+        frac_dataset::io::schema_from_header(&header)
+            .map_err(|e| format!("{}: {e}", args.schema.display()))?
     };
-    let schema = frac_dataset::io::schema_from_header(&header)
-        .map_err(|e| format!("{}: {e}", args.schema.display()))?;
     // `FracModel::load` errors already name the path.
     let model = FracModel::load(&args.model).map_err(|e| e.to_string())?;
     let n_targets = model.n_targets();
@@ -200,7 +254,7 @@ fn train(args: TrainArgs, resuming: bool) -> Result<(), Error> {
         let active = frac_dataset::kernels::force_tier(Some(requested));
         eprintln!("kernel tier forced: {active}");
     }
-    let train = read_tsv_at(&args.train)?;
+    let train = read_data_at(&args.train)?;
     let mut config = if args.snp {
         FracConfig::snp().with_seed(args.seed)
     } else {
@@ -490,7 +544,7 @@ fn parse_shard_faults(spec: &str) -> Result<FaultPlan, Error> {
 
 /// Score with a previously saved model.
 fn score_with_model(args: &ScoreArgs, path: &std::path::Path) -> Result<(), Error> {
-    let test = read_tsv_at(&args.test)?;
+    let test = read_data_at(&args.test)?;
     // `FracModel::load` errors already name the path.
     let model = FracModel::load(path).map_err(|e| e.to_string())?;
     eprintln!(
@@ -526,8 +580,8 @@ fn score(args: ScoreArgs) -> Result<(), Error> {
     if let Some(path) = args.model.clone() {
         return score_with_model(&args, &path);
     }
-    let train = read_tsv_at(&args.train)?;
-    let test = read_tsv_at(&args.test)?;
+    let train = read_data_at(&args.train)?;
+    let test = read_data_at(&args.test)?;
     if train.schema() != test.schema() {
         return Err("train and test schemas differ".into());
     }
@@ -643,7 +697,7 @@ fn inspect_telemetry(path: &std::path::Path, top: usize) -> Result<(), Error> {
 }
 
 fn entropy(path: &std::path::Path, top: usize) -> Result<(), Error> {
-    let data = read_tsv_at(path)?;
+    let data = read_data_at(path)?;
     let entropies = frac_dataset::entropy::feature_entropies(&data);
     let order = frac_dataset::entropy::rank_by_entropy(&data);
     println!("rank\tfeature\tkind\tentropy_nats");
@@ -758,6 +812,42 @@ mod tests {
             ..ScoreArgs::default()
         };
         score(args).unwrap();
+    }
+
+    #[test]
+    fn pack_train_score_matches_tsv_path() {
+        let dir = std::env::temp_dir().join("frac-cli-test-fcb");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        generate("breast.basal", &dir, 5).unwrap();
+        let tsv_path = dir.join("breast.basal.train.tsv");
+        let fcb_path = dir.join("breast.basal.train.fcb");
+        pack(&tsv_path, &fcb_path, 64).unwrap();
+        info(&fcb_path).unwrap();
+        // Packing is lossless: same fingerprint as the parsed TSV.
+        let from_fcb = read_data_at(&fcb_path).unwrap();
+        let from_tsv = read_data_at(&tsv_path).unwrap();
+        assert_eq!(from_fcb.fingerprint(), from_tsv.fingerprint());
+        // Train from each; the saved models must be byte-identical.
+        for (data, out) in [(&tsv_path, "m-tsv.frac"), (&fcb_path, "m-fcb.frac")] {
+            train(
+                TrainArgs {
+                    train: data.clone(),
+                    out: dir.join(out),
+                    variant: "filter".into(),
+                    p: 0.04,
+                    ..TrainArgs::default()
+                },
+                false,
+            )
+            .unwrap();
+        }
+        let m_tsv = std::fs::read(dir.join("m-tsv.frac")).unwrap();
+        let m_fcb = std::fs::read(dir.join("m-fcb.frac")).unwrap();
+        assert_eq!(m_tsv, m_fcb, "FCB-trained model must match TSV-trained byte for byte");
+        // Packing an .fcb again is refused; info on a TSV is a clean error.
+        assert!(pack(&fcb_path, &dir.join("x.fcb"), 64).is_err());
+        assert!(info(&tsv_path).is_err());
     }
 
     #[test]
@@ -968,7 +1058,7 @@ mod tests {
 
     #[test]
     fn missing_input_file_error_names_the_path() {
-        let err = read_tsv_at(std::path::Path::new("/nonexistent/q.tsv")).unwrap_err();
+        let err = read_data_at(std::path::Path::new("/nonexistent/q.tsv")).unwrap_err();
         assert!(err.to_string().contains("/nonexistent/q.tsv"), "{err}");
     }
 

@@ -149,7 +149,7 @@ fn all_missing_target_is_dropped_and_ns_renormalized() {
     let data = expr_data(20, 6, 9);
     let mut cols: Vec<frac_dataset::Column> =
         (0..6).map(|j| data.column(j).clone()).collect();
-    cols[2] = frac_dataset::Column::Real(vec![f64::NAN; 20]);
+    cols[2] = frac_dataset::Column::Real(vec![f64::NAN; 20].into());
     let train = Dataset::new(data.schema().clone(), cols);
     let plan = TrainingPlan::full(6);
     let (model, report) = FracModel::fit(&train, &plan, &FracConfig::default());

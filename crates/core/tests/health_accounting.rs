@@ -51,7 +51,7 @@ fn all_targets_dropped_keeps_renorm_and_scores_finite() {
     // Every column all-missing: every target is quarantined and dropped.
     let data = expr_data(16, 4, 2);
     let cols: Vec<frac_dataset::Column> =
-        (0..4).map(|_| frac_dataset::Column::Real(vec![f64::NAN; 16])).collect();
+        (0..4).map(|_| frac_dataset::Column::Real(vec![f64::NAN; 16].into())).collect();
     let train = Dataset::new(data.schema().clone(), cols);
     let plan = TrainingPlan::full(4);
     let (model, report) = FracModel::fit(&train, &plan, &FracConfig::default());

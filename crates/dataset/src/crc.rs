@@ -40,6 +40,41 @@ pub fn crc32(bytes: &[u8]) -> u32 {
     !c
 }
 
+/// Incremental CRC-32 (IEEE) for streaming writers that cannot hold a whole
+/// extent in memory — folding byte runs one at a time yields exactly
+/// [`crc32`] of their concatenation.
+#[derive(Debug, Clone)]
+pub struct Crc32 {
+    state: u32,
+}
+
+impl Default for Crc32 {
+    fn default() -> Self {
+        Crc32::new()
+    }
+}
+
+impl Crc32 {
+    /// Fresh CRC state (standard init `0xFFFF_FFFF`).
+    pub fn new() -> Self {
+        Crc32 { state: 0xFFFF_FFFF }
+    }
+
+    /// Fold `bytes` into the running CRC.
+    pub fn write(&mut self, bytes: &[u8]) {
+        let table = crc32_table();
+        for &b in bytes {
+            self.state = (self.state >> 8) ^ table[((self.state ^ b as u32) & 0xFF) as usize];
+        }
+    }
+
+    /// The CRC of everything written so far (final inversion applied;
+    /// the state itself is not consumed).
+    pub fn finish(&self) -> u32 {
+        !self.state
+    }
+}
+
 /// FNV-1a 64-bit offset basis.
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 /// FNV-1a 64-bit prime.
@@ -123,6 +158,16 @@ mod tests {
         let clean = crc32(&data);
         data[7] ^= 0x01;
         assert_ne!(crc32(&data), clean);
+    }
+
+    #[test]
+    fn incremental_crc_matches_oneshot() {
+        let mut c = Crc32::new();
+        c.write(b"1234");
+        c.write(b"");
+        c.write(b"56789");
+        assert_eq!(c.finish(), crc32(b"123456789"));
+        assert_eq!(Crc32::new().finish(), crc32(b""));
     }
 
     #[test]

@@ -6,11 +6,163 @@
 //! for model training are materialized on demand by [`crate::design`].
 
 use crate::crc::Fnv64;
+use crate::mmap::MmapFile;
 use crate::schema::{Feature, FeatureKind, Schema};
 use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
 
 /// Sentinel code for a missing categorical value.
 pub const MISSING_CODE: u32 = u32::MAX;
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f64 {}
+    impl Sealed for u32 {}
+}
+
+/// Element types a [`ColStore`] can hold: the two scalar kinds FCB column
+/// extents are made of (`f64` values, `u32` categorical codes). Sealed —
+/// the on-disk format, not the caller, decides what can be mapped.
+pub trait ColElem: sealed::Sealed + Copy + PartialEq + fmt::Debug + 'static {
+    /// Zero-copy typed view of `len` elements at `byte_off` of `map`;
+    /// `None` when out of bounds or misaligned.
+    #[doc(hidden)]
+    fn mapped_slice(map: &MmapFile, byte_off: usize, len: usize) -> Option<&[Self]>;
+}
+
+impl ColElem for f64 {
+    fn mapped_slice(map: &MmapFile, byte_off: usize, len: usize) -> Option<&[f64]> {
+        map.slice_f64(byte_off, len)
+    }
+}
+
+impl ColElem for u32 {
+    fn mapped_slice(map: &MmapFile, byte_off: usize, len: usize) -> Option<&[u32]> {
+        map.slice_u32(byte_off, len)
+    }
+}
+
+/// Backing storage of one column: either an owned `Vec` or a zero-copy
+/// view into a memory-mapped FCB file ([`crate::fcb`]).
+///
+/// `ColStore` derefs to `[T]`, so readers are oblivious to the backing —
+/// every slice-shaped access (`len`, indexing, iteration) works identically
+/// on owned and mapped columns, and the mapped case materializes nothing.
+/// Mutation (`push` / `extend_from_slice`) is copy-on-write: a mapped store
+/// first copies its view into an owned `Vec`, then mutates that.
+pub struct ColStore<T: ColElem> {
+    repr: StoreRepr<T>,
+}
+
+enum StoreRepr<T> {
+    Owned(Vec<T>),
+    /// `len` *elements* starting at `byte_off` of the shared mapping. The
+    /// range is validated (bounds + alignment) when the store is built, so
+    /// deref cannot fail later.
+    Mapped { map: Arc<MmapFile>, byte_off: usize, len: usize },
+}
+
+impl<T: ColElem> ColStore<T> {
+    /// Zero-copy store over `len` elements at `byte_off` of `map`.
+    /// Returns `None` when the range is out of bounds or misaligned.
+    pub(crate) fn mapped(map: Arc<MmapFile>, byte_off: usize, len: usize) -> Option<Self> {
+        T::mapped_slice(&map, byte_off, len)?;
+        Some(ColStore { repr: StoreRepr::Mapped { map, byte_off, len } })
+    }
+
+    /// The stored elements as a slice (what `Deref` returns).
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            StoreRepr::Owned(v) => v,
+            StoreRepr::Mapped { map, byte_off, len } => T::mapped_slice(map, *byte_off, *len)
+                .expect("mapped extent was validated when the store was built"),
+        }
+    }
+
+    /// True when backed by a memory-mapped file rather than owned memory.
+    #[inline]
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.repr, StoreRepr::Mapped { .. })
+    }
+
+    /// Mutable owned storage, converting a mapped view into an owned copy
+    /// on first use (copy-on-write).
+    fn make_owned(&mut self) -> &mut Vec<T> {
+        if let StoreRepr::Mapped { .. } = self.repr {
+            self.repr = StoreRepr::Owned(self.as_slice().to_vec());
+        }
+        match &mut self.repr {
+            StoreRepr::Owned(v) => v,
+            StoreRepr::Mapped { .. } => unreachable!("just converted to owned"),
+        }
+    }
+
+    /// Append one element (copy-on-write for mapped stores).
+    pub fn push(&mut self, value: T) {
+        self.make_owned().push(value);
+    }
+
+    /// Append a slice of elements (copy-on-write for mapped stores).
+    pub fn extend_from_slice(&mut self, other: &[T]) {
+        self.make_owned().extend_from_slice(other);
+    }
+}
+
+impl<T: ColElem> Deref for ColStore<T> {
+    type Target = [T];
+    #[inline]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: ColElem> From<Vec<T>> for ColStore<T> {
+    fn from(v: Vec<T>) -> Self {
+        ColStore { repr: StoreRepr::Owned(v) }
+    }
+}
+
+impl<T: ColElem> FromIterator<T> for ColStore<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        Vec::from_iter(iter).into()
+    }
+}
+
+impl<T: ColElem> Clone for ColStore<T> {
+    fn clone(&self) -> Self {
+        match &self.repr {
+            StoreRepr::Owned(v) => ColStore { repr: StoreRepr::Owned(v.clone()) },
+            // Cloning a mapped store clones the Arc, not the data.
+            StoreRepr::Mapped { map, byte_off, len } => ColStore {
+                repr: StoreRepr::Mapped { map: Arc::clone(map), byte_off: *byte_off, len: *len },
+            },
+        }
+    }
+}
+
+impl<'a, T: ColElem> IntoIterator for &'a ColStore<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: ColElem> fmt::Debug for ColStore<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render as the slice: backing is a performance detail, not identity.
+        fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl<T: ColElem> PartialEq for ColStore<T> {
+    fn eq(&self, other: &Self) -> bool {
+        // Element-wise, with `T`'s own semantics (NaN != NaN, like `Vec`).
+        self.as_slice() == other.as_slice()
+    }
+}
 
 /// A single (possibly missing) feature value.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,16 +213,21 @@ impl fmt::Display for Value {
 }
 
 /// One column of data, matching a [`FeatureKind`].
+///
+/// Payloads are [`ColStore`]s — owned vectors for datasets built in memory
+/// (TSV parse, generators, row selection), zero-copy mapped views for
+/// datasets loaded from an FCB file ([`crate::fcb`]). Both deref to slices,
+/// so consumers never distinguish the two.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Column {
     /// Real values; `NaN` encodes missing.
-    Real(Vec<f64>),
+    Real(ColStore<f64>),
     /// Categorical codes; [`MISSING_CODE`] encodes missing.
     Categorical {
         /// Number of categories.
         arity: u32,
         /// Codes, one per row.
-        codes: Vec<u32>,
+        codes: ColStore<u32>,
     },
 }
 
@@ -217,9 +374,9 @@ impl Dataset {
         let columns = schema
             .iter()
             .map(|f| match f.kind {
-                FeatureKind::Real => Column::Real(Vec::new()),
+                FeatureKind::Real => Column::Real(Vec::new().into()),
                 FeatureKind::Categorical { arity } => {
-                    Column::Categorical { arity, codes: Vec::new() }
+                    Column::Categorical { arity, codes: Vec::new().into() }
                 }
             })
             .collect();
@@ -241,7 +398,7 @@ impl Dataset {
         }
         Dataset::new(
             Schema::all_real(n_features),
-            columns.into_iter().map(Column::Real).collect(),
+            columns.into_iter().map(|v| Column::Real(v.into())).collect(),
         )
     }
 
@@ -413,7 +570,7 @@ impl DatasetBuilder {
     /// Add a real feature column.
     pub fn real(mut self, name: impl Into<String>, values: Vec<f64>) -> Self {
         self.features.push(Feature::real(name));
-        self.columns.push(Column::Real(values));
+        self.columns.push(Column::Real(values.into()));
         self
     }
 
@@ -425,7 +582,7 @@ impl DatasetBuilder {
         codes: Vec<u32>,
     ) -> Self {
         self.features.push(Feature::categorical(name, arity));
-        self.columns.push(Column::Categorical { arity, codes });
+        self.columns.push(Column::Categorical { arity, codes: codes.into() });
         self
     }
 
@@ -524,7 +681,7 @@ mod tests {
     fn new_rejects_ragged_columns() {
         Dataset::new(
             Schema::all_real(2),
-            vec![Column::Real(vec![1.0]), Column::Real(vec![1.0, 2.0])],
+            vec![Column::Real(vec![1.0].into()), Column::Real(vec![1.0, 2.0].into())],
         );
     }
 

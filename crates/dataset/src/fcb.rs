@@ -1,0 +1,1291 @@
+//! FCB — the **F**RaC **c**olumn **b**inary on-disk dataset format.
+//!
+//! TSV datasets are parsed whole-file into RAM; FCB is the out-of-core
+//! answer: a little-endian, column-major binary layout whose column extents
+//! are exactly the workspace's in-memory representation (`f64` values with
+//! NaN-as-missing, `u32` codes with [`MISSING_CODE`]-as-missing), so a
+//! loaded file exposes every column as a zero-copy slice out of one shared
+//! [`MmapFile`] — no per-cell parsing, no materialization, and the same
+//! bits (hence the same NS scores, bit for bit) as the TSV path. The
+//! normative byte-level specification lives in `FORMATS.md`; this module is
+//! its reference implementation.
+//!
+//! Layout, in file order (every offset 8-byte aligned, all integers LE):
+//!
+//! ```text
+//! header    64 bytes: magic "FRACFCB\0", version, n_rows, n_features,
+//!                     schema FNV-1a 64, schema_len, dir_off, header CRC-32
+//! schema    the TSV header line (`name:kind\t…`), zero-padded to 8 — this
+//!           doubles as the embedded string table (feature names + kinds)
+//! directory n_features × 48-byte entries: kind, arity, values extent
+//!           (offset/len/CRC-32), missing-bitmap extent (offset/len/CRC-32)
+//! extents   per column, in order: values then missing bitmap, each padded
+//! trailer   16 bytes: magic "FCBCRC\0\0" + whole-file CRC-32
+//! ```
+//!
+//! Writing is *chunked*: [`FcbWriter`] buffers at most `chunk_rows` rows
+//! (the memory budget) and scatters each full chunk to the per-column
+//! extents with positioned writes, so packing a dataset never holds more
+//! than one chunk in memory — datasets larger than RAM stream through.
+//! Files are published atomically (tmp + fsync + rename + parent-dir
+//! fsync, the [`crate::crc`]-guarded discipline model persistence uses), so
+//! a reader never observes a half-written file and a mapped file is never
+//! modified in place.
+//!
+//! Loading verifies the header CRC, the whole-file CRC, every per-extent
+//! CRC, the directory geometry against the recomputed layout, categorical
+//! code ranges, and bitmap/sentinel agreement — a torn, truncated,
+//! bit-flipped, or foreign file is rejected with a path-naming
+//! [`FcbError`], never a panic.
+
+use crate::crc::{crc32, fnv64, Crc32};
+use crate::dataset::{ColStore, Column, Dataset, Value, MISSING_CODE};
+use crate::io as tsv;
+use crate::mmap::MmapFile;
+use crate::schema::{FeatureKind, Schema};
+use std::fs::File;
+use std::io::{self, BufRead as _, BufReader, Read as _};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// File magic, first 8 bytes of every FCB file.
+pub const MAGIC: [u8; 8] = *b"FRACFCB\0";
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+/// Trailer magic, first 8 bytes of the 16-byte trailer.
+pub const TRAILER_MAGIC: [u8; 8] = *b"FCBCRC\0\0";
+
+const HEADER_LEN: u64 = 64;
+const DIR_ENTRY_LEN: u64 = 48;
+const TRAILER_LEN: u64 = 16;
+const KIND_REAL: u32 = 0;
+const KIND_CAT: u32 = 1;
+
+/// Round `n` up to the next multiple of 8.
+fn pad8(n: u64) -> u64 {
+    n.div_ceil(8) * 8
+}
+
+/// What went wrong reading or writing an FCB file. Every variant names the
+/// file, so errors surfaced by the CLI point at the artifact at fault.
+#[derive(Debug)]
+pub enum FcbError {
+    /// Underlying filesystem failure.
+    Io {
+        /// The file being read or written.
+        path: PathBuf,
+        /// The originating I/O error.
+        source: io::Error,
+    },
+    /// The file is not an FCB file (wrong magic) or an FCB version this
+    /// build does not read.
+    Foreign {
+        /// The offending file.
+        path: PathBuf,
+        /// What disqualified it.
+        detail: String,
+    },
+    /// The file ends too early: shorter than the fixed header, missing its
+    /// trailer, or an extent runs past end-of-file — the signature of a
+    /// torn or truncated write.
+    Truncated {
+        /// The offending file.
+        path: PathBuf,
+        /// Which boundary was violated.
+        detail: String,
+    },
+    /// The file is structurally complete but fails validation: a CRC
+    /// mismatch, inconsistent geometry, an out-of-range code, or a
+    /// bitmap/sentinel disagreement.
+    Corrupt {
+        /// The offending file.
+        path: PathBuf,
+        /// Which check failed.
+        detail: String,
+    },
+    /// Input handed to the encoder was rejected (row width/kind mismatch,
+    /// row-count mismatch, or a TSV parse error while packing).
+    Encode {
+        /// The file being produced.
+        path: PathBuf,
+        /// What was wrong with the input.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for FcbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FcbError::Io { path, source } => {
+                write!(f, "{}: I/O error: {source}", path.display())
+            }
+            FcbError::Foreign { path, detail } => {
+                write!(f, "{}: not a readable FCB file: {detail}", path.display())
+            }
+            FcbError::Truncated { path, detail } => {
+                write!(f, "{}: truncated FCB file: {detail}", path.display())
+            }
+            FcbError::Corrupt { path, detail } => {
+                write!(f, "{}: corrupt FCB file: {detail}", path.display())
+            }
+            FcbError::Encode { path, detail } => {
+                write!(f, "{}: cannot encode: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FcbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FcbError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// True when `path` has the `.fcb` extension (case-insensitive) — the
+/// dispatch rule the CLI uses everywhere a `--data`/`--train` style flag
+/// accepts either format.
+pub fn is_fcb_path(path: &Path) -> bool {
+    path.extension().is_some_and(|e| e.eq_ignore_ascii_case("fcb"))
+}
+
+/// Per-column byte geometry, derived (never stored redundantly) from the
+/// schema and row count.
+#[derive(Debug, Clone)]
+struct ColLayout {
+    values_off: u64,
+    values_len: u64,
+    missing_off: u64,
+    missing_len: u64,
+}
+
+/// Whole-file byte geometry. The directory must match this exactly — FCB
+/// has one canonical layout per (schema, n_rows), which is what makes
+/// byte-identical re-packs and cheap validation possible.
+#[derive(Debug, Clone)]
+struct Layout {
+    schema_text: String,
+    dir_off: u64,
+    cols: Vec<ColLayout>,
+    trailer_off: u64,
+    file_len: u64,
+}
+
+fn elem_size(kind: FeatureKind) -> u64 {
+    match kind {
+        FeatureKind::Real => 8,
+        FeatureKind::Categorical { .. } => 4,
+    }
+}
+
+fn layout_for(schema: &Schema, n_rows: u64) -> Result<Layout, String> {
+    if schema.is_empty() {
+        return Err("schema has no features".into());
+    }
+    let schema_text: String = schema
+        .iter()
+        .map(|f| format!("{}:{}", f.name, f.kind))
+        .collect::<Vec<_>>()
+        .join("\t");
+    if schema_text.contains('\n') || schema_text.contains('\r') {
+        return Err("feature names must not contain newlines".into());
+    }
+    let dir_off = HEADER_LEN + pad8(schema_text.len() as u64);
+    let missing_len = n_rows.div_ceil(8);
+    let mut off = dir_off
+        .checked_add(DIR_ENTRY_LEN.checked_mul(schema.len() as u64).ok_or("too many columns")?)
+        .ok_or("layout overflows u64")?;
+    let mut cols = Vec::with_capacity(schema.len());
+    for f in schema.iter() {
+        let values_len = n_rows.checked_mul(elem_size(f.kind)).ok_or("extent overflows u64")?;
+        let values_off = off;
+        off = off.checked_add(pad8(values_len)).ok_or("layout overflows u64")?;
+        let missing_off = off;
+        off = off.checked_add(pad8(missing_len)).ok_or("layout overflows u64")?;
+        cols.push(ColLayout { values_off, values_len, missing_off, missing_len });
+    }
+    let trailer_off = off;
+    let file_len = off.checked_add(TRAILER_LEN).ok_or("layout overflows u64")?;
+    Ok(Layout { schema_text, dir_off, cols, trailer_off, file_len })
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4 bytes"))
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"))
+}
+
+/// Bit `row` of a missing bitmap (LSB-first within each byte).
+fn bitmap_bit(bitmap: &[u8], row: usize) -> bool {
+    bitmap[row / 8] >> (row % 8) & 1 == 1
+}
+
+// ---------------------------------------------------------------------------
+// Reading
+// ---------------------------------------------------------------------------
+
+/// One parsed directory entry (geometry already validated against the
+/// canonical [`Layout`]).
+#[derive(Debug, Clone)]
+struct DirEntry {
+    values_off: u64,
+    values_len: u64,
+    missing_off: u64,
+    missing_len: u64,
+    values_crc: u32,
+    missing_crc: u32,
+}
+
+/// A validated, memory-mapped FCB file.
+///
+/// [`FcbFile::open`] performs the *full* integrity pass (header CRC,
+/// whole-file CRC, per-extent CRCs, geometry, code ranges, bitmap
+/// agreement); afterwards [`FcbFile::dataset`] hands out a [`Dataset`]
+/// whose columns are zero-copy views into the mapping — the file's bytes
+/// are the dataset, nothing is re-materialized.
+#[derive(Debug)]
+pub struct FcbFile {
+    map: Arc<MmapFile>,
+    path: PathBuf,
+    schema: Schema,
+    n_rows: usize,
+    file_crc: u32,
+    entries: Vec<DirEntry>,
+}
+
+impl FcbFile {
+    /// Map and fully validate the FCB file at `path`.
+    ///
+    /// Rejects (never panics on) foreign magic, unsupported versions,
+    /// truncated files, CRC mismatches at any level, geometry that
+    /// disagrees with the canonical layout, out-of-range categorical
+    /// codes, and missing-bitmap/sentinel disagreement. Every error names
+    /// `path`.
+    pub fn open(path: impl AsRef<Path>) -> Result<FcbFile, FcbError> {
+        let path = path.as_ref().to_path_buf();
+        let io_err = |source| FcbError::Io { path: path.clone(), source };
+        let foreign = |detail: String| FcbError::Foreign { path: path.clone(), detail };
+        let torn = |detail: String| FcbError::Truncated { path: path.clone(), detail };
+        let corrupt = |detail: String| FcbError::Corrupt { path: path.clone(), detail };
+
+        let map = Arc::new(MmapFile::open(&path).map_err(io_err)?);
+        let bytes = map.as_bytes();
+        if bytes.len() < 8 {
+            return Err(torn(format!("{} bytes is shorter than the 8-byte magic", bytes.len())));
+        }
+        if bytes[..8] != MAGIC {
+            return Err(foreign("wrong magic (expected \"FRACFCB\\0\")".into()));
+        }
+        if (bytes.len() as u64) < HEADER_LEN + TRAILER_LEN {
+            return Err(torn(format!(
+                "{} bytes cannot hold the {HEADER_LEN}-byte header and {TRAILER_LEN}-byte trailer",
+                bytes.len()
+            )));
+        }
+
+        // Fixed header.
+        let version = read_u32(bytes, 8);
+        if version != VERSION {
+            return Err(foreign(format!("unsupported FCB version {version} (this build reads {VERSION})")));
+        }
+        if read_u32(bytes, 12) != 0 {
+            return Err(corrupt("nonzero reserved flags field".into()));
+        }
+        let stored_header_crc = read_u32(bytes, 56);
+        let actual_header_crc = crc32(&bytes[..56]);
+        if stored_header_crc != actual_header_crc {
+            return Err(corrupt(format!(
+                "header CRC mismatch (stored {stored_header_crc:08x}, computed {actual_header_crc:08x})"
+            )));
+        }
+        if read_u32(bytes, 60) != 0 {
+            return Err(corrupt("nonzero reserved header tail".into()));
+        }
+        let n_rows_u64 = read_u64(bytes, 16);
+        let n_features_u64 = read_u64(bytes, 24);
+        let schema_fnv = read_u64(bytes, 32);
+        let schema_len = read_u64(bytes, 40);
+        let dir_off = read_u64(bytes, 48);
+        let n_rows: usize = n_rows_u64
+            .try_into()
+            .map_err(|_| corrupt(format!("n_rows {n_rows_u64} exceeds this platform")))?;
+        let n_features: usize = n_features_u64
+            .try_into()
+            .map_err(|_| corrupt(format!("n_features {n_features_u64} exceeds this platform")))?;
+
+        // Schema block (the embedded string table).
+        let schema_end = HEADER_LEN
+            .checked_add(schema_len)
+            .filter(|&e| e <= bytes.len() as u64)
+            .ok_or_else(|| torn(format!("schema block of {schema_len} bytes runs past end of file")))?;
+        let schema_bytes = &bytes[HEADER_LEN as usize..schema_end as usize];
+        if fnv64(schema_bytes) != schema_fnv {
+            return Err(corrupt("schema fingerprint mismatch".into()));
+        }
+        let schema_text = std::str::from_utf8(schema_bytes)
+            .map_err(|_| corrupt("schema block is not UTF-8".into()))?;
+        let schema = tsv::schema_from_header(schema_text)
+            .map_err(|e| corrupt(format!("unreadable schema block: {e}")))?;
+        if schema.len() != n_features {
+            return Err(corrupt(format!(
+                "header says {n_features} features but the schema block has {}",
+                schema.len()
+            )));
+        }
+
+        // Canonical geometry; the file must match it exactly.
+        let layout = layout_for(&schema, n_rows_u64).map_err(corrupt)?;
+        if dir_off != layout.dir_off {
+            return Err(corrupt(format!(
+                "directory offset {dir_off} disagrees with the canonical layout ({})",
+                layout.dir_off
+            )));
+        }
+        if (bytes.len() as u64) < layout.file_len {
+            return Err(torn(format!(
+                "file is {} bytes but the layout needs {} — truncated",
+                bytes.len(),
+                layout.file_len
+            )));
+        }
+        if (bytes.len() as u64) > layout.file_len {
+            return Err(corrupt(format!(
+                "file is {} bytes but the layout ends at {} — trailing bytes",
+                bytes.len(),
+                layout.file_len
+            )));
+        }
+
+        // Trailer: presence then the whole-file CRC.
+        let trailer_off = layout.trailer_off as usize;
+        if bytes[trailer_off..trailer_off + 8] != TRAILER_MAGIC {
+            return Err(torn("trailer magic missing — torn or truncated write".into()));
+        }
+        let stored_file_crc = read_u32(bytes, trailer_off + 8);
+        if read_u32(bytes, trailer_off + 12) != 0 {
+            return Err(corrupt("nonzero reserved trailer field".into()));
+        }
+        let actual_file_crc = crc32(&bytes[..trailer_off]);
+        if stored_file_crc != actual_file_crc {
+            return Err(corrupt(format!(
+                "whole-file CRC mismatch (stored {stored_file_crc:08x}, computed {actual_file_crc:08x})"
+            )));
+        }
+
+        // Directory: kinds against the schema, geometry against the layout,
+        // then each extent's CRC and semantic invariants.
+        let mut entries = Vec::with_capacity(n_features);
+        for (j, f) in schema.iter().enumerate() {
+            let base = (dir_off + DIR_ENTRY_LEN * j as u64) as usize;
+            let (kind_code, arity) = match f.kind {
+                FeatureKind::Real => (KIND_REAL, 0),
+                FeatureKind::Categorical { arity } => (KIND_CAT, arity),
+            };
+            if read_u32(bytes, base) != kind_code || read_u32(bytes, base + 4) != arity {
+                return Err(corrupt(format!(
+                    "column {j} (`{}`): directory kind/arity disagrees with the schema block",
+                    f.name
+                )));
+            }
+            let entry = DirEntry {
+                values_off: read_u64(bytes, base + 8),
+                values_len: read_u64(bytes, base + 16),
+                missing_off: read_u64(bytes, base + 24),
+                missing_len: read_u64(bytes, base + 32),
+                values_crc: read_u32(bytes, base + 40),
+                missing_crc: read_u32(bytes, base + 44),
+            };
+            let expect = &layout.cols[j];
+            if entry.values_off != expect.values_off
+                || entry.values_len != expect.values_len
+                || entry.missing_off != expect.missing_off
+                || entry.missing_len != expect.missing_len
+            {
+                return Err(corrupt(format!(
+                    "column {j} (`{}`): extent geometry disagrees with the canonical layout",
+                    f.name
+                )));
+            }
+            let values =
+                &bytes[entry.values_off as usize..(entry.values_off + entry.values_len) as usize];
+            let stored = read_u32(bytes, base + 40);
+            let actual = crc32(values);
+            if stored != actual {
+                return Err(corrupt(format!(
+                    "column {j} (`{}`): values extent CRC mismatch (stored {stored:08x}, computed {actual:08x})",
+                    f.name
+                )));
+            }
+            let bitmap =
+                &bytes[entry.missing_off as usize..(entry.missing_off + entry.missing_len) as usize];
+            let stored = read_u32(bytes, base + 44);
+            let actual = crc32(bitmap);
+            if stored != actual {
+                return Err(corrupt(format!(
+                    "column {j} (`{}`): missing-bitmap CRC mismatch (stored {stored:08x}, computed {actual:08x})",
+                    f.name
+                )));
+            }
+            // Padding bits past the last row must be zero.
+            for r in n_rows..(entry.missing_len as usize) * 8 {
+                if bitmap_bit(bitmap, r) {
+                    return Err(corrupt(format!(
+                        "column {j} (`{}`): missing bitmap has bits set past the last row",
+                        f.name
+                    )));
+                }
+            }
+            // Semantic pass: sentinel/bitmap agreement and code ranges.
+            match f.kind {
+                FeatureKind::Real => {
+                    let v = map
+                        .slice_f64(entry.values_off as usize, n_rows)
+                        .expect("layout-checked extent is in bounds and aligned");
+                    for (r, &x) in v.iter().enumerate() {
+                        if x.is_nan() != bitmap_bit(bitmap, r) {
+                            return Err(corrupt(format!(
+                                "column {j} (`{}`): row {r} missing bitmap disagrees with NaN sentinel",
+                                f.name
+                            )));
+                        }
+                    }
+                }
+                FeatureKind::Categorical { arity } => {
+                    let codes = map
+                        .slice_u32(entry.values_off as usize, n_rows)
+                        .expect("layout-checked extent is in bounds and aligned");
+                    for (r, &c) in codes.iter().enumerate() {
+                        if c != MISSING_CODE && c >= arity {
+                            return Err(corrupt(format!(
+                                "column {j} (`{}`): row {r} code {c} out of range for arity {arity}",
+                                f.name
+                            )));
+                        }
+                        if (c == MISSING_CODE) != bitmap_bit(bitmap, r) {
+                            return Err(corrupt(format!(
+                                "column {j} (`{}`): row {r} missing bitmap disagrees with code sentinel",
+                                f.name
+                            )));
+                        }
+                    }
+                }
+            }
+            entries.push(entry);
+        }
+
+        Ok(FcbFile { map, path, schema, n_rows, file_crc: stored_file_crc, entries })
+    }
+
+    /// The schema stored in the file.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of features (columns).
+    pub fn n_features(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// The path this file was opened from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The dataset, with every column a zero-copy view into the mapping.
+    ///
+    /// Cheap (clones the schema and `Arc`s the mapping, copies no cell
+    /// data); the returned [`Dataset`] feeds the pool/design machinery
+    /// exactly like a TSV-parsed one and produces bit-identical results.
+    pub fn dataset(&self) -> Dataset {
+        let columns = self
+            .schema
+            .iter()
+            .zip(&self.entries)
+            .map(|(f, e)| {
+                let off = e.values_off as usize;
+                match f.kind {
+                    FeatureKind::Real => Column::Real(
+                        ColStore::mapped(Arc::clone(&self.map), off, self.n_rows)
+                            .expect("extent validated at open"),
+                    ),
+                    FeatureKind::Categorical { arity } => Column::Categorical {
+                        arity,
+                        codes: ColStore::mapped(Arc::clone(&self.map), off, self.n_rows)
+                            .expect("extent validated at open"),
+                    },
+                }
+            })
+            .collect();
+        Dataset::new(self.schema.clone(), columns)
+    }
+
+    /// A bounded-memory owned copy of the row range `start..end` — the
+    /// row-range iteration primitive for consumers that want to stream a
+    /// file larger than RAM through owned storage (clamped to the file's
+    /// row count).
+    pub fn read_rows(&self, start: usize, end: usize) -> Dataset {
+        let end = end.min(self.n_rows);
+        let start = start.min(end);
+        let rows: Vec<usize> = (start..end).collect();
+        self.dataset().select_rows(&rows)
+    }
+
+    /// Header/CRC summary for `frac info`.
+    pub fn info(&self) -> FcbInfo {
+        let columns = self
+            .schema
+            .iter()
+            .zip(&self.entries)
+            .map(|(f, e)| {
+                let bitmap = &self.map.as_bytes()
+                    [e.missing_off as usize..(e.missing_off + e.missing_len) as usize];
+                FcbColumnInfo {
+                    name: f.name.clone(),
+                    kind: f.kind,
+                    n_missing: bitmap.iter().map(|b| b.count_ones() as usize).sum(),
+                    values_len: e.values_len,
+                    values_crc: e.values_crc,
+                    missing_crc: e.missing_crc,
+                }
+            })
+            .collect();
+        FcbInfo {
+            version: VERSION,
+            n_rows: self.n_rows,
+            n_features: self.schema.len(),
+            schema_fnv: fnv64(self.layout_schema_text().as_bytes()),
+            file_len: self.map.len() as u64,
+            file_crc: self.file_crc,
+            columns,
+        }
+    }
+
+    fn layout_schema_text(&self) -> String {
+        self.schema
+            .iter()
+            .map(|f| format!("{}:{}", f.name, f.kind))
+            .collect::<Vec<_>>()
+            .join("\t")
+    }
+}
+
+/// Summary of a validated FCB file, as printed by `frac info`.
+#[derive(Debug, Clone)]
+pub struct FcbInfo {
+    /// Format version.
+    pub version: u32,
+    /// Number of rows.
+    pub n_rows: usize,
+    /// Number of feature columns.
+    pub n_features: usize,
+    /// FNV-1a 64 of the schema block.
+    pub schema_fnv: u64,
+    /// Total file length in bytes.
+    pub file_len: u64,
+    /// Whole-file CRC-32 from the trailer (already verified).
+    pub file_crc: u32,
+    /// Per-column summaries, in schema order.
+    pub columns: Vec<FcbColumnInfo>,
+}
+
+/// Per-column summary inside an [`FcbInfo`].
+#[derive(Debug, Clone)]
+pub struct FcbColumnInfo {
+    /// Feature name.
+    pub name: String,
+    /// Feature kind.
+    pub kind: FeatureKind,
+    /// Missing rows (popcount of the missing bitmap).
+    pub n_missing: usize,
+    /// Bytes in the values extent.
+    pub values_len: u64,
+    /// CRC-32 of the values extent (already verified at open).
+    pub values_crc: u32,
+    /// CRC-32 of the missing bitmap (already verified at open).
+    pub missing_crc: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Writing
+// ---------------------------------------------------------------------------
+
+/// Statistics from one completed pack.
+#[derive(Debug, Clone)]
+pub struct FcbStats {
+    /// Rows written.
+    pub rows: usize,
+    /// Final file size in bytes.
+    pub file_bytes: u64,
+    /// Rows buffered per flush — the encode memory budget knob.
+    pub chunk_rows: usize,
+    /// High-water mark of bytes buffered in chunk buffers at any point;
+    /// bounded by `chunk_rows`, never by the dataset size.
+    pub peak_buffer_bytes: usize,
+}
+
+enum ChunkBuf {
+    Real(Vec<f64>),
+    Cat(Vec<u32>),
+}
+
+/// Chunked, bounded-memory FCB encoder.
+///
+/// The row count must be known up front (the column-major layout is a
+/// function of it); rows then stream in via [`FcbWriter::push_row`] and at
+/// most `chunk_rows` of them are resident at a time. [`FcbWriter::finish`]
+/// seals the file — per-extent CRCs into the directory, a streaming
+/// whole-file CRC into the trailer — and publishes it atomically
+/// (`<path>.tmp` + fsync + rename + parent-dir fsync). A crash at any
+/// point leaves either the old file or a `.tmp` orphan, never a torn
+/// `.fcb`.
+pub struct FcbWriter {
+    file: File,
+    tmp_path: PathBuf,
+    final_path: PathBuf,
+    schema: Schema,
+    layout: Layout,
+    n_rows: usize,
+    chunk_rows: usize,
+    rows_written: usize,
+    buffered: usize,
+    bufs: Vec<ChunkBuf>,
+    missing: Vec<Vec<u8>>,
+    values_crc: Vec<Crc32>,
+    missing_crc: Vec<Crc32>,
+    byte_buf: Vec<u8>,
+    peak_buffer_bytes: usize,
+}
+
+impl FcbWriter {
+    /// Start writing `n_rows` rows of `schema` to `path`, buffering at most
+    /// `chunk_rows` rows (rounded up to a multiple of 8; minimum 8) before
+    /// each scatter to disk.
+    pub fn create(
+        path: impl AsRef<Path>,
+        schema: &Schema,
+        n_rows: usize,
+        chunk_rows: usize,
+    ) -> Result<FcbWriter, FcbError> {
+        let final_path = path.as_ref().to_path_buf();
+        let encode = |detail: String| FcbError::Encode { path: final_path.clone(), detail };
+        let layout = layout_for(schema, n_rows as u64).map_err(encode)?;
+        let chunk_rows = pad8(chunk_rows.max(1) as u64) as usize;
+        let tmp_path = final_path.with_file_name(format!(
+            "{}.tmp",
+            final_path.file_name().map(|n| n.to_string_lossy()).unwrap_or_default()
+        ));
+        let io_err = |source| FcbError::Io { path: final_path.clone(), source };
+        let file = File::create(&tmp_path).map_err(io_err)?;
+        file.set_len(layout.file_len).map_err(io_err)?;
+
+        // Header + schema block are known up front; the directory and
+        // trailer wait for the CRCs at finish.
+        let mut header = Vec::with_capacity(HEADER_LEN as usize);
+        header.extend_from_slice(&MAGIC);
+        header.extend_from_slice(&VERSION.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        header.extend_from_slice(&(n_rows as u64).to_le_bytes());
+        header.extend_from_slice(&(schema.len() as u64).to_le_bytes());
+        header.extend_from_slice(&fnv64(layout.schema_text.as_bytes()).to_le_bytes());
+        header.extend_from_slice(&(layout.schema_text.len() as u64).to_le_bytes());
+        header.extend_from_slice(&layout.dir_off.to_le_bytes());
+        let crc = crc32(&header);
+        header.extend_from_slice(&crc.to_le_bytes());
+        header.extend_from_slice(&0u32.to_le_bytes());
+        debug_assert_eq!(header.len() as u64, HEADER_LEN);
+        write_all_at(&file, 0, &header).map_err(io_err)?;
+        write_all_at(&file, HEADER_LEN, layout.schema_text.as_bytes()).map_err(io_err)?;
+
+        let bufs = schema
+            .iter()
+            .map(|f| match f.kind {
+                FeatureKind::Real => ChunkBuf::Real(Vec::with_capacity(chunk_rows)),
+                FeatureKind::Categorical { .. } => ChunkBuf::Cat(Vec::with_capacity(chunk_rows)),
+            })
+            .collect();
+        let n = schema.len();
+        Ok(FcbWriter {
+            file,
+            tmp_path,
+            final_path,
+            schema: schema.clone(),
+            layout,
+            n_rows,
+            chunk_rows,
+            rows_written: 0,
+            buffered: 0,
+            bufs,
+            missing: vec![vec![0u8; chunk_rows / 8]; n],
+            values_crc: vec![Crc32::new(); n],
+            missing_crc: vec![Crc32::new(); n],
+            byte_buf: Vec::new(),
+            peak_buffer_bytes: 0,
+        })
+    }
+
+    fn encode_err(&self, detail: String) -> FcbError {
+        FcbError::Encode { path: self.final_path.clone(), detail }
+    }
+
+    fn io_err(&self, source: io::Error) -> FcbError {
+        FcbError::Io { path: self.final_path.clone(), source }
+    }
+
+    /// Append one row. Value bit patterns are preserved exactly (a
+    /// `Value::Real` NaN keeps its payload; `Value::Missing` stores the
+    /// canonical NaN / [`MISSING_CODE`]), so packing reproduces the source
+    /// dataset bit for bit.
+    pub fn push_row(&mut self, values: &[Value]) -> Result<(), FcbError> {
+        if values.len() != self.schema.len() {
+            return Err(self.encode_err(format!(
+                "row {} has {} cells, schema has {}",
+                self.rows_written + self.buffered + 1,
+                values.len(),
+                self.schema.len()
+            )));
+        }
+        if self.rows_written + self.buffered >= self.n_rows {
+            return Err(self.encode_err(format!("more rows pushed than the declared {}", self.n_rows)));
+        }
+        let r = self.buffered;
+        for (j, (&v, buf)) in values.iter().zip(&mut self.bufs).enumerate() {
+            let missing = match (buf, v) {
+                (ChunkBuf::Real(b), Value::Real(x)) => {
+                    b.push(x);
+                    x.is_nan()
+                }
+                (ChunkBuf::Real(b), Value::Missing) => {
+                    b.push(f64::NAN);
+                    true
+                }
+                (ChunkBuf::Cat(b), Value::Categorical(c)) => {
+                    let arity = match self.schema.kind(j) {
+                        FeatureKind::Categorical { arity } => arity,
+                        FeatureKind::Real => unreachable!("buffer kind matches schema"),
+                    };
+                    if c >= arity {
+                        return Err(FcbError::Encode {
+                            path: self.final_path.clone(),
+                            detail: format!("column {j}: code {c} out of range for arity {arity}"),
+                        });
+                    }
+                    b.push(c);
+                    false
+                }
+                (ChunkBuf::Cat(b), Value::Missing) => {
+                    b.push(MISSING_CODE);
+                    true
+                }
+                (_, v) => {
+                    return Err(FcbError::Encode {
+                        path: self.final_path.clone(),
+                        detail: format!("column {j}: value {v:?} does not match the schema kind"),
+                    })
+                }
+            };
+            if missing {
+                self.missing[j][r / 8] |= 1 << (r % 8);
+            }
+        }
+        self.buffered += 1;
+        if self.buffered == self.chunk_rows {
+            self.flush_chunk()?;
+        }
+        Ok(())
+    }
+
+    /// Append rows `start..end` of `data` (clamped), column-at-a-time —
+    /// the fast path for packing an in-memory dataset. Bit patterns are
+    /// preserved exactly, so the packed file's content fingerprint equals
+    /// the source's.
+    pub fn append_dataset_rows(
+        &mut self,
+        data: &Dataset,
+        start: usize,
+        end: usize,
+    ) -> Result<(), FcbError> {
+        if data.schema() != &self.schema {
+            return Err(self.encode_err("dataset schema differs from the writer's".into()));
+        }
+        let end = end.min(data.n_rows());
+        let mut row = start.min(end);
+        while row < end {
+            // Fill at most the rest of the current chunk from each column.
+            let take = (self.chunk_rows - self.buffered).min(end - row);
+            if self.rows_written + self.buffered + take > self.n_rows {
+                return Err(self.encode_err(format!("more rows pushed than the declared {}", self.n_rows)));
+            }
+            let base = self.buffered;
+            for (j, buf) in self.bufs.iter_mut().enumerate() {
+                match (data.column(j), buf) {
+                    (Column::Real(v), ChunkBuf::Real(b)) => {
+                        for (i, &x) in v[row..row + take].iter().enumerate() {
+                            b.push(x);
+                            if x.is_nan() {
+                                self.missing[j][(base + i) / 8] |= 1 << ((base + i) % 8);
+                            }
+                        }
+                    }
+                    (Column::Categorical { codes, .. }, ChunkBuf::Cat(b)) => {
+                        for (i, &c) in codes[row..row + take].iter().enumerate() {
+                            b.push(c);
+                            if c == MISSING_CODE {
+                                self.missing[j][(base + i) / 8] |= 1 << ((base + i) % 8);
+                            }
+                        }
+                    }
+                    _ => unreachable!("schema equality was checked"),
+                }
+            }
+            self.buffered += take;
+            row += take;
+            if self.buffered == self.chunk_rows {
+                self.flush_chunk()?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Scatter the buffered chunk to every column's extents.
+    fn flush_chunk(&mut self) -> Result<(), FcbError> {
+        let rows = self.buffered;
+        if rows == 0 {
+            return Ok(());
+        }
+        let base = self.rows_written as u64;
+        debug_assert_eq!(base % 8, 0, "chunk boundaries stay byte-aligned in the bitmap");
+        let mut resident = 0usize;
+        for j in 0..self.bufs.len() {
+            let lay = self.layout.cols[j].clone();
+            self.byte_buf.clear();
+            match &self.bufs[j] {
+                ChunkBuf::Real(b) => {
+                    for &x in b {
+                        self.byte_buf.extend_from_slice(&x.to_le_bytes());
+                    }
+                    resident += b.capacity() * 8;
+                }
+                ChunkBuf::Cat(b) => {
+                    for &c in b {
+                        self.byte_buf.extend_from_slice(&c.to_le_bytes());
+                    }
+                    resident += b.capacity() * 4;
+                }
+            }
+            let elem = self.byte_buf.len() as u64 / rows as u64;
+            write_all_at(&self.file, lay.values_off + base * elem, &self.byte_buf)
+                .map_err(|e| self.io_err(e))?;
+            self.values_crc[j].write(&self.byte_buf);
+            let bits = &self.missing[j][..rows.div_ceil(8)];
+            write_all_at(&self.file, lay.missing_off + base / 8, bits)
+                .map_err(|e| self.io_err(e))?;
+            self.missing_crc[j].write(bits);
+            resident += self.missing[j].len();
+            match &mut self.bufs[j] {
+                ChunkBuf::Real(b) => b.clear(),
+                ChunkBuf::Cat(b) => b.clear(),
+            }
+            self.missing[j].fill(0);
+        }
+        self.peak_buffer_bytes = self.peak_buffer_bytes.max(resident + self.byte_buf.capacity());
+        self.rows_written += rows;
+        self.buffered = 0;
+        Ok(())
+    }
+
+    /// Seal and atomically publish the file. Fails if fewer rows were
+    /// pushed than declared at [`FcbWriter::create`].
+    pub fn finish(mut self) -> Result<FcbStats, FcbError> {
+        self.flush_chunk()?;
+        if self.rows_written != self.n_rows {
+            return Err(self.encode_err(format!(
+                "{} rows were written but {} were declared",
+                self.rows_written, self.n_rows
+            )));
+        }
+
+        // Directory, with the per-extent CRCs accumulated during flushes.
+        let mut dir = Vec::with_capacity(DIR_ENTRY_LEN as usize * self.schema.len());
+        for (j, f) in self.schema.iter().enumerate() {
+            let (kind_code, arity) = match f.kind {
+                FeatureKind::Real => (KIND_REAL, 0),
+                FeatureKind::Categorical { arity } => (KIND_CAT, arity),
+            };
+            let lay = &self.layout.cols[j];
+            dir.extend_from_slice(&kind_code.to_le_bytes());
+            dir.extend_from_slice(&arity.to_le_bytes());
+            dir.extend_from_slice(&lay.values_off.to_le_bytes());
+            dir.extend_from_slice(&lay.values_len.to_le_bytes());
+            dir.extend_from_slice(&lay.missing_off.to_le_bytes());
+            dir.extend_from_slice(&lay.missing_len.to_le_bytes());
+            dir.extend_from_slice(&self.values_crc[j].finish().to_le_bytes());
+            dir.extend_from_slice(&self.missing_crc[j].finish().to_le_bytes());
+        }
+        write_all_at(&self.file, self.layout.dir_off, &dir).map_err(|e| self.io_err(e))?;
+
+        // Whole-file CRC: stream the written prefix back in bounded chunks
+        // (the writer never holds more than one chunk of rows — the CRC
+        // pass must not break that bound either).
+        let mut reader =
+            BufReader::new(File::open(&self.tmp_path).map_err(|e| self.io_err(e))?);
+        let mut crc = Crc32::new();
+        let mut remaining = self.layout.trailer_off;
+        let mut buf = vec![0u8; 1 << 20];
+        while remaining > 0 {
+            let take = remaining.min(buf.len() as u64) as usize;
+            reader.read_exact(&mut buf[..take]).map_err(|e| self.io_err(e))?;
+            crc.write(&buf[..take]);
+            remaining -= take as u64;
+        }
+        let mut trailer = Vec::with_capacity(TRAILER_LEN as usize);
+        trailer.extend_from_slice(&TRAILER_MAGIC);
+        trailer.extend_from_slice(&crc.finish().to_le_bytes());
+        trailer.extend_from_slice(&0u32.to_le_bytes());
+        write_all_at(&self.file, self.layout.trailer_off, &trailer)
+            .map_err(|e| self.io_err(e))?;
+
+        // Durable publish: fsync the data, rename into place, fsync the
+        // parent directory so the rename itself is durable (the same
+        // discipline as model persistence).
+        self.file.sync_all().map_err(|e| self.io_err(e))?;
+        std::fs::rename(&self.tmp_path, &self.final_path).map_err(|e| self.io_err(e))?;
+        if let Some(parent) = self.final_path.parent() {
+            let dir = if parent.as_os_str().is_empty() { Path::new(".") } else { parent };
+            if let Ok(d) = File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(FcbStats {
+            rows: self.rows_written,
+            file_bytes: self.layout.file_len,
+            chunk_rows: self.chunk_rows,
+            peak_buffer_bytes: self.peak_buffer_bytes,
+        })
+    }
+}
+
+fn write_all_at(file: &File, off: u64, buf: &[u8]) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        use std::os::unix::fs::FileExt as _;
+        file.write_all_at(buf, off)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Seek as _, SeekFrom, Write as _};
+        let mut f = file;
+        f.seek(SeekFrom::Start(off))?;
+        f.write_all(buf)
+    }
+}
+
+/// Pack an in-memory dataset to `path` with the default chunk size.
+pub fn pack_dataset(data: &Dataset, path: impl AsRef<Path>) -> Result<FcbStats, FcbError> {
+    pack_dataset_chunked(data, path, 8192)
+}
+
+/// Pack an in-memory dataset to `path`, buffering at most `chunk_rows`
+/// rows. Bit patterns (NaN payloads included) are preserved, so
+/// `FcbFile::open(path)?.dataset()` fingerprints identically to `data`.
+pub fn pack_dataset_chunked(
+    data: &Dataset,
+    path: impl AsRef<Path>,
+    chunk_rows: usize,
+) -> Result<FcbStats, FcbError> {
+    let mut w = FcbWriter::create(&path, data.schema(), data.n_rows(), chunk_rows)?;
+    w.append_dataset_rows(data, 0, data.n_rows())?;
+    w.finish()
+}
+
+/// Pack a TSV file to FCB without materializing it: pass 1 reads the
+/// header and counts data rows, pass 2 streams rows through an
+/// [`FcbWriter`] with at most `chunk_rows` rows resident. The packed cells
+/// are exactly what [`crate::io::from_tsv`] would have stored, so training
+/// from either file yields bit-identical models.
+pub fn pack_tsv(
+    tsv_path: impl AsRef<Path>,
+    out_path: impl AsRef<Path>,
+    chunk_rows: usize,
+) -> Result<FcbStats, FcbError> {
+    let tsv_path = tsv_path.as_ref();
+    let out_path = out_path.as_ref();
+    let io_err = |source| FcbError::Io { path: tsv_path.to_path_buf(), source };
+    let parse_err =
+        |e: tsv::ParseError| FcbError::Encode { path: out_path.to_path_buf(), detail: e.to_string() };
+
+    // Pass 1: schema + row count (empty lines are skipped, as in from_tsv).
+    let mut reader = BufReader::new(File::open(tsv_path).map_err(io_err)?);
+    let mut header = String::new();
+    if reader.read_line(&mut header).map_err(io_err)? == 0 {
+        return Err(parse_err(tsv::ParseError::Header("empty input".into())));
+    }
+    let schema = tsv::schema_from_header(&header).map_err(parse_err)?;
+    let mut n_rows = 0usize;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(io_err)? == 0 {
+            break;
+        }
+        if !line.trim_end_matches(['\r', '\n']).is_empty() {
+            n_rows += 1;
+        }
+    }
+
+    // Pass 2: stream rows into the chunked writer.
+    let mut writer = FcbWriter::create(out_path, &schema, n_rows, chunk_rows)?;
+    let mut reader = BufReader::new(File::open(tsv_path).map_err(io_err)?);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(io_err)?; // header, already parsed
+    let mut lineno = 1usize;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).map_err(io_err)? == 0 {
+            break;
+        }
+        lineno += 1;
+        if line.trim_end_matches(['\r', '\n']).is_empty() {
+            continue;
+        }
+        let row = tsv::parse_record(&schema, &line, lineno).map_err(parse_err)?;
+        writer.push_row(&row)?;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DatasetBuilder;
+
+    fn tmp_dir() -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("frac-fcb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn mixed() -> Dataset {
+        DatasetBuilder::new()
+            .real("expr", vec![1.0, 2.5, f64::NAN, -4.0, 0.0])
+            .categorical("snp", 3, vec![0, 1, 2, MISSING_CODE, 1])
+            .real("level", vec![f64::NAN, f64::NAN, 0.25, 1e-300, -0.0])
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_preserves_bits_and_fingerprint() {
+        let d = mixed();
+        let path = tmp_dir().join("roundtrip.fcb");
+        let stats = pack_dataset(&d, &path).unwrap();
+        assert_eq!(stats.rows, 5);
+        let f = FcbFile::open(&path).unwrap();
+        assert_eq!(f.n_rows(), 5);
+        assert_eq!(f.schema(), d.schema());
+        let back = f.dataset();
+        assert_eq!(back.fingerprint(), d.fingerprint(), "bit-exact content");
+        assert!(back.column(0).as_real().is_some());
+        // Columns are views into the mapping, not copies.
+        match back.column(0) {
+            Column::Real(v) => assert!(v.is_mapped()),
+            _ => panic!("kind"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunked_writer_matches_oneshot_bytes() {
+        let d = mixed();
+        let dir = tmp_dir();
+        let big = dir.join("chunk-big.fcb");
+        let small = dir.join("chunk-small.fcb");
+        pack_dataset_chunked(&d, &big, 4096).unwrap();
+        // chunk_rows = 1 rounds up to 8; with 5 rows that still exercises
+        // the partial final chunk. Use a 16-row dataset to cross chunks.
+        let tall = d.vstack(&d).vstack(&d.vstack(&d));
+        let tall_big = dir.join("tall-big.fcb");
+        let tall_small = dir.join("tall-small.fcb");
+        pack_dataset_chunked(&tall, &tall_big, 4096).unwrap();
+        let stats = pack_dataset_chunked(&tall, &tall_small, 1).unwrap();
+        assert_eq!(stats.chunk_rows, 8, "chunk size rounds up to a byte of bitmap");
+        assert_eq!(
+            std::fs::read(&tall_big).unwrap(),
+            std::fs::read(&tall_small).unwrap(),
+            "chunking must not change a single byte"
+        );
+        pack_dataset_chunked(&d, &small, 1).unwrap();
+        assert_eq!(std::fs::read(&big).unwrap(), std::fs::read(&small).unwrap());
+        for p in [big, small, tall_big, tall_small] {
+            std::fs::remove_file(p).ok();
+        }
+    }
+
+    #[test]
+    fn pack_tsv_matches_from_tsv() {
+        let d = mixed();
+        let dir = tmp_dir();
+        let tsv_path = dir.join("pack.tsv");
+        let fcb_path = dir.join("pack.fcb");
+        crate::io::write_tsv(&d, &tsv_path).unwrap();
+        pack_tsv(&tsv_path, &fcb_path, 8).unwrap();
+        let from_fcb = FcbFile::open(&fcb_path).unwrap().dataset();
+        let from_tsv = crate::io::read_tsv(&tsv_path).unwrap();
+        assert_eq!(from_fcb.fingerprint(), from_tsv.fingerprint());
+        std::fs::remove_file(&tsv_path).ok();
+        std::fs::remove_file(&fcb_path).ok();
+    }
+
+    #[test]
+    fn info_reports_shape_and_missing() {
+        let d = mixed();
+        let path = tmp_dir().join("info.fcb");
+        pack_dataset(&d, &path).unwrap();
+        let info = FcbFile::open(&path).unwrap().info();
+        assert_eq!(info.version, VERSION);
+        assert_eq!(info.n_rows, 5);
+        assert_eq!(info.n_features, 3);
+        assert_eq!(info.columns[0].n_missing, 1);
+        assert_eq!(info.columns[1].n_missing, 1);
+        assert_eq!(info.columns[2].n_missing, 2);
+        assert_eq!(info.columns[0].values_len, 40);
+        assert_eq!(info.columns[1].values_len, 20);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn foreign_magic_and_short_files_are_rejected() {
+        let dir = tmp_dir();
+        let path = dir.join("foreign.fcb");
+        std::fs::write(&path, b"NOTANFCBFILE padding padding padding padding padding padding padding padding").unwrap();
+        match FcbFile::open(&path) {
+            Err(FcbError::Foreign { .. }) => {}
+            other => panic!("expected Foreign, got {other:?}"),
+        }
+        std::fs::write(&path, b"FRA").unwrap();
+        match FcbFile::open(&path) {
+            Err(FcbError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        // Right magic, but nothing after it.
+        std::fs::write(&path, MAGIC).unwrap();
+        match FcbFile::open(&path) {
+            Err(FcbError::Truncated { .. }) => {}
+            other => panic!("expected Truncated, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn unsupported_version_is_foreign() {
+        let d = mixed();
+        let path = tmp_dir().join("version.fcb");
+        pack_dataset(&d, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] = 9; // version 9
+        // Re-seal the header CRC so the version check itself is what fires.
+        let crc = crc32(&bytes[..56]).to_le_bytes();
+        bytes[56..60].copy_from_slice(&crc);
+        std::fs::write(&path, &bytes).unwrap();
+        match FcbFile::open(&path) {
+            Err(FcbError::Foreign { detail, .. }) => assert!(detail.contains("version 9")),
+            other => panic!("expected Foreign, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncation_and_bit_flips_are_rejected_never_panic() {
+        let d = mixed();
+        let path = tmp_dir().join("corrupt.fcb");
+        pack_dataset(&d, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Every truncation point must be rejected (prefixes keeping the
+        // magic are Truncated/Corrupt; shorter ones may be Foreign).
+        for cut in [clean.len() - 1, clean.len() - 16, 200, 64, 8, 1] {
+            std::fs::write(&path, &clean[..cut]).unwrap();
+            assert!(FcbFile::open(&path).is_err(), "truncation at {cut} must be rejected");
+        }
+        // A bit flip anywhere must be caught by one of the CRCs.
+        for pos in [9, 20, 70, 130, 200, clean.len() - 20, clean.len() - 4] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(FcbFile::open(&path).is_err(), "bit flip at {pos} must be rejected");
+        }
+        // Trailing garbage is rejected too.
+        let mut bytes = clean.clone();
+        bytes.extend_from_slice(b"garbage");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(FcbFile::open(&path), Err(FcbError::Corrupt { .. })));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_rejects_bad_rows_and_row_counts() {
+        let dir = tmp_dir();
+        let path = dir.join("reject.fcb");
+        let schema = mixed().schema().clone();
+        let mut w = FcbWriter::create(&path, &schema, 2, 8).unwrap();
+        assert!(matches!(w.push_row(&[Value::Real(1.0)]), Err(FcbError::Encode { .. })));
+        assert!(matches!(
+            w.push_row(&[Value::Categorical(0), Value::Real(1.0), Value::Real(1.0)]),
+            Err(FcbError::Encode { .. })
+        ));
+        assert!(matches!(
+            w.push_row(&[Value::Real(1.0), Value::Categorical(7), Value::Real(1.0)]),
+            Err(FcbError::Encode { .. })
+        ));
+        w.push_row(&[Value::Real(1.0), Value::Categorical(0), Value::Missing]).unwrap();
+        // Declared 2 rows, wrote 1: finish must refuse.
+        assert!(matches!(w.finish(), Err(FcbError::Encode { .. })));
+        std::fs::remove_file(dir.join("reject.fcb.tmp")).ok();
+    }
+
+    #[test]
+    fn read_rows_returns_owned_ranges() {
+        let d = mixed();
+        let path = tmp_dir().join("ranges.fcb");
+        pack_dataset(&d, &path).unwrap();
+        let f = FcbFile::open(&path).unwrap();
+        let mid = f.read_rows(1, 3);
+        assert_eq!(mid.n_rows(), 2);
+        assert_eq!(mid.value(0, 0), d.value(1, 0));
+        assert_eq!(mid.value(1, 1), d.value(2, 1));
+        let clamped = f.read_rows(4, 100);
+        assert_eq!(clamped.n_rows(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn peak_buffer_stays_bounded_by_chunk() {
+        // 64 rows through an 8-row chunk: the writer must never hold more
+        // than one chunk's worth of cells.
+        let base = mixed();
+        let mut tall = base.clone();
+        for _ in 0..4 {
+            tall = tall.vstack(&tall);
+        }
+        assert_eq!(tall.n_rows(), 80);
+        let path = tmp_dir().join("bounded.fcb");
+        let stats = pack_dataset_chunked(&tall, &path, 8).unwrap();
+        // Budget: 8 rows × (2×8 + 4 bytes) values + 3 bitmap bytes + the
+        // scatter byte buffer (≤ one real extent chunk). Generous bound:
+        let budget = stats.chunk_rows * (8 + 8 + 4) * 2 + 64;
+        assert!(
+            stats.peak_buffer_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            stats.peak_buffer_bytes
+        );
+        assert!(stats.file_bytes > budget as u64, "file must dwarf the buffer budget");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -372,9 +372,9 @@ pub fn from_tsv(text: &str) -> Result<Dataset, ParseError> {
     let mut columns: Vec<Column> = schema
         .iter()
         .map(|f| match f.kind {
-            FeatureKind::Real => Column::Real(Vec::new()),
+            FeatureKind::Real => Column::Real(Vec::new().into()),
             FeatureKind::Categorical { arity } => {
-                Column::Categorical { arity, codes: Vec::new() }
+                Column::Categorical { arity, codes: Vec::new().into() }
             }
         })
         .collect();

@@ -20,6 +20,10 @@
 //! * [`split`] — deterministic shuffles, train/test splits and k-fold
 //!   partitions implementing the paper's replicate protocol.
 //! * [`io`] — a simple TSV interchange format with a typed header.
+//! * [`fcb`] — FCB, the binary column-major on-disk dataset format
+//!   (checksummed extents, mmap-loaded into zero-copy [`Dataset`] columns,
+//!   chunked bounded-memory encode); see `FORMATS.md` for the byte layout.
+//! * [`mmap`] — the read-only memory-map wrapper FCB loads through.
 //! * [`quarantine`] — degenerate-input screening (NaN/Inf cells,
 //!   zero-variance columns, single-class categoricals, all-missing targets)
 //!   and cell sanitization, run before anything reaches a solver.
@@ -36,16 +40,20 @@ pub mod crc;
 pub mod dataset;
 pub mod design;
 pub mod entropy;
+pub mod fcb;
 pub mod io;
 pub mod kde;
 pub mod kernels;
+pub mod mmap;
 pub mod quarantine;
 pub mod schema;
 pub mod split;
 pub mod stats;
 pub mod textio;
 
-pub use dataset::{Column, Dataset, Value};
+pub use dataset::{ColStore, Column, Dataset, Value};
+pub use fcb::{FcbError, FcbFile, FcbInfo, FcbWriter};
+pub use mmap::MmapFile;
 pub use design::{
     ColRef, DesignMatrix, DesignView, EncodedPool, PackedDesign, PoolSpec, PoolView, RowSubset,
 };

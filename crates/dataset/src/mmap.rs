@@ -1,0 +1,295 @@
+//! Read-only memory-mapped files for the out-of-core dataset path.
+//!
+//! This is the workspace's second (and deliberately small) `unsafe` module,
+//! under the same `#![deny(unsafe_op_in_unsafe_fn)]` discipline as
+//! [`crate::kernels`]: every `unsafe` block is local, commented, and guards
+//! exactly one invariant. Like `frac-cli`'s signal hookup, it carries no
+//! `libc`-style dependency — on 64-bit Unix the two C entry points it needs
+//! (`mmap(2)` / `munmap(2)`) are declared directly, because the process is
+//! already linked against libc through `std`. Everywhere else (non-Unix, or
+//! 32-bit targets where the un-declared `off_t` width would be an ABI guess)
+//! [`MmapFile::open`] transparently falls back to reading the file into an
+//! owned buffer: same API, same bytes, no mapping.
+//!
+//! # Safety model
+//!
+//! A mapping is created once, read-only (`PROT_READ`), page-aligned by the
+//! kernel, and unmapped exactly once on drop. The byte slice handed out by
+//! [`MmapFile::as_bytes`] borrows the `MmapFile`, so Rust's lifetimes keep
+//! it from out-living the mapping; shared ownership across columns is done
+//! with `Arc<MmapFile>` at the caller. The one hazard the type system
+//! cannot exclude is *external file truncation while mapped* (a concurrent
+//! writer shrinking the file makes touched pages fault with `SIGBUS`). The
+//! FCB format is written atomically (tmp + fsync + rename) and never
+//! modified in place, so a mapped `.fcb` file only disappears by rename —
+//! which keeps the old inode (and every mapped page) alive until unmap.
+//! See `FORMATS.md` § FCB for the normative statement.
+//!
+//! Typed reinterpretation ([`MmapFile::slice_f64`] / [`MmapFile::slice_u32`])
+//! is bounds- and alignment-checked at every call; `f64`/`u32` have no
+//! invalid bit patterns, so a checked cast from initialized bytes is sound.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use std::fs::File;
+use std::io;
+use std::path::Path;
+
+/// True when this build uses a real `mmap(2)` mapping; false when
+/// [`MmapFile::open`] falls back to an owned in-memory copy.
+pub const MMAP_BACKED: bool = cfg!(all(unix, target_pointer_width = "64"));
+
+#[cfg(all(unix, target_pointer_width = "64"))]
+mod sys {
+    use std::ffi::c_void;
+
+    /// `PROT_READ` — identical on Linux and the BSDs/macOS.
+    pub const PROT_READ: i32 = 1;
+    /// `MAP_SHARED` — identical on Linux and the BSDs/macOS. Read-only
+    /// shared mappings let every worker process mapping one FCB file share
+    /// the same page-cache pages.
+    pub const MAP_SHARED: i32 = 1;
+    /// `mmap`'s failure sentinel (`(void *)-1`).
+    pub const MAP_FAILED: usize = usize::MAX;
+
+    extern "C" {
+        /// POSIX `mmap(2)`. Declared with a 64-bit offset, which matches
+        /// `off_t` on every 64-bit Unix this gate admits.
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        /// POSIX `munmap(2)`.
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+/// A whole file, either memory-mapped read-only (64-bit Unix) or read into
+/// an owned buffer (everywhere else). Dropping unmaps / frees.
+#[derive(Debug)]
+pub struct MmapFile {
+    repr: Repr,
+}
+
+#[derive(Debug)]
+enum Repr {
+    #[cfg(all(unix, target_pointer_width = "64"))]
+    Mapped {
+        /// Base address of the mapping; never null, page-aligned.
+        ptr: *const u8,
+        len: usize,
+    },
+    Owned(Vec<u8>),
+}
+
+// SAFETY: the mapping is immutable for the life of the value (PROT_READ,
+// file never modified in place per the FCB write protocol) and carries no
+// interior mutability, so shared references may cross threads freely.
+unsafe impl Send for MmapFile {}
+// SAFETY: as above — &MmapFile only permits reads of immutable memory.
+unsafe impl Sync for MmapFile {}
+
+impl MmapFile {
+    /// Map `path` read-only (or read it into memory on fallback targets).
+    ///
+    /// Empty files yield an empty, mapping-free `MmapFile`. Errors are the
+    /// underlying `open`/`stat`/`mmap` failures.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<MmapFile> {
+        let path = path.as_ref();
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: file too large to map", path.display()),
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(MmapFile { repr: Repr::Owned(Vec::new()) });
+        }
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        {
+            use std::os::unix::io::AsRawFd as _;
+            // SAFETY: `fd` is a live descriptor borrowed from `file` for the
+            // duration of the call; a read-only MAP_SHARED mapping of it is
+            // valid regardless of when the descriptor is later closed (POSIX
+            // keeps the mapping alive independently of the fd). All other
+            // arguments are plain values. The result is checked below.
+            let ptr = unsafe {
+                sys::mmap(
+                    std::ptr::null_mut(),
+                    len,
+                    sys::PROT_READ,
+                    sys::MAP_SHARED,
+                    file.as_raw_fd(),
+                    0,
+                )
+            };
+            if ptr as usize == sys::MAP_FAILED {
+                return Err(io::Error::other(format!("{}: mmap failed", path.display())));
+            }
+            Ok(MmapFile { repr: Repr::Mapped { ptr: ptr as *const u8, len } })
+        }
+        #[cfg(not(all(unix, target_pointer_width = "64")))]
+        {
+            use std::io::Read as _;
+            let mut file = file;
+            let mut data = Vec::with_capacity(len);
+            file.read_to_end(&mut data)?;
+            Ok(MmapFile { repr: Repr::Owned(data) })
+        }
+    }
+
+    /// Total length in bytes.
+    pub fn len(&self) -> usize {
+        match &self.repr {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Repr::Mapped { len, .. } => *len,
+            Repr::Owned(v) => v.len(),
+        }
+    }
+
+    /// True when the file was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The whole file as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        match &self.repr {
+            #[cfg(all(unix, target_pointer_width = "64"))]
+            Repr::Mapped { ptr, len } => {
+                // SAFETY: `ptr` is the non-null base of a live PROT_READ
+                // mapping of exactly `len` bytes (established in `open`,
+                // torn down only in `drop`); the returned slice borrows
+                // `self`, so it cannot out-live the mapping.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Repr::Owned(v) => v,
+        }
+    }
+
+    /// `count` little-endian `f64`s starting at `byte_off`, zero-copy.
+    ///
+    /// Returns `None` if the range is out of bounds or `byte_off` is not
+    /// 8-byte aligned (the FCB layout aligns every extent, so a `None` here
+    /// means a corrupt or foreign file, never a valid one).
+    pub fn slice_f64(&self, byte_off: usize, count: usize) -> Option<&[f64]> {
+        let bytes = self.range(byte_off, count.checked_mul(8)?)?;
+        if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<f64>()) {
+            return None;
+        }
+        // SAFETY: the range is in bounds (checked by `range`), properly
+        // aligned (checked above), and `f64` accepts every bit pattern.
+        // Endianness: FCB is defined little-endian and this workspace only
+        // targets little-endian hosts; the const assertion pins it.
+        const { assert!(cfg!(target_endian = "little"), "FCB mapping requires little-endian") };
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const f64, count) })
+    }
+
+    /// `count` little-endian `u32`s starting at `byte_off`, zero-copy.
+    ///
+    /// Same bounds/alignment contract as [`MmapFile::slice_f64`].
+    pub fn slice_u32(&self, byte_off: usize, count: usize) -> Option<&[u32]> {
+        let bytes = self.range(byte_off, count.checked_mul(4)?)?;
+        if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>()) {
+            return None;
+        }
+        // SAFETY: in bounds, aligned, and `u32` accepts every bit pattern
+        // (little-endian host, pinned by the const assertion above).
+        const { assert!(cfg!(target_endian = "little"), "FCB mapping requires little-endian") };
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr() as *const u32, count) })
+    }
+
+    /// Byte subrange helper with overflow-safe bounds checking.
+    fn range(&self, off: usize, len: usize) -> Option<&[u8]> {
+        let end = off.checked_add(len)?;
+        self.as_bytes().get(off..end)
+    }
+}
+
+impl Drop for MmapFile {
+    fn drop(&mut self) {
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        if let Repr::Mapped { ptr, len } = self.repr {
+            // SAFETY: `ptr`/`len` describe exactly the mapping created in
+            // `open`; it is unmapped exactly once (drop runs once) and no
+            // slice into it can still be live (they all borrow `self`).
+            // munmap failure on a valid mapping is not actionable in drop.
+            unsafe {
+                let _ = sys::munmap(ptr as *mut std::ffi::c_void, len);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write as _;
+
+    fn tmp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("frac-mmap-{}-{name}", std::process::id()));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_and_reads_whole_file() {
+        let path = tmp("whole", b"hello mapped world");
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.len(), 18);
+        assert_eq!(map.as_bytes(), b"hello mapped world");
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let path = tmp("empty", b"");
+        let map = MmapFile::open(&path).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.as_bytes(), b"");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn typed_slices_roundtrip_and_check_bounds() {
+        let mut bytes = Vec::new();
+        for x in [1.5f64, -2.25, 0.0] {
+            bytes.extend_from_slice(&x.to_le_bytes());
+        }
+        for c in [7u32, u32::MAX] {
+            bytes.extend_from_slice(&c.to_le_bytes());
+        }
+        let path = tmp("typed", &bytes);
+        let map = MmapFile::open(&path).unwrap();
+        assert_eq!(map.slice_f64(0, 3).unwrap(), &[1.5, -2.25, 0.0]);
+        assert_eq!(map.slice_u32(24, 2).unwrap(), &[7, u32::MAX]);
+        // Out of bounds and misaligned reads must both refuse.
+        assert!(map.slice_f64(0, 5).is_none());
+        assert!(map.slice_f64(4, 1).is_none(), "misaligned f64 offset");
+        assert!(map.slice_u32(2, 1).is_none(), "misaligned u32 offset");
+        assert!(map.slice_u32(usize::MAX - 2, 1).is_none(), "overflowing range");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapping_survives_rename_semantics() {
+        // The FCB write protocol replaces files only via rename; a mapping
+        // taken before the rename must keep seeing the old bytes.
+        let path = tmp("rename", b"old contents");
+        let map = MmapFile::open(&path).unwrap();
+        let replacement = tmp("rename-new", b"new contents");
+        std::fs::rename(&replacement, &path).unwrap();
+        assert_eq!(map.as_bytes(), b"old contents");
+        drop(map);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -191,7 +191,7 @@ proptest! {
     fn missing_values_roundtrip_through_columns(
         codes in prop::collection::vec(prop_oneof![Just(MISSING_CODE), 0u32..3], 1..30),
     ) {
-        let col = Column::Categorical { arity: 3, codes: codes.clone() };
+        let col = Column::Categorical { arity: 3, codes: codes.clone().into() };
         let n_missing = codes.iter().filter(|&&c| c == MISSING_CODE).count();
         prop_assert_eq!(col.n_missing(), n_missing);
         let d = Dataset::new(

@@ -268,7 +268,7 @@ impl ExpressionGenerator {
                 .map(|g| frac_dataset::Feature::real(format!("gene{g}")))
                 .collect(),
         );
-        let data = Dataset::new(schema, columns.into_iter().map(Column::Real).collect());
+        let data = Dataset::new(schema, columns.into_iter().map(|v| Column::Real(v.into())).collect());
         (data, labels)
     }
 }

@@ -329,7 +329,7 @@ impl SnpGenerator {
             schema,
             columns
                 .into_iter()
-                .map(|codes| Column::Categorical { arity: 3, codes })
+                .map(|codes| Column::Categorical { arity: 3, codes: codes.into() })
                 .collect(),
         );
         (data, labels)

@@ -18,7 +18,7 @@ fn arb_real_column(n: usize) -> impl Strategy<Value = Column> {
         ],
         n,
     )
-    .prop_map(Column::Real)
+    .prop_map(|v| Column::Real(v.into()))
 }
 
 fn arb_cat_column(n: usize) -> impl Strategy<Value = Column> {
@@ -30,7 +30,7 @@ fn arb_cat_column(n: usize) -> impl Strategy<Value = Column> {
             ],
             n,
         )
-        .prop_map(move |codes| Column::Categorical { arity, codes })
+        .prop_map(move |codes| Column::Categorical { arity, codes: codes.into() })
     })
 }
 

@@ -55,6 +55,12 @@ FRAC_KERNEL_TIER=unrolled cargo test -q -p frac-learn --test gram_equivalence
 # wire-protocol fuzzing (byte soup, oversized lines, disconnects).
 cargo test -q -p frac-core --test serve
 cargo test -q -p frac-core --test serve_fuzz
+# Out-of-core guarantee: FCB round trips are bit-exact and any corruption
+# (truncation, bit flips, foreign bytes) is rejected without a panic
+# (FORMATS.md §2); models fitted from a memory-mapped FCB file score
+# bit-identically to TSV-fitted ones at any thread count.
+cargo test -q -p frac-dataset --test fcb_corruption
+cargo test -q -p frac-core --test fcb_equivalence
 
 # Deadline smoke: a 2s wall-clock budget on the SNP surrogate must exit 0
 # within the budget plus slack, save a scored model, print a health
@@ -98,6 +104,28 @@ grep -q "shards merged" "$smoke_dir/shard.log"
   > "$smoke_dir/shard-score.tsv" 2> "$smoke_dir/shard-score.log"
 grep -q "sharded run (2 shards)" "$smoke_dir/shard-score.log"
 grep -q "^sample" "$smoke_dir/shard-score.tsv"
+
+# FCB smoke: pack the surrogate to the binary column format, inspect it,
+# train from the .fcb, and check the scores are byte-identical to a
+# TSV-trained model's — out-of-core storage must not change a single bit.
+./target/release/frac pack --data "$smoke_dir/autism.train.tsv" \
+  --out "$smoke_dir/autism.train.fcb" --chunk-rows 64
+./target/release/frac info --data "$smoke_dir/autism.train.fcb" \
+  > "$smoke_dir/fcb-info.log"
+grep -q "^format	fcb v1" "$smoke_dir/fcb-info.log"
+timeout 120 ./target/release/frac train \
+  --train "$smoke_dir/autism.train.fcb" \
+  --out "$smoke_dir/autism-fcb.frac" --snp 2> "$smoke_dir/fcb-train.log"
+timeout 120 ./target/release/frac train \
+  --train "$smoke_dir/autism.train.tsv" \
+  --out "$smoke_dir/autism-tsv.frac" --snp 2> /dev/null
+./target/release/frac score --model "$smoke_dir/autism-fcb.frac" \
+  --test "$smoke_dir/autism.test.tsv" \
+  > "$smoke_dir/score-fcb.tsv" 2> /dev/null
+./target/release/frac score --model "$smoke_dir/autism-tsv.frac" \
+  --test "$smoke_dir/autism.test.tsv" \
+  > "$smoke_dir/score-tsv.tsv" 2> /dev/null
+cmp "$smoke_dir/score-fcb.tsv" "$smoke_dir/score-tsv.tsv"
 
 # The telemetry-off build must compile every probe away and still pass
 # the same smoke (its trace degenerates to wall clock + solver delta).
